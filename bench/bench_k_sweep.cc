@@ -1,0 +1,93 @@
+// EXP-K — the headline space-utility interpolation (Theorem 1 /
+// Corollary 1): sweep the pruning parameter k at fixed n and eps and
+// report measured W1, measured builder memory, the theoretical
+// M = k log^2 n, and the tail term ||tail_k||_1/n the bound predicts.
+//
+// Expected shape: W1 decreases in k (approximation term shrinks) until
+// the noise term's jk growth takes over; memory grows linearly in k;
+// PMM (complete tree, Theta(eps n) memory) is the k -> infinity anchor.
+
+#include <iostream>
+
+#include "baselines/nonprivate.h"
+#include "baselines/pmm.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "domain/interval_domain.h"
+#include "eval/tail.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+void RunSweep(double zipf_exponent) {
+  IntervalDomain domain;
+  const size_t n = 1 << 14;
+  const double epsilon = 1.0;
+  const int seeds = 3;
+  RandomEngine data_rng(999);
+  const auto data = GenerateZipfCells(1, n, 10, zipf_exponent, &data_rng);
+
+  TablePrinter table(
+      "EXP-K: W1 vs k (n=2^14, eps=1, zipf=" +
+          TablePrinter::FormatNumber(zipf_exponent) + ")",
+      {"k", "E[W1]", "builder mem", "M=k*log^2(n) (words)", "tail_k/n"});
+
+  for (uint64_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    size_t mem = 0;
+    uint64_t theory_words = 0;
+    const double w1 =
+        bench::AverageW1(domain, data, seeds, [&](uint64_t seed) {
+          PrivHPOptions options;
+          options.epsilon = epsilon;
+          options.k = k;
+          options.expected_n = n;
+          options.l_star = 4;
+          options.sketch_depth = 6;
+          options.seed = seed;
+          auto r = BuildPrivHPSource(&domain, data, options);
+          PRIVHP_CHECK(r.ok());
+          mem = (*r)->BuildMemoryBytes();
+          theory_words = k * 14 * 14;
+          return std::move(*r);
+        });
+    auto tail = TailNormAtLevel(domain, data, 14, k);
+    table.BeginRow();
+    table.Cell(k);
+    table.Cell(w1);
+    table.Cell(bench::FormatBytes(mem));
+    table.Cell(theory_words);
+    table.Cell(tail.ok() ? *tail / static_cast<double>(n) : -1.0);
+  }
+
+  // Anchors.
+  size_t mem = 0;
+  const double w1_pmm =
+      bench::AverageW1(domain, data, seeds, [&](uint64_t seed) {
+        PmmOptions options;
+        options.epsilon = epsilon;
+        options.seed = seed;
+        auto r = BuildPmm(&domain, data, options);
+        PRIVHP_CHECK(r.ok());
+        mem = (*r)->BuildMemoryBytes();
+        return std::unique_ptr<SyntheticDataSource>(std::move(*r));
+      });
+  table.BeginRow();
+  table.Cell(std::string("pmm (no pruning)"));
+  table.Cell(w1_pmm);
+  table.Cell(bench::FormatBytes(mem));
+  table.Cell(std::string("Theta(eps n)"));
+  table.Cell(0.0);
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace privhp
+
+int main() {
+  std::cout << "EXP-K: space-utility interpolation via the pruning "
+               "parameter k\n\n";
+  privhp::RunSweep(1.2);   // skewed: pruning nearly free
+  privhp::RunSweep(0.0);   // uniform-over-cells: worst-case tail
+  return 0;
+}

@@ -1,0 +1,125 @@
+// EXP-PERF — Corollary 1's cost model, measured with google-benchmark:
+//   * stream update cost vs n      (claimed O(log(eps n)) per update)
+//   * generator build (Finish)     (claimed O(M log n))
+//   * synthetic sampling           (O(depth) per point)
+//   * PMM build for contrast       (Theta(eps n) memory + work)
+// Memory footprints are attached as counters.
+
+#include <benchmark/benchmark.h>
+
+#include "common/macros.h"
+
+#include "baselines/pmm.h"
+#include "core/builder.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+PrivHPOptions BenchOptions(size_t n) {
+  PrivHPOptions options;
+  options.epsilon = 1.0;
+  options.k = 16;
+  options.expected_n = n;
+  options.sketch_depth = 6;
+  options.seed = 99;
+  return options;
+}
+
+void BM_StreamUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  IntervalDomain domain;
+  RandomEngine rng(1);
+  const auto data = GenerateZipfCells(1, 4096, 10, 1.2, &rng);
+  auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
+  PRIVHP_CHECK(builder.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder->Add(data[i]));
+    i = (i + 1) % data.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["builder_bytes"] =
+      static_cast<double>(builder->MemoryBytes());
+  state.counters["levels"] = builder->plan().l_max + 1;
+}
+BENCHMARK(BM_StreamUpdate)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StreamUpdate2D(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  HypercubeDomain domain(2);
+  RandomEngine rng(2);
+  const auto data = GenerateZipfCells(2, 4096, 10, 1.2, &rng);
+  auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
+  PRIVHP_CHECK(builder.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder->Add(data[i]));
+    i = (i + 1) % data.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamUpdate2D)->Arg(1 << 16);
+
+void BM_Finish(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
+    PRIVHP_CHECK(builder.ok());
+    PRIVHP_CHECK(builder->AddAll(data).ok());
+    state.ResumeTiming();
+    auto generator = std::move(*builder).Finish();
+    benchmark::DoNotOptimize(generator);
+  }
+}
+BENCHMARK(BM_Finish)->Arg(1 << 12)->Arg(1 << 14)->Unit(benchmark::kMicrosecond);
+
+void BM_Sample(benchmark::State& state) {
+  IntervalDomain domain;
+  RandomEngine rng(4);
+  const size_t n = 1 << 14;
+  const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
+  auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
+  PRIVHP_CHECK(builder.ok());
+  PRIVHP_CHECK(builder->AddAll(data).ok());
+  auto generator = std::move(*builder).Finish();
+  PRIVHP_CHECK(generator.ok());
+  RandomEngine sample_rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator->Sample(&sample_rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["generator_bytes"] =
+      static_cast<double>(generator->MemoryBytes());
+}
+BENCHMARK(BM_Sample);
+
+void BM_PmmBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  IntervalDomain domain;
+  RandomEngine rng(6);
+  const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
+  PmmOptions options;
+  options.epsilon = 1.0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto pmm = BuildPmm(&domain, data, options);
+    PRIVHP_CHECK(pmm.ok());
+    bytes = (*pmm)->BuildMemoryBytes();
+    benchmark::DoNotOptimize(pmm);
+  }
+  state.counters["pmm_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_PmmBuild)->Arg(1 << 12)->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace privhp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Operating under a memory budget: given a hard cap in KiB, pick the
+// largest pruning parameter k that fits, stream the data once, and report
+// what that budget bought (W1 against the stream and against what an
+// unconstrained PMM build achieves). This is the deployment story of
+// Theorem 1: memory is the knob, utility degrades gracefully.
+
+#include <cstdio>
+
+#include "baselines/nonprivate.h"
+#include "baselines/pmm.h"
+#include "core/builder.h"
+#include "domain/interval_domain.h"
+#include "eval/wasserstein.h"
+#include "eval/workloads.h"
+
+int main() {
+  using namespace privhp;
+
+  const size_t n = 1 << 15;
+  RandomEngine data_rng(2025);
+  const auto stream = GenerateZipfCells(1, n, 10, 1.2, &data_rng);
+  IntervalDomain domain;
+  const double epsilon = 1.0;
+
+  std::printf("stream: n=%zu (raw data %.0f KiB), eps=%.1f\n\n", n,
+              n * sizeof(double) / 1024.0, epsilon);
+  std::printf("%-14s %-8s %-14s %-10s\n", "budget", "k", "builder mem",
+              "W1");
+
+  for (size_t budget_kib : {8, 16, 32, 64, 128, 256}) {
+    // Find the largest k whose builder fits the cap (k doubles).
+    uint64_t best_k = 0;
+    size_t best_mem = 0;
+    for (uint64_t k = 1; k <= 512; k *= 2) {
+      PrivHPOptions probe;
+      probe.epsilon = epsilon;
+      probe.k = k;
+      probe.expected_n = n;
+      probe.l_star = 4;
+      probe.sketch_depth = 6;
+      auto builder = PrivHPBuilder::Make(&domain, probe);
+      if (!builder.ok()) break;
+      if (builder->MemoryBytes() <= budget_kib * 1024) {
+        best_k = k;
+        best_mem = builder->MemoryBytes();
+      }
+    }
+    if (best_k == 0) {
+      std::printf("%-14zu (no k fits)\n", budget_kib);
+      continue;
+    }
+    PrivHPOptions options;
+    options.epsilon = epsilon;
+    options.k = best_k;
+    options.expected_n = n;
+    options.l_star = 4;
+    options.sketch_depth = 6;
+    options.seed = 3;
+    auto source = BuildPrivHPSource(&domain, stream, options);
+    if (!source.ok()) return 1;
+    RandomEngine rng(4);
+    const double w1 =
+        Wasserstein1DPoints((*source)->Generate(n, &rng), stream);
+    std::printf("%-3zu KiB        %-8llu %-14.1f %-10.5f\n", budget_kib,
+                static_cast<unsigned long long>(best_k), best_mem / 1024.0,
+                w1);
+  }
+
+  // Unconstrained reference points.
+  PmmOptions pmm_options;
+  pmm_options.epsilon = epsilon;
+  auto pmm = BuildPmm(&domain, stream, pmm_options);
+  if (pmm.ok()) {
+    RandomEngine rng(5);
+    const double w1 =
+        Wasserstein1DPoints((*pmm)->Generate(n, &rng), stream);
+    std::printf("%-14s %-8s %-14.1f %-10.5f\n", "unbounded", "pmm",
+                (*pmm)->BuildMemoryBytes() / 1024.0, w1);
+  }
+  NonPrivateResampler resampler(stream);
+  RandomEngine rng(6);
+  std::printf("%-14s %-8s %-14.1f %-10.5f  (not private)\n", "unbounded",
+              "boot", resampler.BuildMemoryBytes() / 1024.0,
+              Wasserstein1DPoints(resampler.Generate(n, &rng), stream));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// PMM — the Private Measure Mechanism of He, Vershynin & Zhu (COLT 2023),
+// the paper's state-of-the-art comparator (Table 1).
+//
+// PMM builds the *complete* hierarchical decomposition to depth
+// L = log(eps n) with exact counts (requiring Theta(eps n) memory and full
+// dataset access), adds per-level Laplace noise with the optimal budget
+// split, enforces consistency and samples. PrivHP is exactly this
+// construction with (a) sketched deep levels and (b) top-k pruning; PMM is
+// therefore both the accuracy ceiling and the memory anti-baseline.
+
+#ifndef PRIVHP_BASELINES_PMM_H_
+#define PRIVHP_BASELINES_PMM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/synthetic_source.h"
+#include "common/status.h"
+#include "dp/budget_allocator.h"
+
+namespace privhp {
+
+/// \brief PMM build parameters.
+struct PmmOptions {
+  double epsilon = 1.0;
+  /// Hierarchy depth L; -1 = ceil(log2(eps n)) (clamped to [1, 22] so the
+  /// complete tree stays allocatable).
+  int depth = -1;
+  BudgetPolicy budget_policy = BudgetPolicy::kOptimal;
+  bool enforce_consistency = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Builds a PMM generator over \p data (static, full access).
+Result<std::unique_ptr<TreeSource>> BuildPmm(const Domain* domain,
+                                             const std::vector<Point>& data,
+                                             const PmmOptions& options);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_BASELINES_PMM_H_

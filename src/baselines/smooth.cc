@@ -1,0 +1,178 @@
+#include "baselines/smooth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace privhp {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// phi_0(t) = 1; phi_j(t) = sqrt(2) cos(pi j t): the orthonormal cosine
+// basis on [0,1].
+inline double CosBasis(int j, double t) {
+  return j == 0 ? 1.0 : std::sqrt(2.0) * std::cos(kPi * j * t);
+}
+
+// Density reconstructed on a uniform grid, clipped at zero and
+// renormalized; sampling picks a grid cell by mass then jitters uniformly.
+class GridDensitySource : public SyntheticDataSource {
+ public:
+  GridDensitySource(int d, size_t cells_per_side, std::vector<double> mass,
+                    size_t build_memory)
+      : d_(d),
+        cells_per_side_(cells_per_side),
+        mass_(std::move(mass)),
+        build_memory_(build_memory) {
+    cdf_.resize(mass_.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < mass_.size(); ++i) {
+      acc += mass_[i];
+      cdf_[i] = acc;
+    }
+  }
+
+  std::vector<Point> Generate(size_t m, RandomEngine* rng) const override {
+    std::vector<Point> out;
+    out.reserve(m);
+    const double inv_side = 1.0 / static_cast<double>(cells_per_side_);
+    for (size_t s = 0; s < m; ++s) {
+      const double u = rng->UniformDouble() * cdf_.back();
+      const size_t cell =
+          std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin();
+      Point p(d_);
+      size_t rest = cell;
+      for (int c = d_ - 1; c >= 0; --c) {
+        const size_t coord = rest % cells_per_side_;
+        rest /= cells_per_side_;
+        p[c] = (static_cast<double>(coord) + rng->UniformDouble()) * inv_side;
+      }
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  size_t BuildMemoryBytes() const override { return build_memory_; }
+  std::string Name() const override { return "smooth"; }
+
+ private:
+  int d_;
+  size_t cells_per_side_;
+  std::vector<double> mass_;
+  std::vector<double> cdf_;
+  size_t build_memory_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SyntheticDataSource>> BuildSmooth(
+    int d, const std::vector<Point>& data, const SmoothOptions& options) {
+  if (d != 1 && d != 2) {
+    return Status::NotImplemented("Smooth baseline supports d = 1 and d = 2");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("Smooth requires a non-empty dataset");
+  }
+  if (options.order < 1 || options.order > 64) {
+    return Status::InvalidArgument("Smooth order must lie in [1, 64]");
+  }
+
+  const int order = options.order;
+  const size_t coeffs_per_dim = static_cast<size_t>(order) + 1;
+  const size_t num_coeffs =
+      d == 1 ? coeffs_per_dim : coeffs_per_dim * coeffs_per_dim;
+  const double n = static_cast<double>(data.size());
+
+  // Empirical moments c_alpha = (1/n) sum_i prod_c phi_{alpha_c}(x_{i,c}).
+  std::vector<double> moments(num_coeffs, 0.0);
+  for (const Point& x : data) {
+    if (d == 1) {
+      for (size_t j = 0; j < coeffs_per_dim; ++j) {
+        moments[j] += CosBasis(static_cast<int>(j), x[0]);
+      }
+    } else {
+      for (size_t j = 0; j < coeffs_per_dim; ++j) {
+        const double bj = CosBasis(static_cast<int>(j), x[0]);
+        for (size_t l = 0; l < coeffs_per_dim; ++l) {
+          moments[j * coeffs_per_dim + l] +=
+              bj * CosBasis(static_cast<int>(l), x[1]);
+        }
+      }
+    }
+  }
+  for (double& c : moments) c /= n;
+
+  // One element changes each moment by at most 2^{d/2}/n in absolute
+  // value; with the budget split evenly across coefficients, each gets
+  // Laplace(num_coeffs * 2^{d/2} / (n * eps)).
+  const double per_coeff_scale = static_cast<double>(num_coeffs) *
+                                 std::pow(std::sqrt(2.0), d) /
+                                 (n * options.epsilon);
+  RandomEngine rng(options.seed);
+  for (double& c : moments) c += rng.Laplace(per_coeff_scale);
+
+  // Reconstruct on the grid.
+  const int side_bits = d == 1 ? std::min(options.grid_level, 14)
+                               : std::min(options.grid_level / 2, 7);
+  const size_t side = size_t{1} << side_bits;
+  const size_t num_cells = d == 1 ? side : side * side;
+  std::vector<double> mass(num_cells, 0.0);
+  const double inv_side = 1.0 / static_cast<double>(side);
+
+  // Precompute basis values at cell centers per axis.
+  std::vector<double> basis(coeffs_per_dim * side);
+  for (size_t j = 0; j < coeffs_per_dim; ++j) {
+    for (size_t c = 0; c < side; ++c) {
+      basis[j * side + c] =
+          CosBasis(static_cast<int>(j), (static_cast<double>(c) + 0.5) *
+                                            inv_side);
+    }
+  }
+  if (d == 1) {
+    for (size_t c = 0; c < side; ++c) {
+      double f = 0.0;
+      for (size_t j = 0; j < coeffs_per_dim; ++j) {
+        f += moments[j] * basis[j * side + c];
+      }
+      mass[c] = std::max(0.0, f);
+    }
+  } else {
+    for (size_t cx = 0; cx < side; ++cx) {
+      for (size_t cy = 0; cy < side; ++cy) {
+        double f = 0.0;
+        for (size_t j = 0; j < coeffs_per_dim; ++j) {
+          double inner = 0.0;
+          for (size_t l = 0; l < coeffs_per_dim; ++l) {
+            inner += moments[j * coeffs_per_dim + l] * basis[l * side + cy];
+          }
+          f += inner * basis[j * side + cx];
+        }
+        mass[cx * side + cy] = std::max(0.0, f);
+      }
+    }
+  }
+  double total = 0.0;
+  for (double m : mass) total += m;
+  if (total <= 0.0) {
+    // All mass clipped away (extreme noise): fall back to uniform.
+    std::fill(mass.begin(), mass.end(), 1.0);
+    total = static_cast<double>(mass.size());
+  }
+  for (double& m : mass) m /= total;
+
+  // Memory: the mechanism needs the dataset (O(dn)) plus grid + moments.
+  const size_t build_memory = data.size() * d * sizeof(double) +
+                              mass.size() * sizeof(double) +
+                              num_coeffs * sizeof(double);
+  return std::unique_ptr<SyntheticDataSource>(new GridDensitySource(
+      d, side, std::move(mass), build_memory));
+}
+
+}  // namespace privhp

@@ -1,0 +1,41 @@
+// Smooth — a trigonometric-moment generator in the style of Wang et al.
+// ("Differentially private data releasing for smooth queries", JMLR 2016),
+// Table 1's smooth-query comparator.
+//
+// The original releases noisy expectations of a smooth-function basis for
+// query answering; to make it a *generator* (DESIGN.md Section 4) we
+// release noisy cosine moments up to order K per dimension, reconstruct a
+// clipped density on a grid, and sample from it. This preserves what
+// Table 1 uses the row for: the dimension-cursed accuracy rate and the
+// O(d n) build memory.
+
+#ifndef PRIVHP_BASELINES_SMOOTH_H_
+#define PRIVHP_BASELINES_SMOOTH_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/synthetic_source.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Smooth build parameters.
+struct SmoothOptions {
+  double epsilon = 1.0;
+  /// Basis order K per dimension (moments 0..K each axis).
+  int order = 8;
+  /// Reconstruction grid level (cells = 2^level per side for d = 1;
+  /// 2^(level/2) per side for d = 2).
+  int grid_level = 12;
+  uint64_t seed = 42;
+};
+
+/// \brief Builds the Smooth generator for d = 1 or d = 2 over data in
+/// [0,1]^d.
+Result<std::unique_ptr<SyntheticDataSource>> BuildSmooth(
+    int d, const std::vector<Point>& data, const SmoothOptions& options);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_BASELINES_SMOOTH_H_

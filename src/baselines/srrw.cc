@@ -1,0 +1,218 @@
+#include "baselines/srrw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "domain/hilbert_curve.h"
+
+namespace privhp {
+
+namespace {
+
+// The 1-D SRRW-style construction: perturb the empirical CDF with a
+// dyadic (binary-mechanism) noise ensemble, then make it monotone.
+//
+// Concretely: a complete dyadic tree over m = 2^depth cells holds one
+// independent Laplace((depth+1)/eps) draw per node (uniform budget split
+// across the depth+1 levels; per-level sensitivity of an added element is
+// 1). The noisy CDF at cell boundary i is the exact prefix count plus the
+// sum of the O(log m) noise nodes canonically covering [0, i) — i.e. a
+// random walk whose increments are partial sums of the dyadic ensemble,
+// the discrete analogue of Boedihardjo et al.'s super-regular walk (and
+// the source of the polylog factor in their bound). Isotonic correction
+// (running max) restores monotonicity; inverse-CDF sampling with uniform
+// jitter inside a cell generates points.
+class NoisyCdf {
+ public:
+  NoisyCdf(const std::vector<double>& cell_counts, int depth, double epsilon,
+           uint64_t seed)
+      : depth_(depth) {
+    const size_t m = cell_counts.size();
+    PRIVHP_CHECK(m == (size_t{1} << depth));
+    // Peak build footprint: counts + prefix + dyadic ensemble (~2m) +
+    // CDF — the Theta(eps n) memory Table 1 charges SRRW with.
+    peak_build_bytes_ = (m + (m + 1) + 2 * m + (m + 1)) * sizeof(double);
+    // Exact prefix sums.
+    std::vector<double> prefix(m + 1, 0.0);
+    for (size_t i = 0; i < m; ++i) prefix[i + 1] = prefix[i] + cell_counts[i];
+
+    // Dyadic noise ensemble: noise_[l] has 2^l entries; level l node j
+    // covers cells [j * 2^{depth-l}, (j+1) * 2^{depth-l}).
+    RandomEngine rng(seed);
+    const double scale = static_cast<double>(depth + 1) / epsilon;
+    std::vector<std::vector<double>> noise(depth + 1);
+    for (int l = 0; l <= depth; ++l) {
+      noise[l].resize(size_t{1} << l);
+      for (double& v : noise[l]) v = rng.Laplace(scale);
+    }
+
+    // Noisy CDF at each boundary via the canonical dyadic cover of
+    // [0, i): walk the bits of i.
+    cdf_.resize(m + 1);
+    cdf_[0] = 0.0;
+    for (size_t i = 1; i <= m; ++i) {
+      double w = prefix[i];
+      // Decompose [0, i) into maximal dyadic blocks.
+      size_t remaining = i;
+      size_t start = 0;
+      for (int l = 0; l <= depth && remaining > 0; ++l) {
+        const size_t block = size_t{1} << (depth - l);  // cells per node
+        if (remaining >= block) {
+          w += noise[l][start >> (depth - l)];
+          start += block;
+          remaining -= block;
+        }
+      }
+      cdf_[i] = w;
+    }
+    // Isotonic correction: running max, floored at 0.
+    double running = 0.0;
+    for (size_t i = 0; i <= m; ++i) {
+      running = std::max(running, std::max(0.0, cdf_[i]));
+      cdf_[i] = running;
+    }
+  }
+
+  /// Samples a value in [0, 1): picks the cell by inverse CDF, then
+  /// jitters uniformly within it.
+  double Sample(RandomEngine* rng) const {
+    const double total = cdf_.back();
+    if (total <= 0.0) return rng->UniformDouble();
+    const double u = rng->UniformDouble() * total;
+    const size_t hi =
+        std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin();
+    const size_t cell = std::min(hi == 0 ? size_t{0} : hi - 1,
+                                 cdf_.size() - 2);
+    const double width = std::ldexp(1.0, -depth_);
+    return (static_cast<double>(cell) + rng->UniformDouble()) * width;
+  }
+
+  size_t MemoryBytes() const { return peak_build_bytes_; }
+
+ private:
+  int depth_;
+  size_t peak_build_bytes_ = 0;
+  std::vector<double> cdf_;  // monotone noisy CDF at cell boundaries
+};
+
+class Srrw1DSource : public SyntheticDataSource {
+ public:
+  explicit Srrw1DSource(NoisyCdf cdf) : cdf_(std::move(cdf)) {}
+
+  std::vector<Point> Generate(size_t m, RandomEngine* rng) const override {
+    std::vector<Point> out;
+    out.reserve(m);
+    for (size_t i = 0; i < m; ++i) out.push_back(Point{cdf_.Sample(rng)});
+    return out;
+  }
+  size_t BuildMemoryBytes() const override { return cdf_.MemoryBytes(); }
+  std::string Name() const override { return "srrw"; }
+
+ private:
+  NoisyCdf cdf_;
+};
+
+// d = 2: the 1-D mechanism on Hilbert-curve positions; samples map back
+// through the curve.
+class Srrw2DSource : public SyntheticDataSource {
+ public:
+  Srrw2DSource(NoisyCdf cdf, int order)
+      : cdf_(std::move(cdf)), curve_(order) {}
+
+  std::vector<Point> Generate(size_t m, RandomEngine* rng) const override {
+    std::vector<Point> out;
+    out.reserve(m);
+    const double cells = std::ldexp(1.0, 2 * curve_.order());
+    for (size_t i = 0; i < m; ++i) {
+      const double t = cdf_.Sample(rng);
+      uint64_t cell = static_cast<uint64_t>(t * cells);
+      if (cell >= curve_.num_cells()) cell = curve_.num_cells() - 1;
+      const auto [cx, cy] = curve_.PointAt(cell);
+      const double half = std::ldexp(0.5, -curve_.order());
+      Point p{cx + rng->UniformDouble(-half, half),
+              cy + rng->UniformDouble(-half, half)};
+      p[0] = std::clamp(p[0], 0.0, 1.0);
+      p[1] = std::clamp(p[1], 0.0, 1.0);
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+  size_t BuildMemoryBytes() const override { return cdf_.MemoryBytes(); }
+  std::string Name() const override { return "srrw-hilbert"; }
+
+ private:
+  NoisyCdf cdf_;
+  HilbertCurve2D curve_;
+};
+
+std::vector<double> CellCounts(const std::vector<double>& values,
+                               int depth) {
+  std::vector<double> counts(size_t{1} << depth, 0.0);
+  const double cells = std::ldexp(1.0, depth);
+  for (double v : values) {
+    double q = v * cells;
+    if (q < 0.0) q = 0.0;
+    if (q >= cells) q = cells - 1.0;
+    counts[static_cast<size_t>(q)] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SyntheticDataSource>> BuildSrrw(
+    int d, const std::vector<Point>& data, const SrrwOptions& options) {
+  if (d != 1 && d != 2) {
+    return Status::NotImplemented(
+        "SRRW baseline supports d = 1 and d = 2 (Hilbert lift)");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("SRRW requires a non-empty dataset");
+  }
+
+  int depth = options.resolution_level;
+  if (depth < 0) {
+    const double eps_n =
+        std::max(2.0, options.epsilon * static_cast<double>(data.size()));
+    depth = CeilLog2(static_cast<uint64_t>(std::llround(eps_n)));
+  }
+  depth = std::clamp(depth, 1, 22);
+  // Salted so SRRW and PMM runs with equal user seeds stay independent.
+  const uint64_t noise_seed = Mix64(options.seed ^ 0x5272575721d57ULL);
+
+  if (d == 1) {
+    std::vector<double> values(data.size());
+    for (size_t i = 0; i < data.size(); ++i) values[i] = data[i][0];
+    NoisyCdf cdf(CellCounts(values, depth), depth, options.epsilon,
+                 noise_seed);
+    return std::unique_ptr<SyntheticDataSource>(
+        new Srrw1DSource(std::move(cdf)));
+  }
+
+  // d = 2: order the square along the Hilbert curve (2 bits of 1-D depth
+  // per curve order).
+  const int order = std::clamp((depth + 1) / 2, 1, 11);
+  depth = 2 * order;
+  HilbertCurve2D curve(order);
+  const double inv_cells = 1.0 / static_cast<double>(curve.num_cells());
+  std::vector<double> positions(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    positions[i] =
+        (static_cast<double>(curve.IndexOfPoint(data[i][0], data[i][1])) +
+         0.5) *
+        inv_cells;
+  }
+  NoisyCdf cdf(CellCounts(positions, depth), depth, options.epsilon,
+               noise_seed);
+  return std::unique_ptr<SyntheticDataSource>(
+      new Srrw2DSource(std::move(cdf), order));
+}
+
+}  // namespace privhp

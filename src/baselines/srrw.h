@@ -1,0 +1,45 @@
+// SRRW — the super-regular random walk mechanism of Boedihardjo, Strohmer
+// & Vershynin ("Private measures, random walks, and synthetic data"),
+// Table 1's near-optimal d = 1 comparator.
+//
+// The original is specified analytically (perturb the empirical CDF with a
+// super-regular random walk built from a dyadic Laplace ensemble); no
+// reference implementation exists. We implement the standard dyadic
+// construction (DESIGN.md Section 4): noisy dyadic aggregates of the
+// empirical measure at resolution eps*n with a uniform per-level budget
+// split, consistency, and inverse-CDF sampling. This matches the SRRW
+// error profile polylog(eps n)/(eps n) at d = 1.
+//
+// For d = 2 the construction is lifted through the Hilbert curve: data is
+// ordered along the curve, the 1-D mechanism runs on curve positions, and
+// samples are mapped back — preserving the (eps n)^{-1/d} scaling up to
+// the curve's locality constants.
+
+#ifndef PRIVHP_BASELINES_SRRW_H_
+#define PRIVHP_BASELINES_SRRW_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/synthetic_source.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief SRRW build parameters.
+struct SrrwOptions {
+  double epsilon = 1.0;
+  /// Dyadic resolution level (cells = 2^level); -1 = ceil(log2(eps n)),
+  /// clamped to [1, 22].
+  int resolution_level = -1;
+  uint64_t seed = 42;
+};
+
+/// \brief Builds the SRRW-style generator on [0,1] (d = 1) or on [0,1]^2
+/// via the Hilbert lift (d = 2). \p d must be 1 or 2.
+Result<std::unique_ptr<SyntheticDataSource>> BuildSrrw(
+    int d, const std::vector<Point>& data, const SrrwOptions& options);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_BASELINES_SRRW_H_

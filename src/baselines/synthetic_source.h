@@ -1,0 +1,56 @@
+// Common interface for every synthetic-data generator in the Table-1
+// comparison: PrivHP, PMM, SRRW, Smooth, the flat DP histogram and the
+// non-private resampling control. A source reports the memory its build
+// required, which is the second axis of Table 1.
+
+#ifndef PRIVHP_BASELINES_SYNTHETIC_SOURCE_H_
+#define PRIVHP_BASELINES_SYNTHETIC_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "domain/domain.h"
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief A mechanism output that can generate synthetic datasets.
+class SyntheticDataSource {
+ public:
+  virtual ~SyntheticDataSource() = default;
+
+  /// \brief Generates \p m synthetic points.
+  virtual std::vector<Point> Generate(size_t m, RandomEngine* rng) const = 0;
+
+  /// \brief Peak working memory of the mechanism that produced this
+  /// source (the Table-1 "Memory" column), in bytes.
+  virtual size_t BuildMemoryBytes() const = 0;
+
+  /// \brief Display name for tables.
+  virtual std::string Name() const = 0;
+};
+
+/// \brief A SyntheticDataSource backed by a decomposition tree (used by
+/// PMM, SRRW's dyadic construction, and the PrivHP adapter).
+class TreeSource : public SyntheticDataSource {
+ public:
+  /// \param build_memory_bytes Peak memory of the build phase (for PMM
+  ///        that's the full tree; for PrivHP the bounded-memory builder).
+  TreeSource(std::string name, PartitionTree tree, size_t build_memory_bytes);
+
+  std::vector<Point> Generate(size_t m, RandomEngine* rng) const override;
+  size_t BuildMemoryBytes() const override { return build_memory_bytes_; }
+  std::string Name() const override { return name_; }
+
+  const PartitionTree& tree() const { return tree_; }
+
+ private:
+  std::string name_;
+  PartitionTree tree_;
+  size_t build_memory_bytes_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_BASELINES_SYNTHETIC_SOURCE_H_

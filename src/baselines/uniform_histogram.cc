@@ -1,0 +1,98 @@
+#include "baselines/uniform_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace privhp {
+
+namespace {
+
+class FlatHistogramSource : public SyntheticDataSource {
+ public:
+  FlatHistogramSource(const Domain* domain, int level,
+                      std::vector<double> mass, size_t build_memory)
+      : domain_(domain),
+        level_(level),
+        mass_(std::move(mass)),
+        build_memory_(build_memory) {
+    cdf_.resize(mass_.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < mass_.size(); ++i) {
+      acc += mass_[i];
+      cdf_[i] = acc;
+    }
+  }
+
+  std::vector<Point> Generate(size_t m, RandomEngine* rng) const override {
+    std::vector<Point> out;
+    out.reserve(m);
+    for (size_t s = 0; s < m; ++s) {
+      const double u = rng->UniformDouble() * cdf_.back();
+      const uint64_t cell =
+          std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin();
+      out.push_back(domain_->SampleCell(level_, cell, rng));
+    }
+    return out;
+  }
+
+  size_t BuildMemoryBytes() const override { return build_memory_; }
+  std::string Name() const override { return "flat-histogram"; }
+
+ private:
+  const Domain* domain_;
+  int level_;
+  std::vector<double> mass_;
+  std::vector<double> cdf_;
+  size_t build_memory_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SyntheticDataSource>> BuildUniformHistogram(
+    const Domain* domain, const std::vector<Point>& data,
+    const UniformHistogramOptions& options) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("domain must not be null");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("histogram requires a non-empty dataset");
+  }
+  int level = options.level;
+  if (level < 0) {
+    const double eps_n =
+        std::max(2.0, options.epsilon * static_cast<double>(data.size()));
+    level = CeilLog2(static_cast<uint64_t>(std::llround(eps_n)));
+  }
+  level = std::clamp(level, 1, std::min(20, domain->max_level()));
+
+  std::vector<double> mass(size_t{1} << level, 0.0);
+  for (const Point& x : data) {
+    PRIVHP_RETURN_NOT_OK(domain->ValidatePoint(x));
+    mass[domain->Locate(x, level)] += 1.0;
+  }
+  RandomEngine rng(options.seed);
+  for (double& m : mass) {
+    m += rng.Laplace(1.0 / options.epsilon);
+    m = std::max(0.0, m);
+  }
+  double total = 0.0;
+  for (double m : mass) total += m;
+  if (total <= 0.0) {
+    std::fill(mass.begin(), mass.end(), 1.0);
+    total = static_cast<double>(mass.size());
+  }
+  for (double& m : mass) m /= total;
+
+  const size_t build_memory = mass.size() * sizeof(double) * 2;
+  return std::unique_ptr<SyntheticDataSource>(new FlatHistogramSource(
+      domain, level, std::move(mass), build_memory));
+}
+
+}  // namespace privhp

@@ -1,0 +1,31 @@
+// Flat DP histogram — the naive baseline: one fixed grid at a single
+// resolution, Laplace noise per bucket, no hierarchy, no pruning. Shows
+// what the hierarchical machinery buys.
+
+#ifndef PRIVHP_BASELINES_UNIFORM_HISTOGRAM_H_
+#define PRIVHP_BASELINES_UNIFORM_HISTOGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/synthetic_source.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Flat-histogram build parameters.
+struct UniformHistogramOptions {
+  double epsilon = 1.0;
+  /// Grid level (2^level cells); -1 = ceil(log2(eps n)) clamped to [1,20].
+  int level = -1;
+  uint64_t seed = 42;
+};
+
+/// \brief Builds the flat noisy histogram generator over \p domain.
+Result<std::unique_ptr<SyntheticDataSource>> BuildUniformHistogram(
+    const Domain* domain, const std::vector<Point>& data,
+    const UniformHistogramOptions& options);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_BASELINES_UNIFORM_HISTOGRAM_H_

@@ -1,0 +1,40 @@
+// Small bit-manipulation helpers used by domains, sketches and trees.
+
+#ifndef PRIVHP_COMMON_BITS_H_
+#define PRIVHP_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+/// \brief floor(log2(x)); requires x >= 1.
+inline int FloorLog2(uint64_t x) {
+  PRIVHP_DCHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+/// \brief ceil(log2(x)); requires x >= 1. CeilLog2(1) == 0.
+inline int CeilLog2(uint64_t x) {
+  PRIVHP_DCHECK(x >= 1);
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// \brief Smallest power of two >= x (x >= 1, x <= 2^63).
+inline uint64_t NextPow2(uint64_t x) { return uint64_t{1} << CeilLog2(x); }
+
+/// \brief True iff x is a power of two (x >= 1).
+inline bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// \brief Extracts bit \p i (0 = most significant of a width-\p width
+/// prefix code) from \p code.
+inline int PrefixBit(uint64_t code, int width, int i) {
+  PRIVHP_DCHECK(i < width);
+  return static_cast<int>((code >> (width - 1 - i)) & 1u);
+}
+
+}  // namespace privhp
+
+#endif  // PRIVHP_COMMON_BITS_H_

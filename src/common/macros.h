@@ -1,0 +1,51 @@
+// Error-propagation and assertion macros shared across the library.
+
+#ifndef PRIVHP_COMMON_MACROS_H_
+#define PRIVHP_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define PRIVHP_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::privhp::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define PRIVHP_CONCAT_IMPL(x, y) x##y
+#define PRIVHP_CONCAT(x, y) PRIVHP_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on error returns the Status to the caller.
+#define PRIVHP_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  PRIVHP_ASSIGN_OR_RETURN_IMPL(PRIVHP_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define PRIVHP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+/// Aborts with a message when an invariant the code relies on is broken.
+/// Used for programmer errors, not data-dependent failures (those return
+/// Status).
+#define PRIVHP_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PRIVHP_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifndef NDEBUG
+#define PRIVHP_DCHECK(cond) PRIVHP_CHECK(cond)
+#else
+#define PRIVHP_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // PRIVHP_COMMON_MACROS_H_

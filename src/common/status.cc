@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace privhp {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+std::string StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kIOError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(msg)});
+  }
+}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StatusCodeToString(code()) + ": " + state_->msg;
+}
+
+}  // namespace privhp

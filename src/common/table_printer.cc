@@ -1,0 +1,76 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::BeginRow() { rows_.emplace_back(); }
+
+void TablePrinter::Cell(const std::string& value) {
+  PRIVHP_CHECK(!rows_.empty());
+  rows_.back().push_back(value);
+}
+
+std::string TablePrinter::FormatNumber(double value, int precision) {
+  char buf[64];
+  if (value == 0.0) return "0";
+  const double mag = std::abs(value);
+  if (mag >= 1e6 || mag < 1e-4) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision - 1, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  }
+  return buf;
+}
+
+void TablePrinter::Cell(double value, int precision) {
+  Cell(FormatNumber(value, precision));
+}
+
+void TablePrinter::Cell(int64_t value) { Cell(std::to_string(value)); }
+void TablePrinter::Cell(uint64_t value) { Cell(std::to_string(value)); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace privhp

@@ -1,0 +1,56 @@
+// Aligned-column table printer for benchmark harnesses.
+//
+// Every bench binary reproduces a paper table or figure by printing the
+// same rows/series the paper reports; TablePrinter keeps that output
+// uniform and machine-greppable (optional CSV echo).
+
+#ifndef PRIVHP_COMMON_TABLE_PRINTER_H_
+#define PRIVHP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace privhp {
+
+/// \brief Collects rows of string/number cells and prints them with
+/// aligned columns (and optionally as CSV).
+class TablePrinter {
+ public:
+  /// \param title Heading printed above the table.
+  /// \param columns Column headers.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// \brief Starts a new row. Cells are appended with Cell().
+  void BeginRow();
+
+  /// \brief Appends a string cell to the current row.
+  void Cell(const std::string& value);
+
+  /// \brief Appends a numeric cell formatted with \p precision significant
+  /// digits (scientific for very small/large magnitudes).
+  void Cell(double value, int precision = 4);
+
+  /// \brief Appends an integer cell.
+  void Cell(int64_t value);
+  void Cell(uint64_t value);
+  void Cell(int value) { Cell(static_cast<int64_t>(value)); }
+
+  /// \brief Renders the aligned table to \p os.
+  void Print(std::ostream& os) const;
+
+  /// \brief Renders the table as CSV (header + rows) to \p os.
+  void PrintCsv(std::ostream& os) const;
+
+  /// \brief Formats a double like Cell(double) does.
+  static std::string FormatNumber(double value, int precision = 4);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_COMMON_TABLE_PRINTER_H_

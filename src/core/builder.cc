@@ -1,0 +1,153 @@
+#include "core/builder.h"
+
+#include "common/macros.h"
+#include "hierarchy/grow_partition.h"
+
+namespace privhp {
+
+namespace {
+
+// Arena id of (level, index) in a complete BFS-built tree: level l
+// occupies slots [2^l - 1, 2^{l+1} - 1).
+inline NodeId CompleteNodeId(int level, uint64_t index) {
+  return static_cast<NodeId>(((uint64_t{1} << level) - 1) + index);
+}
+
+// Adapts the per-level private sketches to GrowPartition's interface.
+class SketchLevelSource : public LevelFrequencySource {
+ public:
+  SketchLevelSource(const std::vector<PrivateCountMinSketch>* sketches,
+                    int l_star)
+      : sketches_(sketches), l_star_(l_star) {}
+
+  double Query(int level, uint64_t index) const override {
+    PRIVHP_DCHECK(level > l_star_);
+    PRIVHP_DCHECK(static_cast<size_t>(level - l_star_ - 1) <
+                  sketches_->size());
+    return (*sketches_)[level - l_star_ - 1].Estimate(index);
+  }
+
+ private:
+  const std::vector<PrivateCountMinSketch>* sketches_;
+  int l_star_;
+};
+
+}  // namespace
+
+PrivHPBuilder::PrivHPBuilder(const Domain* domain, ResolvedPlan plan)
+    : domain_(domain),
+      plan_(std::move(plan)),
+      tree_(domain),
+      rng_(plan_.seed) {}
+
+Result<PrivHPBuilder> PrivHPBuilder::Make(const Domain* domain,
+                                          const PrivHPOptions& options) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("domain must not be null");
+  }
+  PRIVHP_ASSIGN_OR_RETURN(ResolvedPlan plan,
+                          PlanParameters(*domain, options));
+  PrivHPBuilder builder(domain, std::move(plan));
+  PRIVHP_RETURN_NOT_OK(builder.Init());
+  return builder;
+}
+
+Status PrivHPBuilder::Init() {
+  const ResolvedPlan& p = plan_;
+  PRIVHP_ASSIGN_OR_RETURN(
+      accountant_,
+      [&]() -> Result<std::unique_ptr<PrivacyAccountant>> {
+        PRIVHP_ASSIGN_OR_RETURN(
+            PrivacyAccountant acc,
+            PrivacyAccountant::Make(p.privacy_disabled ? 1.0 : p.epsilon));
+        return std::make_unique<PrivacyAccountant>(std::move(acc));
+      }());
+
+  // Lines 2-6: complete counter tree of depth L*, Laplace(1/sigma_l) per
+  // node.
+  PRIVHP_ASSIGN_OR_RETURN(tree_, PartitionTree::Complete(domain_, p.l_star));
+  if (!p.privacy_disabled) {
+    for (int l = 0; l <= p.l_star; ++l) {
+      const double sigma = p.budget.sigma[l];
+      PRIVHP_RETURN_NOT_OK(
+          accountant_->Charge(sigma, "counters level " + std::to_string(l)));
+      const uint64_t level_size = uint64_t{1} << l;
+      for (uint64_t i = 0; i < level_size; ++i) {
+        tree_.node(CompleteNodeId(l, i)).count = rng_.Laplace(1.0 / sigma);
+      }
+    }
+  }
+
+  // Lines 7-8: one private sketch per level L*+1..L with noise
+  // Laplace(j / sigma_l) per cell.
+  sketches_.reserve(p.l_max - p.l_star);
+  for (int l = p.l_star + 1; l <= p.l_max; ++l) {
+    const double sigma = p.privacy_disabled ? 0.0 : p.budget.sigma[l];
+    if (!p.privacy_disabled) {
+      PRIVHP_RETURN_NOT_OK(
+          accountant_->Charge(sigma, "sketch level " + std::to_string(l)));
+    }
+    const uint64_t hash_seed =
+        Mix64(p.seed ^ (0x632be59bd9b4e019ULL + static_cast<uint64_t>(l)));
+    PRIVHP_ASSIGN_OR_RETURN(
+        PrivateCountMinSketch sketch,
+        PrivateCountMinSketch::Make(p.sketch_width, p.sketch_depth, sigma,
+                                    hash_seed, &rng_));
+    sketches_.push_back(std::move(sketch));
+  }
+  return Status::OK();
+}
+
+Status PrivHPBuilder::Add(const Point& x) {
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  PRIVHP_RETURN_NOT_OK(domain_->ValidatePoint(x));
+  // Lines 10-15: one root-to-leaf path of counter increments and sketch
+  // updates.
+  domain_->LocatePath(x, plan_.l_max, &path_scratch_);
+  for (int l = 0; l <= plan_.l_star; ++l) {
+    tree_.node(CompleteNodeId(l, path_scratch_[l])).count += 1.0;
+  }
+  for (int l = plan_.l_star + 1; l <= plan_.l_max; ++l) {
+    sketches_[l - plan_.l_star - 1].Update(path_scratch_[l], 1.0);
+  }
+  ++num_processed_;
+  return Status::OK();
+}
+
+Status PrivHPBuilder::AddAll(const std::vector<Point>& points) {
+  for (const Point& x : points) PRIVHP_RETURN_NOT_OK(Add(x));
+  return Status::OK();
+}
+
+Result<PrivHPGenerator> PrivHPBuilder::Finish() && {
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  finished_ = true;
+  // Line 16: grow the partition from the sketches (Algorithm 2).
+  SketchLevelSource source(&sketches_, plan_.l_star);
+  GrowOptions grow;
+  grow.k = plan_.k;
+  grow.l_star = plan_.l_star;
+  grow.grow_to = plan_.grow_to;
+  grow.enforce_consistency = plan_.enforce_consistency;
+  PRIVHP_RETURN_NOT_OK(GrowPartition(&tree_, source, grow));
+  sketches_.clear();
+  return PrivHPGenerator(std::move(tree_), plan_);
+}
+
+size_t PrivHPBuilder::MemoryBytes() const {
+  return memory_breakdown().total_bytes;
+}
+
+PrivHPBuilder::MemoryBreakdown PrivHPBuilder::memory_breakdown() const {
+  MemoryBreakdown mb;
+  mb.tree_bytes = tree_.MemoryBytes();
+  for (const auto& s : sketches_) mb.sketch_bytes += s.MemoryBytes();
+  mb.total_bytes = mb.tree_bytes + mb.sketch_bytes;
+  return mb;
+}
+
+}  // namespace privhp

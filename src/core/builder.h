@@ -1,0 +1,90 @@
+// The one-pass PrivHP builder (paper Algorithm 1).
+//
+// Lifecycle:
+//   1. Make()   — initialize the depth-L* counter tree with Laplace(1/
+//                 sigma_l) noise per node and one private Count-Min sketch
+//                 per level L*+1..L (Lines 2-8);
+//   2. Add()    — stream points: each update increments one counter per
+//                 exact level and one sketch per deep level (Lines 9-15);
+//   3. Finish() — GrowPartition from the sketches and release the
+//                 generator (Line 16). Consumes the builder.
+//
+// The builder is the bounded-memory component: its footprint is
+// O(2^{L*} + (L - L*) w j) = O(k log^2 n) words, independent of the
+// stream length.
+
+#ifndef PRIVHP_CORE_BUILDER_H_
+#define PRIVHP_CORE_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/generator.h"
+#include "core/options.h"
+#include "core/planner.h"
+#include "domain/domain.h"
+#include "dp/privacy_accountant.h"
+#include "hierarchy/partition_tree.h"
+#include "sketch/private_sketch.h"
+
+namespace privhp {
+
+/// \brief Streaming builder for a PrivHPGenerator.
+class PrivHPBuilder {
+ public:
+  /// \brief Resolves \p options against \p domain, allocates and noise-
+  /// initializes all structures, and charges the privacy accountant.
+  /// \p domain must outlive the builder and the generator it produces.
+  static Result<PrivHPBuilder> Make(const Domain* domain,
+                                    const PrivHPOptions& options);
+
+  /// \brief Processes one stream element (Lines 9-15).
+  Status Add(const Point& x);
+
+  /// \brief Processes a batch of points.
+  Status AddAll(const std::vector<Point>& points);
+
+  /// \brief Runs GrowPartition and releases the generator (Line 16).
+  /// The builder must not be used afterwards.
+  Result<PrivHPGenerator> Finish() &&;
+
+  /// \brief Resolved parameters in use.
+  const ResolvedPlan& plan() const { return plan_; }
+
+  /// \brief Points processed so far.
+  uint64_t num_processed() const { return num_processed_; }
+
+  /// \brief Current streaming footprint: counter tree + sketches + hash
+  /// tables. This is the paper's M, measured.
+  size_t MemoryBytes() const;
+
+  /// \brief Per-component memory, for the EXP-PERF report.
+  struct MemoryBreakdown {
+    size_t tree_bytes = 0;
+    size_t sketch_bytes = 0;
+    size_t total_bytes = 0;
+  };
+  MemoryBreakdown memory_breakdown() const;
+
+  /// \brief The privacy ledger (sums to eps by Theorem 2).
+  const PrivacyAccountant& accountant() const { return *accountant_; }
+
+ private:
+  PrivHPBuilder(const Domain* domain, ResolvedPlan plan);
+
+  Status Init();
+
+  const Domain* domain_;
+  ResolvedPlan plan_;
+  PartitionTree tree_;
+  std::vector<PrivateCountMinSketch> sketches_;  // level l_star+1+i
+  std::unique_ptr<PrivacyAccountant> accountant_;
+  RandomEngine rng_;
+  uint64_t num_processed_ = 0;
+  bool finished_ = false;
+  std::vector<uint64_t> path_scratch_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_CORE_BUILDER_H_

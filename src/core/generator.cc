@@ -1,0 +1,34 @@
+#include "core/generator.h"
+
+#include "common/macros.h"
+#include "hierarchy/tree_serialization.h"
+
+namespace privhp {
+
+PrivHPGenerator::PrivHPGenerator(PartitionTree tree, ResolvedPlan plan)
+    : tree_(std::move(tree)), plan_(std::move(plan)) {}
+
+Point PrivHPGenerator::Sample(RandomEngine* rng) const {
+  return TreeSampler(&tree_).Sample(rng);
+}
+
+std::vector<Point> PrivHPGenerator::Generate(size_t m,
+                                             RandomEngine* rng) const {
+  return TreeSampler(&tree_).SampleBatch(m, rng);
+}
+
+Status PrivHPGenerator::Save(const std::string& path) const {
+  return SaveTreeToFile(tree_, path);
+}
+
+Result<PrivHPGenerator> PrivHPGenerator::Load(const Domain* domain,
+                                              const std::string& path) {
+  PRIVHP_ASSIGN_OR_RETURN(PartitionTree loaded,
+                          LoadTreeFromFile(domain, path));
+  ResolvedPlan plan;  // A loaded artifact carries no build metadata.
+  plan.l_max = loaded.MaxDepth();
+  plan.grow_to = loaded.MaxDepth();
+  return PrivHPGenerator(std::move(loaded), std::move(plan));
+}
+
+}  // namespace privhp

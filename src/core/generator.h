@@ -1,0 +1,58 @@
+// The released synthetic-data generator T_PrivHP (paper Section 5).
+//
+// Owns the final pruned, consistent decomposition tree. Everything here is
+// post-processing of an eps-DP artifact (Lemma 2), so a generator can be
+// sampled, saved, reloaded and queried indefinitely at no further privacy
+// cost.
+
+#ifndef PRIVHP_CORE_GENERATOR_H_
+#define PRIVHP_CORE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "hierarchy/partition_tree.h"
+#include "hierarchy/tree_sampler.h"
+
+namespace privhp {
+
+/// \brief eps-DP synthetic data generator backed by a decomposition tree.
+class PrivHPGenerator {
+ public:
+  /// \param tree Final consistent tree (moved in).
+  /// \param plan The resolved build parameters (for reports).
+  PrivHPGenerator(PartitionTree tree, ResolvedPlan plan);
+
+  /// \brief One synthetic point.
+  Point Sample(RandomEngine* rng) const;
+
+  /// \brief \p m synthetic points (the dataset Y of the problem statement).
+  std::vector<Point> Generate(size_t m, RandomEngine* rng) const;
+
+  /// \brief The underlying tree (the private artifact itself).
+  const PartitionTree& tree() const { return tree_; }
+
+  /// \brief Build parameters used.
+  const ResolvedPlan& plan() const { return plan_; }
+
+  /// \brief Total (noisy) mass at the root.
+  double TotalMass() const { return tree_.node(tree_.root()).count; }
+
+  /// \brief Bytes held by the released artifact.
+  size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+
+  /// \brief Persists the tree. Load() with the same domain restores a
+  /// generator that samples the identical distribution.
+  Status Save(const std::string& path) const;
+  static Result<PrivHPGenerator> Load(const Domain* domain,
+                                      const std::string& path);
+
+ private:
+  PartitionTree tree_;
+  ResolvedPlan plan_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_CORE_GENERATOR_H_

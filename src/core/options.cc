@@ -1,0 +1,31 @@
+#include "core/options.h"
+
+namespace privhp {
+
+Status PrivHPOptions::Validate() const {
+  if (!disable_privacy_for_ablation && epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("pruning parameter k must be >= 1");
+  }
+  if (expected_n == 0) {
+    return Status::InvalidArgument(
+        "expected_n must be set (PrivHP sizes its hierarchy and sketches "
+        "from the stream horizon)");
+  }
+  if (l_star >= 0 && l_max >= 0 && l_star > l_max) {
+    return Status::InvalidArgument("l_star must be <= l_max");
+  }
+  if (grow_to >= 0) {
+    if (l_star >= 0 && grow_to < l_star) {
+      return Status::InvalidArgument("grow_to must be >= l_star");
+    }
+    if (l_max >= 0 && grow_to > l_max) {
+      return Status::InvalidArgument("grow_to must be <= l_max");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace privhp

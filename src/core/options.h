@@ -1,0 +1,71 @@
+// User-facing configuration for PrivHP (paper Algorithm 1 inputs:
+// (k, L*, L), sketch dimensions (w, j) and the noise distributions {D_l}
+// via the privacy budget and allocation policy).
+
+#ifndef PRIVHP_CORE_OPTIONS_H_
+#define PRIVHP_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dp/budget_allocator.h"
+
+namespace privhp {
+
+/// \brief Options for building a PrivHP generator.
+///
+/// Fields left at their sentinel (-1 / 0) are resolved by the planner from
+/// `expected_n` and `epsilon` following Corollary 1:
+///   L = ceil(log2(eps * n)),  j = ceil(log2 n),  w = 2k,
+///   L* = ceil(log2 M) with M = k * ceil(log2 n)^2,  grow_to = L - 1.
+struct PrivHPOptions {
+  /// Total privacy budget eps (> 0); split across levels per
+  /// `budget_policy`.
+  double epsilon = 1.0;
+
+  /// Pruning parameter k: hot branches kept per level below L*.
+  /// Memory scales as M = O(k log^2 n).
+  uint64_t k = 8;
+
+  /// Expected stream length n. Required (used to size the hierarchy depth
+  /// and sketches; the standard streaming assumption of a known horizon).
+  uint64_t expected_n = 0;
+
+  /// Pruning level L*; -1 = auto (Corollary 1).
+  int l_star = -1;
+
+  /// Hierarchy depth L; -1 = auto (Corollary 1).
+  int l_max = -1;
+
+  /// Final leaf level for GrowPartition; -1 = auto (L - 1, per
+  /// Algorithm 2's loop bound). Setting it to L is an ablation variant.
+  int grow_to = -1;
+
+  /// Sketch width w; 0 = auto (2k, per Theorem 3).
+  uint64_t sketch_width = 0;
+
+  /// Sketch depth j (rows); 0 = auto (ceil(log2 n)).
+  uint64_t sketch_depth = 0;
+
+  /// Per-level budget split (Lemma 5 optimum by default).
+  BudgetPolicy budget_policy = BudgetPolicy::kOptimal;
+
+  /// Run Algorithm 3 consistency (disabled only by the EXP-CONS ablation).
+  bool enforce_consistency = true;
+
+  /// If true, skip all noise (sigma_l treated as infinite). NOT private —
+  /// exists solely so benches can isolate approximation error from
+  /// privacy noise. The builder's accountant reports zero spend.
+  bool disable_privacy_for_ablation = false;
+
+  /// Master seed for noise and sketch hashing.
+  uint64_t seed = 42;
+
+  /// \brief Checks ranges and cross-field constraints that do not need the
+  /// domain (the planner re-validates against the domain).
+  Status Validate() const;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_CORE_OPTIONS_H_

@@ -1,0 +1,92 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/table_printer.h"
+
+namespace privhp {
+
+std::string ResolvedPlan::ToString() const {
+  std::string s = "PrivHP plan: eps=" + TablePrinter::FormatNumber(epsilon) +
+                  " k=" + std::to_string(k) + " n=" + std::to_string(n) +
+                  " L*=" + std::to_string(l_star) +
+                  " L=" + std::to_string(l_max) +
+                  " grow_to=" + std::to_string(grow_to) +
+                  " sketch=" + std::to_string(sketch_width) + "x" +
+                  std::to_string(sketch_depth) +
+                  " M_theory=" + std::to_string(theory_memory_words) + "w";
+  if (privacy_disabled) s += " [PRIVACY DISABLED]";
+  if (!enforce_consistency) s += " [NO CONSISTENCY]";
+  return s;
+}
+
+Result<ResolvedPlan> PlanParameters(const Domain& domain,
+                                    const PrivHPOptions& options) {
+  PRIVHP_RETURN_NOT_OK(options.Validate());
+
+  ResolvedPlan plan;
+  plan.epsilon = options.epsilon;
+  plan.k = options.k;
+  plan.n = options.expected_n;
+  plan.enforce_consistency = options.enforce_consistency;
+  plan.privacy_disabled = options.disable_privacy_for_ablation;
+  plan.seed = options.seed;
+
+  const int log_n = CeilLog2(std::max<uint64_t>(2, options.expected_n));
+
+  // L = ceil(log2(eps n)) (Corollary 1), clamped to the domain and to a
+  // depth where a complete L*-tree stays small.
+  if (options.l_max >= 0) {
+    plan.l_max = options.l_max;
+  } else {
+    const double eps_n = std::max(
+        2.0, options.epsilon * static_cast<double>(options.expected_n));
+    plan.l_max = CeilLog2(static_cast<uint64_t>(std::llround(eps_n)));
+  }
+  plan.l_max = std::clamp(plan.l_max, 1, domain.max_level());
+
+  // j = ceil(log2 n), w = 2k (Theorem 3 / Corollary 1).
+  plan.sketch_depth = options.sketch_depth > 0
+                          ? options.sketch_depth
+                          : static_cast<uint64_t>(std::max(1, log_n));
+  plan.sketch_width = options.sketch_width > 0 ? options.sketch_width
+                                               : 2 * options.k;
+
+  // M = k * ceil(log2 n)^2 words; L* = ceil(log2 M), clamped into [0, L].
+  plan.theory_memory_words =
+      options.k * static_cast<uint64_t>(log_n) * static_cast<uint64_t>(log_n);
+  if (options.l_star >= 0) {
+    plan.l_star = options.l_star;
+  } else {
+    plan.l_star = CeilLog2(std::max<uint64_t>(2, plan.theory_memory_words));
+  }
+  plan.l_star = std::clamp(plan.l_star, 0, plan.l_max);
+  if (plan.l_star > 24) {
+    return Status::OutOfRange(
+        "resolved l_star=" + std::to_string(plan.l_star) +
+        " would allocate a 2^" + std::to_string(plan.l_star + 1) +
+        "-node complete tree; pass an explicit l_star");
+  }
+
+  // Algorithm 2 grows to L-1 (its loop runs to L-1); never above l_star.
+  if (options.grow_to >= 0) {
+    plan.grow_to = options.grow_to;
+  } else {
+    plan.grow_to = std::max(plan.l_max - 1, plan.l_star);
+  }
+  if (plan.grow_to < plan.l_star || plan.grow_to > plan.l_max) {
+    return Status::InvalidArgument("grow_to must lie in [l_star, l_max]");
+  }
+
+  if (!plan.privacy_disabled) {
+    PRIVHP_ASSIGN_OR_RETURN(
+        plan.budget,
+        AllocateBudget(domain, plan.epsilon, plan.l_star, plan.l_max, plan.k,
+                       plan.sketch_depth, options.budget_policy));
+  }
+  return plan;
+}
+
+}  // namespace privhp

@@ -1,0 +1,49 @@
+// Resolves PrivHPOptions into the concrete parameters of Algorithm 1,
+// following the settings used in the proof of Corollary 1.
+
+#ifndef PRIVHP_CORE_PLANNER_H_
+#define PRIVHP_CORE_PLANNER_H_
+
+#include <string>
+
+#include "core/options.h"
+#include "domain/domain.h"
+#include "dp/budget_allocator.h"
+
+namespace privhp {
+
+/// \brief Fully-resolved build parameters.
+struct ResolvedPlan {
+  double epsilon = 0.0;
+  uint64_t k = 0;
+  uint64_t n = 0;
+  int l_star = 0;
+  int l_max = 0;
+  int grow_to = 0;
+  uint64_t sketch_width = 0;
+  uint64_t sketch_depth = 0;
+  bool enforce_consistency = true;
+  bool privacy_disabled = false;
+  uint64_t seed = 0;
+
+  /// Per-level sigma_l (empty when privacy_disabled).
+  BudgetPlan budget;
+
+  /// Theory memory target M = k * ceil(log2 n)^2 (words), for reports.
+  uint64_t theory_memory_words = 0;
+
+  /// \brief One-line description for logs and bench headers.
+  std::string ToString() const;
+};
+
+/// \brief Computes the resolved plan for \p options over \p domain.
+///
+/// Auto-resolution (Corollary 1): L = ceil(log2(eps n)) clamped to
+/// [1, domain.max_level()], j = ceil(log2 n), w = 2k,
+/// L* = min(ceil(log2(k ceil(log2 n)^2)), L), grow_to = max(L-1, L*).
+Result<ResolvedPlan> PlanParameters(const Domain& domain,
+                                    const PrivHPOptions& options);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_CORE_PLANNER_H_

@@ -1,0 +1,54 @@
+// Downstream analytics evaluated directly on a released PrivHP tree.
+//
+// Sampling synthetic data is one way to consume the generator; these
+// helpers answer common query classes *exactly* with respect to the
+// tree's distribution, skipping the sampling error. All of them are
+// deterministic post-processing of the eps-DP artifact (Lemma 2), so
+// they are free of additional privacy cost. They cover the workloads the
+// paper positions itself against: range counting (fixed-query summaries),
+// quantiles (Alabi et al.), and (hierarchical) heavy hitters
+// (Biswas et al.).
+
+#ifndef PRIVHP_CORE_QUERIES_H_
+#define PRIVHP_CORE_QUERIES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief Estimated fraction of the distribution inside cell
+/// (level, index). Mass of leaves above the cell is apportioned by the
+/// uniform-within-leaf convention; a zero-mass tree returns 0.
+double CellMassFraction(const PartitionTree& tree, CellId cell);
+
+/// \brief The q-quantile (q in [0,1]) of the tree's 1-D distribution:
+/// walks the tree by mass and interpolates uniformly within the final
+/// leaf. Requires a 1-dimensional domain.
+Result<double> TreeQuantile(const PartitionTree& tree, double q);
+
+/// \brief Several quantiles at once (each q in [0,1], any order).
+Result<std::vector<double>> TreeQuantiles(const PartitionTree& tree,
+                                          const std::vector<double>& qs);
+
+/// \brief A heavy-hitter cell: a subdomain holding at least a
+/// `threshold` fraction of the tree's mass, maximal in depth (its
+/// children, if present, both fall below the threshold).
+struct HeavyCell {
+  CellId cell;
+  double fraction = 0.0;
+};
+
+/// \brief Hierarchical heavy hitters: the deepest tree cells whose mass
+/// fraction is >= \p threshold (0 < threshold <= 1), in decreasing
+/// fraction order. For the IPv4 domain these are exactly the heavy CIDR
+/// blocks of Biswas et al.'s problem.
+Result<std::vector<HeavyCell>> HierarchicalHeavyHitters(
+    const PartitionTree& tree, double threshold);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_CORE_QUERIES_H_

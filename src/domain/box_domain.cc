@@ -1,0 +1,129 @@
+#include "domain/box_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace privhp {
+
+BoxDomain::BoxDomain(std::string name, std::vector<double> lo,
+                     std::vector<double> hi, int max_level)
+    : name_(std::move(name)),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)),
+      max_level_(max_level) {
+  PRIVHP_CHECK(!lo_.empty());
+  PRIVHP_CHECK(lo_.size() == hi_.size());
+  PRIVHP_CHECK(max_level_ >= 1 && max_level_ <= 62);
+  for (size_t i = 0; i < lo_.size(); ++i) PRIVHP_CHECK(lo_[i] < hi_[i]);
+}
+
+int BoxDomain::CutsForCoord(int level, int i) const {
+  const int d = dimension();
+  return level / d + ((level % d) > i ? 1 : 0);
+}
+
+bool BoxDomain::Contains(const Point& x) const {
+  if (static_cast<int>(x.size()) != dimension()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] >= lo_[i] && x[i] <= hi_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t BoxDomain::Locate(const Point& x, int level) const {
+  PRIVHP_DCHECK(level >= 0 && level <= max_level_);
+  PRIVHP_DCHECK(Contains(x));
+  const int d = dimension();
+  // Per-coordinate cell index after all of this level's cuts; the
+  // interleaved level index is then read off one cut at a time.
+  uint64_t coord_cell[64];
+  int coord_cuts[64];
+  PRIVHP_CHECK(d <= 64);
+  for (int i = 0; i < d; ++i) {
+    coord_cuts[i] = CutsForCoord(level, i);
+    const double t = (x[i] - lo_[i]) / (hi_[i] - lo_[i]);
+    const uint64_t cells = uint64_t{1} << coord_cuts[i];
+    uint64_t c = static_cast<uint64_t>(t * static_cast<double>(cells));
+    if (c >= cells) c = cells - 1;  // x at the upper boundary
+    coord_cell[i] = c;
+  }
+  uint64_t index = 0;
+  for (int step = 0; step < level; ++step) {
+    const int coord = step % d;
+    const int cut = step / d;  // 0-based cut number for this coordinate
+    const int bit = static_cast<int>(
+        (coord_cell[coord] >> (coord_cuts[coord] - 1 - cut)) & 1u);
+    index = (index << 1) | static_cast<uint64_t>(bit);
+  }
+  return index;
+}
+
+double BoxDomain::CellDiameter(int level) const {
+  PRIVHP_DCHECK(level >= 0 && level <= max_level_);
+  double diam = 0.0;
+  for (int i = 0; i < dimension(); ++i) {
+    const double side =
+        (hi_[i] - lo_[i]) * std::ldexp(1.0, -CutsForCoord(level, i));
+    diam = std::max(diam, side);
+  }
+  return diam;
+}
+
+double BoxDomain::LevelDiameterSum(int level) const {
+  // All level-l cells are congruent boxes, so Gamma_l = 2^l * gamma_l.
+  return std::ldexp(1.0, level) * CellDiameter(level);
+}
+
+void BoxDomain::CellBounds(int level, uint64_t index,
+                           std::vector<double>* cell_lo,
+                           std::vector<double>* cell_hi) const {
+  PRIVHP_DCHECK(level >= 0 && level <= max_level_);
+  PRIVHP_DCHECK(index < (uint64_t{1} << level));
+  *cell_lo = lo_;
+  *cell_hi = hi_;
+  const int d = dimension();
+  for (int step = 0; step < level; ++step) {
+    const int coord = step % d;
+    const double mid = 0.5 * ((*cell_lo)[coord] + (*cell_hi)[coord]);
+    if (PrefixBit(index, level, step)) {
+      (*cell_lo)[coord] = mid;
+    } else {
+      (*cell_hi)[coord] = mid;
+    }
+  }
+}
+
+Point BoxDomain::SampleCell(int level, uint64_t index,
+                            RandomEngine* rng) const {
+  std::vector<double> cell_lo, cell_hi;
+  CellBounds(level, index, &cell_lo, &cell_hi);
+  Point p(dimension());
+  for (int i = 0; i < dimension(); ++i) {
+    p[i] = rng->UniformDouble(cell_lo[i], cell_hi[i]);
+  }
+  return p;
+}
+
+Point BoxDomain::CellCenter(int level, uint64_t index) const {
+  std::vector<double> cell_lo, cell_hi;
+  CellBounds(level, index, &cell_lo, &cell_hi);
+  Point center(dimension());
+  for (int i = 0; i < dimension(); ++i) {
+    center[i] = 0.5 * (cell_lo[i] + cell_hi[i]);
+  }
+  return center;
+}
+
+double BoxDomain::Distance(const Point& a, const Point& b) const {
+  PRIVHP_DCHECK(a.size() == b.size());
+  double dist = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dist = std::max(dist, std::abs(a[i] - b[i]));
+  }
+  return dist;
+}
+
+}  // namespace privhp

@@ -1,0 +1,60 @@
+// Axis-aligned box domains under the l_infinity metric with cyclic
+// coordinate cuts. This is the shared implementation behind
+// IntervalDomain, HypercubeDomain and GeoDomain.
+
+#ifndef PRIVHP_DOMAIN_BOX_DOMAIN_H_
+#define PRIVHP_DOMAIN_BOX_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Box [lo_0,hi_0] x ... x [lo_{d-1},hi_{d-1}] with the natural
+/// binary decomposition: level l+1 halves level-l cells along coordinate
+/// (l mod d), so every coordinate is halved once per d levels.
+///
+/// Under l_infinity, gamma_l = max_i extent_i * 2^{-cuts_i(l)} where
+/// cuts_i(l) = floor(l/d) + [ (l mod d) > i ], and Gamma_l = 2^l * gamma_l
+/// (all level-l cells are congruent).
+class BoxDomain : public Domain {
+ public:
+  /// \param name Report name.
+  /// \param lo,hi Per-coordinate bounds; requires lo[i] < hi[i].
+  /// \param max_level Deepest supported level (<= 62).
+  BoxDomain(std::string name, std::vector<double> lo, std::vector<double> hi,
+            int max_level = 40);
+
+  int dimension() const override { return static_cast<int>(lo_.size()); }
+  int max_level() const override { return max_level_; }
+  std::string Name() const override { return name_; }
+
+  bool Contains(const Point& x) const override;
+  uint64_t Locate(const Point& x, int level) const override;
+  double CellDiameter(int level) const override;
+  double LevelDiameterSum(int level) const override;
+  Point SampleCell(int level, uint64_t index,
+                   RandomEngine* rng) const override;
+  Point CellCenter(int level, uint64_t index) const override;
+  double Distance(const Point& a, const Point& b) const override;
+
+  /// \brief Bounds [lo, hi) of cell \p index at \p level along each
+  /// coordinate; used by tests and the figure walk-throughs.
+  void CellBounds(int level, uint64_t index, std::vector<double>* cell_lo,
+                  std::vector<double>* cell_hi) const;
+
+ private:
+  // Number of times coordinate i has been halved after `level` cuts.
+  int CutsForCoord(int level, int i) const;
+
+  std::string name_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  int max_level_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_BOX_DOMAIN_H_

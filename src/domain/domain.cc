@@ -1,0 +1,43 @@
+#include "domain/domain.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+Status Domain::ValidatePoint(const Point& x) const {
+  if (static_cast<int>(x.size()) != dimension()) {
+    return Status::InvalidArgument(
+        "point has " + std::to_string(x.size()) + " coordinates, domain '" +
+        Name() + "' expects " + std::to_string(dimension()));
+  }
+  if (!Contains(x)) {
+    return Status::OutOfRange("point lies outside domain '" + Name() + "'");
+  }
+  return Status::OK();
+}
+
+Point Domain::CellCenter(int level, uint64_t index) const {
+  RandomEngine rng(0x9e3779b97f4a7c15ULL ^ (index * 2654435761u + level));
+  constexpr int kDraws = 32;
+  Point acc;
+  for (int i = 0; i < kDraws; ++i) {
+    Point p = SampleCell(level, index, &rng);
+    if (acc.empty()) {
+      acc = std::move(p);
+    } else {
+      for (size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+    }
+  }
+  for (double& c : acc) c /= kDraws;
+  return acc;
+}
+
+void Domain::LocatePath(const Point& x, int max,
+                        std::vector<uint64_t>* out) const {
+  PRIVHP_DCHECK(max <= max_level());
+  out->resize(max + 1);
+  const uint64_t deepest = Locate(x, max);
+  for (int l = 0; l <= max; ++l) (*out)[l] = deepest >> (max - l);
+}
+
+}  // namespace privhp

@@ -1,0 +1,105 @@
+// Metric-space domains with binary hierarchical decomposition.
+//
+// PrivHP's analysis (Theorem 3) holds for any metric space (Omega, rho)
+// equipped with a fixed binary decomposition: at level l the domain is
+// split into 2^l disjoint cells indexed by theta in {0,1}^l. A Domain
+// supplies everything the hierarchy machinery needs:
+//
+//   * Locate(x, l)        -> index of the unique level-l cell containing x
+//   * CellDiameter(l)     -> gamma_l  = max_theta diam(Omega_theta)
+//   * LevelDiameterSum(l) -> Gamma_l  = sum_theta diam(Omega_theta)
+//   * SampleCell(l, i)    -> uniform point from cell i at level l
+//
+// Cell indices are the natural binary encoding of theta: the level-l cell
+// with index i has children 2i and 2i+1 at level l+1.
+
+#ifndef PRIVHP_DOMAIN_DOMAIN_H_
+#define PRIVHP_DOMAIN_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief A point in the input domain. Coordinate count equals
+/// Domain::dimension().
+using Point = std::vector<double>;
+
+/// \brief Identifies one subdomain Omega_theta: `level` = |theta|,
+/// `index` = theta read as a binary number (MSB = first split).
+struct CellId {
+  int level = 0;
+  uint64_t index = 0;
+
+  bool operator==(const CellId& other) const = default;
+
+  /// \brief Parent cell (level must be >= 1).
+  CellId Parent() const { return {level - 1, index >> 1}; }
+  /// \brief Left child (theta . 0).
+  CellId Left() const { return {level + 1, index << 1}; }
+  /// \brief Right child (theta . 1).
+  CellId Right() const { return {level + 1, (index << 1) | 1u}; }
+};
+
+/// \brief Abstract metric domain with a fixed binary decomposition.
+///
+/// Implementations must be deterministic: the cell boundaries are fixed a
+/// priori (paper Section 4.1) and independent of the data.
+class Domain {
+ public:
+  virtual ~Domain() = default;
+
+  /// \brief Ambient dimension of points.
+  virtual int dimension() const = 0;
+
+  /// \brief Deepest level the decomposition supports (>= any hierarchy
+  /// depth L used with this domain).
+  virtual int max_level() const = 0;
+
+  /// \brief Human-readable name for reports.
+  virtual std::string Name() const = 0;
+
+  /// \brief True iff \p x lies in Omega.
+  virtual bool Contains(const Point& x) const = 0;
+
+  /// \brief Index of the unique level-\p level cell containing \p x.
+  ///
+  /// Requires Contains(x) and 0 <= level <= max_level(). Locate(x, 0) == 0.
+  virtual uint64_t Locate(const Point& x, int level) const = 0;
+
+  /// \brief gamma_l: the maximum diameter of a level-\p level cell.
+  virtual double CellDiameter(int level) const = 0;
+
+  /// \brief Gamma_l: the sum of diameters of all 2^level cells.
+  virtual double LevelDiameterSum(int level) const = 0;
+
+  /// \brief Uniform sample from the level-\p level cell with index \p index.
+  virtual Point SampleCell(int level, uint64_t index,
+                           RandomEngine* rng) const = 0;
+
+  /// \brief Deterministic representative (centroid) of a cell; used as the
+  /// transport support point in EMD evaluation. The default averages
+  /// fixed-seed uniform draws; box-style domains override with the exact
+  /// midpoint.
+  virtual Point CellCenter(int level, uint64_t index) const;
+
+  /// \brief Distance between two points under this domain's metric.
+  virtual double Distance(const Point& a, const Point& b) const = 0;
+
+  /// \brief Validates that \p x is a well-formed point for this domain.
+  Status ValidatePoint(const Point& x) const;
+
+  /// \brief Locate all levels 0..max in one pass: out[l] = Locate(x, l).
+  ///
+  /// Default implementation derives all prefixes from Locate(x, max);
+  /// correct because cell indices are prefix codes.
+  void LocatePath(const Point& x, int max, std::vector<uint64_t>* out) const;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_DOMAIN_H_

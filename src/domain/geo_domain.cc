@@ -1,0 +1,9 @@
+#include "domain/geo_domain.h"
+
+namespace privhp {
+
+GeoDomain::GeoDomain(double lat_min, double lat_max, double lon_min,
+                     double lon_max, int max_level)
+    : BoxDomain("geo", {lat_min, lon_min}, {lat_max, lon_max}, max_level) {}
+
+}  // namespace privhp

@@ -1,0 +1,31 @@
+// Geographic coordinates as a metric domain — the other application domain
+// the paper motivates (Section 1.2). A latitude/longitude bounding box with
+// alternating latitude/longitude cuts (a quadtree-style decomposition
+// linearized into a binary hierarchy).
+
+#ifndef PRIVHP_DOMAIN_GEO_DOMAIN_H_
+#define PRIVHP_DOMAIN_GEO_DOMAIN_H_
+
+#include "domain/box_domain.h"
+
+namespace privhp {
+
+/// \brief A lat/lon bounding box under l_infinity in degrees.
+///
+/// Points are {latitude, longitude}. The metric is max of coordinate
+/// differences in degrees — a constant-factor surrogate for great-circle
+/// distance over city/region-scale boxes, which is all the W1 analysis
+/// needs (any bi-Lipschitz change of metric shifts bounds by a constant).
+class GeoDomain : public BoxDomain {
+ public:
+  /// \param lat_min,lat_max,lon_min,lon_max Box bounds in degrees.
+  GeoDomain(double lat_min, double lat_max, double lon_min, double lon_max,
+            int max_level = 40);
+
+  /// \brief Convenience: wraps lat/lon into a Point.
+  static Point Make(double lat, double lon) { return Point{lat, lon}; }
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_GEO_DOMAIN_H_

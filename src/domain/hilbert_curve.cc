@@ -1,0 +1,75 @@
+#include "domain/hilbert_curve.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+HilbertCurve2D::HilbertCurve2D(int order) : order_(order) {
+  PRIVHP_CHECK(order >= 1 && order <= 31);
+}
+
+namespace {
+// Rotates/flips quadrant coordinates (classic Hilbert transform step).
+inline void Rotate(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx,
+                   uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+}  // namespace
+
+uint64_t HilbertCurve2D::Index(uint32_t x, uint32_t y) const {
+  const uint32_t n = uint32_t{1} << order_;
+  PRIVHP_DCHECK(x < n && y < n);
+  uint64_t d = 0;
+  for (uint32_t s = n / 2; s > 0; s /= 2) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+std::pair<uint32_t, uint32_t> HilbertCurve2D::Cell(uint64_t d) const {
+  const uint32_t n = uint32_t{1} << order_;
+  PRIVHP_DCHECK(d < num_cells());
+  uint32_t x = 0, y = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < n; s *= 2) {
+    const uint32_t rx = static_cast<uint32_t>((t / 2) & 1);
+    const uint32_t ry = static_cast<uint32_t>((t ^ rx) & 1);
+    Rotate(s, &x, &y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+uint64_t HilbertCurve2D::IndexOfPoint(double x, double y) const {
+  const double n = std::ldexp(1.0, order_);
+  auto quantize = [&](double v) -> uint32_t {
+    double q = v * n;
+    if (q < 0.0) q = 0.0;
+    if (q >= n) q = n - 1.0;
+    return static_cast<uint32_t>(q);
+  };
+  return Index(quantize(x), quantize(y));
+}
+
+std::pair<double, double> HilbertCurve2D::PointAt(uint64_t d) const {
+  const auto [cx, cy] = Cell(d);
+  const double inv = std::ldexp(1.0, -order_);
+  return {(cx + 0.5) * inv, (cy + 0.5) * inv};
+}
+
+}  // namespace privhp

@@ -1,0 +1,44 @@
+// 2-D Hilbert space-filling curve.
+//
+// Used by the SRRW baseline to lift a one-dimensional private-measure
+// construction to [0,1]^2: the Hilbert order preserves locality (points
+// close on the curve are close in the square, with the curve's standard
+// 1-Lipschitz-up-to-constants embedding quality), so W1 error transported
+// along the curve translates to W1 error in the square up to constants.
+
+#ifndef PRIVHP_DOMAIN_HILBERT_CURVE_H_
+#define PRIVHP_DOMAIN_HILBERT_CURVE_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace privhp {
+
+/// \brief Order-`order` Hilbert curve on the 2^order x 2^order grid.
+class HilbertCurve2D {
+ public:
+  /// \param order Number of bits per coordinate (1..31).
+  explicit HilbertCurve2D(int order);
+
+  /// \brief Curve index of grid cell (x, y); result in [0, 4^order).
+  uint64_t Index(uint32_t x, uint32_t y) const;
+
+  /// \brief Grid cell at curve position \p d.
+  std::pair<uint32_t, uint32_t> Cell(uint64_t d) const;
+
+  /// \brief Curve index of a point in [0,1)^2 (quantized to the grid).
+  uint64_t IndexOfPoint(double x, double y) const;
+
+  /// \brief Center of the grid cell at curve position \p d, in [0,1)^2.
+  std::pair<double, double> PointAt(uint64_t d) const;
+
+  int order() const { return order_; }
+  uint64_t num_cells() const { return uint64_t{1} << (2 * order_); }
+
+ private:
+  int order_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_HILBERT_CURVE_H_

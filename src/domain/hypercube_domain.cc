@@ -1,0 +1,18 @@
+#include "domain/hypercube_domain.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+std::vector<double> Zeros(int d) { return std::vector<double>(d, 0.0); }
+std::vector<double> Ones(int d) { return std::vector<double>(d, 1.0); }
+}  // namespace
+
+HypercubeDomain::HypercubeDomain(int d, int max_level)
+    : BoxDomain("hypercube[0,1]^" + std::to_string(d), Zeros(d), Ones(d),
+                max_level) {
+  PRIVHP_CHECK(d >= 1);
+}
+
+}  // namespace privhp

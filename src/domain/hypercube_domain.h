@@ -1,0 +1,22 @@
+// The hypercube [0,1]^d under l_infinity — the paper's d >= 2 benchmark
+// domain (Corollary 1, second case).
+
+#ifndef PRIVHP_DOMAIN_HYPERCUBE_DOMAIN_H_
+#define PRIVHP_DOMAIN_HYPERCUBE_DOMAIN_H_
+
+#include "domain/box_domain.h"
+
+namespace privhp {
+
+/// \brief Omega = [0,1]^d with cyclic coordinate-hyperplane cuts:
+/// gamma_l ~ 2^{-l/d} and Gamma_l = 2^{(1-1/d) l} up to a factor of 2,
+/// matching the quantities used in the proof of Corollary 1.
+class HypercubeDomain : public BoxDomain {
+ public:
+  /// \param d Ambient dimension (>= 1).
+  explicit HypercubeDomain(int d, int max_level = 40);
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_HYPERCUBE_DOMAIN_H_

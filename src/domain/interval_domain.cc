@@ -1,0 +1,8 @@
+#include "domain/interval_domain.h"
+
+namespace privhp {
+
+IntervalDomain::IntervalDomain(int max_level)
+    : BoxDomain("interval[0,1]", {0.0}, {1.0}, max_level) {}
+
+}  // namespace privhp

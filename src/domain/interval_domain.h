@@ -1,0 +1,23 @@
+// The unit interval [0,1] with dyadic decomposition — the paper's d = 1
+// benchmark domain (Corollary 1, first case).
+
+#ifndef PRIVHP_DOMAIN_INTERVAL_DOMAIN_H_
+#define PRIVHP_DOMAIN_INTERVAL_DOMAIN_H_
+
+#include "domain/box_domain.h"
+
+namespace privhp {
+
+/// \brief Omega = [0,1]: level-l cells are the dyadic intervals
+/// [i 2^-l, (i+1) 2^-l), so gamma_l = 2^-l and Gamma_l = 1.
+class IntervalDomain : public BoxDomain {
+ public:
+  explicit IntervalDomain(int max_level = 40);
+
+  /// \brief Convenience: wraps a scalar into a Point.
+  static Point Make(double x) { return Point{x}; }
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_INTERVAL_DOMAIN_H_

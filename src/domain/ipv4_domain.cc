@@ -1,0 +1,96 @@
+#include "domain/ipv4_domain.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+constexpr double kScale = 4294967296.0;  // 2^32
+}  // namespace
+
+bool Ipv4Domain::Contains(const Point& x) const {
+  return x.size() == 1 && x[0] >= 0.0 && x[0] < 1.0;
+}
+
+uint64_t Ipv4Domain::Locate(const Point& x, int level) const {
+  PRIVHP_DCHECK(level >= 0 && level <= 32);
+  PRIVHP_DCHECK(Contains(x));
+  const uint32_t address = ToAddress(x);
+  if (level == 0) return 0;
+  return static_cast<uint64_t>(address) >> (32 - level);
+}
+
+double Ipv4Domain::CellDiameter(int level) const {
+  return std::ldexp(1.0, -level);
+}
+
+double Ipv4Domain::LevelDiameterSum(int level) const {
+  (void)level;
+  return 1.0;  // 2^l cells of diameter 2^-l.
+}
+
+Point Ipv4Domain::SampleCell(int level, uint64_t index,
+                             RandomEngine* rng) const {
+  PRIVHP_DCHECK(level >= 0 && level <= 32);
+  const uint32_t base = level == 0
+                            ? 0u
+                            : static_cast<uint32_t>(index << (32 - level));
+  const uint64_t block = uint64_t{1} << (32 - level);
+  const uint32_t offset = static_cast<uint32_t>(rng->UniformInt(block));
+  return FromAddress(base + offset);
+}
+
+Point Ipv4Domain::CellCenter(int level, uint64_t index) const {
+  PRIVHP_DCHECK(level >= 0 && level <= 32);
+  const double base =
+      level == 0 ? 0.0
+                 : static_cast<double>(index) * std::ldexp(1.0, -level);
+  return Point{base + std::ldexp(0.5, -level)};
+}
+
+double Ipv4Domain::Distance(const Point& a, const Point& b) const {
+  return std::abs(a[0] - b[0]);
+}
+
+Point Ipv4Domain::FromAddress(uint32_t address) {
+  return Point{static_cast<double>(address) / kScale};
+}
+
+uint32_t Ipv4Domain::ToAddress(const Point& x) {
+  PRIVHP_DCHECK(x.size() == 1);
+  double v = x[0] * kScale;
+  if (v < 0.0) v = 0.0;
+  if (v >= kScale) v = kScale - 1.0;
+  return static_cast<uint32_t>(v);
+}
+
+Result<uint32_t> Ipv4Domain::ParseAddress(const std::string& dotted) {
+  unsigned a, b, c, d;
+  char extra;
+  const int n =
+      std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return Status::InvalidArgument("not a dotted-quad IPv4 address: " +
+                                   dotted);
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+std::string Ipv4Domain::FormatAddress(uint32_t address) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", address >> 24,
+                (address >> 16) & 0xff, (address >> 8) & 0xff,
+                address & 0xff);
+  return buf;
+}
+
+std::string Ipv4Domain::FormatCidr(int level, uint64_t index) {
+  const uint32_t base =
+      level == 0 ? 0u : static_cast<uint32_t>(index << (32 - level));
+  return FormatAddress(base) + "/" + std::to_string(level);
+}
+
+}  // namespace privhp

@@ -1,0 +1,57 @@
+// The IPv4 address space as a metric domain — one of the two application
+// domains the paper motivates ("geographic coordinates or the IPv4
+// address space", Section 1.2).
+//
+// Addresses are ordered as 32-bit integers; the level-l cells are exactly
+// the /l CIDR prefixes, so the hierarchical decomposition coincides with
+// the routing hierarchy and the generator's leaves are subnets. The metric
+// is the normalized numeric distance |a - b| / 2^32, under which a /l
+// prefix has diameter 2^-l, matching the dyadic interval case.
+
+#ifndef PRIVHP_DOMAIN_IPV4_DOMAIN_H_
+#define PRIVHP_DOMAIN_IPV4_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Omega = {0, ..., 2^32 - 1} (IPv4 addresses) with /l-prefix cells.
+class Ipv4Domain : public Domain {
+ public:
+  Ipv4Domain() = default;
+
+  int dimension() const override { return 1; }
+  int max_level() const override { return 32; }
+  std::string Name() const override { return "ipv4"; }
+
+  bool Contains(const Point& x) const override;
+  uint64_t Locate(const Point& x, int level) const override;
+  double CellDiameter(int level) const override;
+  double LevelDiameterSum(int level) const override;
+  Point SampleCell(int level, uint64_t index,
+                   RandomEngine* rng) const override;
+  Point CellCenter(int level, uint64_t index) const override;
+  double Distance(const Point& a, const Point& b) const override;
+
+  /// \brief Wraps a raw address into a Point (normalized to [0,1)).
+  static Point FromAddress(uint32_t address);
+
+  /// \brief Recovers the address encoded in \p x.
+  static uint32_t ToAddress(const Point& x);
+
+  /// \brief Parses dotted-quad notation ("10.0.0.1").
+  static Result<uint32_t> ParseAddress(const std::string& dotted);
+
+  /// \brief Formats an address as dotted-quad.
+  static std::string FormatAddress(uint32_t address);
+
+  /// \brief Formats a level-l cell as CIDR notation ("10.0.0.0/8").
+  static std::string FormatCidr(int level, uint64_t index);
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DOMAIN_IPV4_DOMAIN_H_

@@ -1,0 +1,82 @@
+#include "dp/binary_mechanism.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace privhp {
+
+// Chan-Shi-Song p-sum formulation. Writing the current time t in binary,
+// the released count is the sum of one noisy p-sum per set bit. On the
+// t-th arrival, with i the lowest set bit of t, p-sum i absorbs the
+// lower-order p-sums plus the new item and receives fresh noise; the
+// lower p-sums reset. Each item contributes to at most `levels_` p-sums,
+// so per-p-sum noise Laplace(levels/eps) gives eps-DP for the whole
+// release sequence.
+
+BinaryMechanismCounter::BinaryMechanismCounter(uint64_t horizon,
+                                               double epsilon, uint64_t seed)
+    : levels_(CeilLog2(std::max<uint64_t>(2, horizon)) + 1),
+      horizon_(horizon),
+      epsilon_(epsilon),
+      rng_(seed),
+      block_sum_(levels_, 0.0),
+      block_noise_(levels_, 0.0) {
+  PRIVHP_CHECK(horizon_ >= 1);
+  PRIVHP_CHECK(epsilon_ > 0.0);
+}
+
+Result<BinaryMechanismCounter> BinaryMechanismCounter::Make(uint64_t horizon,
+                                                            double epsilon,
+                                                            uint64_t seed) {
+  if (horizon == 0) {
+    return Status::InvalidArgument("horizon must be >= 1");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return BinaryMechanismCounter(horizon, epsilon, seed);
+}
+
+double BinaryMechanismCounter::NoiseScale() const {
+  return static_cast<double>(levels_) / epsilon_;
+}
+
+Status BinaryMechanismCounter::Add(uint64_t value) {
+  if (value > 1) {
+    return Status::InvalidArgument("binary mechanism takes 0/1 increments");
+  }
+  if (steps_ >= horizon_) {
+    return Status::FailedPrecondition("stream horizon exhausted");
+  }
+  ++steps_;
+  // i = lowest set bit of the new time step.
+  int i = 0;
+  while (((steps_ >> i) & 1u) == 0) ++i;
+  PRIVHP_CHECK(i < levels_);
+  // p-sum i absorbs all lower p-sums plus the new item.
+  double absorbed = static_cast<double>(value);
+  for (int j = 0; j < i; ++j) {
+    absorbed += block_sum_[j];
+    block_sum_[j] = 0.0;
+    block_noise_[j] = 0.0;
+  }
+  block_sum_[i] = absorbed;
+  block_noise_[i] = rng_.Laplace(NoiseScale());
+  return Status::OK();
+}
+
+double BinaryMechanismCounter::Count() const {
+  double count = 0.0;
+  for (int b = 0; b < levels_; ++b) {
+    if ((steps_ >> b) & 1u) count += block_sum_[b] + block_noise_[b];
+  }
+  return count;
+}
+
+size_t BinaryMechanismCounter::MemoryBytes() const {
+  return sizeof(*this) + 2 * block_sum_.size() * sizeof(double);
+}
+
+}  // namespace privhp

@@ -1,0 +1,67 @@
+// The binary mechanism for private counting under continual observation
+// (Chan-Shi-Song / Dwork et al.).
+//
+// The paper's release model is 1-pass (output once, after the stream),
+// but Section 3.1 notes the method "can be adapted to continual
+// observation by replacing the counters and sketches with their continual
+// observation counterparts". This is that counterpart for the counter: an
+// eps-DP running count whose every prefix can be published, with
+// O(log^{3/2} T / eps) error instead of the 1-shot counter's O(1/eps).
+
+#ifndef PRIVHP_DP_BINARY_MECHANISM_H_
+#define PRIVHP_DP_BINARY_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief eps-DP continual counter over a stream of at most `horizon`
+/// increments in {0, 1}.
+///
+/// Maintains one noisy partial sum per dyadic block of the time axis;
+/// each increment touches at most log2(horizon)+1 blocks, and each
+/// released prefix combines at most that many noisy blocks.
+class BinaryMechanismCounter {
+ public:
+  /// \param horizon Upper bound on the number of Add() calls (T).
+  /// \param epsilon Privacy budget for the entire release sequence.
+  /// \param seed Noise seed.
+  BinaryMechanismCounter(uint64_t horizon, double epsilon, uint64_t seed);
+
+  static Result<BinaryMechanismCounter> Make(uint64_t horizon,
+                                             double epsilon, uint64_t seed);
+
+  /// \brief Processes the next stream element (value 0 or 1). Fails after
+  /// `horizon` elements.
+  Status Add(uint64_t value);
+
+  /// \brief The private running count after the elements added so far.
+  /// Safe to call after every Add (continual observation).
+  double Count() const;
+
+  /// \brief Elements consumed.
+  uint64_t steps() const { return steps_; }
+
+  /// \brief Per-block noise scale: (levels) / epsilon.
+  double NoiseScale() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  int levels_;  // log2(horizon) + 1
+  uint64_t horizon_;
+  double epsilon_;
+  uint64_t steps_ = 0;
+  RandomEngine rng_;
+  // One p-sum per level: exact value + its current noise draw.
+  std::vector<double> block_sum_;
+  std::vector<double> block_noise_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DP_BINARY_MECHANISM_H_

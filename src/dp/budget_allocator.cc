@@ -1,0 +1,85 @@
+#include "dp/budget_allocator.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+// Gamma_{l-1} with the paper's convention Gamma_{-1} := Gamma_0.
+double GammaPrev(const Domain& domain, int l) {
+  return domain.LevelDiameterSum(l >= 1 ? l - 1 : 0);
+}
+double GammaSmallPrev(const Domain& domain, int l) {
+  return domain.CellDiameter(l >= 1 ? l - 1 : 0);
+}
+}  // namespace
+
+Result<BudgetPlan> AllocateBudget(const Domain& domain, double epsilon,
+                                  int l_star, int l_max, size_t k,
+                                  size_t sketch_depth, BudgetPolicy policy) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (l_star < 0 || l_max < l_star) {
+    return Status::InvalidArgument(
+        "budget allocation requires 0 <= l_star <= l_max (got l_star=" +
+        std::to_string(l_star) + ", l_max=" + std::to_string(l_max) + ")");
+  }
+  if (l_max > domain.max_level()) {
+    return Status::OutOfRange("hierarchy depth " + std::to_string(l_max) +
+                              " exceeds domain max level " +
+                              std::to_string(domain.max_level()));
+  }
+  if (l_max > l_star && (k == 0 || sketch_depth == 0)) {
+    return Status::InvalidArgument(
+        "sketch levels present but k or sketch depth is zero");
+  }
+
+  BudgetPlan plan;
+  plan.epsilon = epsilon;
+  plan.sigma.resize(l_max + 1);
+
+  if (policy == BudgetPolicy::kUniform) {
+    const double share = epsilon / static_cast<double>(l_max + 1);
+    for (double& s : plan.sigma) s = share;
+    return plan;
+  }
+
+  // Lemma 5 / Equation (19): sigma_l proportional to sqrt of the level's
+  // coefficient in the Delta_noise objective.
+  std::vector<double> roots(l_max + 1);
+  double total = 0.0;
+  for (int l = 0; l <= l_max; ++l) {
+    const double coeff =
+        l <= l_star ? GammaPrev(domain, l)
+                    : static_cast<double>(sketch_depth) *
+                          static_cast<double>(k) * GammaSmallPrev(domain, l);
+    roots[l] = std::sqrt(coeff);
+    total += roots[l];
+  }
+  PRIVHP_CHECK(total > 0.0);
+  for (int l = 0; l <= l_max; ++l) {
+    plan.sigma[l] = epsilon * roots[l] / total;
+  }
+  return plan;
+}
+
+double NoiseObjective(const Domain& domain, const BudgetPlan& plan,
+                      int l_star, size_t k, size_t sketch_depth, double n) {
+  PRIVHP_CHECK(n > 0.0);
+  const int l_max = static_cast<int>(plan.sigma.size()) - 1;
+  double obj = 0.0;
+  for (int l = 0; l <= l_max; ++l) {
+    if (plan.sigma[l] <= 0.0) continue;
+    const double coeff =
+        l <= l_star ? GammaPrev(domain, l)
+                    : static_cast<double>(sketch_depth) *
+                          static_cast<double>(k) * GammaSmallPrev(domain, l);
+    obj += coeff / plan.sigma[l];
+  }
+  return obj / n;
+}
+
+}  // namespace privhp

@@ -1,0 +1,61 @@
+// Per-level privacy-budget allocation {sigma_l} (paper Lemma 5).
+//
+// Theorem 2 holds for any {sigma_l} with sum sigma_l = eps. Lemma 5's
+// Lagrange-multiplier optimum minimizes the Delta_noise bound:
+//
+//   sigma_l = eps * sqrt(Gamma_{l-1})        / S   for l <= L*   (counters)
+//   sigma_l = eps * sqrt(j k gamma_{l-1})    / S   for l  > L*   (sketches)
+//   S = sum of the square roots above, Gamma_{-1} := Gamma_0.
+//
+// The uniform policy (sigma_l = eps / (L+1)) is kept for the EXP-BUDGET
+// ablation bench.
+
+#ifndef PRIVHP_DP_BUDGET_ALLOCATOR_H_
+#define PRIVHP_DP_BUDGET_ALLOCATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Policy for splitting eps across hierarchy levels.
+enum class BudgetPolicy {
+  kOptimal,  ///< Lemma 5's closed-form optimum.
+  kUniform,  ///< eps / (L+1) per level (ablation baseline).
+};
+
+/// \brief A per-level privacy split: sigma[l] for l = 0..L,
+/// sum(sigma) == epsilon.
+struct BudgetPlan {
+  std::vector<double> sigma;
+  double epsilon = 0.0;
+
+  /// \brief Number of levels covered (L + 1).
+  size_t size() const { return sigma.size(); }
+};
+
+/// \brief Computes {sigma_l} for a hierarchy over \p domain.
+///
+/// \param domain Supplies Gamma_l and gamma_l.
+/// \param epsilon Total budget (> 0).
+/// \param l_star Pruning level L* (0 <= l_star <= l_max).
+/// \param l_max Hierarchy depth L.
+/// \param k Pruning parameter (branches per level below L*).
+/// \param sketch_depth Sketch rows j.
+Result<BudgetPlan> AllocateBudget(const Domain& domain, double epsilon,
+                                  int l_star, int l_max, size_t k,
+                                  size_t sketch_depth, BudgetPolicy policy);
+
+/// \brief The Delta_noise objective of Theorem 3 evaluated at \p plan
+/// (up to the absolute constant): (1/n) * [ sum_{l<=L*} Gamma_{l-1}/sigma_l
+/// + sum_{l>L*} j k gamma_{l-1}/sigma_l ]. Used by tests to verify the
+/// optimal plan beats alternatives, and by benches to report predicted
+/// noise cost.
+double NoiseObjective(const Domain& domain, const BudgetPlan& plan,
+                      int l_star, size_t k, size_t sketch_depth, double n);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DP_BUDGET_ALLOCATOR_H_

@@ -1,0 +1,58 @@
+#include "dp/laplace_mechanism.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+LaplaceMechanism::LaplaceMechanism(double sensitivity, double epsilon)
+    : sensitivity_(sensitivity), epsilon_(epsilon) {
+  PRIVHP_CHECK(sensitivity_ > 0.0);
+  PRIVHP_CHECK(epsilon_ > 0.0);
+}
+
+Result<LaplaceMechanism> LaplaceMechanism::Make(double sensitivity,
+                                                double epsilon) {
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return LaplaceMechanism(sensitivity, epsilon);
+}
+
+double LaplaceMechanism::Release(double value, RandomEngine* rng) const {
+  return value + rng->Laplace(scale());
+}
+
+std::vector<double> LaplaceMechanism::ReleaseVector(
+    const std::vector<double>& values, RandomEngine* rng) const {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] + rng->Laplace(scale());
+  }
+  return out;
+}
+
+GeometricMechanism::GeometricMechanism(double sensitivity, double epsilon)
+    : sensitivity_(sensitivity), epsilon_(epsilon) {
+  PRIVHP_CHECK(sensitivity_ > 0.0);
+  PRIVHP_CHECK(epsilon_ > 0.0);
+}
+
+Result<GeometricMechanism> GeometricMechanism::Make(double sensitivity,
+                                                    double epsilon) {
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return GeometricMechanism(sensitivity, epsilon);
+}
+
+int64_t GeometricMechanism::Release(int64_t value, RandomEngine* rng) const {
+  return value + rng->DiscreteLaplace(scale());
+}
+
+}  // namespace privhp

@@ -1,0 +1,63 @@
+// The Laplace mechanism and relatives (paper Section 3.1, Lemma 1).
+
+#ifndef PRIVHP_DP_LAPLACE_MECHANISM_H_
+#define PRIVHP_DP_LAPLACE_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief eps-DP release of a scalar with known L1 sensitivity:
+/// M(x) = f(x) + Laplace(sensitivity / eps) (Lemma 1).
+class LaplaceMechanism {
+ public:
+  /// \param sensitivity L1 sensitivity of the statistic (> 0).
+  /// \param epsilon Privacy parameter (> 0).
+  LaplaceMechanism(double sensitivity, double epsilon);
+
+  static Result<LaplaceMechanism> Make(double sensitivity, double epsilon);
+
+  /// \brief Releases value + Laplace(scale()).
+  double Release(double value, RandomEngine* rng) const;
+
+  /// \brief Releases a vector, each coordinate independently noised.
+  /// Correct when \p sensitivity bounds the L1 distance of the whole
+  /// vector on neighbors (e.g. a histogram with disjoint buckets).
+  std::vector<double> ReleaseVector(const std::vector<double>& values,
+                                    RandomEngine* rng) const;
+
+  /// \brief Noise scale: sensitivity / epsilon.
+  double scale() const { return sensitivity_ / epsilon_; }
+
+  double sensitivity() const { return sensitivity_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double sensitivity_;
+  double epsilon_;
+};
+
+/// \brief eps-DP integer release via the two-sided geometric (discrete
+/// Laplace) mechanism; exact counterpart of LaplaceMechanism for counts.
+class GeometricMechanism {
+ public:
+  GeometricMechanism(double sensitivity, double epsilon);
+
+  static Result<GeometricMechanism> Make(double sensitivity, double epsilon);
+
+  int64_t Release(int64_t value, RandomEngine* rng) const;
+
+  double scale() const { return sensitivity_ / epsilon_; }
+
+ private:
+  double sensitivity_;
+  double epsilon_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DP_LAPLACE_MECHANISM_H_

@@ -1,0 +1,15 @@
+#include "dp/noisy_counter.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+NoisyCounter::NoisyCounter(double sigma, RandomEngine* rng) {
+  if (sigma > 0.0) {
+    PRIVHP_CHECK(rng != nullptr);
+    initial_noise_ = rng->Laplace(1.0 / sigma);
+    value_ = initial_noise_;
+  }
+}
+
+}  // namespace privhp

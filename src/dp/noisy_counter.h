@@ -1,0 +1,40 @@
+// Noisy exact counter: a scalar counter initialized with Laplace noise
+// (Algorithm 1, Line 6). Incrementing a pre-noised counter is
+// distributionally identical to noising the final count, because the noise
+// is data-independent; initializing up front is what makes the one-pass
+// release valid.
+
+#ifndef PRIVHP_DP_NOISY_COUNTER_H_
+#define PRIVHP_DP_NOISY_COUNTER_H_
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief A counter carrying Laplace(1/sigma) initialization noise.
+class NoisyCounter {
+ public:
+  /// \param sigma Per-counter privacy parameter; sigma <= 0 disables noise
+  ///        (non-private ablations only).
+  /// \param rng Noise source, drawn once at construction.
+  NoisyCounter(double sigma, RandomEngine* rng);
+
+  /// \brief Adds \p delta to the count.
+  void Increment(double delta = 1.0) { value_ += delta; }
+
+  /// \brief Current noisy count.
+  double value() const { return value_; }
+
+  /// \brief The noise that was added at initialization (for error
+  /// accounting in tests; a real deployment never reads this).
+  double initial_noise() const { return initial_noise_; }
+
+ private:
+  double value_ = 0.0;
+  double initial_noise_ = 0.0;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DP_NOISY_COUNTER_H_

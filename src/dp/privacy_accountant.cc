@@ -1,0 +1,57 @@
+#include "dp/privacy_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/table_printer.h"
+
+namespace privhp {
+
+namespace {
+// Relative slack for floating-point accumulation of many sigma_l charges.
+constexpr double kBudgetTolerance = 1e-9;
+}  // namespace
+
+PrivacyAccountant::PrivacyAccountant(double budget) : budget_(budget) {
+  PRIVHP_CHECK(budget_ > 0.0);
+}
+
+Result<PrivacyAccountant> PrivacyAccountant::Make(double budget) {
+  if (budget <= 0.0) {
+    return Status::InvalidArgument("privacy budget must be positive");
+  }
+  return PrivacyAccountant(budget);
+}
+
+Status PrivacyAccountant::Charge(double epsilon, const std::string& label) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("cannot charge negative epsilon for '" +
+                                   label + "'");
+  }
+  if (spent_ + epsilon > budget_ * (1.0 + kBudgetTolerance)) {
+    return Status::FailedPrecondition(
+        "privacy budget exceeded charging '" + label + "': spent " +
+        std::to_string(spent_) + " + " + std::to_string(epsilon) +
+        " > budget " + std::to_string(budget_));
+  }
+  spent_ += epsilon;
+  ledger_.emplace_back(label, epsilon);
+  return Status::OK();
+}
+
+double PrivacyAccountant::Remaining() const {
+  return std::max(0.0, budget_ - spent_);
+}
+
+std::string PrivacyAccountant::ToString() const {
+  std::string out = "privacy ledger (budget " +
+                    TablePrinter::FormatNumber(budget_) + ", spent " +
+                    TablePrinter::FormatNumber(spent_) + "):\n";
+  for (const auto& [label, eps] : ledger_) {
+    out += "  " + label + ": " + TablePrinter::FormatNumber(eps) + "\n";
+  }
+  return out;
+}
+
+}  // namespace privhp

@@ -1,0 +1,54 @@
+// Privacy-budget accounting under basic composition (paper Lemma 3).
+//
+// Every mechanism in the pipeline charges its epsilon against an
+// accountant; Theorem 2's guarantee (sum sigma_l = eps) is then an
+// invariant the builder asserts rather than an informal argument.
+
+#ifndef PRIVHP_DP_PRIVACY_ACCOUNTANT_H_
+#define PRIVHP_DP_PRIVACY_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Tracks cumulative epsilon consumption under basic composition.
+class PrivacyAccountant {
+ public:
+  /// \param budget Total epsilon available; Charge() fails when exceeded
+  ///        (with a small relative tolerance for float accumulation).
+  explicit PrivacyAccountant(double budget);
+
+  static Result<PrivacyAccountant> Make(double budget);
+
+  /// \brief Records that a sub-mechanism labeled \p label consumed
+  /// \p epsilon. Fails if the budget would be exceeded.
+  Status Charge(double epsilon, const std::string& label);
+
+  /// \brief Total epsilon consumed so far.
+  double Spent() const { return spent_; }
+
+  /// \brief Budget minus spent (never negative).
+  double Remaining() const;
+
+  double budget() const { return budget_; }
+
+  /// \brief Ledger of (label, epsilon) charges in charge order.
+  const std::vector<std::pair<std::string, double>>& ledger() const {
+    return ledger_;
+  }
+
+  /// \brief Human-readable ledger dump for reports.
+  std::string ToString() const;
+
+ private:
+  double budget_;
+  double spent_ = 0.0;
+  std::vector<std::pair<std::string, double>> ledger_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_DP_PRIVACY_ACCOUNTANT_H_

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privhp {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Result<double> RangeQueryError(const Domain& domain,
+                               const std::vector<Point>& data,
+                               const std::vector<Point>& synthetic,
+                               size_t num_queries, int max_query_level,
+                               RandomEngine* rng) {
+  if (data.empty() || synthetic.empty()) {
+    return Status::InvalidArgument("range query error needs non-empty sets");
+  }
+  if (max_query_level < 1 || max_query_level > domain.max_level()) {
+    return Status::InvalidArgument("bad max_query_level");
+  }
+  const double wd = 1.0 / static_cast<double>(data.size());
+  const double ws = 1.0 / static_cast<double>(synthetic.size());
+  double total_err = 0.0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const int level =
+        1 + static_cast<int>(rng->UniformInt(max_query_level));
+    const uint64_t cell = rng->UniformInt(uint64_t{1} << level);
+    double fd = 0.0, fs = 0.0;
+    for (const Point& x : data) {
+      if (domain.Locate(x, level) == cell) fd += wd;
+    }
+    for (const Point& y : synthetic) {
+      if (domain.Locate(y, level) == cell) fs += ws;
+    }
+    total_err += std::abs(fd - fs);
+  }
+  return total_err / static_cast<double>(num_queries);
+}
+
+}  // namespace privhp

@@ -1,0 +1,51 @@
+// Downstream-utility metrics beyond W1, used by the examples and benches:
+// range-query error (the classic synthetic-data acceptance test) and
+// simple summary accumulators.
+
+#ifndef PRIVHP_EVAL_METRICS_H_
+#define PRIVHP_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Streaming mean / stddev / min / max accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Average absolute error of random axis-aligned range queries:
+/// |fraction of data in box - fraction of synthetic in box| over
+/// \p num_queries random boxes in [0,1]^d-style domains.
+///
+/// Boxes are drawn as random cells of the domain at random levels
+/// in [1, max_query_level], so the query class matches the decomposition
+/// geometry.
+Result<double> RangeQueryError(const Domain& domain,
+                               const std::vector<Point>& data,
+                               const std::vector<Point>& synthetic,
+                               size_t num_queries, int max_query_level,
+                               RandomEngine* rng);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_EVAL_METRICS_H_

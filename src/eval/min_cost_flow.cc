@@ -1,0 +1,86 @@
+#include "eval/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Flow below this is numerical dust, not transportable mass.
+constexpr double kFlowEps = 1e-12;
+}  // namespace
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : num_nodes_(num_nodes), graph_(num_nodes) {
+  PRIVHP_CHECK(num_nodes >= 1);
+}
+
+void MinCostFlow::AddEdge(int u, int v, double capacity, double cost) {
+  PRIVHP_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  PRIVHP_CHECK(capacity >= 0.0);
+  PRIVHP_CHECK(cost >= 0.0);
+  graph_[u].push_back(
+      Edge{v, capacity, cost, static_cast<int>(graph_[v].size())});
+  graph_[v].push_back(
+      Edge{u, 0.0, -cost, static_cast<int>(graph_[u].size()) - 1});
+}
+
+Result<MinCostFlow::FlowResult> MinCostFlow::Solve(int source, int sink) {
+  if (source < 0 || source >= num_nodes_ || sink < 0 || sink >= num_nodes_ ||
+      source == sink) {
+    return Status::InvalidArgument("bad source/sink");
+  }
+  FlowResult result;
+  std::vector<double> potential(num_nodes_, 0.0);
+  std::vector<double> dist(num_nodes_);
+  std::vector<int> prev_node(num_nodes_), prev_edge(num_nodes_);
+
+  for (;;) {
+    // Dijkstra on reduced costs (non-negative given valid potentials).
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[source] = 0.0;
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + kFlowEps) continue;
+      for (size_t i = 0; i < graph_[u].size(); ++i) {
+        const Edge& e = graph_[u][i];
+        if (e.capacity <= kFlowEps) continue;
+        const double nd = d + e.cost + potential[u] - potential[e.to];
+        if (nd < dist[e.to] - kFlowEps) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = static_cast<int>(i);
+          heap.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;  // no augmenting path remains
+    for (int v = 0; v < num_nodes_; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Bottleneck along the shortest path.
+    double push = kInf;
+    for (int v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, graph_[prev_node[v]][prev_edge[v]].capacity);
+    }
+    if (push <= kFlowEps) break;
+    for (int v = sink; v != source; v = prev_node[v]) {
+      Edge& e = graph_[prev_node[v]][prev_edge[v]];
+      e.capacity -= push;
+      graph_[v][e.rev].capacity += push;
+      result.cost += push * e.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+}  // namespace privhp

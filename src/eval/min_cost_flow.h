@@ -1,0 +1,51 @@
+// Minimum-cost flow via successive shortest paths with Johnson potentials.
+//
+// The exact-EMD evaluation (eval/wasserstein.h) reduces optimal transport
+// between small discrete measures to min-cost flow on a bipartite network.
+// Capacities and costs are doubles (probability masses and metric
+// distances); costs must be non-negative.
+
+#ifndef PRIVHP_EVAL_MIN_COST_FLOW_H_
+#define PRIVHP_EVAL_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Min-cost flow network on n nodes with double capacities/costs.
+class MinCostFlow {
+ public:
+  /// \param num_nodes Node count; ids 0..num_nodes-1.
+  explicit MinCostFlow(int num_nodes);
+
+  /// \brief Adds a directed edge u -> v. \p cost must be >= 0.
+  void AddEdge(int u, int v, double capacity, double cost);
+
+  /// \brief Result of a flow computation.
+  struct FlowResult {
+    double flow = 0.0;
+    double cost = 0.0;
+  };
+
+  /// \brief Sends as much flow as possible from \p source to \p sink at
+  /// minimum cost. Runs Dijkstra with potentials per augmentation.
+  Result<FlowResult> Solve(int source, int sink);
+
+ private:
+  struct Edge {
+    int to;
+    double capacity;
+    double cost;
+    int rev;  // index of the reverse edge in graph_[to]
+  };
+
+  int num_nodes_;
+  std::vector<std::vector<Edge>> graph_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_EVAL_MIN_COST_FLOW_H_

@@ -1,0 +1,57 @@
+#include "eval/tail.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+Result<std::vector<double>> LevelCounts(const Domain& domain,
+                                        const std::vector<Point>& data,
+                                        int level) {
+  if (level < 0 || level > 26) {
+    return Status::InvalidArgument("LevelCounts supports levels 0..26");
+  }
+  if (level > domain.max_level()) {
+    return Status::OutOfRange("level exceeds domain max level");
+  }
+  std::vector<double> counts(size_t{1} << level, 0.0);
+  for (const Point& x : data) counts[domain.Locate(x, level)] += 1.0;
+  return counts;
+}
+
+double TailNorm(std::vector<double> v, size_t k) {
+  if (k >= v.size()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + k, v.end(),
+                   std::greater<double>());
+  double tail = 0.0;
+  for (size_t i = k; i < v.size(); ++i) tail += v[i];
+  return tail;
+}
+
+Result<double> TailNormAtLevel(const Domain& domain,
+                               const std::vector<Point>& data, int level,
+                               size_t k) {
+  PRIVHP_ASSIGN_OR_RETURN(std::vector<double> counts,
+                          LevelCounts(domain, data, level));
+  return TailNorm(std::move(counts), k);
+}
+
+Result<double> PredictedApproxTerm(const Domain& domain,
+                                   const std::vector<Point>& data, int l_star,
+                                   int l_max, size_t k, size_t sketch_depth) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  const int tail_level = std::min(l_max, 26);
+  PRIVHP_ASSIGN_OR_RETURN(const double tail,
+                          TailNormAtLevel(domain, data, tail_level, k));
+  double diam_sum = 0.0;
+  for (int l = l_star + 1; l <= l_max; ++l) {
+    diam_sum += domain.CellDiameter(l - 1);
+  }
+  const double n = static_cast<double>(data.size());
+  return (tail / n + std::ldexp(1.0, -static_cast<int>(sketch_depth))) *
+         diam_sum;
+}
+
+}  // namespace privhp

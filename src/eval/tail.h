@@ -1,0 +1,39 @@
+// The tail statistic ||tail_k^l(X)||_1 (paper Section 5.2): the vector of
+// level-l subdomain cardinalities with the top-k coordinates zeroed. This
+// is the data-dependent quantity in every utility bound; the harness
+// reports it next to measured W1 so EXPERIMENTS.md can compare
+// theory-vs-measured per workload.
+
+#ifndef PRIVHP_EVAL_TAIL_H_
+#define PRIVHP_EVAL_TAIL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Exact level-\p level cell counts of \p data (dense; level <= 26).
+Result<std::vector<double>> LevelCounts(const Domain& domain,
+                                        const std::vector<Point>& data,
+                                        int level);
+
+/// \brief ||tail_k(v)||_1: sum of all but the k largest entries of \p v.
+double TailNorm(std::vector<double> v, size_t k);
+
+/// \brief ||tail_k^level(X)||_1 over \p domain.
+Result<double> TailNormAtLevel(const Domain& domain,
+                               const std::vector<Point>& data, int level,
+                               size_t k);
+
+/// \brief The full approximation-term prediction of Theorem 3:
+/// (||tail_k^L||_1 / n + 2^{-j}) * sum_{l=L*+1..L} gamma_{l-1}. Used to
+/// print predicted-vs-measured columns.
+Result<double> PredictedApproxTerm(const Domain& domain,
+                                   const std::vector<Point>& data, int l_star,
+                                   int l_max, size_t k, size_t sketch_depth);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_EVAL_TAIL_H_

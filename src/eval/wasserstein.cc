@@ -1,0 +1,193 @@
+#include "eval/wasserstein.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "eval/min_cost_flow.h"
+
+namespace privhp {
+
+double Wasserstein1DSamples(std::vector<double> a, std::vector<double> b) {
+  PRIVHP_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // W1 = integral over x of |F_a(x) - F_b(x)|, evaluated by sweeping the
+  // merged order statistics.
+  const double wa = 1.0 / static_cast<double>(a.size());
+  const double wb = 1.0 / static_cast<double>(b.size());
+  size_t ia = 0, ib = 0;
+  double cdf_diff = 0.0;  // F_a - F_b so far
+  double prev = std::min(a[0], b[0]);
+  double total = 0.0;
+  while (ia < a.size() || ib < b.size()) {
+    const double xa = ia < a.size() ? a[ia]
+                                    : std::numeric_limits<double>::infinity();
+    const double xb = ib < b.size() ? b[ib]
+                                    : std::numeric_limits<double>::infinity();
+    const double x = std::min(xa, xb);
+    total += std::abs(cdf_diff) * (x - prev);
+    prev = x;
+    while (ia < a.size() && a[ia] == x) {
+      cdf_diff += wa;
+      ++ia;
+    }
+    while (ib < b.size() && b[ib] == x) {
+      cdf_diff -= wb;
+      ++ib;
+    }
+  }
+  return total;
+}
+
+double Wasserstein1DPoints(const std::vector<Point>& a,
+                           const std::vector<Point>& b) {
+  std::vector<double> xa(a.size()), xb(b.size());
+  for (size_t i = 0; i < a.size(); ++i) xa[i] = a[i][0];
+  for (size_t i = 0; i < b.size(); ++i) xb[i] = b[i][0];
+  return Wasserstein1DSamples(std::move(xa), std::move(xb));
+}
+
+double Wasserstein1DDiscrete(const std::vector<double>& positions,
+                             const std::vector<double>& p,
+                             const std::vector<double>& q) {
+  PRIVHP_CHECK(positions.size() == p.size() && p.size() == q.size());
+  double total = 0.0;
+  double prefix = 0.0;
+  for (size_t i = 0; i + 1 < positions.size(); ++i) {
+    prefix += p[i] - q[i];
+    total += std::abs(prefix) * (positions[i + 1] - positions[i]);
+  }
+  return total;
+}
+
+Result<double> GridEmd(const Domain& domain, int level,
+                       const std::vector<double>& p,
+                       const std::vector<double>& q, size_t max_support) {
+  if (p.size() != q.size() || p.size() != (size_t{1} << level)) {
+    return Status::InvalidArgument(
+        "GridEmd requires dense level distributions of size 2^level");
+  }
+  // Only the difference measure needs transporting.
+  struct Mass {
+    uint64_t cell;
+    double amount;
+  };
+  std::vector<Mass> supply, demand;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double diff = p[i] - q[i];
+    if (diff > 1e-15) supply.push_back({i, diff});
+    if (diff < -1e-15) demand.push_back({i, -diff});
+  }
+  if (supply.empty() || demand.empty()) return 0.0;
+  if (supply.size() + demand.size() > max_support) {
+    return Status::OutOfRange(
+        "GridEmd support too large (" +
+        std::to_string(supply.size() + demand.size()) + " > " +
+        std::to_string(max_support) + " cells)");
+  }
+
+  std::vector<Point> supply_pts(supply.size()), demand_pts(demand.size());
+  for (size_t i = 0; i < supply.size(); ++i) {
+    supply_pts[i] = domain.CellCenter(level, supply[i].cell);
+  }
+  for (size_t j = 0; j < demand.size(); ++j) {
+    demand_pts[j] = domain.CellCenter(level, demand[j].cell);
+  }
+
+  const int s = static_cast<int>(supply.size() + demand.size());
+  MinCostFlow flow(s + 2);
+  const int source = s;
+  const int sink = s + 1;
+  for (size_t i = 0; i < supply.size(); ++i) {
+    flow.AddEdge(source, static_cast<int>(i), supply[i].amount, 0.0);
+  }
+  for (size_t j = 0; j < demand.size(); ++j) {
+    flow.AddEdge(static_cast<int>(supply.size() + j), sink, demand[j].amount,
+                 0.0);
+  }
+  for (size_t i = 0; i < supply.size(); ++i) {
+    for (size_t j = 0; j < demand.size(); ++j) {
+      flow.AddEdge(static_cast<int>(i), static_cast<int>(supply.size() + j),
+                   std::numeric_limits<double>::max() / 4,
+                   domain.Distance(supply_pts[i], demand_pts[j]));
+    }
+  }
+  PRIVHP_ASSIGN_OR_RETURN(MinCostFlow::FlowResult result,
+                          flow.Solve(source, sink));
+  return result.cost;
+}
+
+double TreeWasserstein(const Domain& domain, int level,
+                       const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  PRIVHP_CHECK(p.size() == q.size());
+  PRIVHP_CHECK(p.size() == (size_t{1} << level));
+  std::vector<double> dp = p;
+  std::vector<double> dq = q;
+  double total = 0.0;
+  for (int l = level; l >= 1; --l) {
+    double level_l1 = 0.0;
+    for (size_t i = 0; i < dp.size(); ++i) level_l1 += std::abs(dp[i] - dq[i]);
+    total += 0.5 * level_l1 * domain.CellDiameter(l);
+    // Aggregate to the parent level.
+    std::vector<double> np(dp.size() / 2), nq(dq.size() / 2);
+    for (size_t i = 0; i < np.size(); ++i) {
+      np[i] = dp[2 * i] + dp[2 * i + 1];
+      nq[i] = dq[2 * i] + dq[2 * i + 1];
+    }
+    dp = std::move(np);
+    dq = std::move(nq);
+  }
+  return total;
+}
+
+double SlicedW1(const std::vector<Point>& a, const std::vector<Point>& b,
+                size_t num_projections, RandomEngine* rng) {
+  PRIVHP_CHECK(!a.empty() && !b.empty());
+  const size_t d = a[0].size();
+  if (d == 1) return Wasserstein1DPoints(a, b);
+  double total = 0.0;
+  std::vector<double> direction(d);
+  std::vector<double> pa(a.size()), pb(b.size());
+  for (size_t t = 0; t < num_projections; ++t) {
+    double norm = 0.0;
+    for (double& c : direction) {
+      c = rng->Gaussian();
+      norm += c * c;
+    }
+    norm = std::sqrt(std::max(norm, 1e-30));
+    for (double& c : direction) c /= norm;
+    for (size_t i = 0; i < a.size(); ++i) {
+      double dot = 0.0;
+      for (size_t c = 0; c < d; ++c) dot += a[i][c] * direction[c];
+      pa[i] = dot;
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      double dot = 0.0;
+      for (size_t c = 0; c < d; ++c) dot += b[i][c] * direction[c];
+      pb[i] = dot;
+    }
+    total += Wasserstein1DSamples(pa, pb);
+  }
+  return total / static_cast<double>(num_projections);
+}
+
+Result<std::vector<double>> QuantizeToLevel(const Domain& domain,
+                                            const std::vector<Point>& points,
+                                            int level) {
+  if (level < 0 || level > 26) {
+    return Status::InvalidArgument("QuantizeToLevel supports levels 0..26");
+  }
+  if (level > domain.max_level()) {
+    return Status::OutOfRange("level exceeds domain max level");
+  }
+  std::vector<double> dist(size_t{1} << level, 0.0);
+  if (points.empty()) return dist;
+  const double w = 1.0 / static_cast<double>(points.size());
+  for (const Point& x : points) dist[domain.Locate(x, level)] += w;
+  return dist;
+}
+
+}  // namespace privhp

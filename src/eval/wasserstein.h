@@ -1,0 +1,79 @@
+// 1-Wasserstein distance estimators (paper Section 3.2, Equation 1).
+//
+// The evaluation harness measures E[W1(mu_X, T)] for every generator.
+// Four complementary estimators are provided:
+//
+//  * Wasserstein1DSamples — exact W1 between two 1-D point clouds
+//    (integral of |CDF difference|); used for every d = 1 experiment.
+//  * GridEmd — exact optimal transport between two discrete measures on
+//    the level-l cell grid, via min-cost flow; used for d >= 2 at moderate
+//    grid levels (quantization error <= gamma_l).
+//  * TreeWasserstein — the hierarchical upper bound
+//    sum_l gamma_l * (1/2) * sum_{cells} |p - q|, the transport cost along
+//    the decomposition tree. Cheap at any scale; this is the quantity the
+//    paper's own bounds control, so shape comparisons use it when exact
+//    EMD is too expensive.
+//  * SlicedW1 — Monte-Carlo sliced Wasserstein for d >= 2 point clouds
+//    (cross-check of GridEmd).
+
+#ifndef PRIVHP_EVAL_WASSERSTEIN_H_
+#define PRIVHP_EVAL_WASSERSTEIN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Exact W1 between two 1-D samples (uniform weights; sizes may
+/// differ). O(n log n).
+double Wasserstein1DSamples(std::vector<double> a, std::vector<double> b);
+
+/// \brief Exact W1 between two 1-D point clouds, taking coordinate 0.
+double Wasserstein1DPoints(const std::vector<Point>& a,
+                           const std::vector<Point>& b);
+
+/// \brief Exact W1 between two discrete distributions supported on the
+/// same sorted \p positions (p and q sum to 1): the prefix-difference
+/// integral. O(n).
+double Wasserstein1DDiscrete(const std::vector<double>& positions,
+                             const std::vector<double>& p,
+                             const std::vector<double>& q);
+
+/// \brief Exact EMD between dense level-\p level cell distributions \p p
+/// and \p q over \p domain (cell centers as support, domain metric as
+/// ground cost), via min-cost flow.
+///
+/// Fails if the union of supports exceeds \p max_support cells (flow
+/// network would be too large); fall back to TreeWasserstein then.
+Result<double> GridEmd(const Domain& domain, int level,
+                       const std::vector<double>& p,
+                       const std::vector<double>& q,
+                       size_t max_support = 4096);
+
+/// \brief Tree (hierarchical) transport distance between dense level-L
+/// distributions: sum_{l=1..L} gamma_l * (1/2) * sum_theta |p_theta -
+/// q_theta| with p,q aggregated up the tree. Upper-bounds W1 on the
+/// domain's metric; exact for the tree metric.
+double TreeWasserstein(const Domain& domain, int level,
+                       const std::vector<double>& p,
+                       const std::vector<double>& q);
+
+/// \brief Monte-Carlo sliced W1 between d-dimensional point clouds:
+/// average over \p num_projections random directions of the exact 1-D W1
+/// of the projections.
+double SlicedW1(const std::vector<Point>& a, const std::vector<Point>& b,
+                size_t num_projections, RandomEngine* rng);
+
+/// \brief Quantizes a point cloud to the dense level-\p level cell
+/// distribution over \p domain (normalized to sum 1; empty input gives
+/// all-zero).
+Result<std::vector<double>> QuantizeToLevel(const Domain& domain,
+                                            const std::vector<Point>& points,
+                                            int level);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_EVAL_WASSERSTEIN_H_

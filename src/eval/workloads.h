@@ -1,0 +1,61 @@
+// Synthetic workload generators (DESIGN.md Section 4: the paper has no
+// empirical evaluation, so we exercise its bounds with controllable
+// streams).
+//
+// The skew knob matters most: Theorem 3's approximation term is
+// ||tail_k||_1 / n, so Zipf-over-cells with exponent s sweeps PrivHP from
+// its worst case (uniform mass, s = 0) to its best case (sparse/skewed,
+// large s) while everything else stays fixed.
+
+#ifndef PRIVHP_EVAL_WORKLOADS_H_
+#define PRIVHP_EVAL_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief n uniform points in [0,1]^d — the heavy-tail worst case.
+std::vector<Point> GenerateUniform(int d, size_t n, RandomEngine* rng);
+
+/// \brief n points from a truncated Gaussian mixture in [0,1]^d with
+/// \p clusters components (centers in [0.15, 0.85]^d) of width \p stddev.
+std::vector<Point> GenerateGaussianMixture(int d, size_t n, size_t clusters,
+                                           double stddev, RandomEngine* rng);
+
+/// \brief n points distributed over the 2^level cells of [0,1]^d with
+/// Zipf(\p exponent) cell masses on a random cell permutation; uniform
+/// within the chosen cell. exponent = 0 is uniform-over-cells; larger
+/// exponents shrink ||tail_k||_1.
+std::vector<Point> GenerateZipfCells(int d, size_t n, int level,
+                                     double exponent, RandomEngine* rng);
+
+/// \brief n points supported on \p support_size random atoms of [0,1]^d
+/// (Zipf(1.1) atom masses): the sparse regime where ||tail_k|| can hit 0.
+std::vector<Point> GenerateSparseAtoms(int d, size_t n, size_t support_size,
+                                       RandomEngine* rng);
+
+/// \brief n IPv4 addresses with hierarchical skew: /8 prefixes get
+/// Zipf(\p exponent) mass, then /16 inside each /8, then uniform hosts —
+/// an idealized flow trace. Points are Ipv4Domain-normalized.
+std::vector<Point> GenerateIpv4Trace(size_t n, size_t heavy_prefixes,
+                                     double exponent, RandomEngine* rng);
+
+/// \brief n lat/lon points inside a bounding box: \p hotspots Gaussian
+/// hotspots (80% of mass) plus uniform background (20%).
+std::vector<Point> GenerateGeoHotspots(double lat_min, double lat_max,
+                                       double lon_min, double lon_max,
+                                       size_t n, size_t hotspots,
+                                       RandomEngine* rng);
+
+/// \brief Samples Zipf(\p exponent) masses over \p m items, normalized to
+/// sum 1 (exponent >= 0; exponent 0 is uniform). Helper shared by the
+/// generators and the skew benches.
+std::vector<double> ZipfMasses(size_t m, double exponent);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_EVAL_WORKLOADS_H_

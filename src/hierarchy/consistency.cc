@@ -1,0 +1,59 @@
+#include "hierarchy/consistency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+ConsistencyCase EnforceConsistencyAt(PartitionTree* tree, NodeId id) {
+  TreeNode& parent = tree->node(id);
+  PRIVHP_CHECK(!parent.is_leaf());
+  TreeNode& left = tree->node(parent.left);
+  TreeNode& right = tree->node(parent.right);
+
+  // Error Correction Type 1: clamp negative child counts (Line 3).
+  if (left.count < 0.0) left.count = 0.0;
+  if (right.count < 0.0) right.count = 0.0;
+
+  // Lambda: surplus (>0) or deficit (<0) of the children vs the parent.
+  const double lambda = left.count + right.count - parent.count;
+
+  const double half = lambda / 2.0;
+  if (std::min(left.count - half, right.count - half) < 0.0) {
+    // Error Correction Type 2 (Line 6): the smaller child is zeroed and
+    // the larger inherits the full parent count.
+    if (left.count <= right.count) {
+      left.count = 0.0;
+      right.count = parent.count;
+    } else {
+      right.count = 0.0;
+      left.count = parent.count;
+    }
+    return ConsistencyCase::kType2Correction;
+  }
+  // Even redistribution (Equation 2).
+  left.count -= half;
+  right.count -= half;
+  return ConsistencyCase::kEvenSplit;
+}
+
+void EnforceConsistencyTree(PartitionTree* tree) {
+  // The paper's analysis treats a negative root mass via Lemma 9's
+  // |lambda_root| term; operationally we clamp it so the non-negativity
+  // invariant holds throughout the tree.
+  TreeNode& root = tree->node(tree->root());
+  if (root.count < 0.0) root.count = 0.0;
+  tree->PreOrder([&](NodeId id) {
+    if (!tree->node(id).is_leaf()) EnforceConsistencyAt(tree, id);
+  });
+}
+
+double ConsistencyErrorMagnitude(double lambda_left, double lambda_right,
+                                 double approx_left, double approx_right) {
+  return std::abs(lambda_left - lambda_right + approx_left - approx_right) /
+         2.0;
+}
+
+}  // namespace privhp

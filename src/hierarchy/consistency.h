@@ -1,0 +1,51 @@
+// Consistency enforcement between parent and child counts
+// (paper Algorithm 3 and Section 4.4).
+//
+// Invariants after enforcement: (1) all counts non-negative, (2) the two
+// child counts sum to their parent's count. Surplus/deficit
+// Lambda = c_left + c_right - c_parent is split evenly (Equation 2), with
+// two corrections:
+//   Type 1 — a negative child count is clamped to 0 before computing
+//            Lambda (Line 3);
+//   Type 2 — if the even split would drive a child negative, that child is
+//            set to 0 and its sibling inherits the full parent count
+//            (Line 6).
+// Both corrections only ever reduce the error in the child counts
+// (Lemma 6, Cases 2 and 3).
+
+#ifndef PRIVHP_HIERARCHY_CONSISTENCY_H_
+#define PRIVHP_HIERARCHY_CONSISTENCY_H_
+
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief Which branch of Algorithm 3 a consistency step took; reported so
+/// tests and the EXP-E61 harness can assert against the paper's examples.
+enum class ConsistencyCase {
+  kEvenSplit,        ///< No correction; Lambda split evenly (Equation 2).
+  kType2Correction,  ///< Even split would violate non-negativity (Line 6).
+};
+
+/// \brief Applies Algorithm 3 at internal node \p id (both children must
+/// exist). Returns which branch was taken.
+///
+/// Precondition: the parent's own count has already been made consistent
+/// with *its* parent (Algorithm 2 processes nodes top-down).
+ConsistencyCase EnforceConsistencyAt(PartitionTree* tree, NodeId id);
+
+/// \brief Applies consistency to every internal node in depth-first
+/// (pre-order) order — Algorithm 2, Line 2. The root count is clamped to
+/// >= 0 first so that the non-negativity invariant can propagate.
+void EnforceConsistencyTree(PartitionTree* tree);
+
+/// \brief The consistency error of Section 6.1, Equation (9):
+/// |(lambda_0 - lambda_1 + e_0 - e_1)| / 2 — the probability mass moved
+/// between siblings by a consistency step, given the disaggregated error
+/// components. Exposed for the accounting tests (Example 6.1).
+double ConsistencyErrorMagnitude(double lambda_left, double lambda_right,
+                                 double approx_left, double approx_right);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_CONSISTENCY_H_

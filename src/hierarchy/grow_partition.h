@@ -1,0 +1,51 @@
+// GrowPartition (paper Algorithm 2): extends the depth-L* tree of noisy
+// exact counters down to the hierarchy depth, branching only at "hot"
+// nodes — the top-k counts per level — with child counts queried from the
+// per-level frequency source (the private sketches in Algorithm 1, or
+// exact counts in the T_exact/T_approx proof-pipeline harness of
+// Section 7).
+
+#ifndef PRIVHP_HIERARCHY_GROW_PARTITION_H_
+#define PRIVHP_HIERARCHY_GROW_PARTITION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief Supplier of (noisy, approximate) level-wise frequencies:
+/// Query(l, theta) estimates |Omega_theta ∩ X| for theta in {0,1}^l.
+class LevelFrequencySource {
+ public:
+  virtual ~LevelFrequencySource() = default;
+  virtual double Query(int level, uint64_t index) const = 0;
+};
+
+/// \brief Parameters of the growing phase.
+struct GrowOptions {
+  /// Pruning parameter: branches kept per level below l_star.
+  size_t k = 8;
+  /// Level where pruning begins (the initial tree is complete to here).
+  int l_star = 4;
+  /// Final leaf level. Algorithm 2 grows to L-1; the caller passes that
+  /// value here (kept explicit so ablations can grow to L instead).
+  int grow_to = 8;
+  /// Whether to run the consistency steps (Algorithm 2 Lines 2 and 9).
+  /// Disabled only by the EXP-CONS ablation.
+  bool enforce_consistency = true;
+};
+
+/// \brief Runs Algorithm 2 on \p tree.
+///
+/// Preconditions: \p tree is complete to level `l_star` (leaves exactly at
+/// l_star) with counts already populated. On success the tree's leaves lie
+/// between l_star and grow_to and all counts are consistent (when
+/// enforce_consistency).
+Status GrowPartition(PartitionTree* tree, const LevelFrequencySource& source,
+                     const GrowOptions& options);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_GROW_PARTITION_H_

@@ -1,0 +1,143 @@
+#include "hierarchy/partition_tree.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace privhp {
+
+PartitionTree::PartitionTree(const Domain* domain) : domain_(domain) {
+  PRIVHP_CHECK(domain_ != nullptr);
+  nodes_.push_back(TreeNode{CellId{0, 0}, 0.0, kInvalidNode, kInvalidNode,
+                            kInvalidNode});
+}
+
+Result<PartitionTree> PartitionTree::Complete(const Domain* domain,
+                                              int depth) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("domain must not be null");
+  }
+  if (depth < 0 || depth > domain->max_level()) {
+    return Status::InvalidArgument(
+        "complete tree depth " + std::to_string(depth) +
+        " outside [0, " + std::to_string(domain->max_level()) + "]");
+  }
+  if (depth > 30) {
+    return Status::OutOfRange(
+        "complete tree of depth " + std::to_string(depth) +
+        " would allocate 2^" + std::to_string(depth + 1) + " nodes");
+  }
+  PartitionTree tree(domain);
+  // Breadth-first expansion; the arena then stores levels contiguously.
+  std::vector<NodeId> frontier = {tree.root()};
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * 2);
+    for (NodeId id : frontier) {
+      const NodeId left = tree.AddChildren(id);
+      next.push_back(left);
+      next.push_back(left + 1);
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+NodeId PartitionTree::AddChildren(NodeId id) {
+  PRIVHP_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  PRIVHP_DCHECK(nodes_[id].is_leaf());
+  const CellId cell = nodes_[id].cell;
+  const NodeId left = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(TreeNode{cell.Left(), 0.0, kInvalidNode, kInvalidNode, id});
+  nodes_.push_back(
+      TreeNode{cell.Right(), 0.0, kInvalidNode, kInvalidNode, id});
+  nodes_[id].left = left;
+  nodes_[id].right = left + 1;
+  return left;
+}
+
+NodeId PartitionTree::Find(CellId cell) const {
+  NodeId id = root();
+  for (int l = 0; l < cell.level; ++l) {
+    const TreeNode& n = nodes_[id];
+    if (n.is_leaf()) return kInvalidNode;
+    id = PrefixBit(cell.index, cell.level, l) ? n.right : n.left;
+  }
+  return id;
+}
+
+std::vector<NodeId> PartitionTree::NodesAtLevel(int level) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].cell.level == level) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> PartitionTree::Leaves() const {
+  std::vector<NodeId> out;
+  PreOrder([&](NodeId id) {
+    if (nodes_[id].is_leaf()) out.push_back(id);
+  });
+  return out;
+}
+
+int PartitionTree::MaxDepth() const {
+  int depth = 0;
+  for (const TreeNode& n : nodes_) depth = std::max(depth, n.cell.level);
+  return depth;
+}
+
+void PartitionTree::PreOrder(const std::function<void(NodeId)>& fn) const {
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    fn(id);
+    const TreeNode& n = nodes_[id];
+    if (!n.is_leaf()) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    }
+  }
+}
+
+size_t PartitionTree::MemoryBytes() const {
+  return nodes_.size() * sizeof(TreeNode) + sizeof(*this);
+}
+
+Status PartitionTree::Validate(double tolerance) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& n = nodes_[i];
+    const bool has_left = n.left != kInvalidNode;
+    const bool has_right = n.right != kInvalidNode;
+    if (has_left != has_right) {
+      return Status::Internal("node " + std::to_string(i) +
+                              " has exactly one child");
+    }
+    if (n.count < -tolerance) {
+      return Status::Internal("node " + std::to_string(i) +
+                              " has negative count " +
+                              std::to_string(n.count));
+    }
+    if (has_left) {
+      const TreeNode& l = nodes_[n.left];
+      const TreeNode& r = nodes_[n.right];
+      if (!(l.cell == n.cell.Left()) || !(r.cell == n.cell.Right())) {
+        return Status::Internal("node " + std::to_string(i) +
+                                " children are not its cell halves");
+      }
+      if (std::abs(l.count + r.count - n.count) >
+          tolerance * std::max(1.0, std::abs(n.count))) {
+        return Status::Internal(
+            "node " + std::to_string(i) + " violates consistency: " +
+            std::to_string(l.count) + " + " + std::to_string(r.count) +
+            " != " + std::to_string(n.count));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace privhp

@@ -1,0 +1,92 @@
+// The hierarchical decomposition tree T (paper Section 4).
+//
+// Nodes are stored in a contiguous arena; each node records its cell
+// (level, index), its noisy count, and child slots. The tree starts as a
+// complete binary tree of depth L* (Algorithm 1, Line 2) and is extended
+// below L* by GrowPartition. A node either has both children or none —
+// decompositions always split a cell into its two halves.
+
+#ifndef PRIVHP_HIERARCHY_PARTITION_TREE_H_
+#define PRIVHP_HIERARCHY_PARTITION_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Arena id of a tree node.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// \brief One subdomain Omega_theta and its (noisy) count.
+struct TreeNode {
+  CellId cell;
+  double count = 0.0;
+  NodeId left = kInvalidNode;
+  NodeId right = kInvalidNode;
+  NodeId parent = kInvalidNode;
+
+  bool is_leaf() const { return left == kInvalidNode; }
+};
+
+/// \brief Binary decomposition tree over a Domain.
+///
+/// The Domain pointer is not owned and must outlive the tree.
+class PartitionTree {
+ public:
+  /// Creates a tree holding only the root (Omega itself, count 0).
+  explicit PartitionTree(const Domain* domain);
+
+  /// \brief Creates a complete tree of the given \p depth with zero counts
+  /// (Algorithm 1, Line 2).
+  static Result<PartitionTree> Complete(const Domain* domain, int depth);
+
+  const Domain* domain() const { return domain_; }
+
+  NodeId root() const { return 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  TreeNode& node(NodeId id) { return nodes_[id]; }
+  const TreeNode& node(NodeId id) const { return nodes_[id]; }
+
+  /// \brief Adds both children of \p id with zero counts; \p id must be a
+  /// leaf. Returns the left child id (right child is the next id).
+  NodeId AddChildren(NodeId id);
+
+  /// \brief Walks from the root along the bit path of \p cell; returns the
+  /// node id or kInvalidNode if the path leaves the tree.
+  NodeId Find(CellId cell) const;
+
+  /// \brief Ids of all nodes at \p level, in index order of creation.
+  std::vector<NodeId> NodesAtLevel(int level) const;
+
+  /// \brief Ids of all leaves (pre-order).
+  std::vector<NodeId> Leaves() const;
+
+  /// \brief Deepest level present.
+  int MaxDepth() const;
+
+  /// \brief Calls \p fn on every node in pre-order (parent before children).
+  void PreOrder(const std::function<void(NodeId)>& fn) const;
+
+  /// \brief Bytes held by the node arena.
+  size_t MemoryBytes() const;
+
+  /// \brief Verifies structural and consistency invariants:
+  /// each node has 0 or 2 children, child cells are the parent cell's
+  /// halves, counts are non-negative, and children sum to their parent
+  /// (within \p tolerance). Used by tests and after deserialization.
+  Status Validate(double tolerance = 1e-6) const;
+
+ private:
+  const Domain* domain_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_PARTITION_TREE_H_

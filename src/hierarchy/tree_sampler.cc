@@ -1,0 +1,52 @@
+#include "hierarchy/tree_sampler.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+TreeSampler::TreeSampler(const PartitionTree* tree) : tree_(tree) {
+  PRIVHP_CHECK(tree_ != nullptr);
+}
+
+NodeId TreeSampler::WalkToLeaf(RandomEngine* rng) const {
+  NodeId id = tree_->root();
+  const double root_mass = tree_->node(id).count;
+  if (root_mass <= 0.0) return kInvalidNode;
+  double u = rng->UniformDouble(0.0, root_mass);
+  while (!tree_->node(id).is_leaf()) {
+    const TreeNode& n = tree_->node(id);
+    const double left_mass = tree_->node(n.left).count;
+    if (u <= left_mass) {
+      id = n.left;
+    } else {
+      u -= left_mass;
+      id = n.right;
+      // Floating-point drift can push u past the right child's mass;
+      // clamping keeps the walk well-defined without biasing the draw.
+      const double right_mass = tree_->node(id).count;
+      if (u > right_mass) u = right_mass;
+    }
+  }
+  return id;
+}
+
+CellId TreeSampler::SampleLeafCell(RandomEngine* rng) const {
+  const NodeId leaf = WalkToLeaf(rng);
+  if (leaf == kInvalidNode) return CellId{0, 0};
+  return tree_->node(leaf).cell;
+}
+
+Point TreeSampler::Sample(RandomEngine* rng) const {
+  const CellId cell = SampleLeafCell(rng);
+  return tree_->domain()->SampleCell(cell.level, cell.index, rng);
+}
+
+std::vector<Point> TreeSampler::SampleBatch(size_t m,
+                                            RandomEngine* rng) const {
+  std::vector<Point> out;
+  out.reserve(m);
+  for (size_t i = 0; i < m; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+}  // namespace privhp

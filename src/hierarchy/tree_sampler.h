@@ -1,0 +1,51 @@
+// Sampling synthetic points from a decomposition tree (paper Section 5).
+//
+// A tree with consistent counts *is* a sampling distribution: draw
+// u ~ Uniform[0, root.count], walk root-to-leaf branching left when
+// u <= left.count (subtracting the left mass when branching right), then
+// return a uniform point from the leaf cell. Any deterministic
+// post-processing of a private tree — including this sampler — is private
+// by Lemma 2.
+
+#ifndef PRIVHP_HIERARCHY_TREE_SAMPLER_H_
+#define PRIVHP_HIERARCHY_TREE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "domain/domain.h"
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief Root-to-leaf sampler over a PartitionTree.
+///
+/// The tree must outlive the sampler and should have consistent counts
+/// (children sum to parent, all non-negative); run EnforceConsistencyTree
+/// first otherwise. If the root mass is <= 0 (possible at extreme privacy
+/// noise), Sample() falls back to uniform over the whole domain.
+class TreeSampler {
+ public:
+  explicit TreeSampler(const PartitionTree* tree);
+
+  /// \brief One synthetic point.
+  Point Sample(RandomEngine* rng) const;
+
+  /// \brief \p m synthetic points.
+  std::vector<Point> SampleBatch(size_t m, RandomEngine* rng) const;
+
+  /// \brief The leaf cell a single draw lands in (used by tests that check
+  /// the categorical distribution without the in-cell uniform step).
+  CellId SampleLeafCell(RandomEngine* rng) const;
+
+  const PartitionTree* tree() const { return tree_; }
+
+ private:
+  NodeId WalkToLeaf(RandomEngine* rng) const;
+
+  const PartitionTree* tree_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_TREE_SAMPLER_H_

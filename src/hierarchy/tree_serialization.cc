@@ -1,0 +1,130 @@
+#include "hierarchy/tree_serialization.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace privhp {
+
+namespace {
+constexpr char kMagic[] = "privhp-tree-v1";
+}  // namespace
+
+Status SaveTree(const PartitionTree& tree, std::ostream* os) {
+  (*os) << kMagic << "\n";
+  (*os) << tree.domain()->Name() << "\n";
+  (*os) << tree.num_nodes() << "\n";
+  os->precision(std::numeric_limits<double>::max_digits10);
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& n = tree.node(static_cast<NodeId>(i));
+    (*os) << n.cell.level << " " << n.cell.index << " " << n.count << " "
+          << n.left << " " << n.right << "\n";
+  }
+  if (!os->good()) return Status::IOError("failed writing tree stream");
+  return Status::OK();
+}
+
+Result<PartitionTree> LoadTree(const Domain* domain, std::istream* is) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("domain must not be null");
+  }
+  std::string magic;
+  if (!std::getline(*is, magic) || magic != kMagic) {
+    return Status::IOError("bad tree header (expected '" +
+                           std::string(kMagic) + "')");
+  }
+  std::string domain_name;
+  if (!std::getline(*is, domain_name)) {
+    return Status::IOError("missing domain line");
+  }
+  size_t num_nodes = 0;
+  if (!((*is) >> num_nodes) || num_nodes == 0) {
+    return Status::IOError("missing or zero node count");
+  }
+
+  // Rebuild by replaying the arena. Node 0 must be the root; children
+  // always carry larger ids than parents (arena append order), so a single
+  // forward pass with AddChildren in recorded order reconstructs the exact
+  // arena when we process parents in id order.
+  struct RawNode {
+    int level;
+    uint64_t index;
+    double count;
+    NodeId left;
+    NodeId right;
+  };
+  std::vector<RawNode> raw(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    RawNode& r = raw[i];
+    if (!((*is) >> r.level >> r.index >> r.count >> r.left >> r.right)) {
+      return Status::IOError("truncated tree at node " + std::to_string(i));
+    }
+  }
+
+  // Arena replay: children occupy consecutive slots in append order, so
+  // replaying AddChildren on parents ordered by their recorded left-child
+  // id reconstructs the exact arena (parents always precede children, but
+  // sibling pairs need not follow their parent immediately —
+  // GrowPartition appends them in hot-node order).
+  std::vector<size_t> parents;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const bool has_left = raw[i].left != kInvalidNode;
+    const bool has_right = raw[i].right != kInvalidNode;
+    if (has_left != has_right) {
+      return Status::IOError("node " + std::to_string(i) +
+                             " has exactly one child");
+    }
+    if (has_left) {
+      if (raw[i].right != raw[i].left + 1 || raw[i].left <= 0 ||
+          static_cast<size_t>(raw[i].right) >= num_nodes) {
+        return Status::IOError("node " + std::to_string(i) +
+                               " has malformed child ids");
+      }
+      parents.push_back(i);
+    }
+  }
+  std::sort(parents.begin(), parents.end(),
+            [&](size_t a, size_t b) { return raw[a].left < raw[b].left; });
+
+  PartitionTree tree(domain);
+  for (size_t p : parents) {
+    if (static_cast<size_t>(raw[p].left) != tree.num_nodes() ||
+        p >= tree.num_nodes()) {
+      return Status::IOError("node " + std::to_string(p) +
+                             " children out of arena order");
+    }
+    tree.AddChildren(static_cast<NodeId>(p));
+  }
+  if (tree.num_nodes() != num_nodes) {
+    return Status::IOError("arena replay produced " +
+                           std::to_string(tree.num_nodes()) +
+                           " nodes, file declared " +
+                           std::to_string(num_nodes));
+  }
+  for (size_t i = 0; i < num_nodes; ++i) {
+    TreeNode& n = tree.node(static_cast<NodeId>(i));
+    if (n.cell.level != raw[i].level || n.cell.index != raw[i].index ||
+        n.left != raw[i].left || n.right != raw[i].right) {
+      return Status::IOError("node " + std::to_string(i) +
+                             " does not match the replayed arena");
+    }
+    n.count = raw[i].count;
+  }
+  return tree;
+}
+
+Status SaveTreeToFile(const PartitionTree& tree, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return SaveTree(tree, &out);
+}
+
+Result<PartitionTree> LoadTreeFromFile(const Domain* domain,
+                                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return LoadTree(domain, &in);
+}
+
+}  // namespace privhp

@@ -1,0 +1,35 @@
+// Persistence for decomposition trees. A released PrivHP tree is the
+// private artifact (everything derived from it is post-processing), so
+// saving and reloading it is how a deployment ships a generator without
+// retaining the stream.
+//
+// Format: line-oriented text — a header with a magic string, the domain
+// name (informational) and node count, then one `level index count
+// left right` line per node in arena order. Self-validating on load.
+
+#ifndef PRIVHP_HIERARCHY_TREE_SERIALIZATION_H_
+#define PRIVHP_HIERARCHY_TREE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief Writes \p tree to \p os. Returns IOError on stream failure.
+Status SaveTree(const PartitionTree& tree, std::ostream* os);
+
+/// \brief Reads a tree over \p domain from \p is. Validates structure
+/// (child cells are cell halves, node ids in range) before returning.
+Result<PartitionTree> LoadTree(const Domain* domain, std::istream* is);
+
+/// \brief File-based convenience wrappers.
+Status SaveTreeToFile(const PartitionTree& tree, const std::string& path);
+Result<PartitionTree> LoadTreeFromFile(const Domain* domain,
+                                       const std::string& path);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_TREE_SERIALIZATION_H_

@@ -1,0 +1,65 @@
+#include "hierarchy/tree_stats.h"
+
+namespace privhp {
+
+TreeSummary Summarize(const PartitionTree& tree) {
+  TreeSummary s;
+  s.num_nodes = tree.num_nodes();
+  s.max_depth = tree.MaxDepth();
+  s.total_mass = tree.node(tree.root()).count;
+  s.memory_bytes = tree.MemoryBytes();
+  tree.PreOrder([&](NodeId id) {
+    if (tree.node(id).is_leaf()) ++s.num_leaves;
+  });
+  return s;
+}
+
+std::vector<std::pair<CellId, double>> LeafMasses(const PartitionTree& tree) {
+  std::vector<std::pair<CellId, double>> out;
+  tree.PreOrder([&](NodeId id) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf()) out.emplace_back(n.cell, n.count);
+  });
+  return out;
+}
+
+Result<std::vector<double>> DistributionAtLevel(const PartitionTree& tree,
+                                                int level) {
+  if (level < 0 || level > 26) {
+    return Status::InvalidArgument(
+        "DistributionAtLevel supports levels 0..26");
+  }
+  if (level > tree.domain()->max_level()) {
+    return Status::OutOfRange("level exceeds domain max level");
+  }
+  std::vector<double> dist(size_t{1} << level, 0.0);
+  double total = 0.0;
+  for (const auto& [cell, mass] : LeafMasses(tree)) {
+    if (mass <= 0.0) continue;
+    total += mass;
+    if (cell.level >= level) {
+      dist[cell.index >> (cell.level - level)] += mass;
+    } else {
+      const int gap = level - cell.level;
+      const uint64_t first = cell.index << gap;
+      const uint64_t span = uint64_t{1} << gap;
+      const double share = mass / static_cast<double>(span);
+      for (uint64_t i = 0; i < span; ++i) dist[first + i] += share;
+    }
+  }
+  if (total > 0.0) {
+    for (double& p : dist) p /= total;
+  }
+  return dist;
+}
+
+std::vector<double> MassPerLevel(const PartitionTree& tree) {
+  std::vector<double> mass(tree.MaxDepth() + 1, 0.0);
+  tree.PreOrder([&](NodeId id) {
+    const TreeNode& n = tree.node(id);
+    mass[n.cell.level] += n.count;
+  });
+  return mass;
+}
+
+}  // namespace privhp

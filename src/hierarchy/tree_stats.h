@@ -1,0 +1,50 @@
+// Read-only statistics over decomposition trees: leaf masses, level
+// masses, projections onto a fixed level (the discrete distribution used
+// by the W1 harness), and structural summaries for reports.
+
+#ifndef PRIVHP_HIERARCHY_TREE_STATS_H_
+#define PRIVHP_HIERARCHY_TREE_STATS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/partition_tree.h"
+
+namespace privhp {
+
+/// \brief Structural summary of a tree.
+struct TreeSummary {
+  size_t num_nodes = 0;
+  size_t num_leaves = 0;
+  int max_depth = 0;
+  double total_mass = 0.0;
+  size_t memory_bytes = 0;
+};
+
+/// \brief Computes the TreeSummary of \p tree.
+TreeSummary Summarize(const PartitionTree& tree);
+
+/// \brief (cell, mass) for every leaf, pre-order. Masses are the raw
+/// consistent counts (not normalized).
+std::vector<std::pair<CellId, double>> LeafMasses(const PartitionTree& tree);
+
+/// \brief Projects the tree's sampling distribution onto the 2^level cells
+/// of \p level: leaves above the level spread uniformly over descendants,
+/// leaves below accumulate into their ancestor. Returns a dense
+/// probability vector (sums to 1; all-zero only if total mass is 0).
+///
+/// Fails if level > 26 (dense vector would be too large) or level exceeds
+/// the domain's max level.
+Result<std::vector<double>> DistributionAtLevel(const PartitionTree& tree,
+                                                int level);
+
+/// \brief Total mass per level over *nodes present in the tree* at that
+/// level (out[l] for l in 0..MaxDepth). In a consistent tree the level
+/// mass is non-increasing only below L* where pruning drops nodes.
+std::vector<double> MassPerLevel(const PartitionTree& tree);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_TREE_STATS_H_

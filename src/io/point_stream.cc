@@ -1,0 +1,142 @@
+#include "io/point_stream.h"
+
+#include <cerrno>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+#include "common/macros.h"
+#include "domain/ipv4_domain.h"
+
+namespace privhp {
+
+namespace {
+
+bool IsSkippable(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+Status ParseCsvPoint(const std::string& line, int dimension, Point* out) {
+  out->clear();
+  out->reserve(dimension);
+  const char* cursor = line.c_str();
+  for (int c = 0; c < dimension; ++c) {
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(cursor, &end);
+    if (end == cursor || errno == ERANGE) {
+      return Status::InvalidArgument("malformed coordinate " +
+                                     std::to_string(c) + " in line '" +
+                                     line + "'");
+    }
+    out->push_back(value);
+    cursor = end;
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    if (c + 1 < dimension) {
+      if (*cursor != ',') {
+        return Status::InvalidArgument("expected ',' after coordinate " +
+                                       std::to_string(c) + " in line '" +
+                                       line + "'");
+      }
+      ++cursor;
+    }
+  }
+  while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r') ++cursor;
+  if (*cursor != '\0' && *cursor != ',') {
+    return Status::InvalidArgument("trailing garbage in line '" + line +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+CsvPointReader::CsvPointReader(std::ifstream in, int dimension)
+    : in_(std::move(in)), dimension_(dimension) {}
+
+Result<CsvPointReader> CsvPointReader::Open(const std::string& path,
+                                            int dimension) {
+  if (dimension < 1) {
+    return Status::InvalidArgument("dimension must be >= 1");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  return CsvPointReader(std::move(in), dimension);
+}
+
+Result<bool> CsvPointReader::Next(Point* out) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (IsSkippable(line)) continue;
+    const Status parsed = ParseCsvPoint(line, dimension_, out);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(parsed.message() + " (line " +
+                                     std::to_string(line_number_) + ")");
+    }
+    return true;
+  }
+  if (in_.bad()) return Status::IOError("read failure");
+  return false;
+}
+
+Result<std::vector<Point>> ReadPointsCsv(const std::string& path,
+                                         int dimension) {
+  PRIVHP_ASSIGN_OR_RETURN(CsvPointReader reader,
+                          CsvPointReader::Open(path, dimension));
+  std::vector<Point> points;
+  Point p;
+  for (;;) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, reader.Next(&p));
+    if (!more) break;
+    points.push_back(p);
+  }
+  return points;
+}
+
+Status WritePointsCsv(const std::string& path,
+                      const std::vector<Point>& points) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const Point& p : points) {
+    for (size_t c = 0; c < p.size(); ++c) {
+      if (c) out << ",";
+      out << p[c];
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Point>> ReadIpv4TraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::vector<Point> points;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsSkippable(line)) continue;
+    // Trim trailing whitespace/CR.
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    auto address = Ipv4Domain::ParseAddress(line);
+    if (!address.ok()) {
+      return Status::InvalidArgument(address.status().message() +
+                                     " (line " +
+                                     std::to_string(line_number) + ")");
+    }
+    points.push_back(Ipv4Domain::FromAddress(*address));
+  }
+  return points;
+}
+
+}  // namespace privhp

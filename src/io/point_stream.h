@@ -1,0 +1,62 @@
+// Reading and writing point streams.
+//
+// Deployments feed PrivHP from files or pipes; this module provides a
+// streaming CSV reader (points never need to be materialized — the whole
+// point of a bounded-memory builder), batch helpers, and an IPv4
+// dotted-quad trace reader for the networking examples.
+//
+// CSV dialect: one point per line, coordinates separated by commas;
+// blank lines and lines starting with '#' are skipped.
+
+#ifndef PRIVHP_IO_POINT_STREAM_H_
+#define PRIVHP_IO_POINT_STREAM_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief Streaming CSV point reader.
+class CsvPointReader {
+ public:
+  /// \brief Opens \p path expecting \p dimension coordinates per line.
+  static Result<CsvPointReader> Open(const std::string& path, int dimension);
+
+  /// \brief Reads the next point into \p out. Returns false at EOF.
+  /// Malformed lines produce an error Status carrying the line number.
+  Result<bool> Next(Point* out);
+
+  /// \brief Lines consumed so far (including skipped ones).
+  size_t line_number() const { return line_number_; }
+
+ private:
+  CsvPointReader(std::ifstream in, int dimension);
+
+  std::ifstream in_;
+  int dimension_;
+  size_t line_number_ = 0;
+};
+
+/// \brief Reads an entire CSV file of points.
+Result<std::vector<Point>> ReadPointsCsv(const std::string& path,
+                                         int dimension);
+
+/// \brief Writes points as CSV (full precision).
+Status WritePointsCsv(const std::string& path,
+                      const std::vector<Point>& points);
+
+/// \brief Reads one dotted-quad IPv4 address per line into
+/// Ipv4Domain-normalized points ('#' comments and blanks skipped).
+Result<std::vector<Point>> ReadIpv4TraceFile(const std::string& path);
+
+/// \brief Parses one CSV line into \p out (used by the reader; exposed
+/// for tests and other line-oriented sources).
+Status ParseCsvPoint(const std::string& line, int dimension, Point* out);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_IO_POINT_STREAM_H_

@@ -1,0 +1,66 @@
+#include "sketch/count_min_sketch.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width),
+      depth_(depth),
+      hashes_(),
+      cells_(width * depth, 0.0) {
+  PRIVHP_CHECK(width_ >= 1);
+  PRIVHP_CHECK(depth_ >= 1);
+  hashes_.reserve(depth_);
+  for (size_t row = 0; row < depth_; ++row) {
+    hashes_.emplace_back(Mix64(seed + 0x9e3779b97f4a7c15ULL * (row + 1)));
+  }
+}
+
+Result<CountMinSketch> CountMinSketch::Make(size_t width, size_t depth,
+                                            uint64_t seed) {
+  if (width == 0 || depth == 0) {
+    return Status::InvalidArgument(
+        "count-min sketch requires width >= 1 and depth >= 1");
+  }
+  return CountMinSketch(width, depth, seed);
+}
+
+void CountMinSketch::Update(uint64_t key, double delta) {
+  for (size_t row = 0; row < depth_; ++row) {
+    cells_[row * width_ + hashes_[row].Bucket(key, width_)] += delta;
+  }
+}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double est = cells_[hashes_[0].Bucket(key, width_)];
+  for (size_t row = 1; row < depth_; ++row) {
+    est = std::min(est,
+                   cells_[row * width_ + hashes_[row].Bucket(key, width_)]);
+  }
+  return est;
+}
+
+size_t CountMinSketch::MemoryBytes() const {
+  return cells_.size() * sizeof(double) + hashes_.size() * sizeof(CompactHash);
+}
+
+void CountMinSketch::AddLaplaceNoise(RandomEngine* rng, double scale) {
+  for (double& cell : cells_) cell += rng->Laplace(scale);
+}
+
+double CountMinSketch::CellValue(size_t row, size_t col) const {
+  PRIVHP_DCHECK(row < depth_ && col < width_);
+  return cells_[row * width_ + col];
+}
+
+double CountMinSketch::RowSum(size_t row) const {
+  PRIVHP_DCHECK(row < depth_);
+  double sum = 0.0;
+  for (size_t col = 0; col < width_; ++col) sum += cells_[row * width_ + col];
+  return sum;
+}
+
+}  // namespace privhp

@@ -1,0 +1,67 @@
+// Count-Min sketch (Cormode & Muthukrishnan), the paper's sketching
+// primitive (Section 3.3, Figure 1).
+//
+// A j x w matrix of counters; row i hashes keys into one of w buckets and
+// the point estimate is the minimum across rows. Lemma 4 (with width 2w):
+//   E[est - true] <= (||tail_w(v)||_1 + 2^{-j+1} ||v||_1) / w.
+//
+// For private release (Section 3.4) the sketch is linear with per-update
+// L1 sensitivity j, so adding i.i.d. Laplace(j/eps) to every cell at
+// initialization makes the released table eps-DP; see
+// sketch/private_sketch.h.
+
+#ifndef PRIVHP_SKETCH_COUNT_MIN_SKETCH_H_
+#define PRIVHP_SKETCH_COUNT_MIN_SKETCH_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sketch/frequency_oracle.h"
+
+namespace privhp {
+
+/// \brief Count-Min sketch over 64-bit keys with double-valued counters.
+class CountMinSketch : public FrequencyOracle {
+ public:
+  /// \param width Buckets per row (w).
+  /// \param depth Rows (j).
+  /// \param seed Seed for the per-row hash functions.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed);
+
+  /// \brief Validating factory.
+  static Result<CountMinSketch> Make(size_t width, size_t depth,
+                                     uint64_t seed);
+
+  void Update(uint64_t key, double delta) override;
+  double Estimate(uint64_t key) const override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "count-min"; }
+
+  /// \brief Adds an independent draw from Laplace(\p scale) to every cell
+  /// (oblivious noise; used for private release, Section 3.4).
+  void AddLaplaceNoise(RandomEngine* rng, double scale);
+
+  /// \brief Raw cell value (row-major); for tests and audits.
+  double CellValue(size_t row, size_t col) const;
+
+  /// \brief Sum of one row's counters (== total updates + that row's noise).
+  double RowSum(size_t row) const;
+
+  /// \brief L1 sensitivity of a single unit update: the number of rows.
+  size_t L1Sensitivity() const { return depth_; }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t width_;
+  size_t depth_;
+  std::vector<CompactHash> hashes_;
+  std::vector<double> cells_;  // row-major depth_ x width_
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SKETCH_COUNT_MIN_SKETCH_H_

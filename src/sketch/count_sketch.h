@@ -1,0 +1,48 @@
+// Count Sketch (Charikar-Chen-Farach-Colton): signed updates with a
+// median-of-rows estimator. Included as the alternative hash-based private
+// sketch the paper cites (Pagh & Thorup's Private CountSketch analysis)
+// and used in sketch ablation benches.
+
+#ifndef PRIVHP_SKETCH_COUNT_SKETCH_H_
+#define PRIVHP_SKETCH_COUNT_SKETCH_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sketch/frequency_oracle.h"
+
+namespace privhp {
+
+/// \brief Count Sketch over 64-bit keys: unbiased estimates with error
+/// ~ ||tail||_2 / sqrt(w) per row, median across rows.
+class CountSketch : public FrequencyOracle {
+ public:
+  CountSketch(size_t width, size_t depth, uint64_t seed);
+
+  static Result<CountSketch> Make(size_t width, size_t depth, uint64_t seed);
+
+  void Update(uint64_t key, double delta) override;
+  double Estimate(uint64_t key) const override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "count-sketch"; }
+
+  /// \brief Oblivious Laplace noise on every cell (private release; the
+  /// per-update L1 sensitivity is the number of rows, as for Count-Min).
+  void AddLaplaceNoise(RandomEngine* rng, double scale);
+
+  size_t L1Sensitivity() const { return depth_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t width_;
+  size_t depth_;
+  std::vector<CompactHash> hashes_;
+  std::vector<double> cells_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,37 @@
+#include "sketch/exact_oracle.h"
+
+#include <algorithm>
+
+namespace privhp {
+
+void ExactOracle::Update(uint64_t key, double delta) {
+  total_ += delta;
+  counts_[key] += delta;
+}
+
+double ExactOracle::Estimate(uint64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+size_t ExactOracle::MemoryBytes() const {
+  return counts_.size() * (sizeof(uint64_t) + sizeof(double) + 16) +
+         sizeof(*this);
+}
+
+std::vector<double> ExactOracle::SortedCountsDescending() const {
+  std::vector<double> values;
+  values.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) values.push_back(count);
+  std::sort(values.begin(), values.end(), std::greater<double>());
+  return values;
+}
+
+double ExactOracle::TailNorm(size_t k) const {
+  const std::vector<double> sorted = SortedCountsDescending();
+  double tail = 0.0;
+  for (size_t i = k; i < sorted.size(); ++i) tail += sorted[i];
+  return tail;
+}
+
+}  // namespace privhp

@@ -1,0 +1,47 @@
+// Exact frequency oracle (hash map of true counts). Not bounded-memory;
+// used as the reference in tests, in the proof-pipeline harness (T_X,
+// T_exact of Section 7) and for measuring sketch error against truth.
+
+#ifndef PRIVHP_SKETCH_EXACT_ORACLE_H_
+#define PRIVHP_SKETCH_EXACT_ORACLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/frequency_oracle.h"
+
+namespace privhp {
+
+/// \brief Exact counts in a hash map.
+class ExactOracle : public FrequencyOracle {
+ public:
+  ExactOracle() = default;
+
+  void Update(uint64_t key, double delta) override;
+  double Estimate(uint64_t key) const override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "exact"; }
+
+  /// \brief Total weight processed.
+  double TotalWeight() const { return total_; }
+
+  /// \brief All (key, count) pairs, unordered.
+  const std::unordered_map<uint64_t, double>& counts() const {
+    return counts_;
+  }
+
+  /// \brief Counts sorted descending; `tail_k` is the sum of all entries
+  /// after the first k — the ||tail_k||_1 statistic of the paper.
+  std::vector<double> SortedCountsDescending() const;
+
+  /// \brief ||tail_k||_1 over this oracle's count vector.
+  double TailNorm(size_t k) const;
+
+ private:
+  double total_ = 0.0;
+  std::unordered_map<uint64_t, double> counts_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SKETCH_EXACT_ORACLE_H_

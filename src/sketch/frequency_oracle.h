@@ -1,0 +1,35 @@
+// Common interface for the frequency summaries PrivHP composes with:
+// hash-based sketches (Count-Min, Count), counter-based summaries
+// (Misra-Gries) and the exact reference oracle used in tests and in the
+// proof-pipeline harness.
+
+#ifndef PRIVHP_SKETCH_FREQUENCY_ORACLE_H_
+#define PRIVHP_SKETCH_FREQUENCY_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace privhp {
+
+/// \brief Point-query frequency summary over 64-bit keys.
+class FrequencyOracle {
+ public:
+  virtual ~FrequencyOracle() = default;
+
+  /// \brief Adds \p delta to the count of \p key.
+  virtual void Update(uint64_t key, double delta) = 0;
+
+  /// \brief Estimated count of \p key.
+  virtual double Estimate(uint64_t key) const = 0;
+
+  /// \brief Total bytes held by the summary (counters + hash tables).
+  virtual size_t MemoryBytes() const = 0;
+
+  /// \brief Summary name for reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SKETCH_FREQUENCY_ORACLE_H_

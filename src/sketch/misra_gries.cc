@@ -1,0 +1,69 @@
+#include "sketch/misra_gries.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+MisraGries::MisraGries(size_t capacity) : capacity_(capacity) {
+  PRIVHP_CHECK(capacity_ >= 1);
+  counters_.reserve(capacity_ + 1);
+}
+
+Result<MisraGries> MisraGries::Make(size_t capacity) {
+  if (capacity == 0) {
+    return Status::InvalidArgument("misra-gries requires capacity >= 1");
+  }
+  return MisraGries(capacity);
+}
+
+void MisraGries::Update(uint64_t key, double delta) {
+  PRIVHP_DCHECK(delta >= 0.0);
+  total_ += delta;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second += delta;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, delta);
+    return;
+  }
+  // Decrement-all step: subtract the smallest amount that frees a slot.
+  double min_count = delta;
+  for (const auto& [k, c] : counters_) min_count = std::min(min_count, c);
+  if (delta > min_count) {
+    // The new key survives with the residual weight.
+    std::vector<uint64_t> dead;
+    for (auto& [k, c] : counters_) {
+      c -= min_count;
+      if (c <= 0.0) dead.push_back(k);
+    }
+    for (uint64_t k : dead) counters_.erase(k);
+    if (counters_.size() < capacity_) counters_.emplace(key, delta - min_count);
+  } else {
+    // delta <= every live counter: the new key is absorbed entirely and all
+    // counters shed `delta`.
+    std::vector<uint64_t> dead;
+    for (auto& [k, c] : counters_) {
+      c -= delta;
+      if (c <= 0.0) dead.push_back(k);
+    }
+    for (uint64_t k : dead) counters_.erase(k);
+  }
+}
+
+double MisraGries::Estimate(uint64_t key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+size_t MisraGries::MemoryBytes() const {
+  // Hash-map node: key + value + bucket overhead (approximate at 2 words).
+  return counters_.size() * (sizeof(uint64_t) + sizeof(double) + 16) +
+         sizeof(*this);
+}
+
+}  // namespace privhp

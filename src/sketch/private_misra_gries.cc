@@ -1,0 +1,54 @@
+#include "sketch/private_misra_gries.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+PrivateMisraGries::PrivateMisraGries(
+    std::unordered_map<uint64_t, double> released, double threshold)
+    : released_(std::move(released)), threshold_(threshold) {}
+
+Result<PrivateMisraGries> PrivateMisraGries::Release(
+    const MisraGries& summary, double epsilon, double delta,
+    RandomEngine* rng) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must lie in (0, 1)");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("noise source must not be null");
+  }
+  const double threshold = 1.0 + 2.0 * std::log(3.0 / delta) / epsilon;
+  std::unordered_map<uint64_t, double> released;
+  // Lebeda-Tetek: one shared offset plus per-key noise keeps the
+  // sensitivity of the stored-counter vector at 1 even though a single
+  // element can shift every MG counter by the decrement step.
+  const double shared = rng->Laplace(1.0 / epsilon);
+  for (const auto& [key, count] : summary.counts()) {
+    const double noisy = count + shared + rng->Laplace(1.0 / epsilon);
+    if (noisy >= threshold) released.emplace(key, noisy);
+  }
+  return PrivateMisraGries(std::move(released), threshold);
+}
+
+void PrivateMisraGries::Update(uint64_t key, double delta) {
+  (void)key;
+  (void)delta;
+  PRIVHP_DCHECK(false && "PrivateMisraGries is a released artifact");
+}
+
+double PrivateMisraGries::Estimate(uint64_t key) const {
+  auto it = released_.find(key);
+  return it == released_.end() ? 0.0 : it->second;
+}
+
+size_t PrivateMisraGries::MemoryBytes() const {
+  return released_.size() * (sizeof(uint64_t) + sizeof(double) + 16) +
+         sizeof(*this);
+}
+
+}  // namespace privhp

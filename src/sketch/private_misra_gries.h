@@ -1,0 +1,62 @@
+// (eps, delta)-DP release of a Misra-Gries summary, after Lebeda & Tetek
+// ("Better differentially private approximate histograms and heavy
+// hitters using the Misra-Gries sketch", PODS 2023) — the counter-based
+// private sketch the paper contrasts its hash-based choice with
+// (Section 2.1).
+//
+// The summary is built exactly; the *release* adds Laplace(1/eps) to each
+// stored counter and suppresses results below a threshold
+// 1 + 2 ln(3/delta)/eps. Suppression is what makes the key *set* safe to
+// publish, and is also why this sketch composes poorly with hierarchy
+// pruning: mass below the threshold vanishes entirely rather than
+// degrading with the tail norm.
+
+#ifndef PRIVHP_SKETCH_PRIVATE_MISRA_GRIES_H_
+#define PRIVHP_SKETCH_PRIVATE_MISRA_GRIES_H_
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sketch/frequency_oracle.h"
+#include "sketch/misra_gries.h"
+
+namespace privhp {
+
+/// \brief The released (private) view of a Misra-Gries summary.
+class PrivateMisraGries : public FrequencyOracle {
+ public:
+  /// \brief Privately releases \p summary.
+  /// \param epsilon,delta Privacy parameters (both > 0; delta < 1).
+  static Result<PrivateMisraGries> Release(const MisraGries& summary,
+                                           double epsilon, double delta,
+                                           RandomEngine* rng);
+
+  /// \brief The release is immutable: updates are rejected by design
+  /// (update-then-release is the supported workflow), implemented as a
+  /// no-op with a debug check.
+  void Update(uint64_t key, double delta) override;
+
+  /// \brief Released noisy count, or 0 for suppressed/unseen keys.
+  double Estimate(uint64_t key) const override;
+
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "private-misra-gries"; }
+
+  /// \brief The suppression threshold used: 1 + 2 ln(3/delta) / eps.
+  double threshold() const { return threshold_; }
+
+  /// \brief Number of keys that survived suppression.
+  size_t NumReleased() const { return released_.size(); }
+
+ private:
+  PrivateMisraGries(std::unordered_map<uint64_t, double> released,
+                    double threshold);
+
+  std::unordered_map<uint64_t, double> released_;
+  double threshold_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SKETCH_PRIVATE_MISRA_GRIES_H_

@@ -1,0 +1,48 @@
+#include "sketch/private_sketch.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+PrivateCountMinSketch::PrivateCountMinSketch(size_t width, size_t depth,
+                                             double epsilon, uint64_t seed,
+                                             RandomEngine* rng)
+    : base_(width, depth, seed), epsilon_(epsilon) {
+  if (epsilon_ > 0.0) {
+    PRIVHP_CHECK(rng != nullptr);
+    base_.AddLaplaceNoise(rng, NoiseScale());
+  }
+}
+
+Result<PrivateCountMinSketch> PrivateCountMinSketch::Make(
+    size_t width, size_t depth, double epsilon, uint64_t seed,
+    RandomEngine* rng) {
+  if (width == 0 || depth == 0) {
+    return Status::InvalidArgument(
+        "private count-min sketch requires width >= 1 and depth >= 1");
+  }
+  if (epsilon > 0.0 && rng == nullptr) {
+    return Status::InvalidArgument(
+        "private count-min sketch with epsilon > 0 requires a noise source");
+  }
+  return PrivateCountMinSketch(width, depth, epsilon, seed, rng);
+}
+
+void PrivateCountMinSketch::Update(uint64_t key, double delta) {
+  base_.Update(key, delta);
+}
+
+double PrivateCountMinSketch::Estimate(uint64_t key) const {
+  return base_.Estimate(key);
+}
+
+size_t PrivateCountMinSketch::MemoryBytes() const {
+  return base_.MemoryBytes() + sizeof(epsilon_);
+}
+
+double PrivateCountMinSketch::NoiseScale() const {
+  PRIVHP_DCHECK(epsilon_ > 0.0);
+  return static_cast<double>(base_.depth()) / epsilon_;
+}
+
+}  // namespace privhp

@@ -1,0 +1,60 @@
+// Private release of linear sketches (paper Section 3.4).
+//
+// A linear sketch C satisfies C(X) - C(X') = C(X - X') on neighboring
+// inputs, so one unit update has L1 sensitivity equal to the number of
+// rows j. Adding i.i.d. Laplace(j/eps) to every cell — obliviously, at
+// initialization — makes the released table eps-DP (Lemma 1), and any
+// query against the noisy table is private by post-processing (Lemma 2).
+
+#ifndef PRIVHP_SKETCH_PRIVATE_SKETCH_H_
+#define PRIVHP_SKETCH_PRIVATE_SKETCH_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/frequency_oracle.h"
+
+namespace privhp {
+
+/// \brief An eps-DP Count-Min sketch: Count-Min with oblivious
+/// Laplace(j/eps) noise added to every cell at construction.
+///
+/// This is `sketch_l` in Algorithm 1 (Line 8), with noise distribution
+/// D_l = Laplace^{w x j}(j / sigma_l) from Theorem 2 (Equation 3).
+class PrivateCountMinSketch : public FrequencyOracle {
+ public:
+  /// \param width,depth Sketch dimensions (w, j).
+  /// \param epsilon Privacy budget of this sketch (sigma_l). epsilon <= 0
+  ///        disables noise (used by non-private ablations only).
+  /// \param seed Hash seed.
+  /// \param rng Noise source; drawn from at construction time only.
+  PrivateCountMinSketch(size_t width, size_t depth, double epsilon,
+                        uint64_t seed, RandomEngine* rng);
+
+  static Result<PrivateCountMinSketch> Make(size_t width, size_t depth,
+                                            double epsilon, uint64_t seed,
+                                            RandomEngine* rng);
+
+  void Update(uint64_t key, double delta) override;
+  double Estimate(uint64_t key) const override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "private-count-min"; }
+
+  /// \brief The privacy parameter this sketch consumed.
+  double epsilon() const { return epsilon_; }
+
+  /// \brief Noise scale applied per cell: depth / epsilon.
+  double NoiseScale() const;
+
+  const CountMinSketch& base() const { return base_; }
+
+ private:
+  CountMinSketch base_;
+  double epsilon_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SKETCH_PRIVATE_SKETCH_H_

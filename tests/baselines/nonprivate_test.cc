@@ -1,0 +1,65 @@
+#include "baselines/nonprivate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "domain/interval_domain.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(NonPrivateResamplerTest, SamplesComeFromTheData) {
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(1, 50, &rng);
+  std::set<double> values;
+  for (const Point& p : data) values.insert(p[0]);
+  NonPrivateResampler resampler(data);
+  for (const Point& p : resampler.Generate(200, &rng)) {
+    EXPECT_TRUE(values.count(p[0])) << "sample not in dataset";
+  }
+}
+
+TEST(NonPrivateResamplerTest, MemoryScalesWithData) {
+  RandomEngine rng(2);
+  NonPrivateResampler small(GenerateUniform(1, 100, &rng));
+  NonPrivateResampler large(GenerateUniform(1, 10000, &rng));
+  EXPECT_GT(large.BuildMemoryBytes(), small.BuildMemoryBytes());
+}
+
+TEST(BuildPrivHPSourceTest, DefaultsExpectedNToDataSize) {
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto data = GenerateUniform(1, 777, &rng);
+  PrivHPOptions options;
+  options.epsilon = 1.0;
+  options.k = 8;
+  // expected_n deliberately left 0: the adapter fills it from the data.
+  auto source = BuildPrivHPSource(&domain, data, options);
+  ASSERT_TRUE(source.ok()) << source.status();
+  EXPECT_NE((*source)->Name().find("privhp"), std::string::npos);
+  EXPECT_GT((*source)->BuildMemoryBytes(), 0u);
+  const auto synthetic = (*source)->Generate(100, &rng);
+  EXPECT_EQ(synthetic.size(), 100u);
+}
+
+TEST(BuildPrivHPSourceTest, ReportsBuilderPeakNotTreeMemory) {
+  IntervalDomain domain;
+  RandomEngine rng(4);
+  const auto data = GenerateUniform(1, 4096, &rng);
+  PrivHPOptions options;
+  options.epsilon = 1.0;
+  options.k = 4;
+  auto source = BuildPrivHPSource(&domain, data, options);
+  ASSERT_TRUE(source.ok());
+  // The builder footprint includes the sketches, which dominate the
+  // pruned tree: peak memory must exceed a trivial tree's few nodes.
+  EXPECT_GT((*source)->BuildMemoryBytes(), size_t{10000});
+}
+
+}  // namespace
+}  // namespace privhp

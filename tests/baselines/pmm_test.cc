@@ -1,0 +1,88 @@
+#include "baselines/pmm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+#include "common/random.h"
+#include "domain/interval_domain.h"
+#include "eval/wasserstein.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(PmmTest, ValidatesArguments) {
+  IntervalDomain domain;
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(1, 100, &rng);
+  PmmOptions options;
+  EXPECT_FALSE(BuildPmm(nullptr, data, options).ok());
+  EXPECT_FALSE(BuildPmm(&domain, {}, options).ok());
+  options.epsilon = -1.0;
+  EXPECT_FALSE(BuildPmm(&domain, data, options).ok());
+}
+
+TEST(PmmTest, ProducesConsistentCompleteTree) {
+  IntervalDomain domain;
+  RandomEngine rng(2);
+  const auto data = GenerateUniform(1, 2048, &rng);
+  PmmOptions options;
+  options.epsilon = 1.0;
+  auto pmm = BuildPmm(&domain, data, options);
+  ASSERT_TRUE(pmm.ok()) << pmm.status();
+  const PartitionTree& tree = (*pmm)->tree();
+  EXPECT_EQ(tree.MaxDepth(), 11);  // ceil(log2 2048)
+  EXPECT_EQ(tree.num_nodes(), (size_t{2} << 11) - 1);
+  EXPECT_TRUE(tree.Validate(1e-6).ok());
+  EXPECT_EQ((*pmm)->BuildMemoryBytes(), tree.MemoryBytes());
+}
+
+TEST(PmmTest, DepthOverrideRespected) {
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto data = GenerateUniform(1, 1000, &rng);
+  PmmOptions options;
+  options.depth = 6;
+  auto pmm = BuildPmm(&domain, data, options);
+  ASSERT_TRUE(pmm.ok());
+  EXPECT_EQ((*pmm)->tree().MaxDepth(), 6);
+}
+
+TEST(PmmTest, AccuracyImprovesWithEpsilon) {
+  IntervalDomain domain;
+  RandomEngine rng(4);
+  const auto data = GenerateGaussianMixture(1, 4096, 3, 0.05, &rng);
+  auto w1_at = [&](double epsilon) {
+    double total = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      PmmOptions options;
+      options.epsilon = epsilon;
+      options.seed = 100 + s;
+      auto pmm = BuildPmm(&domain, data, options);
+      PRIVHP_CHECK(pmm.ok());
+      RandomEngine gen(200 + s);
+      total += Wasserstein1DPoints((*pmm)->Generate(4096, &gen), data);
+    }
+    return total / 3;
+  };
+  EXPECT_LT(w1_at(8.0), w1_at(0.1));
+}
+
+TEST(PmmTest, CloseToDataAtModerateEpsilon) {
+  IntervalDomain domain;
+  RandomEngine rng(5);
+  const auto data = GenerateGaussianMixture(1, 8192, 2, 0.04, &rng);
+  PmmOptions options;
+  options.epsilon = 4.0;
+  auto pmm = BuildPmm(&domain, data, options);
+  ASSERT_TRUE(pmm.ok());
+  RandomEngine gen(6);
+  const double w1 =
+      Wasserstein1DPoints((*pmm)->Generate(8192, &gen), data);
+  // PMM at eps n = 2^15 should track the distribution closely.
+  EXPECT_LT(w1, 0.02);
+}
+
+}  // namespace
+}  // namespace privhp

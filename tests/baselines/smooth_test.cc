@@ -1,0 +1,87 @@
+#include "baselines/smooth.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "eval/wasserstein.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(SmoothTest, ValidatesArguments) {
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(1, 100, &rng);
+  SmoothOptions options;
+  EXPECT_FALSE(BuildSmooth(3, data, options).ok());
+  EXPECT_FALSE(BuildSmooth(1, {}, options).ok());
+  options.epsilon = 0.0;
+  EXPECT_FALSE(BuildSmooth(1, data, options).ok());
+  options.epsilon = 1.0;
+  options.order = 0;
+  EXPECT_FALSE(BuildSmooth(1, data, options).ok());
+}
+
+TEST(SmoothTest, SamplesStayInUnitInterval) {
+  RandomEngine rng(2);
+  const auto data = GenerateGaussianMixture(1, 2048, 2, 0.08, &rng);
+  SmoothOptions options;
+  options.epsilon = 1.0;
+  auto smooth = BuildSmooth(1, data, options);
+  ASSERT_TRUE(smooth.ok()) << smooth.status();
+  IntervalDomain interval;
+  for (const Point& p : (*smooth)->Generate(500, &rng)) {
+    EXPECT_TRUE(interval.Contains(p));
+  }
+}
+
+TEST(SmoothTest, TracksSmoothDensity) {
+  RandomEngine rng(3);
+  // A single wide Gaussian is exactly the smooth regime Smooth targets.
+  const auto data = GenerateGaussianMixture(1, 8192, 1, 0.12, &rng);
+  SmoothOptions options;
+  options.epsilon = 4.0;
+  options.order = 12;
+  auto smooth = BuildSmooth(1, data, options);
+  ASSERT_TRUE(smooth.ok());
+  RandomEngine gen(4);
+  const double w1 =
+      Wasserstein1DPoints((*smooth)->Generate(8192, &gen), data);
+  const auto uniform = GenerateUniform(1, 8192, &gen);
+  EXPECT_LT(w1, 0.05);
+  EXPECT_LT(w1, Wasserstein1DPoints(uniform, data));
+}
+
+TEST(SmoothTest, TwoDimensionalBuildWorks) {
+  RandomEngine rng(5);
+  const auto data = GenerateGaussianMixture(2, 4096, 1, 0.1, &rng);
+  SmoothOptions options;
+  options.epsilon = 2.0;
+  options.order = 6;
+  auto smooth = BuildSmooth(2, data, options);
+  ASSERT_TRUE(smooth.ok()) << smooth.status();
+  HypercubeDomain square(2);
+  for (const Point& p : (*smooth)->Generate(300, &rng)) {
+    EXPECT_TRUE(square.Contains(p));
+  }
+  // Memory is dominated by the dataset (the O(dn) column of Table 1).
+  EXPECT_GE((*smooth)->BuildMemoryBytes(),
+            data.size() * 2 * sizeof(double));
+}
+
+TEST(SmoothTest, SurvivesExtremeNoise) {
+  RandomEngine rng(6);
+  const auto data = GenerateUniform(1, 200, &rng);
+  SmoothOptions options;
+  options.epsilon = 1e-4;  // noise swamps every coefficient
+  auto smooth = BuildSmooth(1, data, options);
+  ASSERT_TRUE(smooth.ok());
+  // Degenerate density falls back to something sampleable.
+  const auto pts = (*smooth)->Generate(100, &rng);
+  EXPECT_EQ(pts.size(), 100u);
+}
+
+}  // namespace
+}  // namespace privhp

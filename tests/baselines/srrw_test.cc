@@ -1,0 +1,93 @@
+#include "baselines/srrw.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+#include "common/random.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "eval/wasserstein.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(SrrwTest, ValidatesArguments) {
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(1, 100, &rng);
+  SrrwOptions options;
+  EXPECT_FALSE(BuildSrrw(3, data, options).ok());
+  EXPECT_FALSE(BuildSrrw(1, {}, options).ok());
+  options.epsilon = 0.0;
+  EXPECT_FALSE(BuildSrrw(1, data, options).ok());
+}
+
+TEST(SrrwTest, OneDimensionalSamplesInRange) {
+  RandomEngine rng(2);
+  const auto data = GenerateGaussianMixture(1, 2048, 2, 0.05, &rng);
+  SrrwOptions options;
+  options.epsilon = 1.0;
+  auto srrw = BuildSrrw(1, data, options);
+  ASSERT_TRUE(srrw.ok()) << srrw.status();
+  EXPECT_EQ((*srrw)->Name(), "srrw");
+  IntervalDomain interval;
+  for (const Point& p : (*srrw)->Generate(500, &rng)) {
+    EXPECT_TRUE(interval.Contains(p));
+  }
+  EXPECT_GT((*srrw)->BuildMemoryBytes(), 0u);
+}
+
+TEST(SrrwTest, OneDimensionalTracksDistribution) {
+  RandomEngine rng(3);
+  const auto data = GenerateGaussianMixture(1, 8192, 2, 0.05, &rng);
+  SrrwOptions options;
+  options.epsilon = 4.0;
+  auto srrw = BuildSrrw(1, data, options);
+  ASSERT_TRUE(srrw.ok());
+  RandomEngine gen(4);
+  const double w1 =
+      Wasserstein1DPoints((*srrw)->Generate(8192, &gen), data);
+  EXPECT_LT(w1, 0.03);
+  // And much better than uniform.
+  const auto uniform = GenerateUniform(1, 8192, &gen);
+  EXPECT_LT(w1, Wasserstein1DPoints(uniform, data));
+}
+
+TEST(SrrwTest, HilbertLiftProducesInSquareSamples) {
+  RandomEngine rng(5);
+  const auto data = GenerateGaussianMixture(2, 4096, 3, 0.05, &rng);
+  SrrwOptions options;
+  options.epsilon = 2.0;
+  auto srrw = BuildSrrw(2, data, options);
+  ASSERT_TRUE(srrw.ok()) << srrw.status();
+  EXPECT_EQ((*srrw)->Name(), "srrw-hilbert");
+  HypercubeDomain square(2);
+  for (const Point& p : (*srrw)->Generate(500, &rng)) {
+    EXPECT_TRUE(square.Contains(p));
+  }
+}
+
+TEST(SrrwTest, HilbertLiftPreservesSpatialStructure) {
+  RandomEngine rng(6);
+  // Mass concentrated in one corner: synthetic data must follow.
+  std::vector<Point> data;
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(Point{rng.UniformDouble(0.0, 0.25),
+                         rng.UniformDouble(0.0, 0.25)});
+  }
+  SrrwOptions options;
+  options.epsilon = 4.0;
+  auto srrw = BuildSrrw(2, data, options);
+  ASSERT_TRUE(srrw.ok());
+  RandomEngine gen(7);
+  const auto synthetic = (*srrw)->Generate(2000, &gen);
+  int inside = 0;
+  for (const Point& p : synthetic) {
+    if (p[0] <= 0.3 && p[1] <= 0.3) ++inside;
+  }
+  EXPECT_GT(inside, 1500);  // >75% in the (slightly padded) corner
+}
+
+}  // namespace
+}  // namespace privhp

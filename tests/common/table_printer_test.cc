@@ -1,0 +1,57 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace privhp {
+namespace {
+
+TEST(TablePrinterTest, AlignedOutputContainsCells) {
+  TablePrinter t("demo", {"name", "value"});
+  t.BeginRow();
+  t.Cell(std::string("alpha"));
+  t.Cell(int64_t{42});
+  t.BeginRow();
+  t.Cell(std::string("beta"));
+  t.Cell(3.5, 3);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRoundsTrips) {
+  TablePrinter t("demo", {"a", "b"});
+  t.BeginRow();
+  t.Cell(int64_t{1});
+  t.Cell(int64_t{2});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FormatNumberUsesScientificForExtremes) {
+  EXPECT_EQ(TablePrinter::FormatNumber(0.0), "0");
+  const std::string small = TablePrinter::FormatNumber(1.23e-7);
+  EXPECT_NE(small.find('e'), std::string::npos);
+  const std::string large = TablePrinter::FormatNumber(4.56e9);
+  EXPECT_NE(large.find('e'), std::string::npos);
+  const std::string mid = TablePrinter::FormatNumber(12.5);
+  EXPECT_EQ(mid.find('e'), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadMissingCells) {
+  TablePrinter t("demo", {"a", "b", "c"});
+  t.BeginRow();
+  t.Cell(std::string("only-one"));
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privhp

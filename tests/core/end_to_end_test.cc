@@ -1,0 +1,173 @@
+// Integration tests across the whole stack: epsilon / k / skew trends,
+// cross-domain builds, and downstream range-query utility.
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+#include "baselines/nonprivate.h"
+#include "baselines/uniform_histogram.h"
+#include "common/random.h"
+#include "core/builder.h"
+#include "domain/geo_domain.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "domain/ipv4_domain.h"
+#include "eval/metrics.h"
+#include "eval/wasserstein.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+double MeasureW1(const Domain& domain, const std::vector<Point>& data,
+                 PrivHPOptions options, int num_seeds) {
+  double total = 0.0;
+  for (int s = 0; s < num_seeds; ++s) {
+    options.seed = 1000 + s;
+    options.expected_n = data.size();
+    auto source = BuildPrivHPSource(&domain, data, options);
+    PRIVHP_CHECK(source.ok());
+    RandomEngine rng(2000 + s);
+    const auto synthetic = (*source)->Generate(data.size(), &rng);
+    if (domain.dimension() == 1) {
+      total += Wasserstein1DPoints(synthetic, data);
+    } else {
+      RandomEngine proj_rng(3000 + s);
+      total += SlicedW1(synthetic, data, 16, &proj_rng);
+    }
+  }
+  return total / num_seeds;
+}
+
+TEST(EndToEndTest, MoreBudgetMoreUtility) {
+  IntervalDomain domain;
+  RandomEngine rng(1);
+  const auto data = GenerateGaussianMixture(1, 4096, 3, 0.05, &rng);
+  PrivHPOptions low, high;
+  low.epsilon = 0.1;
+  high.epsilon = 8.0;
+  low.k = high.k = 16;
+  const double w1_low_eps = MeasureW1(domain, data, low, 3);
+  const double w1_high_eps = MeasureW1(domain, data, high, 3);
+  EXPECT_LT(w1_high_eps, w1_low_eps);
+}
+
+TEST(EndToEndTest, MoreMemoryMoreUtilityOnSkewedData) {
+  IntervalDomain domain;
+  RandomEngine rng(2);
+  const auto data = GenerateZipfCells(1, 4096, 9, 1.4, &rng);
+  // Fix L* low so pruning (not the exact-counter prefix) carries the deep
+  // levels — the regime where k is the memory knob — and keep the sketch
+  // depth modest so the jk noise term does not mask the tail term.
+  PrivHPOptions small_k, large_k;
+  small_k.epsilon = large_k.epsilon = 1.0;
+  small_k.l_star = large_k.l_star = 3;
+  small_k.l_max = large_k.l_max = 9;
+  small_k.sketch_depth = large_k.sketch_depth = 5;
+  small_k.k = 2;
+  large_k.k = 64;
+  const double w1_small = MeasureW1(domain, data, small_k, 3);
+  const double w1_large = MeasureW1(domain, data, large_k, 3);
+  EXPECT_LT(w1_large, w1_small);
+}
+
+TEST(EndToEndTest, BeatsFlatHistogramOnSkewedData) {
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto data = GenerateZipfCells(1, 4096, 10, 1.8, &rng);
+  PrivHPOptions options;
+  options.epsilon = 1.0;
+  options.k = 32;
+  const double w1_privhp = MeasureW1(domain, data, options, 3);
+
+  double w1_flat = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    UniformHistogramOptions flat;
+    flat.epsilon = 1.0;
+    flat.seed = 500 + s;
+    auto hist = BuildUniformHistogram(&domain, data, flat);
+    PRIVHP_CHECK(hist.ok());
+    RandomEngine gen_rng(600 + s);
+    w1_flat +=
+        Wasserstein1DPoints((*hist)->Generate(data.size(), &gen_rng), data);
+  }
+  w1_flat /= 3;
+  EXPECT_LT(w1_privhp, w1_flat);
+}
+
+TEST(EndToEndTest, HypercubeBuildProducesUsableSynthetic) {
+  HypercubeDomain domain(3);
+  RandomEngine rng(4);
+  const auto data = GenerateGaussianMixture(3, 3000, 2, 0.06, &rng);
+  PrivHPOptions options;
+  options.epsilon = 2.0;
+  options.k = 32;
+  options.expected_n = data.size();
+  auto source = BuildPrivHPSource(&domain, data, options);
+  ASSERT_TRUE(source.ok()) << source.status();
+  const auto synthetic = (*source)->Generate(3000, &rng);
+  for (const Point& p : synthetic) EXPECT_TRUE(domain.Contains(p));
+  // Synthetic must be much closer to the data than a uniform cloud.
+  const auto uniform = GenerateUniform(3, 3000, &rng);
+  RandomEngine proj(5);
+  EXPECT_LT(SlicedW1(synthetic, data, 16, &proj),
+            0.8 * SlicedW1(uniform, data, 16, &proj));
+}
+
+TEST(EndToEndTest, Ipv4StreamYieldsSubnetFidelity) {
+  Ipv4Domain domain;
+  RandomEngine rng(6);
+  const auto data = GenerateIpv4Trace(6000, 12, 1.3, &rng);
+  PrivHPOptions options;
+  options.epsilon = 2.0;
+  options.k = 32;
+  options.expected_n = data.size();
+  auto source = BuildPrivHPSource(&domain, data, options);
+  ASSERT_TRUE(source.ok()) << source.status();
+  const auto synthetic = (*source)->Generate(6000, &rng);
+  auto err = RangeQueryError(domain, data, synthetic, 50, 8, &rng);
+  ASSERT_TRUE(err.ok());
+  // Random /1../8 queries answered from synthetic data: small average
+  // absolute error (frequencies live in [0,1]).
+  EXPECT_LT(*err, 0.08);
+}
+
+TEST(EndToEndTest, GeoDomainRoundTrip) {
+  GeoDomain domain(-34.2, -33.5, 150.5, 151.5);
+  RandomEngine rng(7);
+  const auto data =
+      GenerateGeoHotspots(-34.2, -33.5, 150.5, 151.5, 4000, 4, &rng);
+  PrivHPOptions options;
+  options.epsilon = 1.0;
+  options.k = 32;
+  options.expected_n = data.size();
+  auto source = BuildPrivHPSource(&domain, data, options);
+  ASSERT_TRUE(source.ok()) << source.status();
+  for (const Point& p : (*source)->Generate(1000, &rng)) {
+    EXPECT_TRUE(domain.Contains(p));
+  }
+}
+
+TEST(EndToEndTest, DisabledPrivacyHighKApproachesResampling) {
+  IntervalDomain domain;
+  RandomEngine rng(8);
+  const auto data = GenerateGaussianMixture(1, 4096, 2, 0.05, &rng);
+  PrivHPOptions options;
+  options.disable_privacy_for_ablation = true;
+  options.k = 1 << 12;
+  options.expected_n = data.size();
+  auto source = BuildPrivHPSource(&domain, data, options);
+  ASSERT_TRUE(source.ok());
+  const auto synthetic = (*source)->Generate(4096, &rng);
+  NonPrivateResampler resampler(data);
+  const auto resampled = resampler.Generate(4096, &rng);
+  const double w1_tree = Wasserstein1DPoints(synthetic, data);
+  const double w1_boot = Wasserstein1DPoints(resampled, data);
+  // The noiseless unpruned tree resolves the data to leaf resolution;
+  // both should be within sampling error of the data (~1/sqrt(n)).
+  EXPECT_LT(w1_tree, w1_boot + 0.02);
+}
+
+}  // namespace
+}  // namespace privhp

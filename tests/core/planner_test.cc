@@ -1,0 +1,129 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+
+namespace privhp {
+namespace {
+
+TEST(PlannerTest, Corollary1Defaults) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.epsilon = 1.0;
+  options.k = 8;
+  options.expected_n = 1 << 16;  // log2 n = 16
+  auto plan = PlanParameters(domain, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->l_max, 16);            // ceil(log2(eps n))
+  EXPECT_EQ(plan->sketch_depth, 16u);    // ceil(log2 n)
+  EXPECT_EQ(plan->sketch_width, 16u);    // 2k
+  EXPECT_EQ(plan->theory_memory_words, 8u * 16 * 16);
+  EXPECT_EQ(plan->l_star, 11);           // ceil(log2 2048)
+  EXPECT_EQ(plan->grow_to, 15);          // L - 1
+  // Budget covers levels 0..L and sums to eps.
+  ASSERT_EQ(plan->budget.sigma.size(), 17u);
+  double sum = 0.0;
+  for (double s : plan->budget.sigma) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PlannerTest, EpsilonScalesDepth) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.k = 4;
+  options.expected_n = 1 << 12;
+  options.epsilon = 0.25;  // eps n = 2^10
+  auto plan = PlanParameters(domain, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->l_max, 10);
+}
+
+TEST(PlannerTest, ExplicitOverridesWin) {
+  HypercubeDomain domain(2);
+  PrivHPOptions options;
+  options.k = 4;
+  options.expected_n = 10000;
+  options.l_star = 3;
+  options.l_max = 12;
+  options.grow_to = 12;
+  options.sketch_width = 64;
+  options.sketch_depth = 5;
+  auto plan = PlanParameters(domain, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->l_star, 3);
+  EXPECT_EQ(plan->l_max, 12);
+  EXPECT_EQ(plan->grow_to, 12);
+  EXPECT_EQ(plan->sketch_width, 64u);
+  EXPECT_EQ(plan->sketch_depth, 5u);
+}
+
+TEST(PlannerTest, RejectsMissingN) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 0;
+  EXPECT_TRUE(PlanParameters(domain, options).status().IsInvalidArgument());
+}
+
+TEST(PlannerTest, RejectsBadEpsilonAndK) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 1000;
+  options.epsilon = -1.0;
+  EXPECT_FALSE(PlanParameters(domain, options).ok());
+  options.epsilon = 1.0;
+  options.k = 0;
+  EXPECT_FALSE(PlanParameters(domain, options).ok());
+}
+
+TEST(PlannerTest, RejectsInvertedLevels) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 1000;
+  options.l_star = 9;
+  options.l_max = 4;
+  EXPECT_TRUE(PlanParameters(domain, options).status().IsInvalidArgument());
+}
+
+TEST(PlannerTest, ClampsDepthToDomain) {
+  // IPv4-like shallow domain: an interval with a small max level.
+  IntervalDomain shallow(8);
+  PrivHPOptions options;
+  options.epsilon = 8.0;
+  options.k = 4;
+  options.expected_n = 1 << 20;  // would want L = 23
+  auto plan = PlanParameters(shallow, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->l_max, 8);
+  EXPECT_LE(plan->l_star, plan->l_max);
+  EXPECT_LE(plan->grow_to, plan->l_max);
+}
+
+TEST(PlannerTest, PrivacyDisabledSkipsBudget) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 4096;
+  options.disable_privacy_for_ablation = true;
+  options.epsilon = -1.0;  // irrelevant when disabled
+  auto plan = PlanParameters(domain, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->privacy_disabled);
+  EXPECT_TRUE(plan->budget.sigma.empty());
+  EXPECT_NE(plan->ToString().find("PRIVACY DISABLED"), std::string::npos);
+}
+
+TEST(PlannerTest, ToStringMentionsKeyParameters) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 4096;
+  options.k = 5;
+  auto plan = PlanParameters(domain, options);
+  ASSERT_TRUE(plan.ok());
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("k=5"), std::string::npos);
+  EXPECT_NE(s.find("L="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,128 @@
+#include "domain/box_domain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace privhp {
+namespace {
+
+// Property sweep over ambient dimensions: the box decomposition invariants
+// must hold for every d.
+class BoxDomainDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxDomainDimTest, LocateIsConsistentWithCellBounds) {
+  const int d = GetParam();
+  BoxDomain box("box", std::vector<double>(d, 0.0),
+                std::vector<double>(d, 1.0));
+  RandomEngine rng(100 + d);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point x(d);
+    for (double& c : x) c = rng.UniformDouble();
+    for (int level : {0, 1, 3, 7}) {
+      const uint64_t idx = box.Locate(x, level);
+      ASSERT_LT(idx, uint64_t{1} << level);
+      std::vector<double> lo, hi;
+      box.CellBounds(level, idx, &lo, &hi);
+      for (int c = 0; c < d; ++c) {
+        EXPECT_GE(x[c], lo[c]);
+        EXPECT_LE(x[c], hi[c]);
+      }
+    }
+  }
+}
+
+TEST_P(BoxDomainDimTest, SampleCellLandsInsideItsCell) {
+  const int d = GetParam();
+  BoxDomain box("box", std::vector<double>(d, 0.0),
+                std::vector<double>(d, 1.0));
+  RandomEngine rng(200 + d);
+  for (int level : {1, 4, 6}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const uint64_t idx = rng.UniformInt(uint64_t{1} << level);
+      const Point p = box.SampleCell(level, idx, &rng);
+      EXPECT_EQ(box.Locate(p, level), idx);
+    }
+  }
+}
+
+TEST_P(BoxDomainDimTest, DiameterHalvesEveryDLevels) {
+  const int d = GetParam();
+  BoxDomain box("box", std::vector<double>(d, 0.0),
+                std::vector<double>(d, 1.0));
+  for (int l = 0; l + d <= 20; ++l) {
+    EXPECT_NEAR(box.CellDiameter(l + d), box.CellDiameter(l) / 2.0, 1e-12);
+  }
+}
+
+TEST_P(BoxDomainDimTest, LevelDiameterSumMatchesCongruentCells) {
+  const int d = GetParam();
+  BoxDomain box("box", std::vector<double>(d, 0.0),
+                std::vector<double>(d, 1.0));
+  for (int l = 0; l <= 12; ++l) {
+    EXPECT_NEAR(box.LevelDiameterSum(l),
+                std::ldexp(1.0, l) * box.CellDiameter(l), 1e-9);
+  }
+}
+
+TEST_P(BoxDomainDimTest, LocatePathIsPrefixConsistent) {
+  const int d = GetParam();
+  BoxDomain box("box", std::vector<double>(d, 0.0),
+                std::vector<double>(d, 1.0));
+  RandomEngine rng(300 + d);
+  Point x(d);
+  for (double& c : x) c = rng.UniformDouble();
+  std::vector<uint64_t> path;
+  box.LocatePath(x, 10, &path);
+  ASSERT_EQ(path.size(), 11u);
+  EXPECT_EQ(path[0], 0u);
+  for (int l = 1; l <= 10; ++l) {
+    EXPECT_EQ(path[l] >> 1, path[l - 1]) << "level " << l;
+    EXPECT_EQ(path[l], box.Locate(x, l));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BoxDomainDimTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(BoxDomainTest, NonUnitBoundsRespected) {
+  BoxDomain box("box", {-2.0, 10.0}, {2.0, 30.0});
+  EXPECT_TRUE(box.Contains(Point{0.0, 20.0}));
+  EXPECT_FALSE(box.Contains(Point{3.0, 20.0}));
+  EXPECT_FALSE(box.Contains(Point{0.0, 31.0}));
+  // Level 1 cuts coordinate 0 at 0: negative side is cell 0.
+  EXPECT_EQ(box.Locate(Point{-1.0, 15.0}, 1), 0u);
+  EXPECT_EQ(box.Locate(Point{1.0, 15.0}, 1), 1u);
+}
+
+TEST(BoxDomainTest, DiameterUsesWidestCoordinate) {
+  BoxDomain box("box", {0.0, 0.0}, {1.0, 8.0});
+  // l_inf diameter at level 0 is the widest extent.
+  EXPECT_DOUBLE_EQ(box.CellDiameter(0), 8.0);
+  // One cut (coord 0) leaves the other coordinate dominating.
+  EXPECT_DOUBLE_EQ(box.CellDiameter(1), 8.0);
+  // Two cuts halve both.
+  EXPECT_DOUBLE_EQ(box.CellDiameter(2), 4.0);
+}
+
+TEST(BoxDomainTest, UpperBoundaryPointsLocate) {
+  BoxDomain box("box", {0.0}, {1.0});
+  EXPECT_EQ(box.Locate(Point{1.0}, 3), 7u);  // clamped into the last cell
+  EXPECT_EQ(box.Locate(Point{0.0}, 3), 0u);
+}
+
+TEST(BoxDomainTest, DistanceIsLInfinity) {
+  BoxDomain box("box", {0.0, 0.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(box.Distance(Point{0.1, 0.2}, Point{0.4, 0.3}), 0.3);
+}
+
+TEST(BoxDomainTest, ValidatePointChecksDimensionAndRange) {
+  BoxDomain box("box", {0.0, 0.0}, {1.0, 1.0});
+  EXPECT_TRUE(box.ValidatePoint(Point{0.5, 0.5}).ok());
+  EXPECT_TRUE(box.ValidatePoint(Point{0.5}).IsInvalidArgument());
+  EXPECT_TRUE(box.ValidatePoint(Point{0.5, 1.5}).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace privhp

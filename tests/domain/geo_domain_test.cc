@@ -1,0 +1,45 @@
+#include "domain/geo_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace privhp {
+namespace {
+
+// A city-scale box: roughly the Sydney metro area.
+GeoDomain Sydney() { return GeoDomain(-34.2, -33.5, 150.5, 151.5); }
+
+TEST(GeoDomainTest, ContainsBoxPoints) {
+  GeoDomain geo = Sydney();
+  EXPECT_TRUE(geo.Contains(GeoDomain::Make(-33.87, 151.21)));
+  EXPECT_FALSE(geo.Contains(GeoDomain::Make(-35.0, 151.0)));
+  EXPECT_FALSE(geo.Contains(GeoDomain::Make(-33.9, 152.0)));
+}
+
+TEST(GeoDomainTest, FirstCutSplitsLatitude) {
+  GeoDomain geo = Sydney();
+  // Level 1 cuts coordinate 0 (latitude) at -33.85.
+  EXPECT_EQ(geo.Locate(GeoDomain::Make(-34.0, 151.0), 1), 0u);
+  EXPECT_EQ(geo.Locate(GeoDomain::Make(-33.6, 151.0), 1), 1u);
+}
+
+TEST(GeoDomainTest, DiameterReflectsDegreeExtents) {
+  GeoDomain geo = Sydney();
+  // Level 0 diameter = max extent = 1.0 degree (longitude).
+  EXPECT_NEAR(geo.CellDiameter(0), 1.0, 1e-12);
+}
+
+TEST(GeoDomainTest, SampleCellRoundTrips) {
+  GeoDomain geo = Sydney();
+  RandomEngine rng(7);
+  for (int level : {2, 6, 10}) {
+    for (int t = 0; t < 30; ++t) {
+      const uint64_t idx = rng.UniformInt(uint64_t{1} << level);
+      EXPECT_EQ(geo.Locate(geo.SampleCell(level, idx, &rng), level), idx);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privhp

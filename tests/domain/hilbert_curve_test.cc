@@ -1,0 +1,67 @@
+#include "domain/hilbert_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+namespace privhp {
+namespace {
+
+class HilbertOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrderTest, IndexCellBijection) {
+  HilbertCurve2D curve(GetParam());
+  const uint64_t cells = curve.num_cells();
+  for (uint64_t d = 0; d < cells; ++d) {
+    const auto [x, y] = curve.Cell(d);
+    EXPECT_EQ(curve.Index(x, y), d);
+  }
+}
+
+TEST_P(HilbertOrderTest, ConsecutiveIndicesAreGridNeighbors) {
+  HilbertCurve2D curve(GetParam());
+  for (uint64_t d = 0; d + 1 < curve.num_cells(); ++d) {
+    const auto [x1, y1] = curve.Cell(d);
+    const auto [x2, y2] = curve.Cell(d + 1);
+    const int dist = std::abs(static_cast<int>(x1) - static_cast<int>(x2)) +
+                     std::abs(static_cast<int>(y1) - static_cast<int>(y2));
+    EXPECT_EQ(dist, 1) << "jump at index " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrderTest, ::testing::Values(1, 2, 3,
+                                                                     5));
+
+TEST(HilbertCurveTest, PointMappingRoundTrips) {
+  HilbertCurve2D curve(6);
+  for (uint64_t d = 0; d < curve.num_cells(); d += 17) {
+    const auto [x, y] = curve.PointAt(d);
+    EXPECT_EQ(curve.IndexOfPoint(x, y), d);
+  }
+}
+
+TEST(HilbertCurveTest, IndexOfPointClampsBoundary) {
+  HilbertCurve2D curve(4);
+  EXPECT_LT(curve.IndexOfPoint(1.0, 1.0), curve.num_cells());
+  EXPECT_LT(curve.IndexOfPoint(0.0, 0.0), curve.num_cells());
+}
+
+// Locality in the continuous sense: points close on the curve are close in
+// the square (the property the SRRW lift relies on).
+TEST(HilbertCurveTest, CurveLocalityBound) {
+  HilbertCurve2D curve(8);
+  const uint64_t cells = curve.num_cells();
+  for (uint64_t d = 0; d + 16 < cells; d += 997) {
+    const auto [x1, y1] = curve.PointAt(d);
+    const auto [x2, y2] = curve.PointAt(d + 16);
+    const double dist =
+        std::max(std::abs(x1 - x2), std::abs(y1 - y2));
+    // Hilbert: |p(s) - p(t)| <= C sqrt(|s - t|) with C ~ 2.5 in normalized
+    // units; 16 cells apart of 65536 => sqrt(16/65536) = 1/64.
+    EXPECT_LT(dist, 2.5 / 64.0);
+  }
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+
+namespace privhp {
+namespace {
+
+TEST(IntervalDomainTest, DyadicGeometry) {
+  IntervalDomain interval;
+  EXPECT_EQ(interval.dimension(), 1);
+  // gamma_l = 2^-l, Gamma_l = 1 — the quantities in the d = 1 case of
+  // Corollary 1.
+  for (int l = 0; l <= 20; ++l) {
+    EXPECT_DOUBLE_EQ(interval.CellDiameter(l), std::ldexp(1.0, -l));
+    EXPECT_DOUBLE_EQ(interval.LevelDiameterSum(l), 1.0);
+  }
+}
+
+TEST(IntervalDomainTest, LocateMatchesDyadicInterval) {
+  IntervalDomain interval;
+  EXPECT_EQ(interval.Locate(IntervalDomain::Make(0.3), 2), 1u);  // [0.25,0.5)
+  EXPECT_EQ(interval.Locate(IntervalDomain::Make(0.75), 2), 3u);
+  EXPECT_EQ(interval.Locate(IntervalDomain::Make(0.0), 5), 0u);
+}
+
+TEST(HypercubeDomainTest, GammaScalesAsTwoToMinusLOverD) {
+  for (int d : {2, 3, 4}) {
+    HypercubeDomain cube(d);
+    // After d*m cuts each side has been halved m times.
+    for (int m = 0; m <= 5; ++m) {
+      EXPECT_NEAR(cube.CellDiameter(d * m), std::ldexp(1.0, -m), 1e-12)
+          << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+TEST(HypercubeDomainTest, GammaSumMatchesCorollaryOneFormula) {
+  // Gamma_l = 2^l * gamma_l ~ 2^{(1-1/d) l} at multiples of d.
+  HypercubeDomain cube(2);
+  for (int m = 1; m <= 6; ++m) {
+    const int l = 2 * m;
+    EXPECT_NEAR(cube.LevelDiameterSum(l), std::pow(2.0, l * 0.5), 1e-9);
+  }
+}
+
+TEST(HypercubeDomainTest, CellsPartitionTheCube) {
+  HypercubeDomain cube(2);
+  RandomEngine rng(5);
+  // Every point lands in exactly one level-6 cell, and cells are hit
+  // roughly uniformly for uniform data.
+  std::vector<int> hits(64, 0);
+  for (int i = 0; i < 6400; ++i) {
+    Point p{rng.UniformDouble(), rng.UniformDouble()};
+    ++hits[cube.Locate(p, 6)];
+  }
+  for (int h : hits) EXPECT_GT(h, 40);  // expected 100 per cell
+}
+
+TEST(HypercubeDomainTest, SampleCellRoundTrips) {
+  HypercubeDomain cube(3);
+  RandomEngine rng(9);
+  for (int level : {1, 5, 9}) {
+    for (int t = 0; t < 40; ++t) {
+      const uint64_t idx = rng.UniformInt(uint64_t{1} << level);
+      EXPECT_EQ(cube.Locate(cube.SampleCell(level, idx, &rng), level), idx);
+    }
+  }
+}
+
+TEST(HypercubeDomainTest, NamesEncodeDimension) {
+  EXPECT_EQ(HypercubeDomain(3).Name(), "hypercube[0,1]^3");
+  EXPECT_EQ(IntervalDomain().Name(), "interval[0,1]");
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,72 @@
+#include "domain/ipv4_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace privhp {
+namespace {
+
+TEST(Ipv4DomainTest, ParseAndFormatRoundTrip) {
+  auto r = Ipv4Domain::ParseAddress("10.1.2.3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (10u << 24) | (1u << 16) | (2u << 8) | 3u);
+  EXPECT_EQ(Ipv4Domain::FormatAddress(*r), "10.1.2.3");
+}
+
+TEST(Ipv4DomainTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Domain::ParseAddress("10.1.2").ok());
+  EXPECT_FALSE(Ipv4Domain::ParseAddress("10.1.2.300").ok());
+  EXPECT_FALSE(Ipv4Domain::ParseAddress("hello").ok());
+  EXPECT_FALSE(Ipv4Domain::ParseAddress("1.2.3.4.5").ok());
+}
+
+TEST(Ipv4DomainTest, AddressPointRoundTrip) {
+  for (uint32_t addr : {0u, 1u, 0x0A000001u, 0xFFFFFFFFu}) {
+    const Point p = Ipv4Domain::FromAddress(addr);
+    EXPECT_EQ(Ipv4Domain::ToAddress(p), addr);
+  }
+}
+
+TEST(Ipv4DomainTest, LocateExtractsPrefixBits) {
+  Ipv4Domain domain;
+  const Point p = Ipv4Domain::FromAddress(0xC0A80101);  // 192.168.1.1
+  EXPECT_EQ(domain.Locate(p, 8), 0xC0u);
+  EXPECT_EQ(domain.Locate(p, 16), 0xC0A8u);
+  EXPECT_EQ(domain.Locate(p, 0), 0u);
+  EXPECT_EQ(domain.Locate(p, 32), 0xC0A80101u);
+}
+
+TEST(Ipv4DomainTest, CellsAreCidrBlocks) {
+  EXPECT_EQ(Ipv4Domain::FormatCidr(8, 10), "10.0.0.0/8");
+  EXPECT_EQ(Ipv4Domain::FormatCidr(16, 0xC0A8), "192.168.0.0/16");
+  EXPECT_EQ(Ipv4Domain::FormatCidr(0, 0), "0.0.0.0/0");
+}
+
+TEST(Ipv4DomainTest, SampleCellStaysInsidePrefix) {
+  Ipv4Domain domain;
+  RandomEngine rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point p = domain.SampleCell(8, 10, &rng);  // inside 10.0.0.0/8
+    EXPECT_EQ(Ipv4Domain::ToAddress(p) >> 24, 10u);
+    EXPECT_EQ(domain.Locate(p, 8), 10u);
+  }
+}
+
+TEST(Ipv4DomainTest, DiameterMatchesDyadic) {
+  Ipv4Domain domain;
+  EXPECT_DOUBLE_EQ(domain.CellDiameter(8), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(domain.LevelDiameterSum(8), 1.0);
+  EXPECT_EQ(domain.max_level(), 32);
+}
+
+TEST(Ipv4DomainTest, ContainsRejectsOutOfRange) {
+  Ipv4Domain domain;
+  EXPECT_TRUE(domain.Contains(Point{0.5}));
+  EXPECT_FALSE(domain.Contains(Point{1.0}));
+  EXPECT_FALSE(domain.Contains(Point{-0.1}));
+  EXPECT_FALSE(domain.Contains(Point{0.5, 0.5}));
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,95 @@
+#include "dp/binary_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privhp {
+namespace {
+
+TEST(BinaryMechanismTest, MakeValidates) {
+  EXPECT_FALSE(BinaryMechanismCounter::Make(0, 1.0, 1).ok());
+  EXPECT_FALSE(BinaryMechanismCounter::Make(100, 0.0, 1).ok());
+  EXPECT_TRUE(BinaryMechanismCounter::Make(100, 1.0, 1).ok());
+}
+
+TEST(BinaryMechanismTest, RejectsNonBinaryIncrements) {
+  BinaryMechanismCounter counter(16, 1.0, 2);
+  EXPECT_TRUE(counter.Add(2).IsInvalidArgument());
+  EXPECT_TRUE(counter.Add(1).ok());
+}
+
+TEST(BinaryMechanismTest, HorizonEnforced) {
+  BinaryMechanismCounter counter(4, 1.0, 3);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(counter.Add(1).ok());
+  EXPECT_TRUE(counter.Add(1).IsFailedPrecondition());
+  EXPECT_EQ(counter.steps(), 4u);
+}
+
+TEST(BinaryMechanismTest, CountTracksPrefixSums) {
+  // With a large budget the noise is negligible and every prefix must be
+  // nearly exact — checked at every step, which exercises all p-sum
+  // absorb/reset paths.
+  const uint64_t horizon = 256;
+  BinaryMechanismCounter counter(horizon, 1e6, 4);
+  double exact = 0.0;
+  for (uint64_t t = 0; t < horizon; ++t) {
+    const uint64_t bit = (t * 7 + 3) % 3 == 0 ? 1 : 0;
+    ASSERT_TRUE(counter.Add(bit).ok());
+    exact += static_cast<double>(bit);
+    ASSERT_NEAR(counter.Count(), exact, 1e-3) << "step " << t + 1;
+  }
+}
+
+TEST(BinaryMechanismTest, ErrorScalesWithLogHorizonOverEpsilon) {
+  // Mean absolute error of the final count across seeds should be within
+  // a small factor of levels^{1.5}/eps (each prefix sums <= levels noisy
+  // p-sums of scale levels/eps).
+  const uint64_t horizon = 1024;
+  const double epsilon = 1.0;
+  const int trials = 200;
+  double abs_err = 0.0;
+  for (int s = 0; s < trials; ++s) {
+    BinaryMechanismCounter counter(horizon, epsilon, 100 + s);
+    for (uint64_t t = 0; t < horizon; ++t) {
+      ASSERT_TRUE(counter.Add(1).ok());
+    }
+    abs_err += std::abs(counter.Count() - static_cast<double>(horizon));
+  }
+  abs_err /= trials;
+  const double levels = std::log2(static_cast<double>(horizon)) + 1;
+  EXPECT_LT(abs_err, 2.0 * std::pow(levels, 1.5) / epsilon);
+  EXPECT_GT(abs_err, 0.1);  // noise is actually present
+}
+
+TEST(BinaryMechanismTest, NoiseScaleIsLevelsOverEpsilon) {
+  BinaryMechanismCounter counter(1024, 2.0, 5);
+  // levels = log2(1024) + 1 = 11.
+  EXPECT_DOUBLE_EQ(counter.NoiseScale(), 11.0 / 2.0);
+  EXPECT_GT(counter.MemoryBytes(), 0u);
+}
+
+TEST(BinaryMechanismTest, ContinualReleaseBeatsNaiveComposition) {
+  // Publishing T prefixes with independent Laplace(T/eps) noise each (the
+  // naive approach) has error ~ T/eps; the binary mechanism's final-count
+  // error must be far smaller.
+  const uint64_t horizon = 2048;
+  const double epsilon = 1.0;
+  double mech_err = 0.0;
+  RandomEngine naive_rng(9);
+  double naive_err = 0.0;
+  const int trials = 100;
+  for (int s = 0; s < trials; ++s) {
+    BinaryMechanismCounter counter(horizon, epsilon, 200 + s);
+    for (uint64_t t = 0; t < horizon; ++t) {
+      ASSERT_TRUE(counter.Add(t % 2).ok());
+    }
+    mech_err += std::abs(counter.Count() - horizon / 2.0);
+    naive_err +=
+        std::abs(naive_rng.Laplace(static_cast<double>(horizon) / epsilon));
+  }
+  EXPECT_LT(mech_err / trials, 0.25 * naive_err / trials);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,117 @@
+#include "dp/budget_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+
+namespace privhp {
+namespace {
+
+TEST(BudgetAllocatorTest, ValidatesArguments) {
+  IntervalDomain interval;
+  EXPECT_FALSE(AllocateBudget(interval, 0.0, 2, 8, 4, 4,
+                              BudgetPolicy::kOptimal)
+                   .ok());
+  EXPECT_FALSE(AllocateBudget(interval, 1.0, 5, 4, 4, 4,
+                              BudgetPolicy::kOptimal)
+                   .ok());
+  EXPECT_FALSE(AllocateBudget(interval, 1.0, 2, 8, 0, 4,
+                              BudgetPolicy::kOptimal)
+                   .ok());
+  EXPECT_TRUE(AllocateBudget(interval, 1.0, 2, 8, 4, 4,
+                             BudgetPolicy::kOptimal)
+                  .ok());
+}
+
+TEST(BudgetAllocatorTest, UniformSplitsEvenly) {
+  IntervalDomain interval;
+  auto plan =
+      AllocateBudget(interval, 1.0, 2, 9, 4, 4, BudgetPolicy::kUniform);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->sigma.size(), 10u);
+  for (double s : plan->sigma) EXPECT_DOUBLE_EQ(s, 0.1);
+}
+
+// Property sweep: every plan must sum to eps, and the optimal plan must
+// not lose to uniform on the Delta_noise objective it optimizes.
+class BudgetSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(BudgetSweepTest, SumsToEpsilonAndOptimalBeatsUniform) {
+  const auto [d, l_star, l_max, epsilon] = GetParam();
+  HypercubeDomain cube(d);
+  const size_t k = 8;
+  const size_t j = 6;
+  auto optimal =
+      AllocateBudget(cube, epsilon, l_star, l_max, k, j,
+                     BudgetPolicy::kOptimal);
+  auto uniform =
+      AllocateBudget(cube, epsilon, l_star, l_max, k, j,
+                     BudgetPolicy::kUniform);
+  ASSERT_TRUE(optimal.ok());
+  ASSERT_TRUE(uniform.ok());
+
+  const double sum_opt =
+      std::accumulate(optimal->sigma.begin(), optimal->sigma.end(), 0.0);
+  const double sum_uni =
+      std::accumulate(uniform->sigma.begin(), uniform->sigma.end(), 0.0);
+  EXPECT_NEAR(sum_opt, epsilon, 1e-9);
+  EXPECT_NEAR(sum_uni, epsilon, 1e-9);
+  for (double s : optimal->sigma) EXPECT_GT(s, 0.0);
+
+  const double n = 10000.0;
+  EXPECT_LE(NoiseObjective(cube, *optimal, l_star, k, j, n),
+            NoiseObjective(cube, *uniform, l_star, k, j, n) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BudgetSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),      // d
+                       ::testing::Values(1, 3, 5),      // l_star
+                       ::testing::Values(8, 12),        // l_max
+                       ::testing::Values(0.5, 1.0, 4.0)));
+
+// Lemma 5 closed form on [0,1]: Gamma_l = 1 for all l, so all counter
+// levels get equal sigma; sketch levels decay like sqrt(gamma_{l-1}) =
+// 2^{-(l-1)/2}.
+TEST(BudgetAllocatorTest, ClosedFormOnInterval) {
+  IntervalDomain interval;
+  const int l_star = 3, l_max = 8;
+  auto plan = AllocateBudget(interval, 1.0, l_star, l_max, 4, 5,
+                             BudgetPolicy::kOptimal);
+  ASSERT_TRUE(plan.ok());
+  for (int l = 1; l <= l_star; ++l) {
+    EXPECT_NEAR(plan->sigma[l], plan->sigma[0], 1e-12);
+  }
+  for (int l = l_star + 2; l <= l_max; ++l) {
+    EXPECT_NEAR(plan->sigma[l] / plan->sigma[l - 1], 1.0 / std::sqrt(2.0),
+                1e-9);
+  }
+}
+
+// A perturbed plan should never beat the Lagrange optimum.
+TEST(BudgetAllocatorTest, PerturbationsDoNotImproveObjective) {
+  HypercubeDomain cube(2);
+  const int l_star = 2, l_max = 9;
+  const size_t k = 8, j = 5;
+  auto plan = AllocateBudget(cube, 1.0, l_star, l_max, k, j,
+                             BudgetPolicy::kOptimal);
+  ASSERT_TRUE(plan.ok());
+  const double base = NoiseObjective(cube, *plan, l_star, k, j, 1e4);
+  for (size_t a = 0; a + 1 < plan->sigma.size(); a += 2) {
+    BudgetPlan perturbed = *plan;
+    const double delta = 0.25 * perturbed.sigma[a];
+    perturbed.sigma[a] -= delta;
+    perturbed.sigma[a + 1] += delta;  // budget still sums to eps
+    EXPECT_GE(NoiseObjective(cube, perturbed, l_star, k, j, 1e4),
+              base - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace privhp

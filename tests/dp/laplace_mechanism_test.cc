@@ -1,0 +1,69 @@
+#include "dp/laplace_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace privhp {
+namespace {
+
+TEST(LaplaceMechanismTest, MakeValidates) {
+  EXPECT_FALSE(LaplaceMechanism::Make(0.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Make(1.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Make(-1.0, 1.0).ok());
+  EXPECT_TRUE(LaplaceMechanism::Make(1.0, 1.0).ok());
+}
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  LaplaceMechanism mech(3.0, 1.5);
+  EXPECT_DOUBLE_EQ(mech.scale(), 2.0);
+}
+
+TEST(LaplaceMechanismTest, ReleaseIsUnbiased) {
+  LaplaceMechanism mech(1.0, 1.0);
+  RandomEngine rng(3);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += mech.Release(10.0, &rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, ReleaseAbsoluteDeviationMatchesScale) {
+  LaplaceMechanism mech(2.0, 0.5);  // scale 4
+  RandomEngine rng(5);
+  const int n = 100000;
+  double dev = 0.0;
+  for (int i = 0; i < n; ++i) dev += std::abs(mech.Release(0.0, &rng));
+  EXPECT_NEAR(dev / n, 4.0, 0.15);
+}
+
+TEST(LaplaceMechanismTest, ReleaseVectorNoisesEveryCoordinate) {
+  LaplaceMechanism mech(1.0, 1.0);
+  RandomEngine rng(7);
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const std::vector<double> out = mech.ReleaseVector(values, &rng);
+  ASSERT_EQ(out.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NE(out[i], values[i]);
+}
+
+TEST(GeometricMechanismTest, ReleasesIntegers) {
+  auto mech = GeometricMechanism::Make(1.0, 1.0);
+  ASSERT_TRUE(mech.ok());
+  RandomEngine rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(mech->Release(100, &rng));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 0.2);
+}
+
+TEST(GeometricMechanismTest, MakeValidates) {
+  EXPECT_FALSE(GeometricMechanism::Make(0.0, 1.0).ok());
+  EXPECT_FALSE(GeometricMechanism::Make(1.0, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace privhp

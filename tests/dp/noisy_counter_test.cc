@@ -1,0 +1,48 @@
+#include "dp/noisy_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privhp {
+namespace {
+
+TEST(NoisyCounterTest, ZeroSigmaIsExact) {
+  NoisyCounter counter(0.0, nullptr);
+  EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+  EXPECT_DOUBLE_EQ(counter.initial_noise(), 0.0);
+  counter.Increment();
+  counter.Increment(2.5);
+  EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+}
+
+TEST(NoisyCounterTest, NoiseAppliedAtInit) {
+  RandomEngine rng(11);
+  NoisyCounter counter(1.0, &rng);
+  EXPECT_EQ(counter.value(), counter.initial_noise());
+  EXPECT_NE(counter.initial_noise(), 0.0);
+}
+
+TEST(NoisyCounterTest, IncrementsAddOnTopOfNoise) {
+  RandomEngine rng(13);
+  NoisyCounter counter(2.0, &rng);
+  const double noise = counter.initial_noise();
+  for (int i = 0; i < 10; ++i) counter.Increment();
+  EXPECT_DOUBLE_EQ(counter.value(), noise + 10.0);
+}
+
+TEST(NoisyCounterTest, NoiseScaleMatchesSigma) {
+  // Mean |noise| over many counters should be ~ 1/sigma.
+  RandomEngine rng(17);
+  const double sigma = 0.5;
+  const int n = 50000;
+  double dev = 0.0;
+  for (int i = 0; i < n; ++i) {
+    NoisyCounter counter(sigma, &rng);
+    dev += std::abs(counter.initial_noise());
+  }
+  EXPECT_NEAR(dev / n, 1.0 / sigma, 0.05);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,57 @@
+#include "dp/privacy_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace privhp {
+namespace {
+
+TEST(PrivacyAccountantTest, MakeRejectsNonPositiveBudget) {
+  EXPECT_FALSE(PrivacyAccountant::Make(0.0).ok());
+  EXPECT_FALSE(PrivacyAccountant::Make(-1.0).ok());
+  EXPECT_TRUE(PrivacyAccountant::Make(1.0).ok());
+}
+
+TEST(PrivacyAccountantTest, ChargesAccumulate) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge(0.25, "a").ok());
+  EXPECT_TRUE(acc.Charge(0.5, "b").ok());
+  EXPECT_DOUBLE_EQ(acc.Spent(), 0.75);
+  EXPECT_DOUBLE_EQ(acc.Remaining(), 0.25);
+  ASSERT_EQ(acc.ledger().size(), 2u);
+  EXPECT_EQ(acc.ledger()[0].first, "a");
+}
+
+TEST(PrivacyAccountantTest, OverdraftFails) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge(0.9, "a").ok());
+  const Status s = acc.Charge(0.2, "b");
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  // Failed charge must not be recorded.
+  EXPECT_DOUBLE_EQ(acc.Spent(), 0.9);
+  EXPECT_EQ(acc.ledger().size(), 1u);
+}
+
+TEST(PrivacyAccountantTest, NegativeChargeRejected) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge(-0.1, "a").IsInvalidArgument());
+}
+
+TEST(PrivacyAccountantTest, ExactBudgetSumToleratesFloatAccumulation) {
+  // Summing many sigma_l values that analytically equal eps must succeed.
+  PrivacyAccountant acc(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(acc.Charge(0.1, "level " + std::to_string(i)).ok());
+  }
+  EXPECT_NEAR(acc.Spent(), 1.0, 1e-12);
+}
+
+TEST(PrivacyAccountantTest, ToStringListsLedger) {
+  PrivacyAccountant acc(2.0);
+  ASSERT_TRUE(acc.Charge(0.5, "counters").ok());
+  const std::string s = acc.ToString();
+  EXPECT_NE(s.find("counters"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privhp

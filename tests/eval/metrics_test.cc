@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "domain/interval_domain.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(RunningStatsTest, MomentsOfKnownSequence) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RangeQueryErrorTest, ZeroForIdenticalSets) {
+  IntervalDomain domain;
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(1, 500, &rng);
+  auto err = RangeQueryError(domain, data, data, 20, 6, &rng);
+  ASSERT_TRUE(err.ok());
+  EXPECT_DOUBLE_EQ(*err, 0.0);
+}
+
+TEST(RangeQueryErrorTest, LargeForDisjointSets) {
+  IntervalDomain domain;
+  std::vector<Point> left, right;
+  RandomEngine rng(2);
+  for (int i = 0; i < 300; ++i) {
+    left.push_back({rng.UniformDouble(0.0, 0.4)});
+    right.push_back({rng.UniformDouble(0.6, 0.99)});
+  }
+  auto err = RangeQueryError(domain, left, right, 40, 3, &rng);
+  ASSERT_TRUE(err.ok());
+  EXPECT_GT(*err, 0.1);
+}
+
+TEST(RangeQueryErrorTest, ValidatesArguments) {
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto data = GenerateUniform(1, 10, &rng);
+  EXPECT_FALSE(RangeQueryError(domain, {}, data, 5, 3, &rng).ok());
+  EXPECT_FALSE(RangeQueryError(domain, data, data, 5, 0, &rng).ok());
+  EXPECT_FALSE(RangeQueryError(domain, data, data, 5, 99, &rng).ok());
+}
+
+}  // namespace
+}  // namespace privhp

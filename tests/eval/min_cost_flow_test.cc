@@ -1,0 +1,91 @@
+#include "eval/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace privhp {
+namespace {
+
+TEST(MinCostFlowTest, SingleEdge) {
+  MinCostFlow flow(2);
+  flow.AddEdge(0, 1, 5.0, 2.0);
+  auto r = flow.Solve(0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->flow, 5.0);
+  EXPECT_DOUBLE_EQ(r->cost, 10.0);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  // Two parallel paths 0->1->3 (cost 1+1) and 0->2->3 (cost 5+5), each of
+  // capacity 1; demand 2 must use both.
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 1.0, 1.0);
+  flow.AddEdge(1, 3, 1.0, 1.0);
+  flow.AddEdge(0, 2, 1.0, 5.0);
+  flow.AddEdge(2, 3, 1.0, 5.0);
+  auto r = flow.Solve(0, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->flow, 2.0);
+  EXPECT_DOUBLE_EQ(r->cost, 12.0);
+}
+
+TEST(MinCostFlowTest, BottleneckLimitsFlow) {
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 10.0, 1.0);
+  flow.AddEdge(1, 2, 3.0, 1.0);
+  auto r = flow.Solve(0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->flow, 3.0);
+  EXPECT_DOUBLE_EQ(r->cost, 6.0);
+}
+
+TEST(MinCostFlowTest, DisconnectedGraphMovesNothing) {
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 1.0, 1.0);
+  flow.AddEdge(2, 3, 1.0, 1.0);
+  auto r = flow.Solve(0, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->flow, 0.0);
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+}
+
+TEST(MinCostFlowTest, RejectsBadEndpoints) {
+  MinCostFlow flow(2);
+  EXPECT_FALSE(flow.Solve(0, 0).ok());
+  EXPECT_FALSE(flow.Solve(-1, 1).ok());
+  EXPECT_FALSE(flow.Solve(0, 5).ok());
+}
+
+// A small transportation problem with a known optimum: supplies {2, 3} at
+// positions 0 and 1; demands {3, 2} at positions 0.5 and 2 on a line with
+// |x - y| costs. Optimal plan: move 2 from s0 to d0 (cost 2*0.5), 1 from
+// s1 to d0 (0.5), 2 from s1 to d1 (2*1) => total 3.5.
+TEST(MinCostFlowTest, TransportationOptimum) {
+  MinCostFlow flow(6);  // s, 2 supplies, 2 demands, t
+  const int s = 4, t = 5;
+  flow.AddEdge(s, 0, 2.0, 0.0);
+  flow.AddEdge(s, 1, 3.0, 0.0);
+  flow.AddEdge(2, t, 3.0, 0.0);
+  flow.AddEdge(3, t, 2.0, 0.0);
+  flow.AddEdge(0, 2, 10.0, 0.5);  // |0 - 0.5|
+  flow.AddEdge(0, 3, 10.0, 2.0);  // |0 - 2|
+  flow.AddEdge(1, 2, 10.0, 0.5);  // |1 - 0.5|
+  flow.AddEdge(1, 3, 10.0, 1.0);  // |1 - 2|
+  auto r = flow.Solve(s, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->flow, 5.0);
+  EXPECT_NEAR(r->cost, 3.5, 1e-9);
+}
+
+TEST(MinCostFlowTest, FractionalCapacities) {
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 0.25, 1.0);
+  flow.AddEdge(0, 1, 0.5, 3.0);
+  flow.AddEdge(1, 2, 1.0, 0.0);
+  auto r = flow.Solve(0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->flow, 0.75, 1e-12);
+  EXPECT_NEAR(r->cost, 0.25 * 1.0 + 0.5 * 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,74 @@
+#include "eval/tail.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "domain/interval_domain.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(TailNormTest, HandComputedCases) {
+  EXPECT_DOUBLE_EQ(TailNorm({5.0, 3.0, 2.0, 1.0}, 0), 11.0);
+  EXPECT_DOUBLE_EQ(TailNorm({5.0, 3.0, 2.0, 1.0}, 1), 6.0);
+  EXPECT_DOUBLE_EQ(TailNorm({5.0, 3.0, 2.0, 1.0}, 2), 3.0);
+  EXPECT_DOUBLE_EQ(TailNorm({5.0, 3.0, 2.0, 1.0}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(TailNorm({1.0, 5.0, 2.0}, 1), 3.0);  // unsorted input
+}
+
+TEST(LevelCountsTest, CountsSumToN) {
+  IntervalDomain domain;
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(1, 1000, &rng);
+  auto counts = LevelCounts(domain, data, 5);
+  ASSERT_TRUE(counts.ok());
+  ASSERT_EQ(counts->size(), 32u);
+  double total = 0.0;
+  for (double c : *counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+  EXPECT_FALSE(LevelCounts(domain, data, 30).ok());
+}
+
+TEST(TailAtLevelTest, SparseDataHasZeroTail) {
+  IntervalDomain domain;
+  // All mass in 3 cells: tail_4 at level 6 is zero.
+  std::vector<Point> data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back({0.01 + 0.001 * (i % 3)});
+  }
+  auto tail = TailNormAtLevel(domain, data, 6, 4);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_DOUBLE_EQ(*tail, 0.0);
+}
+
+TEST(TailAtLevelTest, UniformDataHasMaximalTail) {
+  IntervalDomain domain;
+  RandomEngine rng(2);
+  const auto data = GenerateUniform(1, 4096, &rng);
+  auto tail = TailNormAtLevel(domain, data, 8, 16);
+  ASSERT_TRUE(tail.ok());
+  // 256 cells, 16 removed: tail keeps ~ (240/256) of the mass.
+  EXPECT_GT(*tail, 4096.0 * 0.8);
+}
+
+TEST(PredictedApproxTermTest, ShrinksWithSkewAndK) {
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto uniform = GenerateZipfCells(1, 4096, 8, 0.0, &rng);
+  RandomEngine rng2(3);
+  const auto skewed = GenerateZipfCells(1, 4096, 8, 2.0, &rng2);
+  auto term_uniform =
+      PredictedApproxTerm(domain, uniform, 4, 10, 16, 12);
+  auto term_skewed = PredictedApproxTerm(domain, skewed, 4, 10, 16, 12);
+  ASSERT_TRUE(term_uniform.ok() && term_skewed.ok());
+  EXPECT_LT(*term_skewed, *term_uniform);
+
+  auto term_small_k = PredictedApproxTerm(domain, uniform, 4, 10, 4, 12);
+  ASSERT_TRUE(term_small_k.ok());
+  EXPECT_GE(*term_small_k, *term_uniform);
+  EXPECT_FALSE(PredictedApproxTerm(domain, {}, 4, 10, 16, 12).ok());
+}
+
+}  // namespace
+}  // namespace privhp

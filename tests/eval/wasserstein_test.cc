@@ -1,0 +1,182 @@
+#include "eval/wasserstein.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(Wasserstein1DTest, IdenticalSamplesAreZero) {
+  EXPECT_DOUBLE_EQ(Wasserstein1DSamples({0.1, 0.5, 0.9}, {0.1, 0.5, 0.9}),
+                   0.0);
+}
+
+TEST(Wasserstein1DTest, PointMassesMoveTheirDistance) {
+  EXPECT_NEAR(Wasserstein1DSamples({0.2}, {0.7}), 0.5, 1e-12);
+  // Two unit masses moved by 0.1 each: W1 = 0.1.
+  EXPECT_NEAR(Wasserstein1DSamples({0.0, 1.0}, {0.1, 0.9}), 0.1, 1e-12);
+}
+
+TEST(Wasserstein1DTest, DifferentSizesUseFractionalWeights) {
+  // a = {0}, b = {0, 1}: optimal plan moves half of a's mass to 1.
+  EXPECT_NEAR(Wasserstein1DSamples({0.0}, {0.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(Wasserstein1DTest, MatchesClosedFormForShift) {
+  // Shifting an entire sample by delta costs exactly delta.
+  RandomEngine rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble() * 0.5;
+    a.push_back(x);
+    b.push_back(x + 0.25);
+  }
+  EXPECT_NEAR(Wasserstein1DSamples(a, b), 0.25, 1e-9);
+}
+
+TEST(Wasserstein1DDiscreteTest, HandComputedExample) {
+  const std::vector<double> positions = {0.0, 1.0, 2.0};
+  const std::vector<double> p = {0.5, 0.5, 0.0};
+  const std::vector<double> q = {0.0, 0.5, 0.5};
+  // Prefix diffs: 0.5, 0.5 => W1 = 0.5*1 + 0.5*1 = 1.0.
+  EXPECT_NEAR(Wasserstein1DDiscrete(positions, p, q), 1.0, 1e-12);
+}
+
+TEST(Wasserstein1DDiscreteTest, AgreesWithSampleEstimator) {
+  const std::vector<double> positions = {0.125, 0.375, 0.625, 0.875};
+  const std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> q = {0.7, 0.1, 0.1, 0.1};
+  std::vector<double> sample_p, sample_q;
+  for (size_t i = 0; i < 4; ++i) {
+    for (int c = 0; c < static_cast<int>(p[i] * 1000 + 0.5); ++c) {
+      sample_p.push_back(positions[i]);
+    }
+    for (int c = 0; c < static_cast<int>(q[i] * 1000 + 0.5); ++c) {
+      sample_q.push_back(positions[i]);
+    }
+  }
+  EXPECT_NEAR(Wasserstein1DDiscrete(positions, p, q),
+              Wasserstein1DSamples(sample_p, sample_q), 1e-9);
+}
+
+TEST(QuantizeToLevelTest, NormalizedHistogram) {
+  IntervalDomain domain;
+  auto dist = QuantizeToLevel(domain, {{0.1}, {0.1}, {0.9}}, 1);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR((*dist)[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*dist)[1], 1.0 / 3.0, 1e-12);
+  EXPECT_FALSE(QuantizeToLevel(domain, {{0.1}}, 30).ok());
+}
+
+TEST(GridEmdTest, MatchesExact1DOnInterval) {
+  IntervalDomain domain;
+  RandomEngine rng(3);
+  const auto a = GenerateGaussianMixture(1, 2000, 2, 0.08, &rng);
+  const auto b = GenerateUniform(1, 2000, &rng);
+  const int level = 7;
+  auto pa = QuantizeToLevel(domain, a, level);
+  auto pb = QuantizeToLevel(domain, b, level);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  auto emd = GridEmd(domain, level, *pa, *pb);
+  ASSERT_TRUE(emd.ok()) << emd.status();
+  // Exact W1 on the quantized distributions via the CDF formula.
+  std::vector<double> centers(size_t{1} << level);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers[i] = (i + 0.5) * std::ldexp(1.0, -level);
+  }
+  const double exact = Wasserstein1DDiscrete(centers, *pa, *pb);
+  EXPECT_NEAR(*emd, exact, 1e-6);
+}
+
+TEST(GridEmdTest, ZeroForIdenticalDistributions) {
+  HypercubeDomain domain(2);
+  RandomEngine rng(5);
+  const auto a = GenerateUniform(2, 500, &rng);
+  auto pa = QuantizeToLevel(domain, a, 6);
+  ASSERT_TRUE(pa.ok());
+  auto emd = GridEmd(domain, 6, *pa, *pa);
+  ASSERT_TRUE(emd.ok());
+  EXPECT_NEAR(*emd, 0.0, 1e-12);
+}
+
+TEST(GridEmdTest, DetectsTranslationIn2D) {
+  HypercubeDomain domain(2);
+  // Mass at one corner cell vs the diagonally opposite cell at level 2
+  // (4 cells: 2x1 cuts). Use level 4 for a 4x4 grid.
+  std::vector<double> p(16, 0.0), q(16, 0.0);
+  HypercubeDomain cube(2);
+  const Point corner_a{0.05, 0.05};
+  const Point corner_b{0.95, 0.95};
+  p[cube.Locate(corner_a, 4)] = 1.0;
+  q[cube.Locate(corner_b, 4)] = 1.0;
+  auto emd = GridEmd(domain, 4, p, q);
+  ASSERT_TRUE(emd.ok());
+  // l_inf distance between opposite corner cell centers = 0.75.
+  EXPECT_NEAR(*emd, 0.75, 0.05);
+}
+
+TEST(GridEmdTest, RejectsOversizedSupport) {
+  IntervalDomain domain;
+  std::vector<double> p(1 << 10, 1.0 / (1 << 10));
+  std::vector<double> q(1 << 10, 0.0);
+  q[0] = 1.0;
+  EXPECT_TRUE(GridEmd(domain, 10, p, q, /*max_support=*/16).status()
+                  .IsOutOfRange());
+}
+
+TEST(TreeWassersteinTest, UpperBoundsExactW1OnInterval) {
+  IntervalDomain domain;
+  RandomEngine rng(7);
+  const auto a = GenerateGaussianMixture(1, 3000, 3, 0.06, &rng);
+  const auto b = GenerateUniform(1, 3000, &rng);
+  const int level = 8;
+  auto pa = QuantizeToLevel(domain, a, level);
+  auto pb = QuantizeToLevel(domain, b, level);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  std::vector<double> centers(size_t{1} << level);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers[i] = (i + 0.5) * std::ldexp(1.0, -level);
+  }
+  const double exact = Wasserstein1DDiscrete(centers, *pa, *pb);
+  const double tree = TreeWasserstein(domain, level, *pa, *pb);
+  EXPECT_GE(tree, exact - 1e-9);
+  // ... and not vacuous: within a log factor for generic data.
+  EXPECT_LT(tree, 20.0 * exact + 1e-3);
+}
+
+TEST(TreeWassersteinTest, ZeroForIdentical) {
+  IntervalDomain domain;
+  std::vector<double> p(16, 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(TreeWasserstein(domain, 4, p, p), 0.0);
+}
+
+TEST(SlicedW1Test, MatchesExactInOneDimension) {
+  RandomEngine rng(9);
+  const auto a = GenerateUniform(1, 500, &rng);
+  const auto b = GenerateGaussianMixture(1, 500, 1, 0.1, &rng);
+  RandomEngine proj(11);
+  EXPECT_NEAR(SlicedW1(a, b, 4, &proj), Wasserstein1DPoints(a, b), 1e-12);
+}
+
+TEST(SlicedW1Test, DetectsSeparated2DClouds) {
+  RandomEngine rng(13);
+  std::vector<Point> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back({rng.UniformDouble(0.0, 0.2), rng.UniformDouble(0.0, 0.2)});
+    b.push_back({rng.UniformDouble(0.8, 1.0), rng.UniformDouble(0.8, 1.0)});
+  }
+  RandomEngine proj(15);
+  const double sliced = SlicedW1(a, b, 32, &proj);
+  EXPECT_GT(sliced, 0.3);
+  // Identical clouds measure ~0.
+  EXPECT_LT(SlicedW1(a, a, 8, &proj), 1e-12);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,104 @@
+#include "eval/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "domain/ipv4_domain.h"
+#include "eval/tail.h"
+
+namespace privhp {
+namespace {
+
+TEST(WorkloadsTest, UniformSizesAndBounds) {
+  RandomEngine rng(1);
+  const auto data = GenerateUniform(3, 500, &rng);
+  ASSERT_EQ(data.size(), 500u);
+  HypercubeDomain cube(3);
+  for (const Point& p : data) EXPECT_TRUE(cube.Contains(p));
+}
+
+TEST(WorkloadsTest, MixtureStaysInCube) {
+  RandomEngine rng(2);
+  const auto data = GenerateGaussianMixture(2, 1000, 4, 0.2, &rng);
+  HypercubeDomain cube(2);
+  for (const Point& p : data) EXPECT_TRUE(cube.Contains(p));
+}
+
+TEST(WorkloadsTest, ZipfMassesNormalizedAndDecreasing) {
+  const auto masses = ZipfMasses(100, 1.2);
+  double total = 0.0;
+  for (size_t i = 0; i < masses.size(); ++i) {
+    total += masses[i];
+    if (i > 0) {
+      EXPECT_LE(masses[i], masses[i - 1]);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Exponent 0 is uniform.
+  const auto flat = ZipfMasses(10, 0.0);
+  for (double m : flat) EXPECT_NEAR(m, 0.1, 1e-12);
+}
+
+// The workload knob the experiments rely on: higher Zipf exponent =>
+// smaller ||tail_k||.
+class SkewSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkewSweepTest, TailNormDecreasesWithSkew) {
+  const int d = GetParam();
+  HypercubeDomain cube(d);
+  RandomEngine rng(42);
+  const int level = 8;
+  const size_t k = 16;
+  double prev_tail = 1e18;
+  for (double exponent : {0.0, 0.8, 1.6, 2.4}) {
+    RandomEngine data_rng(7);  // same base randomness per exponent
+    const auto data = GenerateZipfCells(d, 8192, level, exponent, &data_rng);
+    auto tail = TailNormAtLevel(cube, data, level, k);
+    ASSERT_TRUE(tail.ok());
+    EXPECT_LT(*tail, prev_tail + 1e-9) << "exponent " << exponent;
+    prev_tail = *tail;
+  }
+  // Strictly smaller end-to-end.
+  EXPECT_LT(prev_tail, 8192.0 * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SkewSweepTest, ::testing::Values(1, 2));
+
+TEST(WorkloadsTest, SparseAtomsHaveSmallSupport) {
+  RandomEngine rng(3);
+  const auto data = GenerateSparseAtoms(2, 2000, 10, &rng);
+  std::set<std::pair<double, double>> support;
+  for (const Point& p : data) support.insert({p[0], p[1]});
+  EXPECT_LE(support.size(), 10u);
+}
+
+TEST(WorkloadsTest, Ipv4TraceIsValidAndSkewed) {
+  RandomEngine rng(4);
+  const auto data = GenerateIpv4Trace(4000, 8, 1.2, &rng);
+  Ipv4Domain domain;
+  std::set<uint64_t> slash8s;
+  for (const Point& p : data) {
+    ASSERT_TRUE(domain.Contains(p));
+    slash8s.insert(domain.Locate(p, 8));
+  }
+  // Only the configured heavy prefixes appear.
+  EXPECT_LE(slash8s.size(), 8u);
+}
+
+TEST(WorkloadsTest, GeoHotspotsInsideBox) {
+  RandomEngine rng(5);
+  const auto data =
+      GenerateGeoHotspots(-34.2, -33.5, 150.5, 151.5, 1000, 3, &rng);
+  for (const Point& p : data) {
+    EXPECT_GE(p[0], -34.2);
+    EXPECT_LE(p[0], -33.5);
+    EXPECT_GE(p[1], 150.5);
+    EXPECT_LE(p[1], 151.5);
+  }
+}
+
+}  // namespace
+}  // namespace privhp

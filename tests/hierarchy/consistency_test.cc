@@ -1,0 +1,127 @@
+#include "hierarchy/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "domain/interval_domain.h"
+
+namespace privhp {
+namespace {
+
+// Helper: a root with two children carrying given counts.
+PartitionTree SmallTree(const Domain* domain, double parent, double left,
+                        double right) {
+  PartitionTree tree(domain);
+  tree.node(tree.root()).count = parent;
+  const NodeId l = tree.AddChildren(tree.root());
+  tree.node(l).count = left;
+  tree.node(l + 1).count = right;
+  return tree;
+}
+
+TEST(ConsistencyTest, EvenSplitRedistributesSurplus) {
+  IntervalDomain domain;
+  PartitionTree tree = SmallTree(&domain, 10.0, 6.0, 8.0);  // Lambda = 4
+  const auto c = EnforceConsistencyAt(&tree, tree.root());
+  EXPECT_EQ(c, ConsistencyCase::kEvenSplit);
+  EXPECT_DOUBLE_EQ(tree.node(1).count, 4.0);
+  EXPECT_DOUBLE_EQ(tree.node(2).count, 6.0);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(ConsistencyTest, EvenSplitFillsDeficit) {
+  IntervalDomain domain;
+  PartitionTree tree = SmallTree(&domain, 10.0, 3.0, 5.0);  // Lambda = -2
+  EnforceConsistencyAt(&tree, tree.root());
+  EXPECT_DOUBLE_EQ(tree.node(1).count, 4.0);
+  EXPECT_DOUBLE_EQ(tree.node(2).count, 6.0);
+}
+
+TEST(ConsistencyTest, Type1ClampsNegativeChildFirst) {
+  IntervalDomain domain;
+  PartitionTree tree = SmallTree(&domain, 10.0, -2.0, 8.0);
+  // Type 1 sets the left child to 0 before Lambda = 0 + 8 - 10 = -2 is
+  // split: left 1, right 9.
+  EnforceConsistencyAt(&tree, tree.root());
+  EXPECT_DOUBLE_EQ(tree.node(1).count, 1.0);
+  EXPECT_DOUBLE_EQ(tree.node(2).count, 9.0);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(ConsistencyTest, Type2ZeroesSmallerChild) {
+  IntervalDomain domain;
+  // Lambda = 0.5 + 9.5 - 4 = 6; even split would drive the left child to
+  // 0.5 - 3 < 0, so the smaller child is zeroed and the larger inherits.
+  PartitionTree tree = SmallTree(&domain, 4.0, 0.5, 9.5);
+  const auto c = EnforceConsistencyAt(&tree, tree.root());
+  EXPECT_EQ(c, ConsistencyCase::kType2Correction);
+  EXPECT_DOUBLE_EQ(tree.node(1).count, 0.0);
+  EXPECT_DOUBLE_EQ(tree.node(2).count, 4.0);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+// Paper Example 6.1 / Figure 3: parent 4.6, children 3.5 and 3.7 before
+// consistency become 2.2 and 2.4 after.
+TEST(ConsistencyTest, Example61CountsMatchPaper) {
+  IntervalDomain domain;
+  PartitionTree tree = SmallTree(&domain, 4.6, 3.5, 3.7);
+  const auto c = EnforceConsistencyAt(&tree, tree.root());
+  EXPECT_EQ(c, ConsistencyCase::kEvenSplit);
+  EXPECT_NEAR(tree.node(1).count, 2.2, 1e-9);
+  EXPECT_NEAR(tree.node(2).count, 2.4, 1e-9);
+}
+
+// Paper Example 6.1: ConsErr = |(lambda_0 - lambda_1 + e_0 - e_1)/2| with
+// lambda_0 = -0.5, e_0 = 1, lambda_1 = -0.3, e_1 = 2 gives 0.6.
+TEST(ConsistencyTest, Example61ConsistencyErrorFormula) {
+  EXPECT_NEAR(ConsistencyErrorMagnitude(-0.5, -0.3, 1.0, 2.0), 0.6, 1e-12);
+  // Identical errors in both children incur no consistency error.
+  EXPECT_DOUBLE_EQ(ConsistencyErrorMagnitude(0.7, 0.7, 2.0, 2.0), 0.0);
+}
+
+// Paper Figure 2(a)->(b): root 20.2 with children 12.2, 8.6 becomes
+// 11.9, 8.3.
+TEST(ConsistencyTest, Figure2ConsistencyStep) {
+  IntervalDomain domain;
+  PartitionTree tree = SmallTree(&domain, 20.2, 12.2, 8.6);
+  EnforceConsistencyAt(&tree, tree.root());
+  EXPECT_NEAR(tree.node(1).count, 11.9, 1e-9);
+  EXPECT_NEAR(tree.node(2).count, 8.3, 1e-9);
+}
+
+TEST(ConsistencyTest, TreeWideEnforcementClampsNegativeRoot) {
+  IntervalDomain domain;
+  PartitionTree tree = SmallTree(&domain, -3.0, 1.0, 2.0);
+  EnforceConsistencyTree(&tree);
+  EXPECT_DOUBLE_EQ(tree.node(tree.root()).count, 0.0);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+// Property sweep: any noisy complete tree becomes a valid consistent tree.
+class ConsistencyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyPropertyTest, RandomNoisyTreesBecomeConsistent) {
+  IntervalDomain domain;
+  RandomEngine rng(GetParam());
+  auto tree = PartitionTree::Complete(&domain, 6);
+  ASSERT_TRUE(tree.ok());
+  // Plant a plausible data distribution plus heavy noise.
+  for (size_t i = 0; i < tree->num_nodes(); ++i) {
+    TreeNode& n = tree->node(static_cast<NodeId>(i));
+    n.count = 100.0 * std::ldexp(1.0, -n.cell.level) + rng.Laplace(5.0);
+  }
+  EnforceConsistencyTree(&(*tree));
+  EXPECT_TRUE(tree->Validate().ok());
+  // Total mass is preserved from the (clamped) root down.
+  double leaf_sum = 0.0;
+  for (NodeId id : tree->Leaves()) leaf_sum += tree->node(id).count;
+  EXPECT_NEAR(leaf_sum, tree->node(tree->root()).count, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyPropertyTest,
+                         ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace privhp

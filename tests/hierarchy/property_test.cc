@@ -1,0 +1,185 @@
+// Property and failure-injection suites for the hierarchy layer:
+//  * sampler distributions match leaf masses (chi-square) across random
+//    consistent trees;
+//  * random single-field corruption of a serialized tree is always
+//    rejected with a clean Status (never a crash or a silently-wrong
+//    tree);
+//  * GrowPartition + consistency keep every invariant for arbitrary
+//    noisy inputs across domains.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "hierarchy/consistency.h"
+#include "hierarchy/grow_partition.h"
+#include "hierarchy/tree_sampler.h"
+#include "hierarchy/tree_serialization.h"
+#include "hierarchy/tree_stats.h"
+
+namespace privhp {
+namespace {
+
+// Random consistent tree: complete depth-4, random positive leaf masses,
+// internal counts summed bottom-up.
+PartitionTree RandomConsistentTree(const Domain* domain, uint64_t seed) {
+  auto tree = PartitionTree::Complete(domain, 4);
+  PartitionTree t = std::move(tree).ValueOrDie();
+  RandomEngine rng(seed);
+  for (NodeId id : t.NodesAtLevel(4)) {
+    t.node(id).count = rng.UniformDouble(0.0, 10.0);
+  }
+  for (int l = 3; l >= 0; --l) {
+    for (NodeId id : t.NodesAtLevel(l)) {
+      TreeNode& n = t.node(id);
+      n.count = t.node(n.left).count + t.node(n.right).count;
+    }
+  }
+  return t;
+}
+
+class SamplerChiSquareTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerChiSquareTest, LeafFrequenciesMatchMasses) {
+  IntervalDomain domain;
+  PartitionTree tree = RandomConsistentTree(&domain, 1000 + GetParam());
+  ASSERT_TRUE(tree.Validate(1e-9).ok());
+  const double total = tree.node(tree.root()).count;
+
+  TreeSampler sampler(&tree);
+  RandomEngine rng(2000 + GetParam());
+  const int draws = 32000;
+  std::vector<int> hits(16, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++hits[sampler.SampleLeafCell(&rng).index];
+  }
+  double chi2 = 0.0;
+  for (NodeId id : tree.NodesAtLevel(4)) {
+    const TreeNode& n = tree.node(id);
+    const double expected = draws * n.count / total;
+    if (expected < 5.0) continue;  // chi-square validity guard
+    const double diff = hits[n.cell.index] - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 15 dof: mean 15, std ~5.5; 15 + 5*5.5 ~ 42. Seeded, so deterministic.
+  EXPECT_LT(chi2, 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerChiSquareTest,
+                         ::testing::Range(0, 8));
+
+class SerializationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationFuzzTest, CorruptedStreamsRejectedNotCrashing) {
+  IntervalDomain domain;
+  PartitionTree tree = RandomConsistentTree(&domain, 7);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTree(tree, &ss).ok());
+  std::string text = ss.str();
+
+  RandomEngine rng(3000 + GetParam());
+  // Corrupt one random character with a random printable byte.
+  const size_t pos = rng.UniformInt(text.size());
+  const char replacement = static_cast<char>('0' + rng.UniformInt(75));
+  if (text[pos] == replacement) return;  // no-op corruption
+  text[pos] = replacement;
+
+  std::stringstream corrupted(text);
+  auto loaded = LoadTree(&domain, &corrupted);
+  if (loaded.ok()) {
+    // Numeric-field corruption can survive parsing; structure must still
+    // be a valid arena (counts may differ — that is data, not structure).
+    for (size_t i = 0; i < loaded->num_nodes(); ++i) {
+      const TreeNode& n = loaded->node(static_cast<NodeId>(i));
+      EXPECT_EQ(n.left == kInvalidNode, n.right == kInvalidNode);
+    }
+  } else {
+    EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corruptions, SerializationFuzzTest,
+                         ::testing::Range(0, 24));
+
+// A noise-driven frequency source with adversarial (negative, huge,
+// zero) values: the grown tree must still satisfy every invariant.
+class ChaosSource : public LevelFrequencySource {
+ public:
+  explicit ChaosSource(uint64_t seed) : rng_(seed) {}
+  double Query(int level, uint64_t index) const override {
+    (void)level;
+    (void)index;
+    const double u = rng_.UniformDouble();
+    if (u < 0.2) return -rng_.Exponential(50.0);  // negative estimates
+    if (u < 0.4) return 0.0;
+    if (u < 0.6) return rng_.Exponential(1e6);    // absurdly large
+    return rng_.UniformDouble(0.0, 20.0);
+  }
+
+ private:
+  mutable RandomEngine rng_;
+};
+
+class GrowChaosTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GrowChaosTest, InvariantsSurviveAdversarialEstimates) {
+  const auto [d, seed] = GetParam();
+  HypercubeDomain domain(d);
+  auto tree = PartitionTree::Complete(&domain, 3);
+  ASSERT_TRUE(tree.ok());
+  RandomEngine rng(seed);
+  for (size_t i = 0; i < tree->num_nodes(); ++i) {
+    tree->node(static_cast<NodeId>(i)).count = rng.Laplace(30.0) + 50.0;
+  }
+  ChaosSource source(seed * 31 + 7);
+  GrowOptions options;
+  options.k = 4;
+  options.l_star = 3;
+  options.grow_to = 8;
+  ASSERT_TRUE(GrowPartition(&(*tree), source, options).ok());
+  EXPECT_TRUE(tree->Validate(1e-6).ok());
+  // The sampler must remain total on the chaotic tree.
+  TreeSampler sampler(&(*tree));
+  RandomEngine sample_rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(domain.Contains(sampler.Sample(&sample_rng)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GrowChaosTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+// Total mass at the root is preserved through growth (consistency moves
+// mass between siblings, never creates or destroys it).
+TEST(GrowMassConservationTest, RootMassInvariantUnderGrowth) {
+  IntervalDomain domain;
+  auto tree = PartitionTree::Complete(&domain, 2);
+  ASSERT_TRUE(tree.ok());
+  RandomEngine rng(11);
+  for (size_t i = 0; i < tree->num_nodes(); ++i) {
+    tree->node(static_cast<NodeId>(i)).count =
+        rng.UniformDouble(10.0, 100.0);
+  }
+  const double root_before = tree->node(tree->root()).count;
+  ChaosSource source(99);
+  GrowOptions options;
+  options.k = 2;
+  options.l_star = 2;
+  options.grow_to = 7;
+  ASSERT_TRUE(GrowPartition(&(*tree), source, options).ok());
+  EXPECT_DOUBLE_EQ(tree->node(tree->root()).count, root_before);
+  double leaf_mass = 0.0;
+  for (NodeId id : tree->Leaves()) leaf_mass += tree->node(id).count;
+  EXPECT_NEAR(leaf_mass, root_before, 1e-6 * root_before);
+}
+
+}  // namespace
+}  // namespace privhp

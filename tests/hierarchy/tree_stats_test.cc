@@ -1,0 +1,100 @@
+#include "hierarchy/tree_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "domain/interval_domain.h"
+
+namespace privhp {
+namespace {
+
+PartitionTree ConsistentDepth2(const Domain* domain) {
+  auto tree = PartitionTree::Complete(domain, 2);
+  PartitionTree t = std::move(tree).ValueOrDie();
+  // Leaves 1, 2, 3, 4.
+  t.node(t.Find(CellId{2, 0})).count = 1.0;
+  t.node(t.Find(CellId{2, 1})).count = 2.0;
+  t.node(t.Find(CellId{2, 2})).count = 3.0;
+  t.node(t.Find(CellId{2, 3})).count = 4.0;
+  t.node(t.Find(CellId{1, 0})).count = 3.0;
+  t.node(t.Find(CellId{1, 1})).count = 7.0;
+  t.node(t.root()).count = 10.0;
+  return t;
+}
+
+TEST(TreeStatsTest, SummarizeCountsEverything) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  const TreeSummary s = Summarize(tree);
+  EXPECT_EQ(s.num_nodes, 7u);
+  EXPECT_EQ(s.num_leaves, 4u);
+  EXPECT_EQ(s.max_depth, 2);
+  EXPECT_DOUBLE_EQ(s.total_mass, 10.0);
+  EXPECT_GT(s.memory_bytes, 0u);
+}
+
+TEST(TreeStatsTest, LeafMassesListsAllLeaves) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  const auto masses = LeafMasses(tree);
+  ASSERT_EQ(masses.size(), 4u);
+  double total = 0.0;
+  for (const auto& [cell, mass] : masses) {
+    EXPECT_EQ(cell.level, 2);
+    total += mass;
+  }
+  EXPECT_DOUBLE_EQ(total, 10.0);
+}
+
+TEST(TreeStatsTest, DistributionAtLeafLevelIsNormalized) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  auto dist = DistributionAtLevel(tree, 2);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_EQ(dist->size(), 4u);
+  EXPECT_NEAR((*dist)[0], 0.1, 1e-12);
+  EXPECT_NEAR((*dist)[3], 0.4, 1e-12);
+}
+
+TEST(TreeStatsTest, DistributionAggregatesAboveLeaves) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  auto dist = DistributionAtLevel(tree, 1);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_EQ(dist->size(), 2u);
+  EXPECT_NEAR((*dist)[0], 0.3, 1e-12);
+  EXPECT_NEAR((*dist)[1], 0.7, 1e-12);
+}
+
+TEST(TreeStatsTest, DistributionSpreadsBelowLeaves) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  auto dist = DistributionAtLevel(tree, 4);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_EQ(dist->size(), 16u);
+  // Leaf {2,0} carries 0.1 spread over 4 level-4 cells.
+  EXPECT_NEAR((*dist)[0], 0.025, 1e-12);
+  EXPECT_NEAR((*dist)[1], 0.025, 1e-12);
+  double total = 0.0;
+  for (double p : *dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TreeStatsTest, DistributionRejectsHugeLevels) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  EXPECT_FALSE(DistributionAtLevel(tree, 27).ok());
+  EXPECT_FALSE(DistributionAtLevel(tree, -1).ok());
+}
+
+TEST(TreeStatsTest, MassPerLevelTracksLevels) {
+  IntervalDomain domain;
+  PartitionTree tree = ConsistentDepth2(&domain);
+  const auto mass = MassPerLevel(tree);
+  ASSERT_EQ(mass.size(), 3u);
+  EXPECT_DOUBLE_EQ(mass[0], 10.0);
+  EXPECT_DOUBLE_EQ(mass[1], 10.0);
+  EXPECT_DOUBLE_EQ(mass[2], 10.0);
+}
+
+}  // namespace
+}  // namespace privhp

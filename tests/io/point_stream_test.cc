@@ -1,0 +1,116 @@
+#include "io/point_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+}
+
+TEST(ParseCsvPointTest, ParsesWellFormedLines) {
+  Point p;
+  ASSERT_TRUE(ParseCsvPoint("0.5,0.25", 2, &p).ok());
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.25);
+  ASSERT_TRUE(ParseCsvPoint("  1e-3 ,  2.5e2 ", 2, &p).ok());
+  EXPECT_DOUBLE_EQ(p[0], 1e-3);
+  EXPECT_DOUBLE_EQ(p[1], 250.0);
+}
+
+TEST(ParseCsvPointTest, RejectsMalformedLines) {
+  Point p;
+  EXPECT_FALSE(ParseCsvPoint("abc,1", 2, &p).ok());
+  EXPECT_FALSE(ParseCsvPoint("0.5", 2, &p).ok());       // too few
+  EXPECT_FALSE(ParseCsvPoint("0.5;0.6", 2, &p).ok());   // wrong separator
+  EXPECT_FALSE(ParseCsvPoint("0.5,0.6 junk", 2, &p).ok());
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesPoints) {
+  RandomEngine rng(1);
+  const auto points = GenerateUniform(3, 200, &rng);
+  const std::string path = TempPath("points_roundtrip.csv");
+  ASSERT_TRUE(WritePointsCsv(path, points).ok());
+  auto loaded = ReadPointsCsv(path, 3);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ((*loaded)[i][c], points[i][c]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointReaderTest, SkipsCommentsAndBlanks) {
+  const std::string path = TempPath("commented.csv");
+  WriteFile(path, "# header\n0.1,0.2\n\n   \n# mid comment\n0.3,0.4\n");
+  auto reader = CsvPointReader::Open(path, 2);
+  ASSERT_TRUE(reader.ok());
+  Point p;
+  auto r1 = reader->Next(&p);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  EXPECT_DOUBLE_EQ(p[0], 0.1);
+  auto r2 = reader->Next(&p);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+  EXPECT_DOUBLE_EQ(p[1], 0.4);
+  auto r3 = reader->Next(&p);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(*r3);  // EOF
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointReaderTest, ReportsLineNumberOnError) {
+  const std::string path = TempPath("badline.csv");
+  WriteFile(path, "0.1,0.2\nbroken\n");
+  auto reader = CsvPointReader::Open(path, 2);
+  ASSERT_TRUE(reader.ok());
+  Point p;
+  ASSERT_TRUE(reader->Next(&p).ok());
+  auto bad = reader->Next(&p);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointReaderTest, MissingFileFails) {
+  EXPECT_TRUE(
+      CsvPointReader::Open("/no/such/file.csv", 1).status().IsIOError());
+  EXPECT_FALSE(CsvPointReader::Open("/dev/null", 0).ok());
+}
+
+TEST(Ipv4TraceFileTest, ParsesAddresses) {
+  const std::string path = TempPath("trace.txt");
+  WriteFile(path, "# trace\n10.0.0.1\n192.168.1.77\n");
+  auto points = ReadIpv4TraceFile(path);
+  ASSERT_TRUE(points.ok()) << points.status();
+  ASSERT_EQ(points->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Ipv4TraceFileTest, RejectsGarbageWithLineNumber) {
+  const std::string path = TempPath("badtrace.txt");
+  WriteFile(path, "10.0.0.1\nnot-an-ip\n");
+  auto points = ReadIpv4TraceFile(path);
+  ASSERT_FALSE(points.ok());
+  EXPECT_NE(points.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privhp

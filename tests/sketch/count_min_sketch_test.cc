@@ -1,0 +1,136 @@
+#include "sketch/count_min_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(CountMinTest, MakeRejectsZeroDimensions) {
+  EXPECT_FALSE(CountMinSketch::Make(0, 4, 1).ok());
+  EXPECT_FALSE(CountMinSketch::Make(16, 0, 1).ok());
+  EXPECT_TRUE(CountMinSketch::Make(16, 4, 1).ok());
+}
+
+TEST(CountMinTest, ExactForFewDistinctKeys) {
+  CountMinSketch sketch(1024, 4, 7);
+  sketch.Update(1, 5.0);
+  sketch.Update(2, 3.0);
+  sketch.Update(1, 2.0);
+  // With a wide sketch and 2 keys, collisions across all 4 rows are
+  // essentially impossible.
+  EXPECT_DOUBLE_EQ(sketch.Estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(2), 3.0);
+}
+
+TEST(CountMinTest, NeverUnderestimatesWithoutNoise) {
+  CountMinSketch sketch(16, 3, 11);
+  RandomEngine rng(5);
+  std::vector<double> truth(200, 0.0);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.UniformInt(200);
+    sketch.Update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  for (uint64_t key = 0; key < 200; ++key) {
+    EXPECT_GE(sketch.Estimate(key), truth[key] - 1e-9);
+  }
+}
+
+TEST(CountMinTest, RowSumsEqualTotalWeight) {
+  CountMinSketch sketch(32, 5, 13);
+  double total = 0.0;
+  RandomEngine rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double w = rng.UniformDouble();
+    sketch.Update(rng.UniformInt(100), w);
+    total += w;
+  }
+  for (size_t row = 0; row < 5; ++row) {
+    EXPECT_NEAR(sketch.RowSum(row), total, 1e-6);
+  }
+}
+
+TEST(CountMinTest, MemoryScalesWithDimensions) {
+  CountMinSketch small(16, 2, 1);
+  CountMinSketch large(64, 8, 1);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+  EXPECT_EQ(small.L1Sensitivity(), 2u);
+}
+
+TEST(CountMinTest, LaplaceNoiseShiftsCells) {
+  CountMinSketch a(16, 2, 3);
+  CountMinSketch b(16, 2, 3);
+  RandomEngine rng(9);
+  b.AddLaplaceNoise(&rng, 1.0);
+  int differing = 0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 16; ++c) {
+      if (a.CellValue(r, c) != b.CellValue(r, c)) ++differing;
+    }
+  }
+  EXPECT_EQ(differing, 32);
+}
+
+// Lemma 4 sweep: with width 2w and depth j, the expected overestimate is
+// at most (||tail_w||_1 + 2^{-j+1} ||v||_1) / w. Parameters: (w, j, zipf
+// exponent).
+class Lemma4Test
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(Lemma4Test, ExpectedErrorWithinBound) {
+  const auto [w, j, zipf] = GetParam();
+  const size_t num_keys = 512;
+  const size_t n = 20000;
+  const std::vector<double> masses = ZipfMasses(num_keys, zipf);
+
+  // Average the estimation error over several hash seeds (the expectation
+  // in Lemma 4 is over the hash draw).
+  double total_err = 0.0;
+  size_t measured = 0;
+  const int kSeeds = 8;
+  std::vector<double> truth(num_keys);
+  for (size_t key = 0; key < num_keys; ++key) {
+    truth[key] = masses[key] * static_cast<double>(n);
+  }
+  double l1 = 0.0;
+  for (double t : truth) l1 += t;
+  std::vector<double> sorted = truth;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double tail_w = 0.0;
+  for (size_t i = w; i < sorted.size(); ++i) tail_w += sorted[i];
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    CountMinSketch sketch(2 * w, j, 1000 + seed);
+    for (size_t key = 0; key < num_keys; ++key) {
+      sketch.Update(key, truth[key]);
+    }
+    for (size_t key = 0; key < num_keys; key += 7) {
+      total_err += sketch.Estimate(key) - truth[key];
+      ++measured;
+    }
+  }
+  const double mean_err = total_err / static_cast<double>(measured);
+  const double bound =
+      (tail_w + std::ldexp(2.0, -j) * l1) / static_cast<double>(w);
+  // Allow 1.5x slack: the bound is an expectation, we average finitely
+  // many seeds.
+  EXPECT_LE(mean_err, 1.5 * bound + 1e-9)
+      << "w=" << w << " j=" << j << " zipf=" << zipf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma4Test,
+    ::testing::Combine(::testing::Values(8, 32, 64),
+                       ::testing::Values(3, 6, 10),
+                       ::testing::Values(0.5, 1.1, 2.0)));
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,45 @@
+#include "sketch/exact_oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace privhp {
+namespace {
+
+TEST(ExactOracleTest, TracksCountsExactly) {
+  ExactOracle oracle;
+  oracle.Update(1, 2.0);
+  oracle.Update(2, 3.0);
+  oracle.Update(1, 1.0);
+  EXPECT_DOUBLE_EQ(oracle.Estimate(1), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.Estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.Estimate(99), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.TotalWeight(), 6.0);
+}
+
+TEST(ExactOracleTest, SortedCountsDescending) {
+  ExactOracle oracle;
+  oracle.Update(1, 5.0);
+  oracle.Update(2, 9.0);
+  oracle.Update(3, 1.0);
+  const auto sorted = oracle.SortedCountsDescending();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0], 9.0);
+  EXPECT_DOUBLE_EQ(sorted[1], 5.0);
+  EXPECT_DOUBLE_EQ(sorted[2], 1.0);
+}
+
+TEST(ExactOracleTest, TailNormSkipsTopK) {
+  ExactOracle oracle;
+  oracle.Update(1, 10.0);
+  oracle.Update(2, 5.0);
+  oracle.Update(3, 2.0);
+  oracle.Update(4, 1.0);
+  EXPECT_DOUBLE_EQ(oracle.TailNorm(0), 18.0);
+  EXPECT_DOUBLE_EQ(oracle.TailNorm(1), 8.0);
+  EXPECT_DOUBLE_EQ(oracle.TailNorm(2), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.TailNorm(4), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.TailNorm(10), 0.0);
+}
+
+}  // namespace
+}  // namespace privhp

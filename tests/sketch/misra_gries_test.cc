@@ -1,0 +1,90 @@
+#include "sketch/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(MisraGriesTest, MakeRejectsZeroCapacity) {
+  EXPECT_FALSE(MisraGries::Make(0).ok());
+  EXPECT_TRUE(MisraGries::Make(4).ok());
+}
+
+TEST(MisraGriesTest, ExactWhenUnderCapacity) {
+  MisraGries mg(8);
+  mg.Update(1, 3.0);
+  mg.Update(2, 5.0);
+  mg.Update(1, 1.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(1), 4.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(2), 5.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(3), 0.0);
+}
+
+TEST(MisraGriesTest, NeverOverestimates) {
+  MisraGries mg(4);
+  RandomEngine rng(3);
+  std::vector<double> truth(64, 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.UniformInt(64);
+    mg.Update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_LE(mg.Estimate(key), truth[key] + 1e-9);
+  }
+}
+
+TEST(MisraGriesTest, UndershootBoundedByTotalOverCapacity) {
+  const size_t capacity = 9;
+  MisraGries mg(capacity);
+  RandomEngine rng(5);
+  std::vector<double> truth(128, 0.0);
+  const int n = 5000;
+  const std::vector<double> masses = ZipfMasses(128, 1.2);
+  for (int i = 0; i < n; ++i) {
+    double u = rng.UniformDouble();
+    uint64_t key = 127;
+    for (size_t j = 0; j < masses.size(); ++j) {
+      u -= masses[j];
+      if (u <= 0.0) {
+        key = j;
+        break;
+      }
+    }
+    mg.Update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  const double bound = mg.TotalWeight() / (capacity + 1);
+  for (uint64_t key = 0; key < 128; ++key) {
+    EXPECT_GE(mg.Estimate(key), truth[key] - bound - 1e-9) << "key " << key;
+  }
+}
+
+TEST(MisraGriesTest, HeavyHitterAlwaysSurvives) {
+  MisraGries mg(4);
+  // One key holds 60% of a long stream: it must retain a large counter.
+  RandomEngine rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.6)) {
+      mg.Update(999, 1.0);
+    } else {
+      mg.Update(rng.UniformInt(500), 1.0);
+    }
+  }
+  EXPECT_GT(mg.Estimate(999), 0.6 * mg.TotalWeight() -
+                                  mg.TotalWeight() / 5.0);
+}
+
+TEST(MisraGriesTest, CapacityIsRespected) {
+  MisraGries mg(5);
+  RandomEngine rng(9);
+  for (int i = 0; i < 10000; ++i) mg.Update(rng.UniformInt(1000), 1.0);
+  EXPECT_LE(mg.NumCounters(), 5u);
+  EXPECT_GT(mg.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,96 @@
+#include "sketch/private_misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "eval/workloads.h"
+
+namespace privhp {
+namespace {
+
+TEST(PrivateMisraGriesTest, ReleaseValidates) {
+  MisraGries mg(8);
+  mg.Update(1, 10.0);
+  RandomEngine rng(1);
+  EXPECT_FALSE(PrivateMisraGries::Release(mg, 0.0, 0.01, &rng).ok());
+  EXPECT_FALSE(PrivateMisraGries::Release(mg, 1.0, 0.0, &rng).ok());
+  EXPECT_FALSE(PrivateMisraGries::Release(mg, 1.0, 1.5, &rng).ok());
+  EXPECT_FALSE(PrivateMisraGries::Release(mg, 1.0, 0.01, nullptr).ok());
+  EXPECT_TRUE(PrivateMisraGries::Release(mg, 1.0, 0.01, &rng).ok());
+}
+
+TEST(PrivateMisraGriesTest, ThresholdFormula) {
+  MisraGries mg(4);
+  mg.Update(1, 100.0);
+  RandomEngine rng(2);
+  auto released = PrivateMisraGries::Release(mg, 2.0, 0.03, &rng);
+  ASSERT_TRUE(released.ok());
+  EXPECT_NEAR(released->threshold(), 1.0 + 2.0 * std::log(100.0) / 2.0,
+              1e-9);
+}
+
+TEST(PrivateMisraGriesTest, HeavyKeysSurviveLightKeysSuppressed) {
+  MisraGries mg(16);
+  mg.Update(1, 1000.0);  // heavy
+  mg.Update(2, 2.0);     // below any reasonable threshold
+  RandomEngine rng(3);
+  auto released = PrivateMisraGries::Release(mg, 1.0, 0.01, &rng);
+  ASSERT_TRUE(released.ok());
+  EXPECT_NEAR(released->Estimate(1), 1000.0, 50.0);
+  EXPECT_DOUBLE_EQ(released->Estimate(2), 0.0);
+  EXPECT_DOUBLE_EQ(released->Estimate(999), 0.0);  // never stored
+}
+
+TEST(PrivateMisraGriesTest, ReleasedValuesAreNoisy) {
+  MisraGries mg(4);
+  mg.Update(7, 500.0);
+  RandomEngine rng(4);
+  auto released = PrivateMisraGries::Release(mg, 1.0, 0.01, &rng);
+  ASSERT_TRUE(released.ok());
+  EXPECT_NE(released->Estimate(7), 500.0);
+}
+
+TEST(PrivateMisraGriesTest, AllReleasedCountsClearThreshold) {
+  MisraGries mg(32);
+  RandomEngine data_rng(5);
+  const auto masses = ZipfMasses(200, 1.3);
+  for (size_t key = 0; key < 200; ++key) {
+    mg.Update(key, masses[key] * 20000.0);
+  }
+  RandomEngine rng(6);
+  auto released = PrivateMisraGries::Release(mg, 0.5, 0.05, &rng);
+  ASSERT_TRUE(released.ok());
+  EXPECT_GT(released->NumReleased(), 0u);
+  for (size_t key = 0; key < 200; ++key) {
+    const double est = released->Estimate(key);
+    if (est != 0.0) {
+      EXPECT_GE(est, released->threshold());
+    }
+  }
+}
+
+// The composition argument from paper Section 2.1: at matched memory the
+// hash-based sketch retains tail mass (overestimates a bit everywhere)
+// while the counter-based release zeroes everything below threshold, so
+// on the *tail* keys Misra-Gries loses all mass.
+TEST(PrivateMisraGriesTest, TailMassVanishesUnlikeCountMin) {
+  const auto masses = ZipfMasses(512, 1.0);
+  const double n = 50000.0;
+  MisraGries mg(64);
+  for (size_t key = 0; key < 512; ++key) mg.Update(key, masses[key] * n);
+  RandomEngine rng(7);
+  auto released = PrivateMisraGries::Release(mg, 1.0, 0.01, &rng);
+  ASSERT_TRUE(released.ok());
+  double tail_mass_released = 0.0;
+  double tail_mass_true = 0.0;
+  for (size_t key = 128; key < 512; ++key) {  // tail keys
+    tail_mass_released += released->Estimate(key);
+    tail_mass_true += masses[key] * n;
+  }
+  EXPECT_LT(tail_mass_released, 0.1 * tail_mass_true);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,68 @@
+#include "sketch/private_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace privhp {
+namespace {
+
+TEST(PrivateSketchTest, MakeValidatesArguments) {
+  RandomEngine rng(1);
+  EXPECT_FALSE(PrivateCountMinSketch::Make(0, 4, 1.0, 1, &rng).ok());
+  EXPECT_FALSE(PrivateCountMinSketch::Make(16, 0, 1.0, 1, &rng).ok());
+  EXPECT_FALSE(PrivateCountMinSketch::Make(16, 4, 1.0, 1, nullptr).ok());
+  EXPECT_TRUE(PrivateCountMinSketch::Make(16, 4, 1.0, 1, &rng).ok());
+  // epsilon <= 0 disables noise and needs no rng.
+  EXPECT_TRUE(PrivateCountMinSketch::Make(16, 4, 0.0, 1, nullptr).ok());
+}
+
+TEST(PrivateSketchTest, NoiseScaleIsDepthOverEpsilon) {
+  RandomEngine rng(2);
+  PrivateCountMinSketch sketch(16, 8, 2.0, 1, &rng);
+  EXPECT_DOUBLE_EQ(sketch.NoiseScale(), 4.0);
+  EXPECT_DOUBLE_EQ(sketch.epsilon(), 2.0);
+}
+
+TEST(PrivateSketchTest, ZeroEpsilonIsExact) {
+  PrivateCountMinSketch sketch(1024, 4, 0.0, 3, nullptr);
+  sketch.Update(5, 10.0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(5), 10.0);
+}
+
+TEST(PrivateSketchTest, NoisyEstimatesDeviateFromTruth) {
+  RandomEngine rng(4);
+  PrivateCountMinSketch sketch(64, 4, 0.5, 5, &rng);
+  sketch.Update(7, 100.0);
+  EXPECT_NE(sketch.Estimate(7), 100.0);
+}
+
+// The min-estimator over j cells each carrying Laplace(j/eps) noise:
+// its deviation should scale roughly linearly in j/eps. We check the
+// ordering across two epsilons.
+TEST(PrivateSketchTest, MoreBudgetMeansLessNoise) {
+  const int trials = 200;
+  double dev_small_eps = 0.0, dev_large_eps = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    RandomEngine rng_a(1000 + t);
+    RandomEngine rng_b(1000 + t);  // same underlying noise stream
+    PrivateCountMinSketch tight(256, 4, 4.0, 9, &rng_a);
+    PrivateCountMinSketch loose(256, 4, 0.25, 9, &rng_b);
+    tight.Update(3, 50.0);
+    loose.Update(3, 50.0);
+    dev_large_eps += std::abs(tight.Estimate(3) - 50.0);
+    dev_small_eps += std::abs(loose.Estimate(3) - 50.0);
+  }
+  EXPECT_LT(dev_large_eps, dev_small_eps);
+}
+
+TEST(PrivateSketchTest, MemoryMatchesBase) {
+  RandomEngine rng(6);
+  PrivateCountMinSketch sketch(32, 4, 1.0, 7, &rng);
+  EXPECT_GE(sketch.MemoryBytes(), sketch.base().MemoryBytes());
+}
+
+}  // namespace
+}  // namespace privhp

@@ -1,0 +1,258 @@
+// privhp — command-line front end for the library.
+//
+//   privhp build   --in data.csv --dim 2 --epsilon 1.0 --k 32
+//                  --out generator.tree [--n N] [--seed S]
+//   privhp sample  --tree generator.tree --dim 2 --m 10000 --out synth.csv
+//   privhp quantile --tree generator.tree --q 0.5 [--q 0.9 ...]   (d = 1)
+//   privhp heavy   --tree generator.tree --dim 1 --threshold 0.05
+//   privhp w1      --a a.csv --b b.csv --dim 1        (exact for d = 1,
+//                                                      sliced otherwise)
+//
+// The tree file is the released eps-DP artifact; every subcommand other
+// than `build` is post-processing and can be run any number of times.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/queries.h"
+#include "domain/hypercube_domain.h"
+#include "eval/wasserstein.h"
+#include "io/point_stream.h"
+
+namespace privhp {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::vector<std::string>> flags;
+
+  const std::string* Get(const std::string& key) const {
+    auto it = flags.find(key);
+    return it == flags.end() || it->second.empty() ? nullptr
+                                                   : &it->second.front();
+  }
+  std::string GetOr(const std::string& key, const std::string& fallback)
+      const {
+    const std::string* v = Get(key);
+    return v ? *v : fallback;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  privhp build    --in data.csv --dim D --out gen.tree\n"
+      "                  [--epsilon E] [--k K] [--n N] [--seed S]\n"
+      "  privhp sample   --tree gen.tree --dim D --m M --out synth.csv\n"
+      "                  [--seed S]\n"
+      "  privhp quantile --tree gen.tree --q Q [--q Q2 ...]   (dim 1)\n"
+      "  privhp heavy    --tree gen.tree --dim D --threshold T\n"
+      "  privhp w1       --a a.csv --b b.csv --dim D\n");
+  return 2;
+}
+
+Result<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* flag = argv[i];
+    if (std::strncmp(flag, "--", 2) != 0 || i + 1 >= argc) {
+      return Status::InvalidArgument(std::string("bad flag: ") + flag);
+    }
+    args.flags[flag + 2].push_back(argv[++i]);
+  }
+  return args;
+}
+
+Result<int> RequireInt(const Args& args, const std::string& key) {
+  const std::string* v = args.Get(key);
+  if (!v) return Status::InvalidArgument("missing --" + key);
+  return std::atoi(v->c_str());
+}
+
+int Build(const Args& args) {
+  const std::string* in = args.Get("in");
+  const std::string* out = args.Get("out");
+  auto dim = RequireInt(args, "dim");
+  if (!in || !out || !dim.ok()) {
+    std::fprintf(stderr, "build needs --in, --out, --dim\n");
+    return 2;
+  }
+  auto data = ReadPointsCsv(*in, *dim);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  HypercubeDomain domain(*dim);
+  PrivHPOptions options;
+  options.epsilon = std::atof(args.GetOr("epsilon", "1.0").c_str());
+  options.k = std::strtoull(args.GetOr("k", "32").c_str(), nullptr, 10);
+  options.expected_n =
+      std::strtoull(args.GetOr("n", "0").c_str(), nullptr, 10);
+  if (options.expected_n == 0) options.expected_n = data->size();
+  options.seed = std::strtoull(args.GetOr("seed", "42").c_str(), nullptr, 10);
+
+  auto builder = PrivHPBuilder::Make(&domain, options);
+  if (!builder.ok()) {
+    std::fprintf(stderr, "%s\n", builder.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s\n", builder->plan().ToString().c_str());
+  for (const Point& p : *data) {
+    const Status s = builder->Add(p);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "streamed %zu points, builder %.1f KiB\n",
+               data->size(), builder->MemoryBytes() / 1024.0);
+  auto generator = std::move(*builder).Finish();
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = generator->Save(*out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu nodes)\n", out->c_str(),
+               generator->tree().num_nodes());
+  return 0;
+}
+
+Result<PrivHPGenerator> LoadGenerator(const Args& args,
+                                      const Domain* domain) {
+  const std::string* tree = args.Get("tree");
+  if (!tree) return Status::InvalidArgument("missing --tree");
+  return PrivHPGenerator::Load(domain, *tree);
+}
+
+int Sample(const Args& args) {
+  auto dim = RequireInt(args, "dim");
+  auto m = RequireInt(args, "m");
+  const std::string* out = args.Get("out");
+  if (!dim.ok() || !m.ok() || !out) {
+    std::fprintf(stderr, "sample needs --tree, --dim, --m, --out\n");
+    return 2;
+  }
+  HypercubeDomain domain(*dim);
+  auto generator = LoadGenerator(args, &domain);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  RandomEngine rng(
+      std::strtoull(args.GetOr("seed", "1").c_str(), nullptr, 10));
+  const auto synthetic = generator->Generate(*m, &rng);
+  const Status written = WritePointsCsv(*out, synthetic);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %d synthetic points to %s\n", *m,
+               out->c_str());
+  return 0;
+}
+
+int Quantile(const Args& args) {
+  HypercubeDomain domain(1);
+  auto generator = LoadGenerator(args, &domain);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  auto it = args.flags.find("q");
+  if (it == args.flags.end()) {
+    std::fprintf(stderr, "quantile needs at least one --q\n");
+    return 2;
+  }
+  for (const std::string& qs : it->second) {
+    const double q = std::atof(qs.c_str());
+    auto value = TreeQuantile(generator->tree(), q);
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("q=%.4f -> %.6f\n", q, *value);
+  }
+  return 0;
+}
+
+int Heavy(const Args& args) {
+  auto dim = RequireInt(args, "dim");
+  if (!dim.ok()) {
+    std::fprintf(stderr, "heavy needs --dim\n");
+    return 2;
+  }
+  HypercubeDomain domain(*dim);
+  auto generator = LoadGenerator(args, &domain);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  const double threshold =
+      std::atof(args.GetOr("threshold", "0.05").c_str());
+  auto heavy = HierarchicalHeavyHitters(generator->tree(), threshold);
+  if (!heavy.ok()) {
+    std::fprintf(stderr, "%s\n", heavy.status().ToString().c_str());
+    return 1;
+  }
+  for (const HeavyCell& cell : *heavy) {
+    std::printf("level=%d index=%llu fraction=%.4f\n", cell.cell.level,
+                static_cast<unsigned long long>(cell.cell.index),
+                cell.fraction);
+  }
+  return 0;
+}
+
+int W1(const Args& args) {
+  auto dim = RequireInt(args, "dim");
+  const std::string* a = args.Get("a");
+  const std::string* b = args.Get("b");
+  if (!dim.ok() || !a || !b) {
+    std::fprintf(stderr, "w1 needs --a, --b, --dim\n");
+    return 2;
+  }
+  auto pa = ReadPointsCsv(*a, *dim);
+  auto pb = ReadPointsCsv(*b, *dim);
+  if (!pa.ok() || !pb.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!pa.ok() ? pa.status() : pb.status()).ToString().c_str());
+    return 1;
+  }
+  double w1;
+  if (*dim == 1) {
+    w1 = Wasserstein1DPoints(*pa, *pb);
+  } else {
+    RandomEngine rng(7);
+    w1 = SlicedW1(*pa, *pb, 64, &rng);
+  }
+  std::printf("W1 = %.6f%s\n", w1, *dim == 1 ? "" : " (sliced estimate)");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  auto args = Parse(argc, argv);
+  if (!args.ok()) return Usage();
+  if (args->command == "build") return Build(*args);
+  if (args->command == "sample") return Sample(*args);
+  if (args->command == "quantile") return Quantile(*args);
+  if (args->command == "heavy") return Heavy(*args);
+  if (args->command == "w1") return W1(*args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace privhp
+
+int main(int argc, char** argv) { return privhp::Run(argc, argv); }
