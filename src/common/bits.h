@@ -3,23 +3,28 @@
 #ifndef PRIVHP_COMMON_BITS_H_
 #define PRIVHP_COMMON_BITS_H_
 
-#include <bit>
 #include <cstdint>
 
 #include "common/macros.h"
 
 namespace privhp {
 
+/// \brief Number of leading zero bits in \p x; 64 when x == 0.
+/// (C++17 stand-in for std::countl_zero.)
+inline int CountLeadingZeros64(uint64_t x) {
+  return x == 0 ? 64 : __builtin_clzll(x);
+}
+
 /// \brief floor(log2(x)); requires x >= 1.
 inline int FloorLog2(uint64_t x) {
   PRIVHP_DCHECK(x >= 1);
-  return 63 - std::countl_zero(x);
+  return 63 - CountLeadingZeros64(x);
 }
 
 /// \brief ceil(log2(x)); requires x >= 1. CeilLog2(1) == 0.
 inline int CeilLog2(uint64_t x) {
   PRIVHP_DCHECK(x >= 1);
-  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+  return x == 1 ? 0 : 64 - CountLeadingZeros64(x - 1);
 }
 
 /// \brief Smallest power of two >= x (x >= 1, x <= 2^63).

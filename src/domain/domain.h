@@ -35,7 +35,10 @@ struct CellId {
   int level = 0;
   uint64_t index = 0;
 
-  bool operator==(const CellId& other) const = default;
+  bool operator==(const CellId& other) const {
+    return level == other.level && index == other.index;
+  }
+  bool operator!=(const CellId& other) const { return !(*this == other); }
 
   /// \brief Parent cell (level must be >= 1).
   CellId Parent() const { return {level - 1, index >> 1}; }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every C++ source in the tree with
+# clang-format, using the root .clang-format (Google style).
+#
+#   tools/format.sh            # rewrite files in place
+#   tools/format.sh --check    # exit non-zero if anything needs formatting
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(find src tests bench examples tools \
+  -name '*.cc' -o -name '*.h' | sort)
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format OK (${#files[@]} files)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi
