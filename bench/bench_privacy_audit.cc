@@ -44,7 +44,9 @@ int main() {
   for (double epsilon : {0.5, 1.0, 2.0}) {
     auto make = [epsilon](bool extra) {
       return [epsilon, extra](RandomEngine* r) {
-        PrivateCountMinSketch sketch(32, 4, epsilon, /*hash seed=*/3, r);
+        PrivateCountMinSketch sketch =
+            PrivateCountMinSketch::Make(32, 4, epsilon, /*seed=*/3, r)
+                .ValueOrDie();
         sketch.Update(11, 8.0);
         if (extra) sketch.Update(11, 1.0);
         return sketch.Estimate(11);

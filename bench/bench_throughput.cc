@@ -1,15 +1,25 @@
-// EXP-PERF — Corollary 1's cost model, measured with google-benchmark:
-//   * stream update cost vs n      (claimed O(log(eps n)) per update)
-//   * generator build (Finish)     (claimed O(M log n))
-//   * synthetic sampling           (O(depth) per point)
-//   * PMM build for contrast       (Theta(eps n) memory + work)
-// Memory footprints are attached as counters.
+// EXP-PERF — Corollary 1's cost model, self-timed (bench_util.h):
+//   * stream update cost vs n        (claimed O(log(eps n)) per update)
+//   * sharded parallel ingestion     (--threads sweep; the merged build
+//                                     is bit-identical to 1 thread)
+//   * generator build (Finish)       (claimed O(M log n))
+//   * synthetic sampling             (O(depth) per point)
+//   * PMM build for contrast         (Theta(eps n) memory + work)
+//
+// usage: bench_throughput [--log2n B] [--threads "1,2,4"] [--repeats R]
 
-#include <benchmark/benchmark.h>
-
-#include "common/macros.h"
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/pmm.h"
+#include "bench_util.h"
+#include "common/macros.h"
+#include "common/table_printer.h"
 #include "core/builder.h"
 #include "domain/hypercube_domain.h"
 #include "domain/interval_domain.h"
@@ -28,98 +38,232 @@ PrivHPOptions BenchOptions(size_t n) {
   return options;
 }
 
-void BM_StreamUpdate(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  IntervalDomain domain;
-  RandomEngine rng(1);
-  const auto data = GenerateZipfCells(1, 4096, 10, 1.2, &rng);
-  auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
-  PRIVHP_CHECK(builder.ok());
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(builder->Add(data[i]));
-    i = (i + 1) % data.size();
-  }
-  state.SetItemsProcessed(state.iterations());
-  state.counters["builder_bytes"] =
-      static_cast<double>(builder->MemoryBytes());
-  state.counters["levels"] = builder->plan().l_max + 1;
+// Median-of-repeats wall time of `fn`, in seconds.
+double TimedMedian(int repeats, const std::function<double()>& fn) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) times.push_back(fn());
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
 }
-BENCHMARK(BM_StreamUpdate)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_StreamUpdate2D(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  HypercubeDomain domain(2);
+void StreamUpdateSweep(int repeats) {
+  TablePrinter table("stream update (1 thread)",
+                     {"domain", "n", "Mpts/s", "ns/point", "builder mem"});
+  struct Case {
+    const char* name;
+    int dim;
+    size_t n;
+  };
+  const Case cases[] = {{"interval", 1, size_t{1} << 16},
+                        {"interval", 1, size_t{1} << 18},
+                        {"interval", 1, size_t{1} << 20},
+                        {"hypercube-2d", 2, size_t{1} << 18}};
+  for (const Case& c : cases) {
+    HypercubeDomain cube(c.dim == 1 ? 1 : 2);
+    IntervalDomain interval;
+    const Domain& domain =
+        c.dim == 1 ? static_cast<const Domain&>(interval)
+                   : static_cast<const Domain&>(cube);
+    RandomEngine rng(1);
+    const auto data = GenerateZipfCells(c.dim, 65536, 10, 1.2, &rng);
+    size_t mem = 0;
+    const double secs = TimedMedian(repeats, [&] {
+      auto builder = PrivHPBuilder::Make(&domain, BenchOptions(c.n));
+      PRIVHP_CHECK(builder.ok());
+      bench::Stopwatch watch;
+      size_t i = 0;
+      for (size_t done = 0; done < c.n; ++done) {
+        PRIVHP_CHECK(builder->Add(data[i]).ok());
+        i = (i + 1) % data.size();
+      }
+      mem = builder->MemoryBytes();
+      return watch.Seconds();
+    });
+    table.BeginRow();
+    table.Cell(std::string(c.name));
+    table.Cell(static_cast<uint64_t>(c.n));
+    table.Cell(c.n / secs / 1e6);
+    table.Cell(secs / c.n * 1e9);
+    table.Cell(bench::FormatBytes(mem));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void ThreadSweep(size_t n, const std::vector<int>& thread_counts,
+                 int repeats) {
+  IntervalDomain domain;
   RandomEngine rng(2);
-  const auto data = GenerateZipfCells(2, 4096, 10, 1.2, &rng);
-  auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
-  PRIVHP_CHECK(builder.ok());
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(builder->Add(data[i]));
-    i = (i + 1) % data.size();
+  const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
+  TablePrinter table(
+      "sharded ingestion, n=" + std::to_string(n) + " (BuildParallel)",
+      {"threads", "build ms", "Mpts/s", "speedup"});
+  std::vector<double> secs_per_count;
+  secs_per_count.reserve(thread_counts.size());
+  for (int threads : thread_counts) {
+    secs_per_count.push_back(TimedMedian(repeats, [&] {
+      bench::Stopwatch watch;
+      auto generator = PrivHPBuilder::BuildParallel(
+          &domain, BenchOptions(n), data, threads);
+      PRIVHP_CHECK(generator.ok());
+      return watch.Seconds();
+    }));
   }
-  state.SetItemsProcessed(state.iterations());
+  // Speedup is always relative to the 1-thread run (measured out-of-band
+  // if 1 is not in the sweep), never to whatever entry came first.
+  double base_secs;
+  const auto one = std::find(thread_counts.begin(), thread_counts.end(), 1);
+  if (one != thread_counts.end()) {
+    base_secs = secs_per_count[one - thread_counts.begin()];
+  } else {
+    base_secs = TimedMedian(repeats, [&] {
+      bench::Stopwatch watch;
+      auto generator =
+          PrivHPBuilder::BuildParallel(&domain, BenchOptions(n), data, 1);
+      PRIVHP_CHECK(generator.ok());
+      return watch.Seconds();
+    });
+  }
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    table.BeginRow();
+    table.Cell(thread_counts[i]);
+    table.Cell(secs_per_count[i] * 1e3);
+    table.Cell(n / secs_per_count[i] / 1e6);
+    table.Cell(base_secs / secs_per_count[i], 3);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
 }
-BENCHMARK(BM_StreamUpdate2D)->Arg(1 << 16);
 
-void BM_Finish(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
+void FinishAndSample(int repeats) {
   IntervalDomain domain;
+  const size_t n = size_t{1} << 14;
   RandomEngine rng(3);
   const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
-  for (auto _ : state) {
-    state.PauseTiming();
+
+  const double finish_secs = TimedMedian(repeats, [&] {
     auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
     PRIVHP_CHECK(builder.ok());
     PRIVHP_CHECK(builder->AddAll(data).ok());
-    state.ResumeTiming();
+    bench::Stopwatch watch;
     auto generator = std::move(*builder).Finish();
-    benchmark::DoNotOptimize(generator);
-  }
-}
-BENCHMARK(BM_Finish)->Arg(1 << 12)->Arg(1 << 14)->Unit(benchmark::kMicrosecond);
+    PRIVHP_CHECK(generator.ok());
+    return watch.Seconds();
+  });
 
-void BM_Sample(benchmark::State& state) {
-  IntervalDomain domain;
-  RandomEngine rng(4);
-  const size_t n = 1 << 14;
-  const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
   auto builder = PrivHPBuilder::Make(&domain, BenchOptions(n));
   PRIVHP_CHECK(builder.ok());
   PRIVHP_CHECK(builder->AddAll(data).ok());
   auto generator = std::move(*builder).Finish();
   PRIVHP_CHECK(generator.ok());
   RandomEngine sample_rng(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(generator->Sample(&sample_rng));
-  }
-  state.SetItemsProcessed(state.iterations());
-  state.counters["generator_bytes"] =
-      static_cast<double>(generator->MemoryBytes());
-}
-BENCHMARK(BM_Sample);
+  const size_t samples = 1 << 18;
+  const double sample_secs = TimedMedian(repeats, [&] {
+    bench::Stopwatch watch;
+    for (size_t i = 0; i < samples; ++i) {
+      volatile double sink = generator->Sample(&sample_rng)[0];
+      (void)sink;
+    }
+    return watch.Seconds();
+  });
 
-void BM_PmmBuild(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  IntervalDomain domain;
-  RandomEngine rng(6);
-  const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
-  PmmOptions options;
-  options.epsilon = 1.0;
-  size_t bytes = 0;
-  for (auto _ : state) {
-    auto pmm = BuildPmm(&domain, data, options);
-    PRIVHP_CHECK(pmm.ok());
-    bytes = (*pmm)->BuildMemoryBytes();
-    benchmark::DoNotOptimize(pmm);
-  }
-  state.counters["pmm_bytes"] = static_cast<double>(bytes);
+  TablePrinter table("finish + sampling, n=2^14",
+                     {"phase", "ms", "per-item ns", "artifact mem"});
+  table.BeginRow();
+  table.Cell(std::string("Finish (grow+consistency)"));
+  table.Cell(finish_secs * 1e3);
+  table.Cell(finish_secs * 1e9 / n);
+  table.Cell(bench::FormatBytes(generator->MemoryBytes()));
+  table.BeginRow();
+  table.Cell(std::string("Sample x" + std::to_string(samples)));
+  table.Cell(sample_secs * 1e3);
+  table.Cell(sample_secs * 1e9 / samples);
+  table.Cell(bench::FormatBytes(generator->MemoryBytes()));
+  table.Print(std::cout);
+  std::cout << "\n";
 }
-BENCHMARK(BM_PmmBuild)->Arg(1 << 12)->Arg(1 << 14)
-    ->Unit(benchmark::kMillisecond);
+
+void PmmContrast(int repeats) {
+  IntervalDomain domain;
+  TablePrinter table("PMM contrast (full-memory baseline)",
+                     {"n", "build ms", "pmm mem"});
+  for (int log_n : {12, 14}) {
+    const size_t n = size_t{1} << log_n;
+    RandomEngine rng(6);
+    const auto data = GenerateZipfCells(1, n, 10, 1.2, &rng);
+    PmmOptions options;
+    options.epsilon = 1.0;
+    size_t bytes = 0;
+    const double secs = TimedMedian(repeats, [&] {
+      bench::Stopwatch watch;
+      auto pmm = BuildPmm(&domain, data, options);
+      PRIVHP_CHECK(pmm.ok());
+      bytes = (*pmm)->BuildMemoryBytes();
+      return watch.Seconds();
+    });
+    table.BeginRow();
+    table.Cell(std::string("2^") + std::to_string(log_n));
+    table.Cell(secs * 1e3);
+    table.Cell(bench::FormatBytes(bytes));
+  }
+  table.Print(std::cout);
+}
+
+std::vector<int> ParseThreadList(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  int log2n = 20;
+  int repeats = 3;
+  std::vector<int> threads = {1, 2, 4};
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << argv[i] << " is missing a value\n";
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--log2n") == 0) {
+      log2n = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = ParseThreadList(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      repeats = std::atoi(argv[i + 1]);
+    } else {
+      std::cerr << "unknown flag " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (log2n < 10 || log2n > 26 || repeats < 1 || threads.empty()) {
+    std::cerr << "usage: bench_throughput [--log2n 10..26] "
+              << "[--threads \"1,2,4\"] [--repeats R>=1]\n";
+    return 2;
+  }
+  for (int t : threads) {
+    if (t < 1) {
+      std::cerr << "--threads entries must be >= 1\n";
+      return 2;
+    }
+  }
+  std::cout << "EXP-PERF: ingestion/build/sampling throughput "
+            << "(hardware threads: " << std::thread::hardware_concurrency()
+            << ")\n\n";
+  StreamUpdateSweep(repeats);
+  ThreadSweep(size_t{1} << log2n, threads, repeats);
+  FinishAndSample(repeats);
+  PmmContrast(repeats);
+  return 0;
+}
 
 }  // namespace
 }  // namespace privhp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return privhp::Run(argc, argv); }

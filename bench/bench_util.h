@@ -4,6 +4,7 @@
 #ifndef PRIVHP_BENCH_BENCH_UTIL_H_
 #define PRIVHP_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -54,6 +55,23 @@ inline double AverageW1(
   }
   return ok_runs > 0 ? total / static_cast<double>(ok_runs) : -1.0;
 }
+
+/// \brief Wall-clock stopwatch for the self-timed throughput benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// \brief "12.3 KiB" style byte formatting for memory columns.
 inline std::string FormatBytes(size_t bytes) {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/builder.h"
@@ -13,13 +14,19 @@
 #include "eval/metrics.h"
 #include "eval/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace privhp;
 
   const double lat_min = -34.2, lat_max = -33.5;
   const double lon_min = 150.5, lon_max = 151.5;
   RandomEngine data_rng(77);
-  const size_t n = 30000;
+  // Optional argv[1]: ping count (ctest smoke runs pass a small one).
+  const size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : size_t{30000};
+  if (n == 0) {
+    std::fprintf(stderr, "usage: geo_hotspots [n >= 1]\n");
+    return 2;
+  }
   const auto pings = GenerateGeoHotspots(lat_min, lat_max, lon_min, lon_max,
                                          n, 5, &data_rng);
 

@@ -7,19 +7,26 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "core/builder.h"
 #include "domain/ipv4_domain.h"
 #include "eval/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace privhp;
 
   // Synthetic flow trace: 50k packets concentrated on 10 heavy /8s with
   // Zipf-skewed /16 structure inside them.
   RandomEngine trace_rng(1234);
-  const size_t n = 50000;
+  // Optional argv[1]: packet count (ctest smoke runs pass a small one).
+  const size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : size_t{50000};
+  if (n == 0) {
+    std::fprintf(stderr, "usage: ipv4_flows [n >= 1]\n");
+    return 2;
+  }
   const auto trace = GenerateIpv4Trace(n, 10, 1.3, &trace_rng);
 
   Ipv4Domain domain;

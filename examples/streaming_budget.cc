@@ -5,6 +5,7 @@
 // Theorem 1: memory is the knob, utility degrades gracefully.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/nonprivate.h"
 #include "baselines/pmm.h"
@@ -13,10 +14,16 @@
 #include "eval/wasserstein.h"
 #include "eval/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace privhp;
 
-  const size_t n = 1 << 15;
+  // Optional argv[1]: stream length (ctest smoke runs pass a small one).
+  const size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : size_t{1} << 15;
+  if (n == 0) {
+    std::fprintf(stderr, "usage: streaming_budget [n >= 1]\n");
+    return 2;
+  }
   RandomEngine data_rng(2025);
   const auto stream = GenerateZipfCells(1, n, 10, 1.2, &data_rng);
   IntervalDomain domain;

@@ -10,9 +10,15 @@ NonPrivateResampler::NonPrivateResampler(std::vector<Point> data)
   PRIVHP_CHECK(!data_.empty());
 }
 
+Status NonPrivateResampler::Add(const Point& x) {
+  data_.push_back(x);
+  return Status::OK();
+}
+
 std::vector<Point> NonPrivateResampler::Generate(size_t m,
                                                  RandomEngine* rng) const {
   std::vector<Point> out;
+  if (data_.empty()) return out;
   out.reserve(m);
   for (size_t i = 0; i < m; ++i) {
     out.push_back(data_[rng->UniformInt(data_.size())]);

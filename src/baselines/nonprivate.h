@@ -12,14 +12,24 @@
 #include "baselines/synthetic_source.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "io/point_sink.h"
 
 namespace privhp {
 
 /// \brief Samples with replacement from the stored dataset. NOT private;
 /// memory O(dn). The utility floor in every comparison table.
-class NonPrivateResampler : public SyntheticDataSource {
+///
+/// Also a PointSink, so the same stream plumbing that feeds PrivHP
+/// shards can feed the control (it simply stores every point).
+class NonPrivateResampler : public SyntheticDataSource, public PointSink {
  public:
+  /// \brief Starts empty; fill through the PointSink interface.
+  NonPrivateResampler() = default;
+
   explicit NonPrivateResampler(std::vector<Point> data);
+
+  Status Add(const Point& x) override;
+  uint64_t num_processed() const override { return data_.size(); }
 
   std::vector<Point> Generate(size_t m, RandomEngine* rng) const override;
   size_t BuildMemoryBytes() const override;

@@ -1,17 +1,19 @@
 #include "core/builder.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 #include "common/macros.h"
 #include "hierarchy/grow_partition.h"
+#include "sketch/private_sketch.h"
 
 namespace privhp {
 
 namespace {
-
-// Arena id of (level, index) in a complete BFS-built tree: level l
-// occupies slots [2^l - 1, 2^{l+1} - 1).
-inline NodeId CompleteNodeId(int level, uint64_t index) {
-  return static_cast<NodeId>(((uint64_t{1} << level) - 1) + index);
-}
 
 // Adapts the per-level private sketches to GrowPartition's interface.
 class SketchLevelSource : public LevelFrequencySource {
@@ -34,10 +36,11 @@ class SketchLevelSource : public LevelFrequencySource {
 
 }  // namespace
 
-PrivHPBuilder::PrivHPBuilder(const Domain* domain, ResolvedPlan plan)
+PrivHPBuilder::PrivHPBuilder(const Domain* domain, ResolvedPlan plan,
+                             PrivHPShard root)
     : domain_(domain),
       plan_(std::move(plan)),
-      tree_(domain),
+      root_(std::move(root)),
       rng_(plan_.seed) {}
 
 Result<PrivHPBuilder> PrivHPBuilder::Make(const Domain* domain,
@@ -47,12 +50,13 @@ Result<PrivHPBuilder> PrivHPBuilder::Make(const Domain* domain,
   }
   PRIVHP_ASSIGN_OR_RETURN(ResolvedPlan plan,
                           PlanParameters(*domain, options));
-  PrivHPBuilder builder(domain, std::move(plan));
-  PRIVHP_RETURN_NOT_OK(builder.Init());
+  PRIVHP_ASSIGN_OR_RETURN(PrivHPShard root, PrivHPShard::Make(domain, plan));
+  PrivHPBuilder builder(domain, std::move(plan), std::move(root));
+  PRIVHP_RETURN_NOT_OK(builder.ChargeAccountant());
   return builder;
 }
 
-Status PrivHPBuilder::Init() {
+Status PrivHPBuilder::ChargeAccountant() {
   const ResolvedPlan& p = plan_;
   PRIVHP_ASSIGN_OR_RETURN(
       accountant_,
@@ -62,38 +66,17 @@ Status PrivHPBuilder::Init() {
             PrivacyAccountant::Make(p.privacy_disabled ? 1.0 : p.epsilon));
         return std::make_unique<PrivacyAccountant>(std::move(acc));
       }());
-
-  // Lines 2-6: complete counter tree of depth L*, Laplace(1/sigma_l) per
-  // node.
-  PRIVHP_ASSIGN_OR_RETURN(tree_, PartitionTree::Complete(domain_, p.l_star));
-  if (!p.privacy_disabled) {
-    for (int l = 0; l <= p.l_star; ++l) {
-      const double sigma = p.budget.sigma[l];
-      PRIVHP_RETURN_NOT_OK(
-          accountant_->Charge(sigma, "counters level " + std::to_string(l)));
-      const uint64_t level_size = uint64_t{1} << l;
-      for (uint64_t i = 0; i < level_size; ++i) {
-        tree_.node(CompleteNodeId(l, i)).count = rng_.Laplace(1.0 / sigma);
-      }
-    }
+  if (p.privacy_disabled) return Status::OK();
+  // The whole budget is committed up-front (Lines 2-8): one charge per
+  // counter level and per sketch level, even though the corresponding
+  // noise is only materialized at Finish().
+  for (int l = 0; l <= p.l_star; ++l) {
+    PRIVHP_RETURN_NOT_OK(accountant_->Charge(
+        p.budget.sigma[l], "counters level " + std::to_string(l)));
   }
-
-  // Lines 7-8: one private sketch per level L*+1..L with noise
-  // Laplace(j / sigma_l) per cell.
-  sketches_.reserve(p.l_max - p.l_star);
   for (int l = p.l_star + 1; l <= p.l_max; ++l) {
-    const double sigma = p.privacy_disabled ? 0.0 : p.budget.sigma[l];
-    if (!p.privacy_disabled) {
-      PRIVHP_RETURN_NOT_OK(
-          accountant_->Charge(sigma, "sketch level " + std::to_string(l)));
-    }
-    const uint64_t hash_seed =
-        Mix64(p.seed ^ (0x632be59bd9b4e019ULL + static_cast<uint64_t>(l)));
-    PRIVHP_ASSIGN_OR_RETURN(
-        PrivateCountMinSketch sketch,
-        PrivateCountMinSketch::Make(p.sketch_width, p.sketch_depth, sigma,
-                                    hash_seed, &rng_));
-    sketches_.push_back(std::move(sketch));
+    PRIVHP_RETURN_NOT_OK(accountant_->Charge(
+        p.budget.sigma[l], "sketch level " + std::to_string(l)));
   }
   return Status::OK();
 }
@@ -102,23 +85,25 @@ Status PrivHPBuilder::Add(const Point& x) {
   if (finished_) {
     return Status::FailedPrecondition("builder already finished");
   }
-  PRIVHP_RETURN_NOT_OK(domain_->ValidatePoint(x));
-  // Lines 10-15: one root-to-leaf path of counter increments and sketch
-  // updates.
-  domain_->LocatePath(x, plan_.l_max, &path_scratch_);
-  for (int l = 0; l <= plan_.l_star; ++l) {
-    tree_.node(CompleteNodeId(l, path_scratch_[l])).count += 1.0;
-  }
-  for (int l = plan_.l_star + 1; l <= plan_.l_max; ++l) {
-    sketches_[l - plan_.l_star - 1].Update(path_scratch_[l], 1.0);
-  }
-  ++num_processed_;
-  return Status::OK();
+  return root_.Add(x);
 }
 
 Status PrivHPBuilder::AddAll(const std::vector<Point>& points) {
-  for (const Point& x : points) PRIVHP_RETURN_NOT_OK(Add(x));
-  return Status::OK();
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  return root_.AddAll(points);
+}
+
+Result<PrivHPShard> PrivHPBuilder::NewShard() const {
+  return PrivHPShard::Make(domain_, plan_);
+}
+
+Status PrivHPBuilder::AbsorbShard(PrivHPShard&& shard) {
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  return root_.Merge(std::move(shard));
 }
 
 Result<PrivHPGenerator> PrivHPBuilder::Finish() && {
@@ -126,16 +111,45 @@ Result<PrivHPGenerator> PrivHPBuilder::Finish() && {
     return Status::FailedPrecondition("builder already finished");
   }
   finished_ = true;
+  const ResolvedPlan& p = plan_;
+  PartitionTree tree = std::move(root_.tree_);
+  std::vector<CountMinSketch> bases = std::move(root_.sketches_);
+
+  // Privatization: the per-level Laplace noise of Lines 2-8, applied
+  // exactly once over the merged exact state. Draw order (counter levels
+  // in index order, then sketch cells row-major per level) is fixed by
+  // the plan seed alone, so the release is deterministic in the seed and
+  // independent of how many shards fed the build.
+  if (!p.privacy_disabled) {
+    for (int l = 0; l <= p.l_star; ++l) {
+      const double sigma = p.budget.sigma[l];
+      const uint64_t level_size = uint64_t{1} << l;
+      for (uint64_t i = 0; i < level_size; ++i) {
+        tree.node(CompleteNodeId(l, i)).count += rng_.Laplace(1.0 / sigma);
+      }
+    }
+  }
+  std::vector<PrivateCountMinSketch> sketches;
+  sketches.reserve(bases.size());
+  for (int l = p.l_star + 1; l <= p.l_max; ++l) {
+    const double sigma = p.privacy_disabled ? 0.0 : p.budget.sigma[l];
+    PRIVHP_ASSIGN_OR_RETURN(
+        PrivateCountMinSketch sketch,
+        PrivateCountMinSketch::Privatize(
+            std::move(bases[l - p.l_star - 1]), sigma, &rng_));
+    sketches.push_back(std::move(sketch));
+  }
+  bases.clear();
+
   // Line 16: grow the partition from the sketches (Algorithm 2).
-  SketchLevelSource source(&sketches_, plan_.l_star);
+  SketchLevelSource source(&sketches, p.l_star);
   GrowOptions grow;
-  grow.k = plan_.k;
-  grow.l_star = plan_.l_star;
-  grow.grow_to = plan_.grow_to;
-  grow.enforce_consistency = plan_.enforce_consistency;
-  PRIVHP_RETURN_NOT_OK(GrowPartition(&tree_, source, grow));
-  sketches_.clear();
-  return PrivHPGenerator(std::move(tree_), plan_);
+  grow.k = p.k;
+  grow.l_star = p.l_star;
+  grow.grow_to = p.grow_to;
+  grow.enforce_consistency = p.enforce_consistency;
+  PRIVHP_RETURN_NOT_OK(GrowPartition(&tree, source, grow));
+  return PrivHPGenerator(std::move(tree), plan_);
 }
 
 size_t PrivHPBuilder::MemoryBytes() const {
@@ -144,10 +158,159 @@ size_t PrivHPBuilder::MemoryBytes() const {
 
 PrivHPBuilder::MemoryBreakdown PrivHPBuilder::memory_breakdown() const {
   MemoryBreakdown mb;
-  mb.tree_bytes = tree_.MemoryBytes();
-  for (const auto& s : sketches_) mb.sketch_bytes += s.MemoryBytes();
+  mb.tree_bytes = root_.tree().MemoryBytes();
+  for (const auto& s : root_.sketches()) mb.sketch_bytes += s.MemoryBytes();
   mb.total_bytes = mb.tree_bytes + mb.sketch_bytes;
   return mb;
+}
+
+Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
+    const Domain* domain, const PrivHPOptions& options, PointSource* source,
+    int num_threads) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  PRIVHP_ASSIGN_OR_RETURN(PrivHPBuilder builder, Make(domain, options));
+  if (num_threads == 1) {
+    PRIVHP_RETURN_NOT_OK(Drain(source, &builder));
+    return std::move(builder).Finish();
+  }
+
+  std::vector<PrivHPShard> shards;
+  shards.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    PRIVHP_ASSIGN_OR_RETURN(PrivHPShard shard, builder.NewShard());
+    shards.push_back(std::move(shard));
+  }
+
+  // Single reader (the source is sequential), bounded batch queue, one
+  // worker per shard. Any worker failure drains the queue and stops the
+  // reader; the first error wins.
+  constexpr size_t kBatchSize = 512;
+  const size_t max_queued = static_cast<size_t>(num_threads) * 4;
+  std::mutex mu;
+  std::condition_variable batch_ready;
+  std::condition_variable slot_ready;
+  std::deque<std::vector<Point>> queue;
+  bool done = false;
+  bool failed = false;
+  Status worker_error;
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      PrivHPShard& shard = shards[t];
+      for (;;) {
+        std::vector<Point> batch;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          batch_ready.wait(
+              lock, [&] { return failed || done || !queue.empty(); });
+          if (failed || queue.empty()) return;
+          batch = std::move(queue.front());
+          queue.pop_front();
+          slot_ready.notify_one();
+        }
+        const Status added = shard.AddAll(batch);
+        if (!added.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!failed) {
+            failed = true;
+            worker_error = added;
+          }
+          batch_ready.notify_all();
+          slot_ready.notify_all();
+          return;
+        }
+      }
+    });
+  }
+
+  Status read_error;
+  {
+    std::vector<Point> batch;
+    batch.reserve(kBatchSize);
+    Point x;
+    bool more = true;
+    while (more) {
+      Result<bool> next = source->Next(&x);
+      if (!next.ok()) {
+        read_error = next.status();
+        break;
+      }
+      more = *next;
+      if (more) batch.push_back(x);
+      if (!batch.empty() && (!more || batch.size() >= kBatchSize)) {
+        std::unique_lock<std::mutex> lock(mu);
+        slot_ready.wait(lock,
+                        [&] { return failed || queue.size() < max_queued; });
+        if (failed) break;
+        queue.push_back(std::move(batch));
+        batch = std::vector<Point>();
+        batch.reserve(kBatchSize);
+        batch_ready.notify_one();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  batch_ready.notify_all();
+  for (std::thread& w : workers) w.join();
+  if (!read_error.ok()) return read_error;
+  if (failed) return worker_error;
+
+  for (PrivHPShard& shard : shards) {
+    PRIVHP_RETURN_NOT_OK(builder.AbsorbShard(std::move(shard)));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
+    const Domain* domain, const PrivHPOptions& options,
+    const std::vector<Point>& points, int num_threads) {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  PRIVHP_ASSIGN_OR_RETURN(PrivHPBuilder builder, Make(domain, options));
+  if (num_threads == 1 || points.size() < 2) {
+    PRIVHP_RETURN_NOT_OK(builder.AddAll(points));
+    return std::move(builder).Finish();
+  }
+  const size_t threads =
+      std::min(static_cast<size_t>(num_threads), points.size());
+
+  std::vector<PrivHPShard> shards;
+  shards.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    PRIVHP_ASSIGN_OR_RETURN(PrivHPShard shard, builder.NewShard());
+    shards.push_back(std::move(shard));
+  }
+
+  // Contiguous slices, one per worker; no queue, no copies.
+  std::vector<Status> results(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (points.size() + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = std::min(t * chunk, points.size());
+    const size_t end = std::min(begin + chunk, points.size());
+    workers.emplace_back([&, t, begin, end]() {
+      results[t] = shards[t].AddRange(points, begin, end);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const Status& s : results) PRIVHP_RETURN_NOT_OK(s);
+
+  for (PrivHPShard& shard : shards) {
+    PRIVHP_RETURN_NOT_OK(builder.AbsorbShard(std::move(shard)));
+  }
+  return std::move(builder).Finish();
 }
 
 }  // namespace privhp

@@ -1,17 +1,33 @@
-// The one-pass PrivHP builder (paper Algorithm 1).
+// The one-pass PrivHP builder (paper Algorithm 1), split into two phases
+// so parallel multi-stream ingestion is first-class:
+//
+//   accumulate — PrivHPShard holds the linear, noise-free state (exact
+//                counter tree + plain Count-Min sketches). Any number of
+//                shards ingest disjoint stream partitions concurrently
+//                and merge element-wise (core/shard.h);
+//   privatize  — PrivHPBuilder owns planning and the privacy accountant,
+//                absorbs shards, and applies the per-level Laplace noise
+//                exactly once at Finish() before GrowPartition releases
+//                the generator (Line 16).
+//
+// Noise-at-finish is distributionally identical to Algorithm 1's
+// noise-at-init because the noise is data-independent; under a fixed
+// seed, an S-shard build is bit-for-bit identical to the 1-shard build
+// (counter and sketch increments are integer-valued, so merge order
+// cannot perturb floating point).
 //
 // Lifecycle:
-//   1. Make()   — initialize the depth-L* counter tree with Laplace(1/
-//                 sigma_l) noise per node and one private Count-Min sketch
-//                 per level L*+1..L (Lines 2-8);
-//   2. Add()    — stream points: each update increments one counter per
-//                 exact level and one sketch per deep level (Lines 9-15);
-//   3. Finish() — GrowPartition from the sketches and release the
-//                 generator (Line 16). Consumes the builder.
+//   1. Make()        — resolve the plan, allocate the root shard, charge
+//                      the privacy accountant (Lines 2-8 minus noise);
+//   2. Add()         — stream points into the root shard (Lines 9-15);
+//      or NewShard() / AbsorbShard() — partition the stream yourself;
+//      or BuildParallel() — let the builder partition it across threads;
+//   3. Finish()      — noise once, GrowPartition, release the generator.
+//                      Consumes the builder.
 //
 // The builder is the bounded-memory component: its footprint is
-// O(2^{L*} + (L - L*) w j) = O(k log^2 n) words, independent of the
-// stream length.
+// O(2^{L*} + (L - L*) w j) = O(k log^2 n) words per shard, independent
+// of the stream length.
 
 #ifndef PRIVHP_CORE_BUILDER_H_
 #define PRIVHP_CORE_BUILDER_H_
@@ -22,40 +38,66 @@
 #include "core/generator.h"
 #include "core/options.h"
 #include "core/planner.h"
+#include "core/shard.h"
 #include "domain/domain.h"
 #include "dp/privacy_accountant.h"
-#include "hierarchy/partition_tree.h"
-#include "sketch/private_sketch.h"
+#include "io/point_sink.h"
 
 namespace privhp {
 
 /// \brief Streaming builder for a PrivHPGenerator.
-class PrivHPBuilder {
+class PrivHPBuilder : public PointSink {
  public:
-  /// \brief Resolves \p options against \p domain, allocates and noise-
-  /// initializes all structures, and charges the privacy accountant.
-  /// \p domain must outlive the builder and the generator it produces.
+  /// \brief Resolves \p options against \p domain, allocates the root
+  /// shard, and charges the privacy accountant. \p domain must outlive
+  /// the builder and the generator it produces.
   static Result<PrivHPBuilder> Make(const Domain* domain,
                                     const PrivHPOptions& options);
 
   /// \brief Processes one stream element (Lines 9-15).
-  Status Add(const Point& x);
+  Status Add(const Point& x) override;
 
   /// \brief Processes a batch of points.
-  Status AddAll(const std::vector<Point>& points);
+  Status AddAll(const std::vector<Point>& points) override;
 
-  /// \brief Runs GrowPartition and releases the generator (Line 16).
+  /// \brief A fresh accumulation shard sharing this build's plan (and
+  /// hence its hash-seed family). Shards are independent: ingest into
+  /// them from any thread, then AbsorbShard() them back — the builder
+  /// itself is not thread-safe, only the shards are disjoint.
+  Result<PrivHPShard> NewShard() const;
+
+  /// \brief Merges \p shard's counters and sketches into the builder.
+  Status AbsorbShard(PrivHPShard&& shard);
+
+  /// \brief Runs GrowPartition and releases the generator (Line 16),
+  /// applying the per-level Laplace noise exactly once first.
   /// The builder must not be used afterwards.
   Result<PrivHPGenerator> Finish() &&;
+
+  /// \brief One-call parallel build: drains \p source, dispatching
+  /// batches to \p num_threads worker threads each owning one shard,
+  /// then absorbs all shards and finishes. Deterministic: the result is
+  /// bit-for-bit identical to a sequential build with the same options.
+  static Result<PrivHPGenerator> BuildParallel(const Domain* domain,
+                                               const PrivHPOptions& options,
+                                               PointSource* source,
+                                               int num_threads);
+
+  /// \brief In-memory overload: slices \p points into contiguous ranges,
+  /// one per thread, avoiding the dispatch queue entirely.
+  static Result<PrivHPGenerator> BuildParallel(
+      const Domain* domain, const PrivHPOptions& options,
+      const std::vector<Point>& points, int num_threads);
 
   /// \brief Resolved parameters in use.
   const ResolvedPlan& plan() const { return plan_; }
 
-  /// \brief Points processed so far.
-  uint64_t num_processed() const { return num_processed_; }
+  /// \brief Points processed so far (root shard only; shards created via
+  /// NewShard() count once absorbed).
+  uint64_t num_processed() const override { return root_.num_processed(); }
 
   /// \brief Current streaming footprint: counter tree + sketches + hash
-  /// tables. This is the paper's M, measured.
+  /// tables. This is the paper's M, measured (per shard).
   size_t MemoryBytes() const;
 
   /// \brief Per-component memory, for the EXP-PERF report.
@@ -70,19 +112,16 @@ class PrivHPBuilder {
   const PrivacyAccountant& accountant() const { return *accountant_; }
 
  private:
-  PrivHPBuilder(const Domain* domain, ResolvedPlan plan);
+  PrivHPBuilder(const Domain* domain, ResolvedPlan plan, PrivHPShard root);
 
-  Status Init();
+  Status ChargeAccountant();
 
   const Domain* domain_;
   ResolvedPlan plan_;
-  PartitionTree tree_;
-  std::vector<PrivateCountMinSketch> sketches_;  // level l_star+1+i
+  PrivHPShard root_;
   std::unique_ptr<PrivacyAccountant> accountant_;
   RandomEngine rng_;
-  uint64_t num_processed_ = 0;
   bool finished_ = false;
-  std::vector<uint64_t> path_scratch_;
 };
 
 }  // namespace privhp

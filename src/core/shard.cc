@@ -1,0 +1,98 @@
+#include "core/shard.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+uint64_t SketchHashSeed(uint64_t plan_seed, int level) {
+  return Mix64(plan_seed ^
+               (0x632be59bd9b4e019ULL + static_cast<uint64_t>(level)));
+}
+
+PrivHPShard::PrivHPShard(const Domain* domain, ResolvedPlan plan,
+                         PartitionTree tree)
+    : domain_(domain), plan_(std::move(plan)), tree_(std::move(tree)) {}
+
+Result<PrivHPShard> PrivHPShard::Make(const Domain* domain,
+                                      const ResolvedPlan& plan) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("domain must not be null");
+  }
+  PRIVHP_ASSIGN_OR_RETURN(PartitionTree tree,
+                          PartitionTree::Complete(domain, plan.l_star));
+  PrivHPShard shard(domain, plan, std::move(tree));
+  shard.sketches_.reserve(plan.l_max - plan.l_star);
+  for (int l = plan.l_star + 1; l <= plan.l_max; ++l) {
+    PRIVHP_ASSIGN_OR_RETURN(
+        CountMinSketch sketch,
+        CountMinSketch::Make(plan.sketch_width, plan.sketch_depth,
+                             SketchHashSeed(plan.seed, l)));
+    shard.sketches_.push_back(std::move(sketch));
+  }
+  return shard;
+}
+
+Status PrivHPShard::Add(const Point& x) {
+  PRIVHP_RETURN_NOT_OK(domain_->ValidatePoint(x));
+  // Lines 10-15: one root-to-leaf path of counter increments and sketch
+  // updates.
+  domain_->LocatePath(x, plan_.l_max, &path_scratch_);
+  for (int l = 0; l <= plan_.l_star; ++l) {
+    tree_.node(CompleteNodeId(l, path_scratch_[l])).count += 1.0;
+  }
+  for (int l = plan_.l_star + 1; l <= plan_.l_max; ++l) {
+    sketches_[l - plan_.l_star - 1].Update(path_scratch_[l], 1.0);
+  }
+  ++num_processed_;
+  return Status::OK();
+}
+
+Status PrivHPShard::AddAll(const std::vector<Point>& points) {
+  return AddRange(points, 0, points.size());
+}
+
+Status PrivHPShard::AddRange(const std::vector<Point>& points, size_t begin,
+                             size_t end) {
+  if (begin > end || end > points.size()) {
+    return Status::OutOfRange("AddRange bounds [" + std::to_string(begin) +
+                              ", " + std::to_string(end) +
+                              ") exceed dataset of size " +
+                              std::to_string(points.size()));
+  }
+  for (size_t i = begin; i < end; ++i) {
+    PRIVHP_RETURN_NOT_OK(Add(points[i]));
+  }
+  return Status::OK();
+}
+
+Status PrivHPShard::Merge(PrivHPShard&& other) {
+  if (other.domain_ != domain_) {
+    return Status::InvalidArgument(
+        "cannot merge shards over different domains");
+  }
+  if (other.plan_.seed != plan_.seed || other.plan_.l_star != plan_.l_star ||
+      other.plan_.l_max != plan_.l_max ||
+      other.plan_.sketch_width != plan_.sketch_width ||
+      other.plan_.sketch_depth != plan_.sketch_depth) {
+    return Status::InvalidArgument(
+        "cannot merge shards built from different plans (" +
+        plan_.ToString() + " vs " + other.plan_.ToString() + ")");
+  }
+  PRIVHP_RETURN_NOT_OK(tree_.MergeCounts(other.tree_));
+  PRIVHP_DCHECK(sketches_.size() == other.sketches_.size());
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    PRIVHP_RETURN_NOT_OK(sketches_[i].Merge(other.sketches_[i]));
+  }
+  num_processed_ += other.num_processed_;
+  return Status::OK();
+}
+
+size_t PrivHPShard::MemoryBytes() const {
+  size_t bytes = tree_.MemoryBytes();
+  for (const CountMinSketch& s : sketches_) bytes += s.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace privhp

@@ -1,0 +1,94 @@
+// The noise-free streaming accumulator of a PrivHP build.
+//
+// Algorithm 1's per-point state — one counter per exact level, one
+// Count-Min update per deep level — is linear in the stream, so it can be
+// accumulated independently on any number of shards and merged
+// element-wise. A PrivHPShard holds exactly that state: an exact counter
+// tree of depth L* and one *plain* (un-noised) Count-Min sketch per level
+// L*+1..L, all sharing the hash-seed family derived from the plan seed.
+//
+// Privatization is NOT the shard's job. The coordinating PrivHPBuilder
+// owns the privacy accountant and applies the per-level Laplace noise
+// exactly once at Finish(), after every shard has been absorbed — the
+// noise is data-independent, so noise-at-finish is distributionally
+// identical to Algorithm 1's noise-at-init, and an S-shard build is
+// bit-for-bit identical to the 1-shard build under a fixed seed.
+//
+// DANGER: a shard's state is NOT private. Never release shard contents;
+// only the builder's Finish() output is an eps-DP artifact.
+
+#ifndef PRIVHP_CORE_SHARD_H_
+#define PRIVHP_CORE_SHARD_H_
+
+#include <vector>
+
+#include "core/planner.h"
+#include "domain/domain.h"
+#include "hierarchy/partition_tree.h"
+#include "io/point_sink.h"
+#include "sketch/count_min_sketch.h"
+
+namespace privhp {
+
+/// \brief Hash seed of the level-\p level sketch in a build planned with
+/// \p plan_seed. Every shard of a build derives its hashes from the plan
+/// seed alone, which is what makes shard sketches mergeable.
+uint64_t SketchHashSeed(uint64_t plan_seed, int level);
+
+/// \brief Exact (pre-noise) accumulation state for one stream partition.
+class PrivHPShard : public PointSink {
+ public:
+  /// \brief Allocates zeroed accumulation state for \p plan. \p domain
+  /// must outlive the shard. Prefer PrivHPBuilder::NewShard(), which
+  /// guarantees all shards of a build share one plan.
+  static Result<PrivHPShard> Make(const Domain* domain,
+                                  const ResolvedPlan& plan);
+
+  /// \brief Processes one stream element (Algorithm 1 Lines 10-15,
+  /// without noise).
+  Status Add(const Point& x) override;
+
+  /// \brief Processes a batch of points.
+  Status AddAll(const std::vector<Point>& points) override;
+
+  /// \brief Processes points[begin..end) (BuildParallel slices a dataset
+  /// into contiguous ranges without copying).
+  Status AddRange(const std::vector<Point>& points, size_t begin,
+                  size_t end);
+
+  /// \brief Element-wise adds \p other's counters and sketch tables.
+  ///
+  /// Associative and commutative; requires \p other to come from the same
+  /// plan (same domain, levels, sketch shape and seed family).
+  Status Merge(PrivHPShard&& other);
+
+  uint64_t num_processed() const override { return num_processed_; }
+
+  /// \brief The plan this shard accumulates under.
+  const ResolvedPlan& plan() const { return plan_; }
+
+  /// \brief Exact counter tree of depth L* (pre-noise; see file comment).
+  const PartitionTree& tree() const { return tree_; }
+
+  /// \brief Plain per-level sketches, index i = level L*+1+i (pre-noise).
+  const std::vector<CountMinSketch>& sketches() const { return sketches_; }
+
+  /// \brief Streaming footprint: counter tree + sketches.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class PrivHPBuilder;  // Finish() consumes tree_ and sketches_.
+
+  PrivHPShard(const Domain* domain, ResolvedPlan plan, PartitionTree tree);
+
+  const Domain* domain_;
+  ResolvedPlan plan_;
+  PartitionTree tree_;
+  std::vector<CountMinSketch> sketches_;  // level l_star+1+i
+  std::vector<uint64_t> path_scratch_;
+  uint64_t num_processed_ = 0;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_CORE_SHARD_H_

@@ -103,6 +103,28 @@ void PartitionTree::PreOrder(const std::function<void(NodeId)>& fn) const {
   }
 }
 
+Status PartitionTree::MergeCounts(const PartitionTree& other) {
+  if (other.nodes_.size() != nodes_.size()) {
+    return Status::InvalidArgument(
+        "cannot merge trees with different node counts: " +
+        std::to_string(nodes_.size()) + " vs " +
+        std::to_string(other.nodes_.size()));
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& a = nodes_[i];
+    const TreeNode& b = other.nodes_[i];
+    if (!(a.cell == b.cell) || a.left != b.left || a.right != b.right) {
+      return Status::InvalidArgument(
+          "cannot merge trees with different structure at node " +
+          std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].count += other.nodes_[i].count;
+  }
+  return Status::OK();
+}
+
 size_t PartitionTree::MemoryBytes() const {
   return nodes_.size() * sizeof(TreeNode) + sizeof(*this);
 }

@@ -22,6 +22,14 @@ namespace privhp {
 using NodeId = int32_t;
 inline constexpr NodeId kInvalidNode = -1;
 
+/// \brief Arena id of (level, index) in a complete BFS-built tree (as
+/// produced by PartitionTree::Complete): level l occupies slots
+/// [2^l - 1, 2^{l+1} - 1), so counters can be addressed without a
+/// root-to-node walk.
+inline NodeId CompleteNodeId(int level, uint64_t index) {
+  return static_cast<NodeId>(((uint64_t{1} << level) - 1) + index);
+}
+
 /// \brief One subdomain Omega_theta and its (noisy) count.
 struct TreeNode {
   CellId cell;
@@ -72,6 +80,14 @@ class PartitionTree {
 
   /// \brief Calls \p fn on every node in pre-order (parent before children).
   void PreOrder(const std::function<void(NodeId)>& fn) const;
+
+  /// \brief Element-wise adds \p other's counts into this tree.
+  ///
+  /// Counts are linear in the data, so trees accumulated over disjoint
+  /// stream shards merge exactly. Requires an identical arena: same node
+  /// count, cells and child links (true of any two Complete() trees of
+  /// the same depth over the same decomposition).
+  Status MergeCounts(const PartitionTree& other);
 
   /// \brief Bytes held by the node arena.
   size_t MemoryBytes() const;

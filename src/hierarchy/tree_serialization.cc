@@ -8,12 +8,18 @@
 namespace privhp {
 
 namespace {
-constexpr char kMagic[] = "privhp-tree-v1";
+// v1 header: magic, domain name (informational), node count.
+// v2 header: magic, domain name, dimension — both validated on load so a
+// tree cannot be sampled through the wrong domain (e.g. a dim-1 tree
+// loaded as dim-2 would fabricate coordinates).
+constexpr char kMagicV1[] = "privhp-tree-v1";
+constexpr char kMagicV2[] = "privhp-tree-v2";
 }  // namespace
 
 Status SaveTree(const PartitionTree& tree, std::ostream* os) {
-  (*os) << kMagic << "\n";
+  (*os) << kMagicV2 << "\n";
   (*os) << tree.domain()->Name() << "\n";
+  (*os) << tree.domain()->dimension() << "\n";
   (*os) << tree.num_nodes() << "\n";
   os->precision(std::numeric_limits<double>::max_digits10);
   for (size_t i = 0; i < tree.num_nodes(); ++i) {
@@ -30,13 +36,33 @@ Result<PartitionTree> LoadTree(const Domain* domain, std::istream* is) {
     return Status::InvalidArgument("domain must not be null");
   }
   std::string magic;
-  if (!std::getline(*is, magic) || magic != kMagic) {
+  if (!std::getline(*is, magic) ||
+      (magic != kMagicV1 && magic != kMagicV2)) {
     return Status::IOError("bad tree header (expected '" +
-                           std::string(kMagic) + "')");
+                           std::string(kMagicV1) + "' or '" +
+                           std::string(kMagicV2) + "')");
   }
   std::string domain_name;
   if (!std::getline(*is, domain_name)) {
     return Status::IOError("missing domain line");
+  }
+  if (domain_name != domain->Name()) {
+    return Status::InvalidArgument(
+        "tree was serialized over domain '" + domain_name +
+        "' but is being loaded over '" + domain->Name() +
+        "'; samples would be fabricated");
+  }
+  if (magic == kMagicV2) {
+    int dimension = 0;
+    if (!((*is) >> dimension)) {
+      return Status::IOError("missing dimension line");
+    }
+    if (dimension != domain->dimension()) {
+      return Status::InvalidArgument(
+          "tree was serialized with dimension " + std::to_string(dimension) +
+          " but the loading domain has dimension " +
+          std::to_string(domain->dimension()));
+    }
   }
   size_t num_nodes = 0;
   if (!((*is) >> num_nodes) || num_nodes == 0) {

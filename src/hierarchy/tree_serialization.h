@@ -4,8 +4,10 @@
 // retaining the stream.
 //
 // Format: line-oriented text — a header with a magic string, the domain
-// name (informational) and node count, then one `level index count
-// left right` line per node in arena order. Self-validating on load.
+// name, the domain dimension (since v2) and node count, then one `level
+// index count left right` line per node in arena order. Self-validating
+// on load: structure is checked, and the domain name/dimension must match
+// the loading domain (v1 files validate the name only).
 
 #ifndef PRIVHP_HIERARCHY_TREE_SERIALIZATION_H_
 #define PRIVHP_HIERARCHY_TREE_SERIALIZATION_H_

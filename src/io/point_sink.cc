@@ -1,0 +1,39 @@
+#include "io/point_sink.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+Status PointSink::AddAll(const std::vector<Point>& points) {
+  for (const Point& x : points) PRIVHP_RETURN_NOT_OK(Add(x));
+  return Status::OK();
+}
+
+Result<bool> VectorPointSource::Next(Point* out) {
+  if (points_ == nullptr) {
+    return Status::InvalidArgument("vector point source has no backing data");
+  }
+  if (next_ >= points_->size()) return false;
+  *out = (*points_)[next_++];
+  return true;
+}
+
+Status CollectingSink::Add(const Point& x) {
+  if (domain_ != nullptr) PRIVHP_RETURN_NOT_OK(domain_->ValidatePoint(x));
+  points_.push_back(x);
+  return Status::OK();
+}
+
+Status Drain(PointSource* source, PointSink* sink) {
+  if (source == nullptr || sink == nullptr) {
+    return Status::InvalidArgument("Drain requires a source and a sink");
+  }
+  Point x;
+  for (;;) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, source->Next(&x));
+    if (!more) return Status::OK();
+    PRIVHP_RETURN_NOT_OK(sink->Add(x));
+  }
+}
+
+}  // namespace privhp

@@ -1,0 +1,84 @@
+// Uniform producer/consumer interfaces for point streams.
+//
+// The build side of PrivHP is linear: shards, builders and baselines all
+// consume a stream one point at a time. PointSink is the consumer
+// interface they share, and PointSource is the producer interface file
+// readers and in-memory vectors share, so any source can feed any
+// consumer (Drain) — including several sinks in parallel, which is how
+// BuildParallel partitions one stream across worker shards.
+
+#ifndef PRIVHP_IO_POINT_SINK_H_
+#define PRIVHP_IO_POINT_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief A consumer of streamed points (shards, builders, baselines).
+class PointSink {
+ public:
+  virtual ~PointSink() = default;
+
+  /// \brief Processes one stream element.
+  virtual Status Add(const Point& x) = 0;
+
+  /// \brief Processes a batch; default forwards to Add point-by-point.
+  virtual Status AddAll(const std::vector<Point>& points);
+
+  /// \brief Points accepted so far (rejected points do not count).
+  virtual uint64_t num_processed() const = 0;
+};
+
+/// \brief A producer of streamed points (file readers, vectors, sockets).
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  /// \brief Reads the next point into \p out. Returns false at
+  /// end-of-stream, an error Status on malformed input.
+  virtual Result<bool> Next(Point* out) = 0;
+};
+
+/// \brief PointSource over an in-memory dataset (not owned).
+class VectorPointSource : public PointSource {
+ public:
+  explicit VectorPointSource(const std::vector<Point>* points)
+      : points_(points) {}
+
+  Result<bool> Next(Point* out) override;
+
+ private:
+  const std::vector<Point>* points_;
+  size_t next_ = 0;
+};
+
+/// \brief PointSink that materializes the stream; adapts vector-built
+/// consumers (PMM, the flat histogram, ...) to streaming plumbing.
+class CollectingSink : public PointSink {
+ public:
+  /// \param domain Optional; when set, points are validated on Add.
+  explicit CollectingSink(const Domain* domain = nullptr)
+      : domain_(domain) {}
+
+  Status Add(const Point& x) override;
+  uint64_t num_processed() const override { return points_.size(); }
+
+  const std::vector<Point>& points() const { return points_; }
+  std::vector<Point> TakePoints() { return std::move(points_); }
+
+ private:
+  const Domain* domain_;
+  std::vector<Point> points_;
+};
+
+/// \brief Pumps \p source dry into \p sink. Stops at the first error from
+/// either side and returns it.
+Status Drain(PointSource* source, PointSink* sink);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_IO_POINT_SINK_H_

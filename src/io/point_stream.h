@@ -17,18 +17,20 @@
 
 #include "common/status.h"
 #include "domain/domain.h"
+#include "io/point_sink.h"
 
 namespace privhp {
 
-/// \brief Streaming CSV point reader.
-class CsvPointReader {
+/// \brief Streaming CSV point reader (a PointSource: feed it to any
+/// PointSink with Drain, or to PrivHPBuilder::BuildParallel).
+class CsvPointReader : public PointSource {
  public:
   /// \brief Opens \p path expecting \p dimension coordinates per line.
   static Result<CsvPointReader> Open(const std::string& path, int dimension);
 
   /// \brief Reads the next point into \p out. Returns false at EOF.
   /// Malformed lines produce an error Status carrying the line number.
-  Result<bool> Next(Point* out);
+  Result<bool> Next(Point* out) override;
 
   /// \brief Lines consumed so far (including skipped ones).
   size_t line_number() const { return line_number_; }

@@ -9,6 +9,7 @@ namespace privhp {
 CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
     : width_(width),
       depth_(depth),
+      seed_(seed),
       hashes_(),
       cells_(width * depth, 0.0) {
   PRIVHP_CHECK(width_ >= 1);
@@ -49,6 +50,21 @@ size_t CountMinSketch::MemoryBytes() const {
 
 void CountMinSketch::AddLaplaceNoise(RandomEngine* rng, double scale) {
   for (double& cell : cells_) cell += rng->Laplace(scale);
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    return Status::InvalidArgument(
+        "cannot merge count-min sketches of different shape: " +
+        std::to_string(depth_) + "x" + std::to_string(width_) + " vs " +
+        std::to_string(other.depth_) + "x" + std::to_string(other.width_));
+  }
+  if (other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "cannot merge count-min sketches with different hash seeds");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  return Status::OK();
 }
 
 double CountMinSketch::CellValue(size_t row, size_t col) const {

@@ -43,6 +43,13 @@ class CountMinSketch : public FrequencyOracle {
   /// (oblivious noise; used for private release, Section 3.4).
   void AddLaplaceNoise(RandomEngine* rng, double scale);
 
+  /// \brief Element-wise adds \p other's cells into this sketch.
+  ///
+  /// Count-Min is linear: sketch(X) + sketch(Y) = sketch(X ++ Y) when both
+  /// sides hash with the same family, so merging shard sketches is exact.
+  /// Requires identical width, depth and hash seed.
+  Status Merge(const CountMinSketch& other);
+
   /// \brief Raw cell value (row-major); for tests and audits.
   double CellValue(size_t row, size_t col) const;
 
@@ -55,9 +62,13 @@ class CountMinSketch : public FrequencyOracle {
   size_t width() const { return width_; }
   size_t depth() const { return depth_; }
 
+  /// \brief The hash-family seed; sketches merge only when it matches.
+  uint64_t seed() const { return seed_; }
+
  private:
   size_t width_;
   size_t depth_;
+  uint64_t seed_;
   std::vector<CompactHash> hashes_;
   std::vector<double> cells_;  // row-major depth_ x width_
 };

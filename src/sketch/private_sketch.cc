@@ -1,31 +1,34 @@
 #include "sketch/private_sketch.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace privhp {
 
-PrivateCountMinSketch::PrivateCountMinSketch(size_t width, size_t depth,
-                                             double epsilon, uint64_t seed,
-                                             RandomEngine* rng)
-    : base_(width, depth, seed), epsilon_(epsilon) {
-  if (epsilon_ > 0.0) {
-    PRIVHP_CHECK(rng != nullptr);
-    base_.AddLaplaceNoise(rng, NoiseScale());
-  }
-}
+PrivateCountMinSketch::PrivateCountMinSketch(CountMinSketch base,
+                                             double epsilon)
+    : base_(std::move(base)), epsilon_(epsilon) {}
 
 Result<PrivateCountMinSketch> PrivateCountMinSketch::Make(
     size_t width, size_t depth, double epsilon, uint64_t seed,
     RandomEngine* rng) {
-  if (width == 0 || depth == 0) {
-    return Status::InvalidArgument(
-        "private count-min sketch requires width >= 1 and depth >= 1");
-  }
+  PRIVHP_ASSIGN_OR_RETURN(CountMinSketch base,
+                          CountMinSketch::Make(width, depth, seed));
+  return Privatize(std::move(base), epsilon, rng);
+}
+
+Result<PrivateCountMinSketch> PrivateCountMinSketch::Privatize(
+    CountMinSketch base, double epsilon, RandomEngine* rng) {
   if (epsilon > 0.0 && rng == nullptr) {
     return Status::InvalidArgument(
         "private count-min sketch with epsilon > 0 requires a noise source");
   }
-  return PrivateCountMinSketch(width, depth, epsilon, seed, rng);
+  PrivateCountMinSketch sketch(std::move(base), epsilon);
+  if (epsilon > 0.0) {
+    sketch.base_.AddLaplaceNoise(rng, sketch.NoiseScale());
+  }
+  return sketch;
 }
 
 void PrivateCountMinSketch::Update(uint64_t key, double delta) {

@@ -2,9 +2,15 @@
 //
 // A linear sketch C satisfies C(X) - C(X') = C(X - X') on neighboring
 // inputs, so one unit update has L1 sensitivity equal to the number of
-// rows j. Adding i.i.d. Laplace(j/eps) to every cell — obliviously, at
-// initialization — makes the released table eps-DP (Lemma 1), and any
-// query against the noisy table is private by post-processing (Lemma 2).
+// rows j. Adding i.i.d. Laplace(j/eps) to every cell makes the released
+// table eps-DP (Lemma 1), and any query against the noisy table is
+// private by post-processing (Lemma 2).
+//
+// Because the noise is data-independent it can be applied at any point:
+// up-front (Make — the one-shard streaming release of Algorithm 1) or
+// after accumulation (Privatize — the sharded build path, where plain
+// mergeable sketches are combined exactly and privatized exactly once at
+// PrivHPBuilder::Finish). Both yield the same output distribution.
 
 #ifndef PRIVHP_SKETCH_PRIVATE_SKETCH_H_
 #define PRIVHP_SKETCH_PRIVATE_SKETCH_H_
@@ -19,23 +25,27 @@
 namespace privhp {
 
 /// \brief An eps-DP Count-Min sketch: Count-Min with oblivious
-/// Laplace(j/eps) noise added to every cell at construction.
+/// Laplace(j/eps) noise added to every cell.
 ///
 /// This is `sketch_l` in Algorithm 1 (Line 8), with noise distribution
 /// D_l = Laplace^{w x j}(j / sigma_l) from Theorem 2 (Equation 3).
 class PrivateCountMinSketch : public FrequencyOracle {
  public:
+  /// \brief Builds an empty sketch and privatizes it immediately.
   /// \param width,depth Sketch dimensions (w, j).
   /// \param epsilon Privacy budget of this sketch (sigma_l). epsilon <= 0
   ///        disables noise (used by non-private ablations only).
   /// \param seed Hash seed.
-  /// \param rng Noise source; drawn from at construction time only.
-  PrivateCountMinSketch(size_t width, size_t depth, double epsilon,
-                        uint64_t seed, RandomEngine* rng);
-
+  /// \param rng Noise source.
   static Result<PrivateCountMinSketch> Make(size_t width, size_t depth,
                                             double epsilon, uint64_t seed,
                                             RandomEngine* rng);
+
+  /// \brief Privatizes an accumulated plain sketch: adds Laplace(j/eps)
+  /// per cell (row-major) and takes ownership. The sharded build path.
+  static Result<PrivateCountMinSketch> Privatize(CountMinSketch base,
+                                                 double epsilon,
+                                                 RandomEngine* rng);
 
   void Update(uint64_t key, double delta) override;
   double Estimate(uint64_t key) const override;
@@ -51,6 +61,8 @@ class PrivateCountMinSketch : public FrequencyOracle {
   const CountMinSketch& base() const { return base_; }
 
  private:
+  PrivateCountMinSketch(CountMinSketch base, double epsilon);
+
   CountMinSketch base_;
   double epsilon_;
 };

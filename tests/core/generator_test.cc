@@ -81,5 +81,25 @@ TEST(GeneratorTest, LoadRejectsMissingFile) {
   EXPECT_FALSE(PrivHPGenerator::Load(&domain, "/no/such/file").ok());
 }
 
+// Regression for the PR-1 CLI bug: `privhp sample --dim 2` against a
+// dim-1 tree must error instead of fabricating 2-D points.
+TEST(GeneratorTest, LoadRejectsWrongDomainDimension) {
+  HypercubeDomain dim1(1);
+  RandomEngine rng(31);
+  const PrivHPGenerator generator =
+      BuildSmall(&dim1, GenerateUniform(1, 1000, &rng));
+  const std::string path = ::testing::TempDir() + "/privhp_dim1.txt";
+  ASSERT_TRUE(generator.Save(path).ok());
+
+  HypercubeDomain dim2(2);
+  auto loaded = PrivHPGenerator::Load(&dim2, path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+
+  // The matching domain still loads.
+  EXPECT_TRUE(PrivHPGenerator::Load(&dim1, path).ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace privhp

@@ -74,8 +74,10 @@ TEST(EmpiricalPrivacyTest, PrivateSketchCellRespectsEpsilon) {
   uint64_t noise_seed = 0;
   auto make_output = [&](bool with_extra_element) {
     return [=](RandomEngine* r) mutable {
-      PrivateCountMinSketch sketch(width, depth, epsilon,
-                                   /*hash seed=*/7, r);
+      PrivateCountMinSketch sketch =
+          PrivateCountMinSketch::Make(width, depth, epsilon,
+                                      /*seed=*/7, r)
+              .ValueOrDie();
       sketch.Update(3, 5.0);
       if (with_extra_element) sketch.Update(3, 1.0);
       return sketch.Estimate(3);

@@ -118,5 +118,40 @@ TEST(PartitionTreeTest, MemoryGrowsWithNodes) {
   EXPECT_GT(large->MemoryBytes(), small->MemoryBytes());
 }
 
+TEST(PartitionTreeTest, MergeCountsAddsElementwise) {
+  IntervalDomain domain;
+  auto a = PartitionTree::Complete(&domain, 3);
+  auto b = PartitionTree::Complete(&domain, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->num_nodes(); ++i) {
+    a->node(static_cast<NodeId>(i)).count = static_cast<double>(i);
+    b->node(static_cast<NodeId>(i)).count = 10.0;
+  }
+  ASSERT_TRUE(a->MergeCounts(*b).ok());
+  for (size_t i = 0; i < a->num_nodes(); ++i) {
+    EXPECT_DOUBLE_EQ(a->node(static_cast<NodeId>(i)).count,
+                     static_cast<double>(i) + 10.0);
+  }
+  // The merged-from tree is untouched.
+  EXPECT_DOUBLE_EQ(b->node(0).count, 10.0);
+}
+
+TEST(PartitionTreeTest, MergeCountsRejectsDifferentStructure) {
+  IntervalDomain domain;
+  auto a = PartitionTree::Complete(&domain, 3);
+  auto shallower = PartitionTree::Complete(&domain, 2);
+  ASSERT_TRUE(a.ok() && shallower.ok());
+  EXPECT_TRUE(a->MergeCounts(*shallower).IsInvalidArgument());
+
+  // Same node count, different shape: grow one leaf of a depth-2 tree.
+  auto grown = PartitionTree::Complete(&domain, 2);
+  ASSERT_TRUE(grown.ok());
+  grown->AddChildren(grown->NodesAtLevel(2).front());
+  auto uneven = PartitionTree::Complete(&domain, 2);
+  ASSERT_TRUE(uneven.ok());
+  uneven->AddChildren(uneven->NodesAtLevel(2).back());
+  EXPECT_TRUE(grown->MergeCounts(*uneven).IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace privhp

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "domain/hypercube_domain.h"
 #include "domain/interval_domain.h"
 #include "hierarchy/grow_partition.h"
 
@@ -98,6 +99,36 @@ TEST(TreeSerializationTest, RejectsMissingFile) {
   EXPECT_TRUE(
       LoadTreeFromFile(&domain, "/nonexistent/privhp.tree").status()
           .IsIOError());
+}
+
+TEST(TreeSerializationTest, V1FilesStillLoadWithMatchingDomain) {
+  IntervalDomain domain;
+  std::stringstream ss(
+      "privhp-tree-v1\ninterval[0,1]\n3\n0 0 2.0 1 2\n1 0 1.0 -1 -1\n"
+      "1 1 1.0 -1 -1\n");
+  auto loaded = LoadTree(&domain, &ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+}
+
+TEST(TreeSerializationTest, RejectsDomainNameMismatch) {
+  IntervalDomain interval;
+  HypercubeDomain cube2(2);
+  PartitionTree tree = GrownTree(&interval);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTree(tree, &ss).ok());
+  auto loaded = LoadTree(&cube2, &ss);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+}
+
+TEST(TreeSerializationTest, RejectsDimensionMismatch) {
+  // A forged v2 header whose name matches but whose dimension does not:
+  // the dimension check must catch it independently of the name.
+  IntervalDomain domain;
+  std::stringstream ss(
+      "privhp-tree-v2\ninterval[0,1]\n2\n1\n0 0 1.0 -1 -1\n");
+  auto loaded = LoadTree(&domain, &ss);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+#include "io/point_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/nonprivate.h"
+#include "common/macros.h"
+#include "core/builder.h"
+#include "domain/interval_domain.h"
+#include "io/point_stream.h"
+
+namespace privhp {
+namespace {
+
+// Conformance checks every PointSink implementation must satisfy:
+// Add() counts accepted points, AddAll() behaves like repeated Add().
+void CheckSinkConformance(PointSink* sink) {
+  const uint64_t before = sink->num_processed();
+  ASSERT_TRUE(sink->Add({0.25}).ok());
+  EXPECT_EQ(sink->num_processed(), before + 1);
+  ASSERT_TRUE(sink->AddAll({{0.5}, {0.75}}).ok());
+  EXPECT_EQ(sink->num_processed(), before + 3);
+}
+
+TEST(PointSinkTest, CollectingSinkConforms) {
+  CollectingSink sink;
+  CheckSinkConformance(&sink);
+  EXPECT_EQ(sink.points().size(), 3u);
+  EXPECT_EQ(sink.TakePoints().size(), 3u);
+}
+
+TEST(PointSinkTest, CollectingSinkValidatesAgainstDomain) {
+  IntervalDomain domain;
+  CollectingSink sink(&domain);
+  EXPECT_TRUE(sink.Add({0.5}).ok());
+  EXPECT_TRUE(sink.Add({1.5}).IsOutOfRange());
+  EXPECT_TRUE(sink.Add({0.5, 0.5}).IsInvalidArgument());
+  EXPECT_EQ(sink.num_processed(), 1u);
+}
+
+TEST(PointSinkTest, ResamplerConforms) {
+  NonPrivateResampler resampler;
+  CheckSinkConformance(&resampler);
+  RandomEngine rng(1);
+  EXPECT_EQ(resampler.Generate(5, &rng).size(), 5u);
+}
+
+TEST(PointSinkTest, ShardAndBuilderConform) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 1024;
+  auto builder = PrivHPBuilder::Make(&domain, options);
+  ASSERT_TRUE(builder.ok());
+  CheckSinkConformance(&*builder);
+  auto shard = builder->NewShard();
+  ASSERT_TRUE(shard.ok());
+  CheckSinkConformance(&*shard);
+}
+
+TEST(PointSinkTest, VectorSourceDrainsIntoSink) {
+  const std::vector<Point> data = {{0.1}, {0.2}, {0.3}};
+  VectorPointSource source(&data);
+  CollectingSink sink;
+  ASSERT_TRUE(Drain(&source, &sink).ok());
+  EXPECT_EQ(sink.points(), data);
+  // A drained source stays at EOF.
+  Point scratch;
+  auto more = source.Next(&scratch);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(PointSinkTest, DrainStopsAtFirstSinkError) {
+  IntervalDomain domain;
+  const std::vector<Point> data = {{0.1}, {1.7}, {0.3}};
+  VectorPointSource source(&data);
+  CollectingSink sink(&domain);
+  EXPECT_TRUE(Drain(&source, &sink).IsOutOfRange());
+  EXPECT_EQ(sink.num_processed(), 1u);
+}
+
+TEST(PointSinkTest, DrainRequiresBothEnds) {
+  CollectingSink sink;
+  const std::vector<Point> data;
+  VectorPointSource source(&data);
+  EXPECT_TRUE(Drain(nullptr, &sink).IsInvalidArgument());
+  EXPECT_TRUE(Drain(&source, nullptr).IsInvalidArgument());
+}
+
+// CsvPointReader is a PointSource: the same plumbing that feeds shards
+// reads files.
+TEST(PointSinkTest, CsvReaderFeedsSinkThroughDrain) {
+  const std::string path = ::testing::TempDir() + "/point_sink_test.csv";
+  {
+    std::ofstream out(path);
+    out << "# comment\n0.1,0.2\n\n0.3,0.4\n";
+  }
+  auto reader = CsvPointReader::Open(path, 2);
+  ASSERT_TRUE(reader.ok());
+  CollectingSink sink;
+  ASSERT_TRUE(Drain(&*reader, &sink).ok());
+  const std::vector<Point> expected = {{0.1, 0.2}, {0.3, 0.4}};
+  EXPECT_EQ(sink.points(), expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privhp

@@ -132,5 +132,43 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(3, 6, 10),
                        ::testing::Values(0.5, 1.1, 2.0)));
 
+// Linearity: merging two sketches of disjoint streams equals sketching
+// the concatenated stream, cell for cell.
+TEST(CountMinSketchTest, MergeEqualsCombinedStream) {
+  CountMinSketch a = CountMinSketch::Make(32, 4, 9).ValueOrDie();
+  CountMinSketch b = CountMinSketch::Make(32, 4, 9).ValueOrDie();
+  CountMinSketch combined = CountMinSketch::Make(32, 4, 9).ValueOrDie();
+  for (uint64_t key = 0; key < 50; ++key) {
+    a.Update(key % 11, 1.0);
+    combined.Update(key % 11, 1.0);
+  }
+  for (uint64_t key = 0; key < 80; ++key) {
+    b.Update(key % 7, 2.0);
+    combined.Update(key % 7, 2.0);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  for (size_t row = 0; row < 4; ++row) {
+    for (size_t col = 0; col < 32; ++col) {
+      EXPECT_DOUBLE_EQ(a.CellValue(row, col), combined.CellValue(row, col));
+    }
+  }
+}
+
+TEST(CountMinSketchTest, MergeRejectsShapeMismatch) {
+  CountMinSketch a = CountMinSketch::Make(32, 4, 9).ValueOrDie();
+  CountMinSketch narrow = CountMinSketch::Make(16, 4, 9).ValueOrDie();
+  CountMinSketch shallow = CountMinSketch::Make(32, 3, 9).ValueOrDie();
+  EXPECT_TRUE(a.Merge(narrow).IsInvalidArgument());
+  EXPECT_TRUE(a.Merge(shallow).IsInvalidArgument());
+}
+
+TEST(CountMinSketchTest, MergeRejectsSeedMismatch) {
+  CountMinSketch a = CountMinSketch::Make(32, 4, 9).ValueOrDie();
+  CountMinSketch other = CountMinSketch::Make(32, 4, 10).ValueOrDie();
+  EXPECT_TRUE(a.Merge(other).IsInvalidArgument());
+  EXPECT_EQ(a.seed(), 9u);
+  EXPECT_EQ(other.seed(), 10u);
+}
+
 }  // namespace
 }  // namespace privhp

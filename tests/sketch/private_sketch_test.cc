@@ -9,6 +9,12 @@
 namespace privhp {
 namespace {
 
+PrivateCountMinSketch MakeSketch(size_t width, size_t depth, double epsilon,
+                                 uint64_t seed, RandomEngine* rng) {
+  return PrivateCountMinSketch::Make(width, depth, epsilon, seed, rng)
+      .ValueOrDie();
+}
+
 TEST(PrivateSketchTest, MakeValidatesArguments) {
   RandomEngine rng(1);
   EXPECT_FALSE(PrivateCountMinSketch::Make(0, 4, 1.0, 1, &rng).ok());
@@ -19,24 +25,54 @@ TEST(PrivateSketchTest, MakeValidatesArguments) {
   EXPECT_TRUE(PrivateCountMinSketch::Make(16, 4, 0.0, 1, nullptr).ok());
 }
 
+TEST(PrivateSketchTest, PrivatizeValidatesNoiseSource) {
+  CountMinSketch base = CountMinSketch::Make(16, 4, 1).ValueOrDie();
+  EXPECT_FALSE(
+      PrivateCountMinSketch::Privatize(std::move(base), 1.0, nullptr).ok());
+}
+
 TEST(PrivateSketchTest, NoiseScaleIsDepthOverEpsilon) {
   RandomEngine rng(2);
-  PrivateCountMinSketch sketch(16, 8, 2.0, 1, &rng);
+  PrivateCountMinSketch sketch = MakeSketch(16, 8, 2.0, 1, &rng);
   EXPECT_DOUBLE_EQ(sketch.NoiseScale(), 4.0);
   EXPECT_DOUBLE_EQ(sketch.epsilon(), 2.0);
 }
 
 TEST(PrivateSketchTest, ZeroEpsilonIsExact) {
-  PrivateCountMinSketch sketch(1024, 4, 0.0, 3, nullptr);
+  PrivateCountMinSketch sketch = MakeSketch(1024, 4, 0.0, 3, nullptr);
   sketch.Update(5, 10.0);
   EXPECT_DOUBLE_EQ(sketch.Estimate(5), 10.0);
 }
 
 TEST(PrivateSketchTest, NoisyEstimatesDeviateFromTruth) {
   RandomEngine rng(4);
-  PrivateCountMinSketch sketch(64, 4, 0.5, 5, &rng);
+  PrivateCountMinSketch sketch = MakeSketch(64, 4, 0.5, 5, &rng);
   sketch.Update(7, 100.0);
   EXPECT_NE(sketch.Estimate(7), 100.0);
+}
+
+// Noise-at-finish equivalence: the noise is data-independent, so
+// privatizing an already-accumulated sketch (the sharded build path)
+// yields exactly the cells of updating a noise-at-init sketch — each
+// cell is one (commutative) addition of the same two values.
+TEST(PrivateSketchTest, PrivatizeAfterAccumulationMatchesNoiseAtInit) {
+  RandomEngine rng_init(11), rng_finish(11);
+  PrivateCountMinSketch at_init = MakeSketch(32, 4, 1.0, 9, &rng_init);
+
+  CountMinSketch base = CountMinSketch::Make(32, 4, 9).ValueOrDie();
+  for (uint64_t key = 0; key < 100; ++key) {
+    at_init.Update(key % 7, 1.0);
+    base.Update(key % 7, 1.0);
+  }
+  PrivateCountMinSketch at_finish =
+      PrivateCountMinSketch::Privatize(std::move(base), 1.0, &rng_finish)
+          .ValueOrDie();
+  for (size_t row = 0; row < 4; ++row) {
+    for (size_t col = 0; col < 32; ++col) {
+      EXPECT_DOUBLE_EQ(at_init.base().CellValue(row, col),
+                       at_finish.base().CellValue(row, col));
+    }
+  }
 }
 
 // The min-estimator over j cells each carrying Laplace(j/eps) noise:
@@ -48,8 +84,8 @@ TEST(PrivateSketchTest, MoreBudgetMeansLessNoise) {
   for (int t = 0; t < trials; ++t) {
     RandomEngine rng_a(1000 + t);
     RandomEngine rng_b(1000 + t);  // same underlying noise stream
-    PrivateCountMinSketch tight(256, 4, 4.0, 9, &rng_a);
-    PrivateCountMinSketch loose(256, 4, 0.25, 9, &rng_b);
+    PrivateCountMinSketch tight = MakeSketch(256, 4, 4.0, 9, &rng_a);
+    PrivateCountMinSketch loose = MakeSketch(256, 4, 0.25, 9, &rng_b);
     tight.Update(3, 50.0);
     loose.Update(3, 50.0);
     dev_large_eps += std::abs(tight.Estimate(3) - 50.0);
@@ -60,7 +96,7 @@ TEST(PrivateSketchTest, MoreBudgetMeansLessNoise) {
 
 TEST(PrivateSketchTest, MemoryMatchesBase) {
   RandomEngine rng(6);
-  PrivateCountMinSketch sketch(32, 4, 1.0, 7, &rng);
+  PrivateCountMinSketch sketch = MakeSketch(32, 4, 1.0, 7, &rng);
   EXPECT_GE(sketch.MemoryBytes(), sketch.base().MemoryBytes());
 }
 

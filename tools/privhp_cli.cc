@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "core/builder.h"
 #include "core/queries.h"
 #include "domain/hypercube_domain.h"
@@ -50,6 +51,8 @@ int Usage() {
       "usage:\n"
       "  privhp build    --in data.csv --dim D --out gen.tree\n"
       "                  [--epsilon E] [--k K] [--n N] [--seed S]\n"
+      "                  [--threads T]   (sharded parallel ingestion;\n"
+      "                                   output is identical for any T)\n"
       "  privhp sample   --tree gen.tree --dim D --m M --out synth.csv\n"
       "                  [--seed S]\n"
       "  privhp quantile --tree gen.tree --q Q [--q Q2 ...]   (dim 1)\n"
@@ -99,26 +102,32 @@ int Build(const Args& args) {
       std::strtoull(args.GetOr("n", "0").c_str(), nullptr, 10);
   if (options.expected_n == 0) options.expected_n = data->size();
   options.seed = std::strtoull(args.GetOr("seed", "42").c_str(), nullptr, 10);
+  const int threads = std::atoi(args.GetOr("threads", "1").c_str());
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
 
-  auto builder = PrivHPBuilder::Make(&domain, options);
-  if (!builder.ok()) {
-    std::fprintf(stderr, "%s\n", builder.status().ToString().c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "%s\n", builder->plan().ToString().c_str());
-  for (const Point& p : *data) {
-    const Status s = builder->Add(p);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
+  Result<PrivHPGenerator> generator = [&]() -> Result<PrivHPGenerator> {
+    if (threads > 1) {
+      return PrivHPBuilder::BuildParallel(&domain, options, *data, threads);
     }
-  }
-  std::fprintf(stderr, "streamed %zu points, builder %.1f KiB\n",
-               data->size(), builder->MemoryBytes() / 1024.0);
-  auto generator = std::move(*builder).Finish();
+    PRIVHP_ASSIGN_OR_RETURN(PrivHPBuilder builder,
+                            PrivHPBuilder::Make(&domain, options));
+    std::fprintf(stderr, "%s\n", builder.plan().ToString().c_str());
+    PRIVHP_RETURN_NOT_OK(builder.AddAll(*data));
+    std::fprintf(stderr, "streamed %zu points, builder %.1f KiB\n",
+                 data->size(), builder.MemoryBytes() / 1024.0);
+    return std::move(builder).Finish();
+  }();
   if (!generator.ok()) {
     std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
     return 1;
+  }
+  if (threads > 1) {
+    std::fprintf(stderr, "%s\n", generator->plan().ToString().c_str());
+    std::fprintf(stderr, "streamed %zu points across %d shards\n",
+                 data->size(), threads);
   }
   const Status saved = generator->Save(*out);
   if (!saved.ok()) {
