@@ -1,0 +1,228 @@
+// Serve-path throughput: an in-process PrivHPServer over a Unix socket,
+// hammered by concurrent client threads.
+//
+//   bench_serve [--smoke] [--clients C] [--requests R] [--m M] [--n N]
+//               [--workers W]
+//
+// Reports requests/s and points/s for a SAMPLE workload (m points per
+// request, streamed in batch frames) and requests/s for a RANGE + mixed
+// read workload, per client count. --smoke shrinks everything so the run
+// doubles as a ctest end-to-end check of the service stack.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/builder.h"
+#include "domain/interval_domain.h"
+#include "io/point_sink.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace privhp {
+namespace {
+
+// A sink that only counts, so client-side work does not cap the
+// measured server throughput.
+class CountingSink : public PointSink {
+ public:
+  Status Add(const Point&) override {
+    ++count_;
+    return Status::OK();
+  }
+  uint64_t num_processed() const override { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+struct Config {
+  bool smoke = false;
+  int clients = 4;
+  int requests = 50;
+  size_t m = 10000;
+  size_t n = size_t{1} << 16;
+  int workers = 4;
+};
+
+int RunBench(const Config& config) {
+  // Release artifact: a mildly skewed 1-D stream.
+  auto domain = std::make_unique<IntervalDomain>();
+  PrivHPOptions options;
+  options.expected_n = config.n;
+  options.k = 32;
+  options.seed = 42;
+  auto builder = PrivHPBuilder::Make(domain.get(), options);
+  if (!builder.ok()) {
+    std::fprintf(stderr, "%s\n", builder.status().ToString().c_str());
+    return 1;
+  }
+  RandomEngine data_rng(7);
+  for (size_t i = 0; i < config.n; ++i) {
+    const double x = data_rng.UniformDouble() * data_rng.UniformDouble();
+    if (!builder->Add({x}).ok()) return 1;
+  }
+  auto generator = std::move(*builder).Finish();
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+
+  ArtifactRegistry registry;
+  if (!registry
+           .Publish("bench", ServedArtifact::Make(std::move(domain),
+                                                  std::move(*generator),
+                                                  "bench"))
+           .ok()) {
+    return 1;
+  }
+
+  const std::string socket_path =
+      "/tmp/privhp_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions server_options;
+  server_options.unix_path = socket_path;
+  server_options.num_workers = config.workers;
+  auto server = PrivHPServer::Start(&registry, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("bench_serve: n=%zu, m=%zu/request, %d workers, unix socket\n",
+              config.n, config.m, config.workers);
+  std::printf("%8s %10s %12s %12s %12s\n", "clients", "workload", "total_ms",
+              "req/s", "Mpts/s");
+
+  int failures = 0;
+  for (int clients : {1, config.clients}) {
+    // SAMPLE workload.
+    {
+      bench::Stopwatch watch;
+      std::vector<std::thread> threads;
+      std::vector<int> errors(clients, 0);
+      for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t]() {
+          auto client = PrivHPClient::ConnectUnix(socket_path);
+          if (!client.ok()) {
+            ++errors[t];
+            return;
+          }
+          CountingSink sink;
+          for (int r = 0; r < config.requests; ++r) {
+            const uint64_t seed = 1 + t * 1000 + r;
+            if (!client->Sample("bench", config.m, seed, &sink).ok()) {
+              ++errors[t];
+              return;
+            }
+          }
+          if (sink.num_processed() !=
+              static_cast<uint64_t>(config.requests) * config.m) {
+            ++errors[t];
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double seconds = watch.Seconds();
+      for (int e : errors) failures += e;
+      const double total_requests =
+          static_cast<double>(clients) * config.requests;
+      const double total_points = total_requests * config.m;
+      std::printf("%8d %10s %12.1f %12.0f %12.2f\n", clients, "sample",
+                  seconds * 1e3, total_requests / seconds,
+                  total_points / seconds / 1e6);
+    }
+
+    // RANGE (point-read) workload: tiny requests, measures per-request
+    // overhead rather than streaming throughput.
+    {
+      const int reads = config.requests * 20;
+      bench::Stopwatch watch;
+      std::vector<std::thread> threads;
+      std::vector<int> errors(clients, 0);
+      for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t]() {
+          auto client = PrivHPClient::ConnectUnix(socket_path);
+          if (!client.ok()) {
+            ++errors[t];
+            return;
+          }
+          for (int r = 0; r < reads; ++r) {
+            auto mass = client->RangeMass(
+                "bench", CellId{4, static_cast<uint64_t>(r % 16)});
+            if (!mass.ok()) {
+              ++errors[t];
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double seconds = watch.Seconds();
+      for (int e : errors) failures += e;
+      const double total_requests = static_cast<double>(clients) * reads;
+      std::printf("%8d %10s %12.1f %12.0f %12s\n", clients, "range",
+                  seconds * 1e3, total_requests / seconds, "-");
+    }
+  }
+
+  const PrivHPServer::Stats stats = (*server)->stats();
+  std::printf(
+      "server: %llu connections, %llu requests, %llu points sampled, "
+      "%llu errors\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.sampled_points),
+      static_cast<unsigned long long>(stats.errors));
+  (*server)->Stop();
+  std::remove(socket_path.c_str());
+  if (failures > 0 || stats.errors > 0) {
+    std::fprintf(stderr, "bench_serve: %d client failures, %llu server "
+                         "errors\n",
+                 failures, static_cast<unsigned long long>(stats.errors));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace privhp
+
+int main(int argc, char** argv) {
+  privhp::Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "0";
+    };
+    if (flag == "--smoke") {
+      config.smoke = true;
+    } else if (flag == "--clients") {
+      config.clients = std::atoi(next());
+    } else if (flag == "--requests") {
+      config.requests = std::atoi(next());
+    } else if (flag == "--m") {
+      config.m = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--n") {
+      config.n = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--workers") {
+      config.workers = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    config.clients = 4;
+    config.requests = 5;
+    config.m = 2000;
+    config.n = size_t{1} << 13;
+    config.workers = 2;
+  }
+  return privhp::RunBench(config);
+}

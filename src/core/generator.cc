@@ -17,6 +17,18 @@ std::vector<Point> PrivHPGenerator::Generate(size_t m,
   return TreeSampler(&tree_).SampleBatch(m, rng);
 }
 
+Status PrivHPGenerator::GenerateTo(size_t m, RandomEngine* rng,
+                                   PointSink* sink) const {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sink must not be null");
+  }
+  const TreeSampler sampler(&tree_);
+  for (size_t i = 0; i < m; ++i) {
+    PRIVHP_RETURN_NOT_OK(sink->Add(sampler.Sample(rng)));
+  }
+  return Status::OK();
+}
+
 Status PrivHPGenerator::Save(const std::string& path) const {
   return SaveTreeToFile(tree_, path);
 }

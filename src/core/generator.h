@@ -14,6 +14,7 @@
 #include "core/planner.h"
 #include "hierarchy/partition_tree.h"
 #include "hierarchy/tree_sampler.h"
+#include "io/point_sink.h"
 
 namespace privhp {
 
@@ -29,6 +30,12 @@ class PrivHPGenerator {
 
   /// \brief \p m synthetic points (the dataset Y of the problem statement).
   std::vector<Point> Generate(size_t m, RandomEngine* rng) const;
+
+  /// \brief Streams \p m synthetic points into \p sink without
+  /// materializing them — the serve-side dual of the bounded-memory
+  /// builder (a CSV writer or socket sink keeps the footprint O(1) in m).
+  /// Draws the same point sequence as Generate() for a given rng state.
+  Status GenerateTo(size_t m, RandomEngine* rng, PointSink* sink) const;
 
   /// \brief The underlying tree (the private artifact itself).
   const PartitionTree& tree() const { return tree_; }

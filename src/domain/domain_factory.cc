@@ -1,0 +1,57 @@
+#include "domain/domain_factory.h"
+
+#include <cstdlib>
+
+#include "domain/hypercube_domain.h"
+#include "domain/interval_domain.h"
+#include "domain/ipv4_domain.h"
+
+namespace privhp {
+
+namespace {
+
+constexpr char kHypercubePrefix[] = "hypercube[0,1]^";
+
+Status DimensionMismatch(const std::string& name, int expected,
+                         int dimension) {
+  return Status::InvalidArgument(
+      "domain '" + name + "' has dimension " + std::to_string(expected) +
+      ", but the artifact declares " + std::to_string(dimension));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Domain>> MakeDomainByName(const std::string& name,
+                                                 int dimension) {
+  if (dimension < 1) {
+    return Status::InvalidArgument("dimension must be >= 1, got " +
+                                   std::to_string(dimension));
+  }
+  if (name == "interval[0,1]") {
+    if (dimension != 1) return DimensionMismatch(name, 1, dimension);
+    return std::unique_ptr<Domain>(new IntervalDomain());
+  }
+  if (name == "ipv4") {
+    if (dimension != 1) return DimensionMismatch(name, 1, dimension);
+    return std::unique_ptr<Domain>(new Ipv4Domain());
+  }
+  if (name.rfind(kHypercubePrefix, 0) == 0) {
+    const std::string suffix = name.substr(sizeof(kHypercubePrefix) - 1);
+    char* end = nullptr;
+    const long d = std::strtol(suffix.c_str(), &end, 10);
+    if (end == suffix.c_str() || *end != '\0' || d < 1) {
+      return Status::InvalidArgument("malformed hypercube domain name: " +
+                                     name);
+    }
+    if (d != dimension) {
+      return DimensionMismatch(name, static_cast<int>(d), dimension);
+    }
+    return std::unique_ptr<Domain>(new HypercubeDomain(dimension));
+  }
+  return Status::NotImplemented(
+      "domain '" + name +
+      "' is not reconstructible from its name; load the artifact with an "
+      "explicitly constructed domain instead");
+}
+
+}  // namespace privhp

@@ -1,0 +1,232 @@
+#include "io/frame_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// Waits until `fd` is readable, polling `cancel` between timeouts.
+Status WaitReadable(int fd, const CancelFn& cancel) {
+  for (;;) {
+    if (cancel && cancel()) return Status::FailedPrecondition("cancelled");
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, cancel ? kPollIntervalMs : -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (rc > 0) return Status::OK();
+  }
+}
+
+Status SendAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Reads exactly `size` bytes. Returns false on EOF before the first byte;
+// EOF after a partial read is an IOError (torn frame).
+Result<bool> RecvAll(int fd, char* data, size_t size, const CancelFn& cancel) {
+  size_t got = 0;
+  while (got < size) {
+    PRIVHP_RETURN_NOT_OK(WaitReadable(fd, cancel));
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<Socket> MakeTcpAddress(const std::string& host, uint16_t port,
+                              struct sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  return Socket(fd);
+}
+
+Result<Socket> MakeUnixAddress(const std::string& path,
+                               struct sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: " +
+                                   path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  return Socket(fd);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port) {
+  struct sockaddr_in addr;
+  PRIVHP_ASSIGN_OR_RETURN(Socket sock, MakeTcpAddress(host, port, &addr));
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), SOMAXCONN) < 0) return ErrnoStatus("listen");
+  if (bound_port != nullptr) {
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) < 0) {
+      return ErrnoStatus("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> ListenUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  PRIVHP_ASSIGN_OR_RETURN(Socket sock, MakeUnixAddress(path, &addr));
+  ::unlink(path.c_str());
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind " + path);
+  }
+  if (::listen(sock.fd(), SOMAXCONN) < 0) return ErrnoStatus("listen");
+  return sock;
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  PRIVHP_ASSIGN_OR_RETURN(Socket sock, MakeTcpAddress(host, port, &addr));
+  if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  PRIVHP_ASSIGN_OR_RETURN(Socket sock, MakeUnixAddress(path, &addr));
+  if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return ErrnoStatus("connect " + path);
+  }
+  return sock;
+}
+
+Result<Socket> Accept(const Socket& listener, const CancelFn& cancel) {
+  if (!listener.valid()) {
+    return Status::InvalidArgument("accept on an invalid socket");
+  }
+  PRIVHP_RETURN_NOT_OK(WaitReadable(listener.fd(), cancel));
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("accept");
+  }
+}
+
+Result<std::pair<Socket, Socket>> SocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    return ErrnoStatus("socketpair");
+  }
+  return std::make_pair(Socket(fds[0]), Socket(fds[1]));
+}
+
+Status SendFrame(const Socket& sock, const std::string& payload) {
+  if (!sock.valid()) {
+    return Status::InvalidArgument("send on an invalid socket");
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  char header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((size >> (8 * i)) & 0xff);
+  }
+  PRIVHP_RETURN_NOT_OK(SendAll(sock.fd(), header, sizeof(header)));
+  return SendAll(sock.fd(), payload.data(), payload.size());
+}
+
+Result<bool> RecvFrame(const Socket& sock, std::string* payload,
+                       const CancelFn& cancel) {
+  if (!sock.valid()) {
+    return Status::InvalidArgument("recv on an invalid socket");
+  }
+  char header[4];
+  PRIVHP_ASSIGN_OR_RETURN(bool more,
+                          RecvAll(sock.fd(), header, sizeof(header), cancel));
+  if (!more) return false;
+  uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  }
+  if (size > kMaxFrameBytes) {
+    return Status::IOError("oversized frame: " + std::to_string(size) +
+                           " bytes");
+  }
+  payload->resize(size);
+  if (size == 0) return true;
+  PRIVHP_ASSIGN_OR_RETURN(bool body,
+                          RecvAll(sock.fd(), &(*payload)[0], size, cancel));
+  if (!body) return Status::IOError("connection closed mid-frame");
+  return true;
+}
+
+}  // namespace privhp

@@ -1,0 +1,89 @@
+// Stream sockets with length-prefixed framing — the transport under the
+// service layer and the socket point streams.
+//
+// A frame is a u32 little-endian payload length followed by the payload
+// bytes. Framing lives here (not in src/service/) so a PointSource /
+// PointSink pair can ride raw sockets without pulling in the query
+// protocol: the ingestion front end and the query server share one
+// transport.
+//
+// All calls are blocking; Accept and RecvFrame take an optional
+// cancellation predicate polled at a coarse interval so a server can shut
+// down threads parked in accept()/recv().
+
+#ifndef PRIVHP_IO_FRAME_SOCKET_H_
+#define PRIVHP_IO_FRAME_SOCKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Movable RAII wrapper over a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Polled while blocked in Accept/RecvFrame; returning true aborts
+/// the wait with a FailedPrecondition("cancelled") status.
+using CancelFn = std::function<bool()>;
+
+/// \brief Listens on TCP \p host:\p port. Port 0 binds an ephemeral port;
+/// the bound port is written to \p bound_port when non-null.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port);
+
+/// \brief Listens on a Unix-domain socket at \p path (unlinked first).
+Result<Socket> ListenUnix(const std::string& path);
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+Result<Socket> ConnectUnix(const std::string& path);
+
+/// \brief Accepts one connection; blocks until a peer arrives, polling
+/// \p cancel (when set) roughly every 100 ms.
+Result<Socket> Accept(const Socket& listener, const CancelFn& cancel = {});
+
+/// \brief A connected AF_UNIX pair (tests and in-process plumbing).
+Result<std::pair<Socket, Socket>> SocketPair();
+
+/// \brief Sends one length-prefixed frame (u32 LE length + payload).
+Status SendFrame(const Socket& sock, const std::string& payload);
+
+/// \brief Receives one frame into \p payload. Returns false on clean EOF
+/// at a frame boundary; EOF mid-frame is an IOError.
+Result<bool> RecvFrame(const Socket& sock, std::string* payload,
+                       const CancelFn& cancel = {});
+
+/// \brief Upper bound on a single frame payload (64 MiB); larger lengths
+/// are rejected as malformed so a bad peer cannot force huge allocations.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+}  // namespace privhp
+
+#endif  // PRIVHP_IO_FRAME_SOCKET_H_

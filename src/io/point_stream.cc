@@ -98,20 +98,39 @@ Result<std::vector<Point>> ReadPointsCsv(const std::string& path,
   return points;
 }
 
-Status WritePointsCsv(const std::string& path,
-                      const std::vector<Point>& points) {
+CsvPointWriter::CsvPointWriter(std::ofstream out) : out_(std::move(out)) {
+  out_.precision(std::numeric_limits<double>::max_digits10);
+}
+
+Result<CsvPointWriter> CsvPointWriter::Open(const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for write: " + path);
-  out.precision(std::numeric_limits<double>::max_digits10);
-  for (const Point& p : points) {
-    for (size_t c = 0; c < p.size(); ++c) {
-      if (c) out << ",";
-      out << p[c];
-    }
-    out << "\n";
+  return CsvPointWriter(std::move(out));
+}
+
+Status CsvPointWriter::Add(const Point& x) {
+  for (size_t c = 0; c < x.size(); ++c) {
+    if (c) out_ << ",";
+    out_ << x[c];
   }
-  if (!out.good()) return Status::IOError("write failure: " + path);
+  out_ << "\n";
+  if (!out_.good()) return Status::IOError("write failure");
+  ++num_written_;
   return Status::OK();
+}
+
+Status CsvPointWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IOError("write failure on close");
+  out_.close();
+  return Status::OK();
+}
+
+Status WritePointsCsv(const std::string& path,
+                      const std::vector<Point>& points) {
+  PRIVHP_ASSIGN_OR_RETURN(CsvPointWriter writer, CsvPointWriter::Open(path));
+  PRIVHP_RETURN_NOT_OK(writer.AddAll(points));
+  return writer.Close();
 }
 
 Result<std::vector<Point>> ReadIpv4TraceFile(const std::string& path) {

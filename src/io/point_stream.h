@@ -47,6 +47,27 @@ class CsvPointReader : public PointSource {
 Result<std::vector<Point>> ReadPointsCsv(const std::string& path,
                                          int dimension);
 
+/// \brief Streaming CSV point writer (a PointSink): points are written as
+/// they arrive, so producing an m-point synthetic dataset needs O(1)
+/// memory — the serve side of the pipeline stays bounded like the build
+/// side. Byte-compatible with WritePointsCsv.
+class CsvPointWriter : public PointSink {
+ public:
+  static Result<CsvPointWriter> Open(const std::string& path);
+
+  Status Add(const Point& x) override;
+  uint64_t num_processed() const override { return num_written_; }
+
+  /// \brief Flushes and reports any deferred stream error.
+  Status Close();
+
+ private:
+  explicit CsvPointWriter(std::ofstream out);
+
+  std::ofstream out_;
+  uint64_t num_written_ = 0;
+};
+
 /// \brief Writes points as CSV (full precision).
 Status WritePointsCsv(const std::string& path,
                       const std::vector<Point>& points);

@@ -1,0 +1,152 @@
+#include "io/socket_point_stream.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "io/wire_format.h"
+
+namespace privhp {
+
+std::string EncodePointBatch(const std::vector<Point>& points, size_t begin,
+                             size_t end) {
+  PRIVHP_DCHECK(begin <= end && end <= points.size());
+  const uint32_t dim =
+      begin < end ? static_cast<uint32_t>(points[begin].size()) : 0;
+  WireWriter w;
+  w.PutU8(kPointBatchTag);
+  w.PutU32(static_cast<uint32_t>(end - begin));
+  w.PutU32(dim);
+  for (size_t i = begin; i < end; ++i) {
+    PRIVHP_DCHECK(points[i].size() == dim);
+    for (double c : points[i]) w.PutDouble(c);
+  }
+  return w.Take();
+}
+
+std::string EncodePointStreamEnd(uint64_t total_points) {
+  WireWriter w;
+  w.PutU8(kPointStreamEndTag);
+  w.PutU64(total_points);
+  return w.Take();
+}
+
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        std::deque<Point>* out) {
+  WireReader r(payload);
+  PRIVHP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+  if (tag != kPointBatchTag) {
+    return Status::IOError("not a point batch frame");
+  }
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t dim, r.U32());
+  if (count > 0 && dim == 0) {
+    return Status::IOError("point batch with zero dimension");
+  }
+  if (expected_dim > 0 && count > 0 &&
+      dim != static_cast<uint32_t>(expected_dim)) {
+    return Status::InvalidArgument(
+        "point batch has dimension " + std::to_string(dim) + ", expected " +
+        std::to_string(expected_dim));
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    Point p;
+    p.reserve(dim);
+    for (uint32_t c = 0; c < dim; ++c) {
+      PRIVHP_ASSIGN_OR_RETURN(double v, r.Double());
+      p.push_back(v);
+    }
+    out->push_back(std::move(p));
+  }
+  return r.ExpectEnd();
+}
+
+SocketPointSink::SocketPointSink(const Socket* sock, size_t batch_size)
+    : sock_(sock), batch_size_(batch_size == 0 ? 1 : batch_size) {
+  buffer_.reserve(batch_size_);
+}
+
+Status SocketPointSink::Add(const Point& x) {
+  if (finished_) {
+    return Status::FailedPrecondition("point stream already finished");
+  }
+  buffer_.push_back(x);
+  if (buffer_.size() >= batch_size_) return Flush();
+  return Status::OK();
+}
+
+Status SocketPointSink::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  PRIVHP_RETURN_NOT_OK(
+      SendFrame(*sock_, EncodePointBatch(buffer_, 0, buffer_.size())));
+  num_sent_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status SocketPointSink::FinishStream() {
+  if (finished_) {
+    return Status::FailedPrecondition("point stream already finished");
+  }
+  PRIVHP_RETURN_NOT_OK(Flush());
+  finished_ = true;
+  return SendFrame(*sock_, EncodePointStreamEnd(num_sent_));
+}
+
+SocketPointSource::SocketPointSource(const Socket* sock, int expected_dim,
+                                     CancelFn cancel)
+    : sock_(sock), expected_dim_(expected_dim), cancel_(std::move(cancel)) {}
+
+Result<bool> SocketPointSource::FillBuffer() {
+  while (buffer_.empty()) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(*sock_, &frame_, cancel_));
+    if (!more) {
+      return Status::IOError("connection closed before end of point stream");
+    }
+    if (frame_.empty()) return Status::IOError("empty frame in point stream");
+    const uint8_t tag = static_cast<uint8_t>(frame_[0]);
+    if (tag == kPointStreamEndTag) {
+      WireReader r(frame_);
+      PRIVHP_RETURN_NOT_OK(r.U8().status());
+      PRIVHP_ASSIGN_OR_RETURN(uint64_t total, r.U64());
+      PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
+      if (total != num_received_) {
+        return Status::IOError(
+            "point stream declared " + std::to_string(total) +
+            " points but delivered " + std::to_string(num_received_));
+      }
+      finished_ = true;
+      return false;
+    }
+    PRIVHP_RETURN_NOT_OK(DecodePointBatch(frame_, expected_dim_, &buffer_));
+  }
+  return true;
+}
+
+Result<bool> SocketPointSource::Next(Point* out) {
+  if (finished_) return false;
+  PRIVHP_ASSIGN_OR_RETURN(bool more, FillBuffer());
+  if (!more) return false;
+  *out = std::move(buffer_.front());
+  buffer_.pop_front();
+  ++num_received_;
+  return true;
+}
+
+Status SocketPointSource::SkipToEnd() {
+  buffer_.clear();
+  while (!finished_) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(*sock_, &frame_, cancel_));
+    if (!more) {
+      return Status::IOError("connection closed before end of point stream");
+    }
+    // Discard batches without decoding — the caller is already on an error
+    // path; all that matters is regaining frame sync at the end marker.
+    if (!frame_.empty() &&
+        static_cast<uint8_t>(frame_[0]) == kPointStreamEndTag) {
+      finished_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace privhp

@@ -1,0 +1,114 @@
+// PointSource / PointSink over a framed socket: the plumbing that lets
+// PrivHPBuilder::BuildParallel sit behind a network ingestion front end,
+// and lets a server stream synthetic samples back without materializing
+// them (bounded memory on both ends of the wire).
+//
+// Point frames (payload layout after the u32 frame length):
+//   batch: [kPointBatchTag:u8][count:u32][dim:u32][count*dim doubles]
+//   end:   [kPointStreamEndTag:u8][total:u64]
+// A point stream is any number of batch frames terminated by one end
+// frame whose `total` must equal the points delivered — a truncation
+// check, since TCP gives no message boundaries across connection loss.
+//
+// The service protocol embeds these exact frames inside INGEST and
+// SAMPLE exchanges, so CsvPointReader -> SocketPointSink on a client and
+// SocketPointSource -> PrivHPShard on a server compose with no adapter.
+
+#ifndef PRIVHP_IO_SOCKET_POINT_STREAM_H_
+#define PRIVHP_IO_SOCKET_POINT_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/domain.h"
+#include "io/frame_socket.h"
+#include "io/point_sink.h"
+
+namespace privhp {
+
+/// \brief First payload byte of a point-batch frame.
+inline constexpr uint8_t kPointBatchTag = 0x20;
+/// \brief First payload byte of the end-of-stream frame.
+inline constexpr uint8_t kPointStreamEndTag = 0x21;
+
+/// \brief Encodes points[begin..end) as one batch-frame payload.
+std::string EncodePointBatch(const std::vector<Point>& points, size_t begin,
+                             size_t end);
+/// \brief Encodes the end-of-stream payload carrying the stream total.
+std::string EncodePointStreamEnd(uint64_t total_points);
+
+/// \brief Decodes a batch-frame payload, appending to \p out. Every point
+/// must have \p expected_dim coordinates when expected_dim > 0.
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        std::deque<Point>* out);
+
+/// \brief PointSink that streams points over a socket in batch frames.
+///
+/// Buffers up to \p batch_size points (so the wire sees large frames, not
+/// per-point writes) and flushes automatically; FinishStream() flushes
+/// the tail and sends the end frame. The socket is not owned.
+class SocketPointSink : public PointSink {
+ public:
+  explicit SocketPointSink(const Socket* sock, size_t batch_size = 1024);
+
+  Status Add(const Point& x) override;
+  uint64_t num_processed() const override { return num_sent_; }
+
+  /// \brief Sends any buffered points now.
+  Status Flush();
+
+  /// \brief Flushes and sends the end frame; no Add() afterwards.
+  Status FinishStream();
+
+ private:
+  const Socket* sock_;
+  size_t batch_size_;
+  std::vector<Point> buffer_;
+  uint64_t num_sent_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief PointSource that reads a point stream from a socket.
+///
+/// Next() yields points one at a time out of the received batch frames
+/// and returns false once the end frame arrives (after verifying the
+/// stream total). Any non-point frame is an error.
+class SocketPointSource : public PointSource {
+ public:
+  /// \param expected_dim When > 0, every received point must have this
+  /// many coordinates.
+  /// \param cancel Polled while blocked on the socket (see frame_socket);
+  /// lets a server abandon a stalled peer on shutdown.
+  explicit SocketPointSource(const Socket* sock, int expected_dim = 0,
+                             CancelFn cancel = {});
+
+  Result<bool> Next(Point* out) override;
+
+  /// \brief Reads and discards frames until the end frame (or EOF/error):
+  /// lets a server that failed mid-ingest keep the connection in protocol
+  /// sync so it can still deliver the error response.
+  Status SkipToEnd();
+
+  /// \brief Points yielded so far.
+  uint64_t num_received() const { return num_received_; }
+
+  /// \brief True once the end frame has been consumed.
+  bool finished() const { return finished_; }
+
+ private:
+  Result<bool> FillBuffer();
+
+  const Socket* sock_;
+  int expected_dim_;
+  CancelFn cancel_;
+  std::deque<Point> buffer_;
+  std::string frame_;
+  uint64_t num_received_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_IO_SOCKET_POINT_STREAM_H_

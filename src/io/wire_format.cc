@@ -1,0 +1,98 @@
+#include "io/wire_format.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+void WireWriter::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void WireWriter::PutBytes(const void* data, size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+Status WireReader::Need(size_t n) const {
+  if (remaining_ < n) {
+    return Status::IOError("truncated frame: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(remaining_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::U8() {
+  PRIVHP_RETURN_NOT_OK(Need(1));
+  const uint8_t v = static_cast<uint8_t>(*p_);
+  ++p_;
+  --remaining_;
+  return v;
+}
+
+Result<uint32_t> WireReader::U32() {
+  PRIVHP_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p_[i])) << (8 * i);
+  }
+  p_ += 4;
+  remaining_ -= 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  PRIVHP_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p_[i])) << (8 * i);
+  }
+  p_ += 8;
+  remaining_ -= 8;
+  return v;
+}
+
+Result<double> WireReader::Double() {
+  PRIVHP_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::String() {
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t size, U32());
+  PRIVHP_RETURN_NOT_OK(Need(size));
+  std::string s(p_, size);
+  p_ += size;
+  remaining_ -= size;
+  return s;
+}
+
+Status WireReader::ExpectEnd() const {
+  if (remaining_ != 0) {
+    return Status::IOError("frame has " + std::to_string(remaining_) +
+                           " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace privhp

@@ -1,0 +1,72 @@
+// Binary wire encoding shared by the socket point streams and the
+// service protocol.
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern in a uint64. Strings are a u32 length followed by raw bytes.
+// WireReader is bounds-checked: reading past the end of the buffer
+// returns an error Status instead of touching out-of-range memory, so a
+// malformed frame from the network can never crash the server.
+
+#ifndef PRIVHP_IO_WIRE_FORMAT_H_
+#define PRIVHP_IO_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Append-only encoder for one wire frame payload.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  /// \brief u32 length + raw bytes (also used for opaque blobs).
+  void PutString(const std::string& s);
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked decoder over a received frame payload.
+///
+/// The viewed buffer must outlive the reader.
+class WireReader {
+ public:
+  /// Constructs an empty reader (every read fails as truncated).
+  WireReader() = default;
+  explicit WireReader(const std::string& data)
+      : p_(data.data()), remaining_(data.size()) {}
+  WireReader(const char* data, size_t size) : p_(data), remaining_(size) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<double> Double();
+  /// \brief Reads a u32 length + that many bytes.
+  Result<std::string> String();
+
+  size_t remaining() const { return remaining_; }
+  bool AtEnd() const { return remaining_ == 0; }
+  /// \brief OK iff the whole payload was consumed (trailing bytes in a
+  /// frame indicate a protocol mismatch).
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  const char* p_ = nullptr;
+  size_t remaining_ = 0;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_IO_WIRE_FORMAT_H_

@@ -1,0 +1,119 @@
+#include "service/artifact_registry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "domain/domain_factory.h"
+
+namespace privhp {
+
+ServedArtifact::ServedArtifact(std::unique_ptr<const Domain> domain,
+                               PrivHPGenerator generator, std::string source)
+    : domain_(std::move(domain)),
+      generator_(std::move(generator)),
+      source_(std::move(source)) {}
+
+std::shared_ptr<const ServedArtifact> ServedArtifact::Make(
+    std::unique_ptr<const Domain> domain, PrivHPGenerator generator,
+    std::string source) {
+  PRIVHP_CHECK(domain != nullptr);
+  PRIVHP_CHECK(generator.tree().domain() == domain.get());
+  return std::shared_ptr<const ServedArtifact>(new ServedArtifact(
+      std::move(domain), std::move(generator), std::move(source)));
+}
+
+Result<std::shared_ptr<const ServedArtifact>> ServedArtifact::FromFile(
+    const std::string& path) {
+  // Peek the header to learn which domain the tree was released over;
+  // PrivHPGenerator::Load then re-validates name, dimension and structure
+  // against the reconstructed domain (the format v2 checks).
+  std::string magic;
+  std::string domain_name;
+  int dimension = 0;
+  {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open for read: " + path);
+    if (!std::getline(in, magic) || !std::getline(in, domain_name)) {
+      return Status::IOError("truncated tree header in " + path);
+    }
+    if (magic == "privhp-tree-v1") {
+      return Status::InvalidArgument(
+          "registry requires tree format v2 (v1 files carry no dimension "
+          "and cannot be validated): " +
+          path);
+    }
+    if (!(in >> dimension)) {
+      return Status::IOError("missing dimension line in " + path);
+    }
+  }
+  PRIVHP_ASSIGN_OR_RETURN(std::unique_ptr<Domain> domain,
+                          MakeDomainByName(domain_name, dimension));
+  PRIVHP_ASSIGN_OR_RETURN(PrivHPGenerator generator,
+                          PrivHPGenerator::Load(domain.get(), path));
+  return Make(std::unique_ptr<const Domain>(std::move(domain)),
+              std::move(generator), "file:" + path);
+}
+
+Status ArtifactRegistry::Publish(
+    const std::string& name, std::shared_ptr<const ServedArtifact> artifact) {
+  if (name.empty()) {
+    return Status::InvalidArgument("artifact name must not be empty");
+  }
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("artifact must not be null");
+  }
+  std::shared_ptr<const ServedArtifact> replaced;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Swap under the lock but destroy the displaced artifact outside it:
+    // the last reference may be ours, and tearing down a large tree while
+    // holding mu_ would stall every concurrent Get().
+    replaced = std::exchange(artifacts_[name], std::move(artifact));
+  }
+  return Status::OK();
+}
+
+Status ArtifactRegistry::LoadFile(const std::string& name,
+                                  const std::string& path) {
+  PRIVHP_ASSIGN_OR_RETURN(std::shared_ptr<const ServedArtifact> artifact,
+                          ServedArtifact::FromFile(path));
+  return Publish(name, std::move(artifact));
+}
+
+Result<std::shared_ptr<const ServedArtifact>> ArtifactRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = artifacts_.find(name);
+  if (it == artifacts_.end()) {
+    return Status::InvalidArgument("no artifact named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool ArtifactRegistry::Remove(const std::string& name) {
+  std::shared_ptr<const ServedArtifact> removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = artifacts_.find(name);
+    if (it == artifacts_.end()) return false;
+    removed = std::move(it->second);
+    artifacts_.erase(it);
+  }
+  return true;
+}
+
+std::vector<std::string> ArtifactRegistry::List() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  names.reserve(artifacts_.size());
+  for (const auto& entry : artifacts_) names.push_back(entry.first);
+  return names;
+}
+
+size_t ArtifactRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return artifacts_.size();
+}
+
+}  // namespace privhp

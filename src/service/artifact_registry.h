@@ -1,0 +1,95 @@
+// Named, refcounted, hot-swappable released artifacts.
+//
+// The paper's deployment model (and e.g. Jordon et al.'s "Synthetic Data
+// — what, why and how?") is release-once / serve-many: the bounded-memory
+// builder runs once per stream, and the released noisy partition tree is
+// then queried and resampled indefinitely at no further privacy cost
+// (Lemma 2). The registry is the serving half of that split: it owns the
+// released artifacts by name, validates them on load (tree format v2
+// domain name + dimension checks), and lets a re-ingest atomically
+// replace a live artifact while readers keep sampling the version they
+// hold — publication is a shared_ptr swap, so readers are never blocked
+// by a swap and an unpublished artifact stays alive until its last
+// in-flight request drops it.
+
+#ifndef PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_
+#define PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/generator.h"
+#include "domain/domain.h"
+
+namespace privhp {
+
+/// \brief One released generator plus the domain it samples through.
+///
+/// Immutable after construction: concurrent readers share it through
+/// const shared_ptrs, so serving needs no per-artifact locking. The
+/// domain is owned here because a loaded tree holds a raw pointer to it.
+class ServedArtifact {
+ public:
+  /// \brief Wraps a generator built over \p domain (which the generator's
+  /// tree must already point at). \p source describes provenance for
+  /// reports ("file:gen.tree", "ingest", ...).
+  static std::shared_ptr<const ServedArtifact> Make(
+      std::unique_ptr<const Domain> domain, PrivHPGenerator generator,
+      std::string source);
+
+  /// \brief Loads a tree file, reconstructing the domain from the v2
+  /// header (name + dimension; v1 files are rejected — they predate the
+  /// dimension check and cannot be validated).
+  static Result<std::shared_ptr<const ServedArtifact>> FromFile(
+      const std::string& path);
+
+  const Domain& domain() const { return *domain_; }
+  const PrivHPGenerator& generator() const { return generator_; }
+  const std::string& source() const { return source_; }
+
+ private:
+  ServedArtifact(std::unique_ptr<const Domain> domain,
+                 PrivHPGenerator generator, std::string source);
+
+  std::unique_ptr<const Domain> domain_;
+  PrivHPGenerator generator_;
+  std::string source_;
+};
+
+/// \brief Thread-safe name -> artifact map with atomic hot-swap.
+class ArtifactRegistry {
+ public:
+  /// \brief Publishes \p artifact under \p name, atomically replacing any
+  /// previous artifact of that name (readers holding the old shared_ptr
+  /// are unaffected).
+  Status Publish(const std::string& name,
+                 std::shared_ptr<const ServedArtifact> artifact);
+
+  /// \brief Loads a v2 tree file and publishes it under \p name.
+  Status LoadFile(const std::string& name, const std::string& path);
+
+  /// \brief The artifact currently published under \p name.
+  Result<std::shared_ptr<const ServedArtifact>> Get(
+      const std::string& name) const;
+
+  /// \brief Unpublishes \p name; returns false if absent. In-flight
+  /// readers keep their reference.
+  bool Remove(const std::string& name);
+
+  /// \brief Published names, sorted.
+  std::vector<std::string> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedArtifact>> artifacts_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_

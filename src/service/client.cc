@@ -1,0 +1,172 @@
+#include "service/client.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "io/socket_point_stream.h"
+
+namespace privhp {
+
+Result<PrivHPClient> PrivHPClient::ConnectTcp(const std::string& host,
+                                              uint16_t port) {
+  PRIVHP_ASSIGN_OR_RETURN(Socket sock, privhp::ConnectTcp(host, port));
+  return PrivHPClient(std::move(sock));
+}
+
+Result<PrivHPClient> PrivHPClient::ConnectUnix(const std::string& path) {
+  PRIVHP_ASSIGN_OR_RETURN(Socket sock, privhp::ConnectUnix(path));
+  return PrivHPClient(std::move(sock));
+}
+
+Status PrivHPClient::Call(const std::string& request, std::string* frame,
+                          WireReader* payload) {
+  PRIVHP_RETURN_NOT_OK(SendFrame(sock_, request));
+  PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(sock_, frame));
+  if (!more) return Status::IOError("server closed the connection");
+  return ParseResponse(*frame, payload);
+}
+
+Status PrivHPClient::Ping() {
+  std::string frame;
+  WireReader payload;
+  return Call(EncodePingRequest(), &frame, &payload);
+}
+
+Result<std::vector<std::string>> PrivHPClient::List() {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(Call(EncodeListRequest(), &frame, &payload));
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(std::string name, payload.String());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Status PrivHPClient::Sample(const std::string& artifact, uint64_t m,
+                            uint64_t seed, PointSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sink must not be null");
+  }
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(
+      Call(EncodeSampleRequest(artifact, m, seed), &frame, &payload));
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t dim, payload.U32());
+  PRIVHP_ASSIGN_OR_RETURN(uint64_t promised, payload.U64());
+  if (promised != m) {
+    return Status::IOError("server promised " + std::to_string(promised) +
+                           " points, requested " + std::to_string(m));
+  }
+  SocketPointSource source(&sock_, static_cast<int>(dim));
+  PRIVHP_RETURN_NOT_OK(Drain(&source, sink));
+  if (source.num_received() != m) {
+    return Status::IOError("sample stream delivered " +
+                           std::to_string(source.num_received()) +
+                           " points, expected " + std::to_string(m));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Point>> PrivHPClient::Sample(const std::string& artifact,
+                                                uint64_t m, uint64_t seed) {
+  CollectingSink sink;
+  PRIVHP_RETURN_NOT_OK(Sample(artifact, m, seed, &sink));
+  return sink.TakePoints();
+}
+
+Result<double> PrivHPClient::RangeMass(const std::string& artifact,
+                                       CellId cell) {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(
+      Call(EncodeRangeRequest(artifact, static_cast<uint32_t>(cell.level),
+                              cell.index),
+           &frame, &payload));
+  return payload.Double();
+}
+
+Result<std::vector<double>> PrivHPClient::Quantiles(
+    const std::string& artifact, const std::vector<double>& qs) {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(
+      Call(EncodeQuantileRequest(artifact, qs), &frame, &payload));
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  std::vector<double> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(double v, payload.Double());
+    values.push_back(v);
+  }
+  return values;
+}
+
+Result<std::vector<HeavyCell>> PrivHPClient::Heavy(
+    const std::string& artifact, double threshold) {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(
+      Call(EncodeHeavyRequest(artifact, threshold), &frame, &payload));
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  std::vector<HeavyCell> cells;
+  cells.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HeavyCell cell;
+    PRIVHP_ASSIGN_OR_RETURN(uint32_t level, payload.U32());
+    cell.cell.level = static_cast<int>(level);
+    PRIVHP_ASSIGN_OR_RETURN(cell.cell.index, payload.U64());
+    PRIVHP_ASSIGN_OR_RETURN(cell.fraction, payload.Double());
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+Result<std::string> PrivHPClient::Export(const std::string& artifact) {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(Call(EncodeExportRequest(artifact), &frame, &payload));
+  return payload.String();
+}
+
+Result<PrivHPClient::IngestReport> PrivHPClient::Ingest(
+    const std::string& artifact, const IngestSpec& spec,
+    PointSource* source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  ServiceRequest req;
+  req.op = ServiceOp::kIngest;
+  req.artifact = artifact;
+  req.dim = spec.dim;
+  req.epsilon = spec.epsilon;
+  req.k = spec.k;
+  req.n = spec.n;
+  req.seed = spec.seed;
+  req.threads = spec.threads;
+
+  // Phase 1: the server validates parameters before we stream anything.
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(Call(EncodeIngestRequest(req), &frame, &payload));
+
+  // Phase 2: stream the points, then the end frame.
+  SocketPointSink sink(&sock_, spec.batch);
+  PRIVHP_RETURN_NOT_OK(Drain(source, &sink));
+  PRIVHP_RETURN_NOT_OK(sink.FinishStream());
+
+  // Phase 3: the build + publish verdict.
+  PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(sock_, &frame));
+  if (!more) return Status::IOError("server closed the connection");
+  PRIVHP_RETURN_NOT_OK(ParseResponse(frame, &payload));
+  IngestReport report;
+  report.points_sent = sink.num_processed();
+  PRIVHP_ASSIGN_OR_RETURN(report.nodes, payload.U64());
+  PRIVHP_ASSIGN_OR_RETURN(report.total_mass, payload.Double());
+  return report;
+}
+
+}  // namespace privhp

@@ -1,0 +1,96 @@
+// Client for the PrivHP service protocol — used by `privhp query` /
+// `privhp ingest`, the serve bench, and the service tests.
+//
+// A client wraps one connection and issues requests synchronously. It is
+// not thread-safe; open one client per thread (connections are cheap and
+// the server pairs each with a pooled worker).
+
+#ifndef PRIVHP_SERVICE_CLIENT_H_
+#define PRIVHP_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/queries.h"
+#include "domain/domain.h"
+#include "io/frame_socket.h"
+#include "io/point_sink.h"
+#include "service/protocol.h"
+
+namespace privhp {
+
+/// \brief Synchronous client over one service connection.
+class PrivHPClient {
+ public:
+  static Result<PrivHPClient> ConnectTcp(const std::string& host,
+                                         uint16_t port);
+  static Result<PrivHPClient> ConnectUnix(const std::string& path);
+
+  Status Ping();
+
+  /// \brief Published artifact names.
+  Result<std::vector<std::string>> List();
+
+  /// \brief Streams \p m synthetic points from \p artifact into \p sink
+  /// (bounded memory: batches are forwarded as they arrive). seed != 0
+  /// makes the response reproducible; seed == 0 asks for fresh points.
+  Status Sample(const std::string& artifact, uint64_t m, uint64_t seed,
+                PointSink* sink);
+
+  /// \brief Convenience overload materializing the sample.
+  Result<std::vector<Point>> Sample(const std::string& artifact, uint64_t m,
+                                    uint64_t seed);
+
+  /// \brief Mass fraction of cell (level, index).
+  Result<double> RangeMass(const std::string& artifact, CellId cell);
+
+  /// \brief Quantiles of a 1-D artifact.
+  Result<std::vector<double>> Quantiles(const std::string& artifact,
+                                        const std::vector<double>& qs);
+
+  /// \brief Hierarchical heavy hitters at \p threshold.
+  Result<std::vector<HeavyCell>> Heavy(const std::string& artifact,
+                                       double threshold);
+
+  /// \brief The serialized v2 tree — byte-identical to Save() on the
+  /// server, so a served artifact can be compared bit-for-bit against a
+  /// file-built one (or re-persisted locally).
+  Result<std::string> Export(const std::string& artifact);
+
+  /// \brief Ingest parameters (mirrors `privhp build` flags).
+  struct IngestSpec {
+    uint32_t dim = 1;
+    double epsilon = 1.0;
+    uint64_t k = 32;
+    uint64_t n = 0;  ///< Expected stream length (required, > 0).
+    uint64_t seed = 42;
+    uint32_t threads = 1;
+    size_t batch = 1024;  ///< Points per frame on the wire.
+  };
+  struct IngestReport {
+    uint64_t points_sent = 0;
+    uint64_t nodes = 0;
+    double total_mass = 0.0;
+  };
+
+  /// \brief Streams \p source into the server's builder and publishes the
+  /// result under \p artifact (the INGEST...FINISH session).
+  Result<IngestReport> Ingest(const std::string& artifact,
+                              const IngestSpec& spec, PointSource* source);
+
+ private:
+  explicit PrivHPClient(Socket sock) : sock_(std::move(sock)) {}
+
+  /// \brief Sends \p request, receives one response frame into \p frame,
+  /// and positions \p payload after the status byte.
+  Status Call(const std::string& request, std::string* frame,
+              WireReader* payload);
+
+  Socket sock_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SERVICE_CLIENT_H_

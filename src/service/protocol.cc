@@ -1,0 +1,170 @@
+#include "service/protocol.h"
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+
+void PutOpAndName(WireWriter* w, ServiceOp op, const std::string& artifact) {
+  w->PutU8(static_cast<uint8_t>(op));
+  w->PutString(artifact);
+}
+
+}  // namespace
+
+std::string EncodePingRequest() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ServiceOp::kPing));
+  return w.Take();
+}
+
+std::string EncodeListRequest() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ServiceOp::kList));
+  return w.Take();
+}
+
+std::string EncodeSampleRequest(const std::string& artifact, uint64_t m,
+                                uint64_t seed) {
+  WireWriter w;
+  PutOpAndName(&w, ServiceOp::kSample, artifact);
+  w.PutU64(m);
+  w.PutU64(seed);
+  return w.Take();
+}
+
+std::string EncodeRangeRequest(const std::string& artifact, uint32_t level,
+                               uint64_t index) {
+  WireWriter w;
+  PutOpAndName(&w, ServiceOp::kRange, artifact);
+  w.PutU32(level);
+  w.PutU64(index);
+  return w.Take();
+}
+
+std::string EncodeQuantileRequest(const std::string& artifact,
+                                  const std::vector<double>& qs) {
+  WireWriter w;
+  PutOpAndName(&w, ServiceOp::kQuantile, artifact);
+  w.PutU32(static_cast<uint32_t>(qs.size()));
+  for (double q : qs) w.PutDouble(q);
+  return w.Take();
+}
+
+std::string EncodeHeavyRequest(const std::string& artifact,
+                               double threshold) {
+  WireWriter w;
+  PutOpAndName(&w, ServiceOp::kHeavy, artifact);
+  w.PutDouble(threshold);
+  return w.Take();
+}
+
+std::string EncodeExportRequest(const std::string& artifact) {
+  WireWriter w;
+  PutOpAndName(&w, ServiceOp::kExport, artifact);
+  return w.Take();
+}
+
+std::string EncodeIngestRequest(const ServiceRequest& spec) {
+  WireWriter w;
+  PutOpAndName(&w, ServiceOp::kIngest, spec.artifact);
+  w.PutU32(spec.dim);
+  w.PutDouble(spec.epsilon);
+  w.PutU64(spec.k);
+  w.PutU64(spec.n);
+  w.PutU64(spec.seed);
+  w.PutU32(spec.threads);
+  return w.Take();
+}
+
+Result<ServiceRequest> ParseRequest(const std::string& frame) {
+  WireReader r(frame);
+  ServiceRequest req;
+  PRIVHP_ASSIGN_OR_RETURN(uint8_t op, r.U8());
+  switch (op) {
+    case static_cast<uint8_t>(ServiceOp::kPing):
+    case static_cast<uint8_t>(ServiceOp::kList):
+      req.op = static_cast<ServiceOp>(op);
+      PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
+      return req;
+    case static_cast<uint8_t>(ServiceOp::kSample):
+    case static_cast<uint8_t>(ServiceOp::kRange):
+    case static_cast<uint8_t>(ServiceOp::kQuantile):
+    case static_cast<uint8_t>(ServiceOp::kHeavy):
+    case static_cast<uint8_t>(ServiceOp::kExport):
+    case static_cast<uint8_t>(ServiceOp::kIngest):
+      req.op = static_cast<ServiceOp>(op);
+      break;
+    default:
+      return Status::InvalidArgument("unknown opcode " + std::to_string(op));
+  }
+  PRIVHP_ASSIGN_OR_RETURN(req.artifact, r.String());
+  switch (req.op) {
+    case ServiceOp::kSample: {
+      PRIVHP_ASSIGN_OR_RETURN(req.m, r.U64());
+      PRIVHP_ASSIGN_OR_RETURN(req.seed, r.U64());
+      break;
+    }
+    case ServiceOp::kRange: {
+      PRIVHP_ASSIGN_OR_RETURN(req.level, r.U32());
+      PRIVHP_ASSIGN_OR_RETURN(req.index, r.U64());
+      break;
+    }
+    case ServiceOp::kQuantile: {
+      PRIVHP_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+      req.qs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        PRIVHP_ASSIGN_OR_RETURN(double q, r.Double());
+        req.qs.push_back(q);
+      }
+      break;
+    }
+    case ServiceOp::kHeavy: {
+      PRIVHP_ASSIGN_OR_RETURN(req.threshold, r.Double());
+      break;
+    }
+    case ServiceOp::kExport:
+      break;
+    case ServiceOp::kIngest: {
+      PRIVHP_ASSIGN_OR_RETURN(req.dim, r.U32());
+      PRIVHP_ASSIGN_OR_RETURN(req.epsilon, r.Double());
+      PRIVHP_ASSIGN_OR_RETURN(req.k, r.U64());
+      PRIVHP_ASSIGN_OR_RETURN(req.n, r.U64());
+      PRIVHP_ASSIGN_OR_RETURN(req.seed, r.U64());
+      PRIVHP_ASSIGN_OR_RETURN(req.threads, r.U32());
+      break;
+    }
+    default:
+      break;
+  }
+  PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
+  return req;
+}
+
+std::string EncodeErrorResponse(const Status& status) {
+  PRIVHP_DCHECK(!status.ok());
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+WireWriter BeginOkResponse() {
+  WireWriter w;
+  w.PutU8(0);
+  return w;
+}
+
+Status ParseResponse(const std::string& frame, WireReader* payload) {
+  WireReader r(frame);
+  PRIVHP_ASSIGN_OR_RETURN(uint8_t code, r.U8());
+  if (code != 0) {
+    PRIVHP_ASSIGN_OR_RETURN(std::string message, r.String());
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  *payload = r;
+  return Status::OK();
+}
+
+}  // namespace privhp

@@ -1,0 +1,341 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/builder.h"
+#include "core/queries.h"
+#include "domain/hypercube_domain.h"
+#include "hierarchy/tree_serialization.h"
+#include "io/socket_point_stream.h"
+
+namespace privhp {
+
+PrivHPServer::PrivHPServer(ArtifactRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+Result<std::unique_ptr<PrivHPServer>> PrivHPServer::Start(
+    ArtifactRegistry* registry, const ServerOptions& options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("registry must not be null");
+  }
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "server needs at least one listener (unix_path or tcp_port)");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  std::unique_ptr<PrivHPServer> server(
+      new PrivHPServer(registry, options));
+  PRIVHP_RETURN_NOT_OK(server->StartListeners());
+  for (size_t i = 0; i < server->listeners_.size(); ++i) {
+    server->acceptors_.emplace_back(
+        [srv = server.get(), i]() {
+          srv->AcceptLoop(std::move(srv->listeners_[i]));
+        });
+  }
+  for (int w = 0; w < options.num_workers; ++w) {
+    server->workers_.emplace_back(
+        [srv = server.get(), w]() { srv->WorkerLoop(w); });
+  }
+  return server;
+}
+
+Status PrivHPServer::StartListeners() {
+  if (!options_.unix_path.empty()) {
+    PRIVHP_ASSIGN_OR_RETURN(Socket listener, ListenUnix(options_.unix_path));
+    listeners_.push_back(std::move(listener));
+  }
+  if (options_.tcp_port >= 0) {
+    uint16_t bound = 0;
+    PRIVHP_ASSIGN_OR_RETURN(
+        Socket listener,
+        ListenTcp(options_.tcp_host,
+                  static_cast<uint16_t>(options_.tcp_port), &bound));
+    tcp_port_ = bound;
+    listeners_.push_back(std::move(listener));
+  }
+  return Status::OK();
+}
+
+PrivHPServer::~PrivHPServer() { Stop(); }
+
+void PrivHPServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  queue_cv_.notify_all();
+  for (std::thread& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+PrivHPServer::Stats PrivHPServer::stats() const {
+  Stats s;
+  s.connections = stats_.connections.load(std::memory_order_relaxed);
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.errors = stats_.errors.load(std::memory_order_relaxed);
+  s.sampled_points = stats_.sampled_points.load(std::memory_order_relaxed);
+  s.ingested_points = stats_.ingested_points.load(std::memory_order_relaxed);
+  s.ingests_published =
+      stats_.ingests_published.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PrivHPServer::AcceptLoop(Socket listener) {
+  const CancelFn cancel = [this]() { return stopping_.load(); };
+  int consecutive_failures = 0;
+  while (!stopping_.load()) {
+    Result<Socket> conn = Accept(listener, cancel);
+    if (!conn.ok()) {
+      if (stopping_.load()) return;
+      // Transient failures (ECONNABORTED, ...) happen under load; a
+      // persistent one means the listener fd is dead and retrying would
+      // spin, so give up on this listener.
+      if (++consecutive_failures >= 16) return;
+      continue;
+    }
+    consecutive_failures = 0;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    if (options_.send_timeout_seconds > 0) {
+      struct timeval tv;
+      tv.tv_sec = options_.send_timeout_seconds;
+      tv.tv_usec = 0;
+      ::setsockopt(conn->fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(std::move(*conn));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void PrivHPServer::WorkerLoop(int worker_index) {
+  RandomEngine engine =
+      RandomEngine(options_.seed).Fork(static_cast<uint64_t>(worker_index));
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_.empty();
+      });
+      if (stopping_.load()) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(conn, &engine);
+  }
+}
+
+void PrivHPServer::ServeConnection(const Socket& conn, RandomEngine* engine) {
+  const CancelFn cancel = [this]() { return stopping_.load(); };
+  std::string frame;
+  while (!stopping_.load()) {
+    Result<bool> more = RecvFrame(conn, &frame, cancel);
+    if (!more.ok() || !*more) return;  // cancelled, error, or clean EOF
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    Result<ServiceRequest> req = ParseRequest(frame);
+    if (!req.ok()) {
+      // A frame we cannot parse means the peer speaks a different
+      // protocol; answer once and drop the connection.
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      (void)SendFrame(conn, EncodeErrorResponse(req.status()));
+      return;
+    }
+    if (!Dispatch(conn, *req, engine).ok()) return;
+  }
+}
+
+Status PrivHPServer::SendError(const Socket& conn, const Status& error) {
+  stats_.errors.fetch_add(1, std::memory_order_relaxed);
+  return SendFrame(conn, EncodeErrorResponse(error));
+}
+
+Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
+                              RandomEngine* engine) {
+  switch (req.op) {
+    case ServiceOp::kPing:
+      return SendFrame(conn, BeginOkResponse().Take());
+    case ServiceOp::kList: {
+      WireWriter w = BeginOkResponse();
+      const std::vector<std::string> names = registry_->List();
+      w.PutU32(static_cast<uint32_t>(names.size()));
+      for (const std::string& name : names) w.PutString(name);
+      return SendFrame(conn, w.Take());
+    }
+    case ServiceOp::kSample:
+      return HandleSample(conn, req, engine);
+    case ServiceOp::kIngest:
+      return HandleIngest(conn, req);
+    default:
+      break;
+  }
+
+  // The remaining reads resolve an artifact first.
+  Result<std::shared_ptr<const ServedArtifact>> artifact =
+      registry_->Get(req.artifact);
+  if (!artifact.ok()) return SendError(conn, artifact.status());
+  const PartitionTree& tree = (*artifact)->generator().tree();
+
+  switch (req.op) {
+    case ServiceOp::kRange: {
+      if (req.level > 62 || (req.index >> req.level) != 0) {
+        return SendError(conn, Status::InvalidArgument(
+                                   "cell index out of range for level " +
+                                   std::to_string(req.level)));
+      }
+      WireWriter w = BeginOkResponse();
+      w.PutDouble(CellMassFraction(
+          tree, CellId{static_cast<int>(req.level), req.index}));
+      return SendFrame(conn, w.Take());
+    }
+    case ServiceOp::kQuantile: {
+      Result<std::vector<double>> values = TreeQuantiles(tree, req.qs);
+      if (!values.ok()) return SendError(conn, values.status());
+      WireWriter w = BeginOkResponse();
+      w.PutU32(static_cast<uint32_t>(values->size()));
+      for (double v : *values) w.PutDouble(v);
+      return SendFrame(conn, w.Take());
+    }
+    case ServiceOp::kHeavy: {
+      Result<std::vector<HeavyCell>> heavy =
+          HierarchicalHeavyHitters(tree, req.threshold);
+      if (!heavy.ok()) return SendError(conn, heavy.status());
+      WireWriter w = BeginOkResponse();
+      w.PutU32(static_cast<uint32_t>(heavy->size()));
+      for (const HeavyCell& cell : *heavy) {
+        w.PutU32(static_cast<uint32_t>(cell.cell.level));
+        w.PutU64(cell.cell.index);
+        w.PutDouble(cell.fraction);
+      }
+      return SendFrame(conn, w.Take());
+    }
+    case ServiceOp::kExport: {
+      std::ostringstream os;
+      const Status saved = SaveTree(tree, &os);
+      if (!saved.ok()) return SendError(conn, saved);
+      WireWriter w = BeginOkResponse();
+      w.PutString(os.str());
+      return SendFrame(conn, w.Take());
+    }
+    default:
+      return SendError(conn,
+                       Status::Internal("unhandled opcode in dispatch"));
+  }
+}
+
+Status PrivHPServer::HandleSample(const Socket& conn,
+                                  const ServiceRequest& req,
+                                  RandomEngine* engine) {
+  Result<std::shared_ptr<const ServedArtifact>> artifact =
+      registry_->Get(req.artifact);
+  if (!artifact.ok()) return SendError(conn, artifact.status());
+  if (options_.max_sample_points > 0 && req.m > options_.max_sample_points) {
+    return SendError(conn, Status::InvalidArgument(
+                               "m exceeds the server's per-request limit "
+                               "of " +
+                               std::to_string(options_.max_sample_points)));
+  }
+  const PrivHPGenerator& generator = (*artifact)->generator();
+
+  WireWriter header = BeginOkResponse();
+  header.PutU32(static_cast<uint32_t>((*artifact)->domain().dimension()));
+  header.PutU64(req.m);
+  PRIVHP_RETURN_NOT_OK(SendFrame(conn, header.Take()));
+
+  // seed != 0: a dedicated engine, so the response depends only on
+  // (artifact, m, seed) — not on which worker served it or what it served
+  // before. seed == 0: the worker's own engine, advancing per request.
+  RandomEngine seeded(req.seed);
+  RandomEngine* rng = req.seed != 0 ? &seeded : engine;
+  SocketPointSink sink(&conn, options_.sample_batch);
+  // Generate one wire batch at a time so shutdown can interrupt a large
+  // response between frames.
+  for (uint64_t generated = 0; generated < req.m;) {
+    if (stopping_.load()) {
+      return Status::FailedPrecondition("server stopping");
+    }
+    const uint64_t chunk = std::min<uint64_t>(options_.sample_batch,
+                                              req.m - generated);
+    PRIVHP_RETURN_NOT_OK(generator.GenerateTo(chunk, rng, &sink));
+    generated += chunk;
+  }
+  PRIVHP_RETURN_NOT_OK(sink.FinishStream());
+  stats_.sampled_points.fetch_add(req.m, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PrivHPServer::HandleIngest(const Socket& conn,
+                                  const ServiceRequest& req) {
+  // Validate before acknowledging: the client only starts streaming after
+  // the OK, so an error response here leaves the connection in sync.
+  Status invalid = Status::OK();
+  if (req.artifact.empty()) {
+    invalid = Status::InvalidArgument("ingest needs an artifact name");
+  } else if (req.dim < 1 || req.dim > 64) {
+    invalid = Status::InvalidArgument("ingest dim must be in [1, 64]");
+  } else if (req.n == 0) {
+    invalid = Status::InvalidArgument(
+        "ingest needs the expected stream length n (the streaming horizon)");
+  } else if (req.threads < 1 ||
+             req.threads >
+                 static_cast<uint32_t>(options_.max_ingest_threads)) {
+    invalid = Status::InvalidArgument(
+        "ingest threads must be in [1, " +
+        std::to_string(options_.max_ingest_threads) + "]");
+  }
+  if (!invalid.ok()) return SendError(conn, invalid);
+
+  auto domain = std::make_unique<HypercubeDomain>(static_cast<int>(req.dim));
+  PrivHPOptions options;
+  options.epsilon = req.epsilon;
+  options.k = req.k;
+  options.expected_n = req.n;
+  options.seed = req.seed;
+
+  // Resolve the plan before acknowledging, so bad parameters (epsilon <= 0,
+  // ...) are rejected without the client streaming anything.
+  {
+    Result<PrivHPBuilder> probe = PrivHPBuilder::Make(domain.get(), options);
+    if (!probe.ok()) return SendError(conn, probe.status());
+  }
+  PRIVHP_RETURN_NOT_OK(SendFrame(conn, BeginOkResponse().Take()));
+
+  SocketPointSource source(&conn, static_cast<int>(req.dim),
+                           [this]() { return stopping_.load(); });
+  Result<PrivHPGenerator> generator = PrivHPBuilder::BuildParallel(
+      domain.get(), options, &source, static_cast<int>(req.threads));
+  if (!generator.ok()) {
+    // Regain frame sync so the error reaches the client; if the drain
+    // itself fails the connection is beyond saving.
+    PRIVHP_RETURN_NOT_OK(source.SkipToEnd());
+    return SendError(conn, generator.status());
+  }
+  stats_.ingested_points.fetch_add(source.num_received(),
+                                   std::memory_order_relaxed);
+
+  const uint64_t nodes = generator->tree().num_nodes();
+  const double mass = generator->TotalMass();
+  const Status published = registry_->Publish(
+      req.artifact,
+      ServedArtifact::Make(std::move(domain), std::move(*generator),
+                           "ingest"));
+  if (!published.ok()) return SendError(conn, published);
+  stats_.ingests_published.fetch_add(1, std::memory_order_relaxed);
+
+  WireWriter w = BeginOkResponse();
+  w.PutU64(nodes);
+  w.PutDouble(mass);
+  return SendFrame(conn, w.Take());
+}
+
+}  // namespace privhp

@@ -1,0 +1,152 @@
+// PrivHPServer — the long-running ingest/serve front end.
+//
+// Serving topology: one acceptor thread per listener (TCP and/or
+// Unix-domain), a shared connection queue, and a pool of worker threads
+// that each serve one connection at a time, request-by-request. Released
+// artifacts come from an ArtifactRegistry; reads (SAMPLE / RANGE /
+// QUANTILE / HEAVY / EXPORT) are lock-free post-processing of the
+// artifact the worker's shared_ptr pins, and INGEST streams the
+// connection's point frames straight into PrivHPBuilder::BuildParallel,
+// publishing the finished generator atomically — readers never observe a
+// half-built artifact.
+//
+// Randomness: workers never share a RandomEngine. Each worker owns one
+// engine (forked from the server seed) for seedless SAMPLE requests, and
+// a seeded SAMPLE gets a fresh engine so the response is reproducible no
+// matter which worker serves it. TreeSampler itself is stateless over a
+// const tree, which is what makes concurrent sampling race-free.
+
+#ifndef PRIVHP_SERVICE_SERVER_H_
+#define PRIVHP_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "io/frame_socket.h"
+#include "service/artifact_registry.h"
+#include "service/protocol.h"
+
+namespace privhp {
+
+/// \brief Listener and pool configuration.
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string unix_path;
+
+  /// TCP port; -1 disables the TCP listener, 0 binds an ephemeral port
+  /// (read it back via PrivHPServer::tcp_port()).
+  int tcp_port = -1;
+
+  /// TCP bind address.
+  std::string tcp_host = "127.0.0.1";
+
+  /// Worker threads (concurrent connections served).
+  int num_workers = 4;
+
+  /// Seed for the per-worker engine pool (seedless SAMPLE requests).
+  uint64_t seed = 1;
+
+  /// Points per SAMPLE response frame (bounds server-side memory per
+  /// request regardless of m).
+  size_t sample_batch = 4096;
+
+  /// Largest m a single SAMPLE request may ask for (0 = unlimited). A
+  /// 13-byte request should not be able to park a worker for hours.
+  uint64_t max_sample_points = uint64_t{1} << 24;
+
+  /// Upper bound accepted for an INGEST request's thread count.
+  int max_ingest_threads = 16;
+
+  /// Send timeout (seconds) on accepted connections, so a peer that
+  /// stops reading mid-response errors the worker out instead of
+  /// blocking it forever (0 = no timeout).
+  int send_timeout_seconds = 30;
+};
+
+/// \brief Running server over a registry. Start() spawns the threads;
+/// Stop() (or destruction) joins them.
+class PrivHPServer {
+ public:
+  /// \brief Starts listeners and workers. \p registry is not owned and
+  /// must outlive the server.
+  static Result<std::unique_ptr<PrivHPServer>> Start(
+      ArtifactRegistry* registry, const ServerOptions& options);
+
+  ~PrivHPServer();
+
+  PrivHPServer(const PrivHPServer&) = delete;
+  PrivHPServer& operator=(const PrivHPServer&) = delete;
+
+  /// \brief Signals shutdown and joins all threads. Idempotent.
+  void Stop();
+
+  /// \brief Bound TCP port (0 when the TCP listener is disabled).
+  uint16_t tcp_port() const { return tcp_port_; }
+
+  const ServerOptions& options() const { return options_; }
+
+  /// \brief Monotonic counters, snapshot at call time.
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    uint64_t sampled_points = 0;
+    uint64_t ingested_points = 0;
+    uint64_t ingests_published = 0;
+  };
+  Stats stats() const;
+
+ private:
+  PrivHPServer(ArtifactRegistry* registry, ServerOptions options);
+
+  Status StartListeners();
+  void AcceptLoop(Socket listener);
+  void WorkerLoop(int worker_index);
+  void ServeConnection(const Socket& conn, RandomEngine* engine);
+
+  /// Dispatch helpers return a non-OK Status only for transport failures
+  /// (the connection is then dropped); application errors travel back to
+  /// the client as error responses.
+  Status Dispatch(const Socket& conn, const ServiceRequest& req,
+                  RandomEngine* engine);
+  Status HandleSample(const Socket& conn, const ServiceRequest& req,
+                      RandomEngine* engine);
+  Status HandleIngest(const Socket& conn, const ServiceRequest& req);
+  Status SendError(const Socket& conn, const Status& error);
+
+  ArtifactRegistry* registry_;
+  ServerOptions options_;
+  uint16_t tcp_port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::vector<Socket> listeners_;
+  std::vector<std::thread> acceptors_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> pending_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> sampled_points{0};
+    std::atomic<uint64_t> ingested_points{0};
+    std::atomic<uint64_t> ingests_published{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SERVICE_SERVER_H_

@@ -1,0 +1,220 @@
+#include "io/socket_point_stream.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "io/frame_socket.h"
+#include "io/point_sink.h"
+#include "io/wire_format.h"
+
+namespace privhp {
+namespace {
+
+TEST(WireFormatTest, RoundTripsScalars) {
+  WireWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeefu);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutDouble(-1.5e-7);
+  w.PutString("privhp");
+
+  WireReader r(w.str());
+  EXPECT_EQ(*r.U8(), 0xab);
+  EXPECT_EQ(*r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.Double(), -1.5e-7);
+  EXPECT_EQ(*r.String(), "privhp");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(WireFormatTest, TruncatedReadsFailCleanly) {
+  WireWriter w;
+  w.PutU32(7);
+  WireReader r(w.str());
+  EXPECT_TRUE(r.U64().status().IsIOError());
+
+  // A declared string length larger than the buffer must not read past it.
+  WireWriter lying;
+  lying.PutU32(1000);
+  lying.PutBytes("abc", 3);
+  WireReader r2(lying.str());
+  EXPECT_TRUE(r2.String().status().IsIOError());
+
+  WireReader empty;
+  EXPECT_TRUE(empty.U8().status().IsIOError());
+}
+
+TEST(FrameSocketTest, FramesRoundTripOverSocketPair) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(SendFrame(pair->first, "hello").ok());
+  ASSERT_TRUE(SendFrame(pair->first, "").ok());
+
+  std::string payload;
+  auto more = RecvFrame(pair->second, &payload);
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  EXPECT_EQ(payload, "hello");
+  more = RecvFrame(pair->second, &payload);
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  EXPECT_EQ(payload, "");
+
+  // Clean EOF at a frame boundary is `false`, not an error.
+  pair->first.Close();
+  more = RecvFrame(pair->second, &payload);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(FrameSocketTest, OversizedFrameLengthIsRejected) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  // Hand-craft a header declaring 2 GiB.
+  const uint32_t huge = 2u << 30;
+  std::string header(4, '\0');
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  ASSERT_EQ(::send(pair->first.fd(), header.data(), 4, 0), 4);
+  std::string payload;
+  EXPECT_TRUE(RecvFrame(pair->second, &payload).status().IsIOError());
+}
+
+TEST(SocketPointStreamTest, SinkToSourceRoundTrip) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  std::vector<Point> sent;
+  for (int i = 0; i < 1000; ++i) {
+    sent.push_back({i / 1000.0, 1.0 - i / 1000.0});
+  }
+
+  // Small batch size forces multiple frames; the writer runs in a thread
+  // so the test does not rely on socket buffering for large streams.
+  std::thread writer([&]() {
+    SocketPointSink sink(&pair->first, /*batch_size=*/64);
+    ASSERT_TRUE(sink.AddAll(sent).ok());
+    ASSERT_TRUE(sink.FinishStream().ok());
+    EXPECT_EQ(sink.num_processed(), sent.size());
+  });
+
+  SocketPointSource source(&pair->second, /*expected_dim=*/2);
+  CollectingSink received;
+  EXPECT_TRUE(Drain(&source, &received).ok());
+  writer.join();
+  EXPECT_EQ(received.points(), sent);
+  EXPECT_TRUE(source.finished());
+  EXPECT_EQ(source.num_received(), sent.size());
+
+  // The source stays at end-of-stream.
+  Point scratch;
+  auto more = source.Next(&scratch);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(SocketPointStreamTest, DimensionMismatchIsAnError) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  SocketPointSink sink(&pair->first, 8);
+  ASSERT_TRUE(sink.Add({0.5, 0.5}).ok());
+  ASSERT_TRUE(sink.Flush().ok());
+
+  SocketPointSource source(&pair->second, /*expected_dim=*/1);
+  Point scratch;
+  EXPECT_TRUE(source.Next(&scratch).status().IsInvalidArgument());
+}
+
+TEST(SocketPointStreamTest, TruncatedStreamIsAnError) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  {
+    SocketPointSink sink(&pair->first, 8);
+    ASSERT_TRUE(sink.Add({0.25}).ok());
+    ASSERT_TRUE(sink.Flush().ok());
+    // No end frame: the connection just drops.
+    pair->first.Close();
+  }
+  SocketPointSource source(&pair->second, 1);
+  Point scratch;
+  auto first = source.Next(&scratch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  EXPECT_TRUE(source.Next(&scratch).status().IsIOError());
+}
+
+TEST(SocketPointStreamTest, EndFrameTotalIsVerified) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  const std::vector<Point> points = {{0.1}, {0.2}};
+  ASSERT_TRUE(
+      SendFrame(pair->first, EncodePointBatch(points, 0, points.size()))
+          .ok());
+  // Lie about the total.
+  ASSERT_TRUE(SendFrame(pair->first, EncodePointStreamEnd(5)).ok());
+
+  SocketPointSource source(&pair->second, 1);
+  Point scratch;
+  EXPECT_TRUE(*source.Next(&scratch));
+  EXPECT_TRUE(*source.Next(&scratch));
+  EXPECT_TRUE(source.Next(&scratch).status().IsIOError());
+}
+
+TEST(SocketPointStreamTest, FinishedSinkRejectsFurtherPoints) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  SocketPointSink sink(&pair->first, 8);
+  ASSERT_TRUE(sink.FinishStream().ok());
+  EXPECT_TRUE(sink.Add({0.5}).IsFailedPrecondition());
+  EXPECT_TRUE(sink.FinishStream().IsFailedPrecondition());
+}
+
+TEST(FrameSocketTest, TcpListenConnectRoundTrip) {
+  uint16_t port = 0;
+  auto listener = ListenTcp("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listener.ok());
+  ASSERT_GT(port, 0);
+
+  std::thread client([&]() {
+    auto conn = ConnectTcp("127.0.0.1", port);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(SendFrame(*conn, "over tcp").ok());
+  });
+  auto accepted = Accept(*listener);
+  ASSERT_TRUE(accepted.ok());
+  std::string payload;
+  auto more = RecvFrame(*accepted, &payload);
+  client.join();
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  EXPECT_EQ(payload, "over tcp");
+}
+
+TEST(FrameSocketTest, UnixListenConnectRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fs_rt.sock";
+  auto listener = ListenUnix(path);
+  ASSERT_TRUE(listener.ok());
+
+  std::thread client([&]() {
+    auto conn = ConnectUnix(path);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(SendFrame(*conn, "over unix").ok());
+  });
+  auto accepted = Accept(*listener);
+  ASSERT_TRUE(accepted.ok());
+  std::string payload;
+  auto more = RecvFrame(*accepted, &payload);
+  client.join();
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  EXPECT_EQ(payload, "over unix");
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace privhp

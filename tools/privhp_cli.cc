@@ -7,16 +7,29 @@
 //   privhp heavy   --tree generator.tree --dim 1 --threshold 0.05
 //   privhp w1      --a a.csv --b b.csv --dim 1        (exact for d = 1,
 //                                                      sliced otherwise)
+//   privhp serve   --unix /tmp/privhp.sock | --port 7557
+//                  [--load name=gen.tree ...] [--workers N]
+//   privhp query   --unix PATH | --host H --port P  --artifact NAME
+//                  --sample M | --quantile Q | --heavy T |
+//                  --level L --index I | --export F | --list
+//   privhp ingest  --unix PATH | --host H --port P  --artifact NAME
+//                  --in data.csv --dim D [--epsilon E] [--k K] [--n N]
 //
 // The tree file is the released eps-DP artifact; every subcommand other
 // than `build` is post-processing and can be run any number of times.
+// `serve` keeps released artifacts resident and answers the same
+// post-processing queries over sockets; `ingest` streams a dataset into a
+// server-side bounded-memory build and publishes the result.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/macros.h"
@@ -25,6 +38,8 @@
 #include "domain/hypercube_domain.h"
 #include "eval/wasserstein.h"
 #include "io/point_stream.h"
+#include "service/client.h"
+#include "service/server.h"
 
 namespace privhp {
 namespace {
@@ -57,7 +72,17 @@ int Usage() {
       "                  [--seed S]\n"
       "  privhp quantile --tree gen.tree --q Q [--q Q2 ...]   (dim 1)\n"
       "  privhp heavy    --tree gen.tree --dim D --threshold T\n"
-      "  privhp w1       --a a.csv --b b.csv --dim D\n");
+      "  privhp w1       --a a.csv --b b.csv --dim D\n"
+      "  privhp serve    --unix PATH | --port P [--host H]\n"
+      "                  [--load name=gen.tree ...] [--workers N]\n"
+      "                  [--seed S]\n"
+      "  privhp query    --unix PATH | --host H --port P [--artifact A]\n"
+      "                  --list | --sample M [--seed S] [--out F]\n"
+      "                  | --quantile Q [--quantile Q2 ...]\n"
+      "                  | --heavy T | --level L --index I | --export F\n"
+      "  privhp ingest   --unix PATH | --host H --port P --artifact A\n"
+      "                  --in data.csv --dim D [--epsilon E] [--k K]\n"
+      "                  [--n N] [--seed S] [--threads T]\n");
   return 2;
 }
 
@@ -67,10 +92,21 @@ Result<Args> Parse(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const char* flag = argv[i];
-    if (std::strncmp(flag, "--", 2) != 0 || i + 1 >= argc) {
+    if (std::strncmp(flag, "--", 2) != 0) {
       return Status::InvalidArgument(std::string("bad flag: ") + flag);
     }
-    args.flags[flag + 2].push_back(argv[++i]);
+    // Only known boolean flags may omit a value; for everything else a
+    // missing value stays a hard error ("--seed --out f" must not parse
+    // as seed = "").
+    const bool is_boolean = std::strcmp(flag, "--list") == 0;
+    if (is_boolean) {
+      args.flags[flag + 2].push_back("");
+    } else if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      return Status::InvalidArgument(std::string("flag needs a value: ") +
+                                     flag);
+    } else {
+      args.flags[flag + 2].push_back(argv[++i]);
+    }
   }
   return args;
 }
@@ -162,8 +198,16 @@ int Sample(const Args& args) {
   }
   RandomEngine rng(
       std::strtoull(args.GetOr("seed", "1").c_str(), nullptr, 10));
-  const auto synthetic = generator->Generate(*m, &rng);
-  const Status written = WritePointsCsv(*out, synthetic);
+  // Stream points straight into the CSV sink: the serve side is bounded
+  // memory in m, just like the build side is in n.
+  auto writer = CsvPointWriter::Open(*out);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+    return 1;
+  }
+  Status written = generator->GenerateTo(static_cast<size_t>(*m), &rng,
+                                         &*writer);
+  if (written.ok()) written = writer->Close();
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;
@@ -250,6 +294,266 @@ int W1(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int) { g_shutdown = 1; }
+
+int Serve(const Args& args) {
+  ServerOptions options;
+  options.unix_path = args.GetOr("unix", "");
+  const std::string* port = args.Get("port");
+  if (port) options.tcp_port = std::atoi(port->c_str());
+  options.tcp_host = args.GetOr("host", "127.0.0.1");
+  options.num_workers = std::atoi(args.GetOr("workers", "4").c_str());
+  options.seed = std::strtoull(args.GetOr("seed", "1").c_str(), nullptr, 10);
+  if (options.unix_path.empty() && !port) {
+    std::fprintf(stderr, "serve needs --unix PATH and/or --port P\n");
+    return 2;
+  }
+
+  ArtifactRegistry registry;
+  auto it = args.flags.find("load");
+  if (it != args.flags.end()) {
+    for (const std::string& spec : it->second) {
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--load wants name=path, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      const std::string name = spec.substr(0, eq);
+      const std::string path = spec.substr(eq + 1);
+      const Status loaded = registry.LoadFile(name, path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "loading %s: %s\n", spec.c_str(),
+                     loaded.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded artifact '%s' from %s\n", name.c_str(),
+                   path.c_str());
+    }
+  }
+
+  auto server = PrivHPServer::Start(&registry, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::fprintf(stderr, "listening on unix:%s\n", options.unix_path.c_str());
+  }
+  if (port) {
+    std::fprintf(stderr, "listening on tcp:%s:%u\n", options.tcp_host.c_str(),
+                 (*server)->tcp_port());
+  }
+  std::fprintf(stderr, "%d workers, %zu artifact(s); ^C to stop\n",
+               options.num_workers, registry.size());
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  (*server)->Stop();
+  const PrivHPServer::Stats stats = (*server)->stats();
+  std::fprintf(stderr,
+               "served %llu requests on %llu connections "
+               "(%llu points sampled, %llu ingested, %llu errors)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.sampled_points),
+               static_cast<unsigned long long>(stats.ingested_points),
+               static_cast<unsigned long long>(stats.errors));
+  return 0;
+}
+
+Result<PrivHPClient> ConnectFromArgs(const Args& args) {
+  const std::string* unix_path = args.Get("unix");
+  if (unix_path) return PrivHPClient::ConnectUnix(*unix_path);
+  const std::string* port = args.Get("port");
+  if (!port) {
+    return Status::InvalidArgument("need --unix PATH or --host/--port");
+  }
+  return PrivHPClient::ConnectTcp(
+      args.GetOr("host", "127.0.0.1"),
+      static_cast<uint16_t>(std::atoi(port->c_str())));
+}
+
+int Query(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Get("list")) {
+    auto names = client->List();
+    if (!names.ok()) {
+      std::fprintf(stderr, "%s\n", names.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& name : *names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  const std::string* artifact = args.Get("artifact");
+  if (!artifact) {
+    std::fprintf(stderr, "query needs --artifact (or --list)\n");
+    return 2;
+  }
+  if (const std::string* m = args.Get("sample")) {
+    const std::string* out = args.Get("out");
+    if (!out) {
+      std::fprintf(stderr, "query --sample needs --out F\n");
+      return 2;
+    }
+    auto writer = CsvPointWriter::Open(*out);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t seed =
+        std::strtoull(args.GetOr("seed", "0").c_str(), nullptr, 10);
+    Status sampled = client->Sample(
+        *artifact, std::strtoull(m->c_str(), nullptr, 10), seed, &*writer);
+    if (sampled.ok()) sampled = writer->Close();
+    if (!sampled.ok()) {
+      std::fprintf(stderr, "%s\n", sampled.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s synthetic points to %s\n", m->c_str(),
+                 out->c_str());
+    return 0;
+  }
+  if (args.flags.count("quantile")) {
+    std::vector<double> qs;
+    for (const std::string& q : args.flags.at("quantile")) {
+      qs.push_back(std::atof(q.c_str()));
+    }
+    auto values = client->Quantiles(*artifact, qs);
+    if (!values.ok()) {
+      std::fprintf(stderr, "%s\n", values.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < values->size(); ++i) {
+      std::printf("q=%.4f -> %.6f\n", qs[i], (*values)[i]);
+    }
+    return 0;
+  }
+  if (const std::string* threshold = args.Get("heavy")) {
+    auto heavy = client->Heavy(*artifact, std::atof(threshold->c_str()));
+    if (!heavy.ok()) {
+      std::fprintf(stderr, "%s\n", heavy.status().ToString().c_str());
+      return 1;
+    }
+    for (const HeavyCell& cell : *heavy) {
+      std::printf("level=%d index=%llu fraction=%.4f\n", cell.cell.level,
+                  static_cast<unsigned long long>(cell.cell.index),
+                  cell.fraction);
+    }
+    return 0;
+  }
+  if (args.Get("level") && args.Get("index")) {
+    CellId cell;
+    cell.level = std::atoi(args.Get("level")->c_str());
+    cell.index = std::strtoull(args.Get("index")->c_str(), nullptr, 10);
+    auto mass = client->RangeMass(*artifact, cell);
+    if (!mass.ok()) {
+      std::fprintf(stderr, "%s\n", mass.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("mass(level=%d, index=%llu) = %.6f\n", cell.level,
+                static_cast<unsigned long long>(cell.index), *mass);
+    return 0;
+  }
+  if (const std::string* out = args.Get("export")) {
+    auto artifact_bytes = client->Export(*artifact);
+    if (!artifact_bytes.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   artifact_bytes.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(out->c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out->c_str());
+      return 1;
+    }
+    const bool wrote = std::fwrite(artifact_bytes->data(), 1,
+                                   artifact_bytes->size(),
+                                   f) == artifact_bytes->size();
+    // fclose also flushes; run it exactly once and fold its verdict in.
+    if (std::fclose(f) != 0 || !wrote) {
+      std::fprintf(stderr, "cannot write %s\n", out->c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "exported artifact '%s' to %s (%zu bytes)\n",
+                 artifact->c_str(), out->c_str(), artifact_bytes->size());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "query needs one of --list, --sample, --quantile, --heavy, "
+               "--level/--index, --export\n");
+  return 2;
+}
+
+int Ingest(const Args& args) {
+  const std::string* artifact = args.Get("artifact");
+  const std::string* in = args.Get("in");
+  auto dim = RequireInt(args, "dim");
+  if (!artifact || !in || !dim.ok()) {
+    std::fprintf(stderr, "ingest needs --artifact, --in, --dim\n");
+    return 2;
+  }
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  PrivHPClient::IngestSpec spec;
+  spec.dim = static_cast<uint32_t>(*dim);
+  spec.epsilon = std::atof(args.GetOr("epsilon", "1.0").c_str());
+  spec.k = std::strtoull(args.GetOr("k", "32").c_str(), nullptr, 10);
+  spec.n = std::strtoull(args.GetOr("n", "0").c_str(), nullptr, 10);
+  spec.seed = std::strtoull(args.GetOr("seed", "42").c_str(), nullptr, 10);
+  spec.threads =
+      static_cast<uint32_t>(std::atoi(args.GetOr("threads", "1").c_str()));
+  if (spec.n == 0) {
+    // The streaming horizon is required; for a file source, count points
+    // in one O(1)-memory pre-pass instead of demanding --n.
+    auto counter = CsvPointReader::Open(*in, *dim);
+    if (!counter.ok()) {
+      std::fprintf(stderr, "%s\n", counter.status().ToString().c_str());
+      return 1;
+    }
+    Point scratch;
+    for (;;) {
+      auto more = counter->Next(&scratch);
+      if (!more.ok()) {
+        std::fprintf(stderr, "%s\n", more.status().ToString().c_str());
+        return 1;
+      }
+      if (!*more) break;
+      ++spec.n;
+    }
+  }
+  auto reader = CsvPointReader::Open(*in, *dim);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  auto report = client->Ingest(*artifact, spec, &*reader);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "ingested %llu points; published '%s' (%llu nodes, total "
+               "mass %.1f)\n",
+               static_cast<unsigned long long>(report->points_sent),
+               artifact->c_str(),
+               static_cast<unsigned long long>(report->nodes),
+               report->total_mass);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto args = Parse(argc, argv);
   if (!args.ok()) return Usage();
@@ -258,6 +562,9 @@ int Run(int argc, char** argv) {
   if (args->command == "quantile") return Quantile(*args);
   if (args->command == "heavy") return Heavy(*args);
   if (args->command == "w1") return W1(*args);
+  if (args->command == "serve") return Serve(*args);
+  if (args->command == "query") return Query(*args);
+  if (args->command == "ingest") return Ingest(*args);
   return Usage();
 }
 
