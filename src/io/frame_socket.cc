@@ -1,6 +1,7 @@
 #include "io/frame_socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -73,6 +74,16 @@ Result<bool> RecvAll(int fd, char* data, size_t size, const CancelFn& cancel) {
   return true;
 }
 
+Status SetNonBlocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
 Result<Socket> MakeTcpAddress(const std::string& host, uint16_t port,
                               struct sockaddr_in* addr) {
   std::memset(addr, 0, sizeof(*addr));
@@ -120,6 +131,10 @@ Result<Socket> ListenTcp(const std::string& host, uint16_t port,
     return ErrnoStatus("bind " + host + ":" + std::to_string(port));
   }
   if (::listen(sock.fd(), SOMAXCONN) < 0) return ErrnoStatus("listen");
+  // Non-blocking listener: a pending connection can vanish between
+  // poll() and accept() (async network error, linger-0 reset), and a
+  // blocking accept() would then sleep past the cancel predicate.
+  PRIVHP_RETURN_NOT_OK(SetNonBlocking(sock.fd(), true));
   if (bound_port != nullptr) {
     struct sockaddr_in bound;
     socklen_t len = sizeof(bound);
@@ -141,6 +156,7 @@ Result<Socket> ListenUnix(const std::string& path) {
     return ErrnoStatus("bind " + path);
   }
   if (::listen(sock.fd(), SOMAXCONN) < 0) return ErrnoStatus("listen");
+  PRIVHP_RETURN_NOT_OK(SetNonBlocking(sock.fd(), true));  // see ListenTcp
   return sock;
 }
 
@@ -170,11 +186,19 @@ Result<Socket> Accept(const Socket& listener, const CancelFn& cancel) {
   if (!listener.valid()) {
     return Status::InvalidArgument("accept on an invalid socket");
   }
-  PRIVHP_RETURN_NOT_OK(WaitReadable(listener.fd(), cancel));
   for (;;) {
+    PRIVHP_RETURN_NOT_OK(WaitReadable(listener.fd(), cancel));
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
-    if (fd >= 0) return Socket(fd);
-    if (errno == EINTR) continue;
+    if (fd >= 0) {
+      Socket conn(fd);
+      // O_NONBLOCK inheritance across accept() is platform-defined;
+      // frame I/O expects blocking connection sockets.
+      PRIVHP_RETURN_NOT_OK(SetNonBlocking(fd, false));
+      return conn;
+    }
+    // EAGAIN: the ready connection vanished between poll and accept —
+    // back to the poll loop so the cancel predicate stays live.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     return ErrnoStatus("accept");
   }
 }

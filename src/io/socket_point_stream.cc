@@ -1,5 +1,6 @@
 #include "io/socket_point_stream.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/macros.h"
@@ -48,6 +49,12 @@ Status DecodePointBatch(const std::string& payload, int expected_dim,
         "point batch has dimension " + std::to_string(dim) + ", expected " +
         std::to_string(expected_dim));
   }
+  // Every coordinate is an 8-byte double; a header whose count*dim
+  // outruns the payload is malformed, and checking up front keeps the
+  // declared dim from driving reserve() before any bytes are verified.
+  if (static_cast<uint64_t>(count) * dim > r.remaining() / 8) {
+    return Status::IOError("point batch header exceeds frame payload");
+  }
   for (uint32_t i = 0; i < count; ++i) {
     Point p;
     p.reserve(dim);
@@ -93,12 +100,36 @@ Status SocketPointSink::FinishStream() {
 }
 
 SocketPointSource::SocketPointSource(const Socket* sock, int expected_dim,
-                                     CancelFn cancel)
-    : sock_(sock), expected_dim_(expected_dim), cancel_(std::move(cancel)) {}
+                                     CancelFn cancel,
+                                     int idle_timeout_seconds)
+    : sock_(sock),
+      expected_dim_(expected_dim),
+      cancel_(std::move(cancel)),
+      idle_timeout_seconds_(idle_timeout_seconds) {}
+
+Result<bool> SocketPointSource::RecvNext() {
+  Result<bool> r = [this]() -> Result<bool> {
+    if (idle_timeout_seconds_ <= 0) {
+      return RecvFrame(*sock_, &frame_, cancel_);
+    }
+    // The deadline restarts per frame: it bounds idle time between
+    // frames, not the lifetime of a steadily streaming peer.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(idle_timeout_seconds_);
+    return RecvFrame(*sock_, &frame_, [this, deadline]() {
+      return (cancel_ && cancel_()) ||
+             std::chrono::steady_clock::now() >= deadline;
+    });
+  }();
+  // The frame layer yields FailedPrecondition only when the cancel
+  // predicate fires, so the mapping is exact at this level.
+  if (!r.ok() && r.status().IsFailedPrecondition()) cancelled_ = true;
+  return r;
+}
 
 Result<bool> SocketPointSource::FillBuffer() {
   while (buffer_.empty()) {
-    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(*sock_, &frame_, cancel_));
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvNext());
     if (!more) {
       return Status::IOError("connection closed before end of point stream");
     }
@@ -135,7 +166,7 @@ Result<bool> SocketPointSource::Next(Point* out) {
 Status SocketPointSource::SkipToEnd() {
   buffer_.clear();
   while (!finished_) {
-    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(*sock_, &frame_, cancel_));
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvNext());
     if (!more) {
       return Status::IOError("connection closed before end of point stream");
     }

@@ -81,8 +81,12 @@ class SocketPointSource : public PointSource {
   /// many coordinates.
   /// \param cancel Polled while blocked on the socket (see frame_socket);
   /// lets a server abandon a stalled peer on shutdown.
+  /// \param idle_timeout_seconds When > 0, waiting longer than this for
+  /// the *next* frame cancels the stream — bounds how long a stalled
+  /// peer can hold the reader (a steadily streaming peer never hits it).
   explicit SocketPointSource(const Socket* sock, int expected_dim = 0,
-                             CancelFn cancel = {});
+                             CancelFn cancel = {},
+                             int idle_timeout_seconds = 0);
 
   Result<bool> Next(Point* out) override;
 
@@ -97,16 +101,25 @@ class SocketPointSource : public PointSource {
   /// \brief True once the end frame has been consumed.
   bool finished() const { return finished_; }
 
+  /// \brief True if a read was aborted by the cancel predicate or the
+  /// idle timeout — lets callers tell a cancelled stream (no live peer
+  /// to resync with) from an ordinary decode error.
+  bool cancelled() const { return cancelled_; }
+
  private:
   Result<bool> FillBuffer();
+  /// Receives the next frame into frame_, applying the idle timeout.
+  Result<bool> RecvNext();
 
   const Socket* sock_;
   int expected_dim_;
   CancelFn cancel_;
+  int idle_timeout_seconds_;
   std::deque<Point> buffer_;
   std::string frame_;
   uint64_t num_received_ = 0;
   bool finished_ = false;
+  bool cancelled_ = false;
 };
 
 }  // namespace privhp

@@ -87,6 +87,17 @@ Result<std::string> WireReader::String() {
   return s;
 }
 
+Result<uint32_t> WireReader::BoundedCount(size_t elem_bytes) {
+  PRIVHP_DCHECK(elem_bytes > 0);
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, U32());
+  if (count > remaining_ / elem_bytes) {
+    return Status::IOError("declared count " + std::to_string(count) +
+                           " exceeds remaining payload of " +
+                           std::to_string(remaining_) + " bytes");
+  }
+  return count;
+}
+
 Status WireReader::ExpectEnd() const {
   if (remaining_ != 0) {
     return Status::IOError("frame has " + std::to_string(remaining_) +

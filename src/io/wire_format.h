@@ -53,6 +53,11 @@ class WireReader {
   Result<double> Double();
   /// \brief Reads a u32 length + that many bytes.
   Result<std::string> String();
+  /// \brief Reads a u32 element count, rejecting one the remaining
+  /// payload cannot carry at \p elem_bytes per element — the allocation
+  /// guard every decoder of a peer-declared count must use before
+  /// reserving storage sized from it.
+  Result<uint32_t> BoundedCount(size_t elem_bytes);
 
   size_t remaining() const { return remaining_; }
   bool AtEnd() const { return remaining_ == 0; }

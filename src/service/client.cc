@@ -1,5 +1,6 @@
 #include "service/client.h"
 
+#include <limits>
 #include <utility>
 
 #include "common/macros.h"
@@ -36,7 +37,8 @@ Result<std::vector<std::string>> PrivHPClient::List() {
   std::string frame;
   WireReader payload;
   PRIVHP_RETURN_NOT_OK(Call(EncodeListRequest(), &frame, &payload));
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  // Each name carries at least its 4-byte length prefix.
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.BoundedCount(4));
   std::vector<std::string> names;
   names.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -55,20 +57,41 @@ Status PrivHPClient::Sample(const std::string& artifact, uint64_t m,
   WireReader payload;
   PRIVHP_RETURN_NOT_OK(
       Call(EncodeSampleRequest(artifact, m, seed), &frame, &payload));
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t dim, payload.U32());
-  PRIVHP_ASSIGN_OR_RETURN(uint64_t promised, payload.U64());
-  if (promised != m) {
-    return Status::IOError("server promised " + std::to_string(promised) +
-                           " points, requested " + std::to_string(m));
+  // Once the server answers OK it streams its point frames no matter
+  // what goes wrong on our side, so every failure from here on must
+  // funnel through the resync below — including header-parse failures.
+  const Result<uint32_t> dim = payload.U32();
+  const Result<uint64_t> promised = payload.U64();
+  Status verdict = !dim.ok() ? dim.status() : promised.status();
+  if (verdict.ok() && *promised != m) {
+    verdict = Status::IOError("server promised " + std::to_string(*promised) +
+                              " points, requested " + std::to_string(m));
+  } else if (verdict.ok() &&
+             (*dim == 0 ||
+              *dim > static_cast<uint32_t>(
+                         std::numeric_limits<int>::max()))) {
+    // dim must survive the cast to int below as a positive value, or the
+    // per-batch dimension check in DecodePointBatch is silently disabled.
+    verdict = Status::IOError("server sent invalid sample dimension " +
+                              std::to_string(*dim));
   }
-  SocketPointSource source(&sock_, static_cast<int>(dim));
-  PRIVHP_RETURN_NOT_OK(Drain(&source, sink));
-  if (source.num_received() != m) {
-    return Status::IOError("sample stream delivered " +
-                           std::to_string(source.num_received()) +
-                           " points, expected " + std::to_string(m));
+  SocketPointSource source(&sock_, verdict.ok() ? static_cast<int>(*dim) : 0);
+  if (verdict.ok()) {
+    verdict = Drain(&source, sink);
+    if (verdict.ok() && source.num_received() != m) {
+      verdict = Status::IOError("sample stream delivered " +
+                                std::to_string(source.num_received()) +
+                                " points, expected " + std::to_string(m));
+    }
   }
-  return Status::OK();
+  if (!verdict.ok()) {
+    // The server streams its point frames regardless of what went wrong
+    // on our side, so regain frame sync before the next Call; if resync
+    // fails the connection is beyond saving — close it so later calls
+    // fail loudly instead of parsing leftover point frames as responses.
+    if (!source.SkipToEnd().ok()) sock_.Close();
+  }
+  return verdict;
 }
 
 Result<std::vector<Point>> PrivHPClient::Sample(const std::string& artifact,
@@ -95,7 +118,15 @@ Result<std::vector<double>> PrivHPClient::Quantiles(
   WireReader payload;
   PRIVHP_RETURN_NOT_OK(
       Call(EncodeQuantileRequest(artifact, qs), &frame, &payload));
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  // 8 bytes per double.
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.BoundedCount(8));
+  // Callers index the result by the position of the quantile they asked
+  // for, so a count mismatch must fail here, not corrupt them there.
+  if (count != qs.size()) {
+    return Status::IOError("server returned " + std::to_string(count) +
+                           " quantile values, requested " +
+                           std::to_string(qs.size()));
+  }
   std::vector<double> values;
   values.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -111,7 +142,8 @@ Result<std::vector<HeavyCell>> PrivHPClient::Heavy(
   WireReader payload;
   PRIVHP_RETURN_NOT_OK(
       Call(EncodeHeavyRequest(artifact, threshold), &frame, &payload));
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  // Each cell is u32 + u64 + double = 20 bytes.
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.BoundedCount(20));
   std::vector<HeavyCell> cells;
   cells.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -153,14 +185,27 @@ Result<PrivHPClient::IngestReport> PrivHPClient::Ingest(
   WireReader payload;
   PRIVHP_RETURN_NOT_OK(Call(EncodeIngestRequest(req), &frame, &payload));
 
-  // Phase 2: stream the points, then the end frame.
+  // Phase 2: stream the points, then the end frame. A failure here
+  // leaves the server owed points we cannot deliver, and a clean end
+  // frame would make it publish a silently truncated artifact — so the
+  // only sound recovery is closing the connection, which aborts the
+  // server-side build and makes later calls on this client fail loudly
+  // instead of desyncing.
   SocketPointSink sink(&sock_, spec.batch);
-  PRIVHP_RETURN_NOT_OK(Drain(source, &sink));
-  PRIVHP_RETURN_NOT_OK(sink.FinishStream());
+  Status streamed = Drain(source, &sink);
+  if (streamed.ok()) streamed = sink.FinishStream();
+  if (!streamed.ok()) {
+    sock_.Close();
+    return streamed;
+  }
 
   // Phase 3: the build + publish verdict.
-  PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(sock_, &frame));
-  if (!more) return Status::IOError("server closed the connection");
+  Result<bool> more = RecvFrame(sock_, &frame);
+  if (!more.ok() || !*more) {
+    sock_.Close();
+    return more.ok() ? Status::IOError("server closed the connection")
+                     : more.status();
+  }
   PRIVHP_RETURN_NOT_OK(ParseResponse(frame, &payload));
   IngestReport report;
   report.points_sent = sink.num_processed();

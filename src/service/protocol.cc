@@ -112,7 +112,8 @@ Result<ServiceRequest> ParseRequest(const std::string& frame) {
       break;
     }
     case ServiceOp::kQuantile: {
-      PRIVHP_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+      // 8 bytes per quantile double.
+      PRIVHP_ASSIGN_OR_RETURN(uint32_t count, r.BoundedCount(8));
       req.qs.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
         PRIVHP_ASSIGN_OR_RETURN(double q, r.Double());

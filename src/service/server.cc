@@ -4,6 +4,8 @@
 #include <sys/time.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -68,6 +70,10 @@ PrivHPServer::~PrivHPServer() { Stop(); }
 
 void PrivHPServer::Stop() {
   if (stopping_.exchange(true)) return;
+  // Pairing the flag flip with the queue lock closes the lost-wakeup
+  // race: a worker that read stopping_ == false under the lock is
+  // guaranteed to be inside wait() by the time we notify.
+  { std::lock_guard<std::mutex> lock(queue_mu_); }
   queue_cv_.notify_all();
   for (std::thread& t : acceptors_) {
     if (t.joinable()) t.join();
@@ -86,6 +92,8 @@ PrivHPServer::Stats PrivHPServer::stats() const {
   s.ingested_points = stats_.ingested_points.load(std::memory_order_relaxed);
   s.ingests_published =
       stats_.ingests_published.load(std::memory_order_relaxed);
+  s.listener_failure_streaks =
+      stats_.listener_failure_streaks.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -96,10 +104,30 @@ void PrivHPServer::AcceptLoop(Socket listener) {
     Result<Socket> conn = Accept(listener, cancel);
     if (!conn.ok()) {
       if (stopping_.load()) return;
-      // Transient failures (ECONNABORTED, ...) happen under load; a
-      // persistent one means the listener fd is dead and retrying would
-      // spin, so give up on this listener.
-      if (++consecutive_failures >= 16) return;
+      // Accept failures are retried forever: transient causes
+      // (ECONNABORTED under load, EMFILE during fd exhaustion) can
+      // outlast any fixed budget, and abandoning the listener would
+      // leave a healthy-looking server that never accepts again. The
+      // backoff cap keeps even a structurally dead fd (EBADF) from
+      // spinning, and a sustained streak is surfaced via stderr and
+      // Stats::listener_failure_streaks.
+      ++consecutive_failures;
+      if (consecutive_failures == 16) {
+        stats_.listener_failure_streaks.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
+      if (consecutive_failures % 16 == 0) {
+        std::fprintf(stderr,
+                     "privhp server: listener failing, %d consecutive "
+                     "accept failures, last: %s\n",
+                     consecutive_failures, conn.status().message().c_str());
+      }
+      // Sliced sleep so shutdown is not delayed by the full backoff.
+      const int backoff_ms = std::min(10 * consecutive_failures, 1000);
+      for (int slept = 0; slept < backoff_ms && !stopping_.load();
+           slept += 50) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
       continue;
     }
     consecutive_failures = 0;
@@ -137,9 +165,18 @@ void PrivHPServer::WorkerLoop(int worker_index) {
 }
 
 void PrivHPServer::ServeConnection(const Socket& conn, RandomEngine* engine) {
-  const CancelFn cancel = [this]() { return stopping_.load(); };
   std::string frame;
   while (!stopping_.load()) {
+    // The deadline restarts per request: it bounds idle time between
+    // frames, not the lifetime of a busy connection.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::seconds(options_.idle_timeout_seconds);
+    const CancelFn cancel = [this, deadline]() {
+      return stopping_.load() ||
+             (options_.idle_timeout_seconds > 0 &&
+              std::chrono::steady_clock::now() >= deadline);
+    };
     Result<bool> more = RecvFrame(conn, &frame, cancel);
     if (!more.ok() || !*more) return;  // cancelled, error, or clean EOF
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -223,8 +260,20 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
       std::ostringstream os;
       const Status saved = SaveTree(tree, &os);
       if (!saved.ok()) return SendError(conn, saved);
+      const std::string blob = os.str();
+      // Response framing adds a status byte and a u32 blob length; an
+      // artifact that cannot fit one frame gets an in-band error instead
+      // of a SendFrame failure that would drop the connection.
+      if (blob.size() > kMaxFrameBytes - 5) {
+        return SendError(conn,
+                         Status::InvalidArgument(
+                             "serialized artifact (" +
+                             std::to_string(blob.size()) +
+                             " bytes) exceeds the frame limit of " +
+                             std::to_string(kMaxFrameBytes) + " bytes"));
+      }
       WireWriter w = BeginOkResponse();
-      w.PutString(os.str());
+      w.PutString(blob);
       return SendFrame(conn, w.Take());
     }
     default:
@@ -310,14 +359,24 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
   }
   PRIVHP_RETURN_NOT_OK(SendFrame(conn, BeginOkResponse().Take()));
 
+  // The idle timeout rides the source so a peer that opens an ingest
+  // session and goes silent frees the worker, same as between requests.
   SocketPointSource source(&conn, static_cast<int>(req.dim),
-                           [this]() { return stopping_.load(); });
+                           [this]() { return stopping_.load(); },
+                           options_.idle_timeout_seconds);
   Result<PrivHPGenerator> generator = PrivHPBuilder::BuildParallel(
       domain.get(), options, &source, static_cast<int>(req.threads));
   if (!generator.ok()) {
-    // Regain frame sync so the error reaches the client; if the drain
-    // itself fails the connection is beyond saving.
-    PRIVHP_RETURN_NOT_OK(source.SkipToEnd());
+    // A cancelled stream (shutdown, or the peer idle-timing out) has no
+    // live sender to resync with — draining would just park the worker
+    // for a second timeout window, so drop the connection instead.
+    if (source.cancelled()) {
+      return generator.status();
+    }
+    // Otherwise regain frame sync so the error reaches the client; if
+    // the drain itself fails the connection is beyond saving, and the
+    // build error (not the drain error) is what is worth reporting.
+    if (!source.SkipToEnd().ok()) return generator.status();
     return SendError(conn, generator.status());
   }
   stats_.ingested_points.fetch_add(source.num_received(),

@@ -70,6 +70,12 @@ struct ServerOptions {
   /// stops reading mid-response errors the worker out instead of
   /// blocking it forever (0 = no timeout).
   int send_timeout_seconds = 30;
+
+  /// Idle receive timeout (seconds): a connection that sends no request
+  /// for this long is dropped, so num_workers stalled peers cannot park
+  /// every worker forever while accepted connections queue up
+  /// (0 = no timeout).
+  int idle_timeout_seconds = 300;
 };
 
 /// \brief Running server over a registry. Start() spawns the threads;
@@ -102,6 +108,11 @@ class PrivHPServer {
     uint64_t sampled_points = 0;
     uint64_t ingested_points = 0;
     uint64_t ingests_published = 0;
+    /// Times a listener entered a sustained accept-failure streak
+    /// (>= 16 consecutive failures); the loop keeps retrying with
+    /// capped backoff, but a non-zero value means some endpoint has
+    /// been refusing connections and deserves a look.
+    uint64_t listener_failure_streaks = 0;
   };
   Stats stats() const;
 
@@ -143,6 +154,7 @@ class PrivHPServer {
     std::atomic<uint64_t> sampled_points{0};
     std::atomic<uint64_t> ingested_points{0};
     std::atomic<uint64_t> ingests_published{0};
+    std::atomic<uint64_t> listener_failure_streaks{0};
   };
   AtomicStats stats_;
 };

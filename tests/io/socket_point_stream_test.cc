@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -128,6 +129,30 @@ TEST(SocketPointStreamTest, DimensionMismatchIsAnError) {
   SocketPointSource source(&pair->second, /*expected_dim=*/1);
   Point scratch;
   EXPECT_TRUE(source.Next(&scratch).status().IsInvalidArgument());
+}
+
+TEST(SocketPointStreamTest, BatchHeaderBeyondPayloadIsRejected) {
+  // A batch header declaring a huge count or dim that the payload cannot
+  // possibly carry must fail before any reserve() sized from it.
+  WireWriter huge_count;
+  huge_count.PutU8(kPointBatchTag);
+  huge_count.PutU32(0xFFFFFFFFu);  // count
+  huge_count.PutU32(1);            // dim
+  huge_count.PutDouble(0.5);
+  std::deque<Point> out;
+  EXPECT_TRUE(DecodePointBatch(huge_count.Take(), /*expected_dim=*/1, &out)
+                  .IsIOError());
+
+  // With expected_dim <= 0 the dim check is skipped, so the payload bound
+  // is the only guard against an absurd declared dimension.
+  WireWriter huge_dim;
+  huge_dim.PutU8(kPointBatchTag);
+  huge_dim.PutU32(1);              // count
+  huge_dim.PutU32(0xFFFFFFFFu);    // dim
+  huge_dim.PutDouble(0.5);
+  EXPECT_TRUE(DecodePointBatch(huge_dim.Take(), /*expected_dim=*/0, &out)
+                  .IsIOError());
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(SocketPointStreamTest, TruncatedStreamIsAnError) {

@@ -86,6 +86,20 @@ TEST(ProtocolTest, MalformedRequestsAreRejected) {
   EXPECT_FALSE(ParseRequest(trailing).ok());
 }
 
+TEST(ProtocolTest, QuantileCountBeyondPayloadIsRejected) {
+  // A tiny frame whose declared quantile count (0xFFFFFFFF) vastly
+  // exceeds the bytes it carries must be rejected up front, not drive a
+  // multi-GiB reserve().
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ServiceOp::kQuantile));
+  w.PutString("latency");
+  w.PutU32(0xFFFFFFFFu);
+  w.PutDouble(0.5);
+  const auto req = ParseRequest(w.Take());
+  ASSERT_FALSE(req.ok());
+  EXPECT_TRUE(req.status().IsIOError());
+}
+
 TEST(ProtocolTest, ResponsesCarryStatusAndPayload) {
   WireWriter ok = BeginOkResponse();
   ok.PutDouble(0.125);

@@ -306,6 +306,38 @@ TEST_F(ServerTest, SampleBeyondServerLimitIsRejected) {
   EXPECT_TRUE(client->Ping().ok());
 }
 
+TEST_F(ServerTest, LocalSourceFailureMidIngestClosesCleanly) {
+  // The local source dies mid-stream: the client must abort the
+  // connection (no end frame — a clean finish would publish a silently
+  // truncated artifact) and later calls must fail loudly, not desync.
+  struct FailingSource : PointSource {
+    int left = 10;
+    Result<bool> Next(Point* out) override {
+      if (left-- <= 0) return Status::IOError("source exploded");
+      *out = Point{0.5};
+      return true;
+    }
+  };
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  FailingSource src;
+  PrivHPClient::IngestSpec spec;
+  spec.dim = 1;
+  spec.n = 100;
+  auto report = client->Ingest("partial", spec, &src);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsIOError());
+  EXPECT_FALSE(client->Ping().ok());  // connection closed, not desynced
+
+  // Nothing was published from the truncated stream, and the worker is
+  // free to serve a fresh connection.
+  auto fresh = Connect();
+  ASSERT_TRUE(fresh.ok());
+  auto names = fresh->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"beta"});
+}
+
 TEST_F(ServerTest, StopReturnsWhileClientStallsMidIngest) {
   // A peer that opens an ingest session and then goes silent must not
   // wedge shutdown: the worker's blocked recv polls the stop flag.
@@ -359,6 +391,65 @@ TEST(ServerTcpTest, ServesOverTcp) {
   ASSERT_TRUE(points.ok());
   EXPECT_EQ(points->size(), 100u);
   (*server)->Stop();
+}
+
+TEST(ServerIdleTimeoutTest, StalledConnectionFreesTheWorker) {
+  const std::string path = ::testing::TempDir() + "/srv_idle_" +
+                           std::to_string(::getpid()) + ".sock";
+  ArtifactRegistry registry;
+  ServerOptions options;
+  options.unix_path = path;
+  options.num_workers = 1;
+  options.idle_timeout_seconds = 1;
+  auto server = PrivHPServer::Start(&registry, options);
+  ASSERT_TRUE(server.ok());
+
+  // A peer that connects and never sends a request parks the only
+  // worker; the idle timeout must drop it so the queued client below
+  // still gets served.
+  auto stalled = ConnectUnix(path);
+  ASSERT_TRUE(stalled.ok());
+
+  auto client = PrivHPClient::ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+  (*server)->Stop();
+  std::remove(path.c_str());
+}
+
+TEST(ServerIdleTimeoutTest, StalledIngestFreesTheWorker) {
+  const std::string path = ::testing::TempDir() + "/srv_ingest_idle_" +
+                           std::to_string(::getpid()) + ".sock";
+  ArtifactRegistry registry;
+  ServerOptions options;
+  options.unix_path = path;
+  options.num_workers = 1;
+  options.idle_timeout_seconds = 1;
+  auto server = PrivHPServer::Start(&registry, options);
+  ASSERT_TRUE(server.ok());
+
+  // Open an ingest session, receive the acknowledgment, then go silent:
+  // the idle timeout must abandon the stream mid-ingest, not just
+  // between requests.
+  auto sock = ConnectUnix(path);
+  ASSERT_TRUE(sock.ok());
+  ServiceRequest spec;
+  spec.op = ServiceOp::kIngest;
+  spec.artifact = "stalled";
+  spec.dim = 1;
+  spec.n = 100;
+  ASSERT_TRUE(SendFrame(*sock, EncodeIngestRequest(spec)).ok());
+  std::string frame;
+  WireReader payload;
+  auto more = RecvFrame(*sock, &frame);
+  ASSERT_TRUE(more.ok() && *more);
+  ASSERT_TRUE(ParseResponse(frame, &payload).ok());
+
+  auto client = PrivHPClient::ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+  (*server)->Stop();
+  std::remove(path.c_str());
 }
 
 TEST(ServerStartTest, RejectsBadConfigurations) {
