@@ -28,19 +28,7 @@
 namespace privhp {
 namespace {
 
-// A sink that only counts, so client-side work does not cap the
-// measured server throughput.
-class CountingSink : public PointSink {
- public:
-  Status Add(const Point&) override {
-    ++count_;
-    return Status::OK();
-  }
-  uint64_t num_processed() const override { return count_; }
-
- private:
-  uint64_t count_ = 0;
-};
+using bench::CountingSink;
 
 struct Config {
   bool smoke = false;

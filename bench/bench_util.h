@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "domain/domain.h"
 #include "eval/wasserstein.h"
+#include "io/point_sink.h"
 
 namespace privhp {
 namespace bench {
@@ -55,6 +56,22 @@ inline double AverageW1(
   }
   return ok_runs > 0 ? total / static_cast<double>(ok_runs) : -1.0;
 }
+
+/// \brief PointSink that only counts, so sink-side work does not cap a
+/// measured sampler or server throughput (used by bench_serve and
+/// bench_sample; moved-in points forward through the base overload and
+/// are counted identically).
+class CountingSink : public PointSink {
+ public:
+  Status Add(const Point&) override {
+    ++count_;
+    return Status::OK();
+  }
+  uint64_t num_processed() const override { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
 
 /// \brief Wall-clock stopwatch for the self-timed throughput benches.
 class Stopwatch {

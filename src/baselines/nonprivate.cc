@@ -1,5 +1,7 @@
 #include "baselines/nonprivate.h"
 
+#include <utility>
+
 #include "common/macros.h"
 #include "core/builder.h"
 
@@ -12,6 +14,11 @@ NonPrivateResampler::NonPrivateResampler(std::vector<Point> data)
 
 Status NonPrivateResampler::Add(const Point& x) {
   data_.push_back(x);
+  return Status::OK();
+}
+
+Status NonPrivateResampler::Add(Point&& x) {
+  data_.push_back(std::move(x));
   return Status::OK();
 }
 

@@ -1,17 +1,16 @@
 #include "baselines/synthetic_source.h"
 
-#include "hierarchy/tree_sampler.h"
-
 namespace privhp {
 
 TreeSource::TreeSource(std::string name, PartitionTree tree,
                        size_t build_memory_bytes)
     : name_(std::move(name)),
       tree_(std::move(tree)),
+      sampler_(tree_),
       build_memory_bytes_(build_memory_bytes) {}
 
 std::vector<Point> TreeSource::Generate(size_t m, RandomEngine* rng) const {
-  return TreeSampler(&tree_).SampleBatch(m, rng);
+  return sampler_.SampleBatch(m, rng);
 }
 
 }  // namespace privhp

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "domain/domain.h"
+#include "hierarchy/compiled_sampler.h"
 #include "hierarchy/partition_tree.h"
 
 namespace privhp {
@@ -48,6 +49,10 @@ class TreeSource : public SyntheticDataSource {
  private:
   std::string name_;
   PartitionTree tree_;
+  // Compiled once at construction so repeated Generate() calls (the
+  // Table-1 harness samples every source many times) never rebuild
+  // sampler state.
+  CompiledSampler sampler_;
   size_t build_memory_bytes_;
 };
 

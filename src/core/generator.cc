@@ -6,27 +6,16 @@
 namespace privhp {
 
 PrivHPGenerator::PrivHPGenerator(PartitionTree tree, ResolvedPlan plan)
-    : tree_(std::move(tree)), plan_(std::move(plan)) {}
-
-Point PrivHPGenerator::Sample(RandomEngine* rng) const {
-  return TreeSampler(&tree_).Sample(rng);
-}
+    : tree_(std::move(tree)), plan_(std::move(plan)), sampler_(tree_) {}
 
 std::vector<Point> PrivHPGenerator::Generate(size_t m,
                                              RandomEngine* rng) const {
-  return TreeSampler(&tree_).SampleBatch(m, rng);
+  return sampler_.SampleBatch(m, rng);
 }
 
 Status PrivHPGenerator::GenerateTo(size_t m, RandomEngine* rng,
                                    PointSink* sink) const {
-  if (sink == nullptr) {
-    return Status::InvalidArgument("sink must not be null");
-  }
-  const TreeSampler sampler(&tree_);
-  for (size_t i = 0; i < m; ++i) {
-    PRIVHP_RETURN_NOT_OK(sink->Add(sampler.Sample(rng)));
-  }
-  return Status::OK();
+  return sampler_.GenerateTo(m, rng, sink);
 }
 
 Status PrivHPGenerator::Save(const std::string& path) const {

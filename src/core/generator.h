@@ -12,13 +12,20 @@
 #include <vector>
 
 #include "core/planner.h"
+#include "hierarchy/compiled_sampler.h"
 #include "hierarchy/partition_tree.h"
-#include "hierarchy/tree_sampler.h"
 #include "io/point_sink.h"
 
 namespace privhp {
 
 /// \brief eps-DP synthetic data generator backed by a decomposition tree.
+///
+/// The sampling distribution is compiled once at construction into an
+/// alias table (hierarchy/compiled_sampler.h), so every Sample /
+/// Generate / GenerateTo call is O(1) per point — repeated sampling
+/// never rebuilds sampler state, and every holder of the generator
+/// (including every concurrent SAMPLE request pinning a ServedArtifact)
+/// shares the one compiled table.
 class PrivHPGenerator {
  public:
   /// \param tree Final consistent tree (moved in).
@@ -26,7 +33,7 @@ class PrivHPGenerator {
   PrivHPGenerator(PartitionTree tree, ResolvedPlan plan);
 
   /// \brief One synthetic point.
-  Point Sample(RandomEngine* rng) const;
+  Point Sample(RandomEngine* rng) const { return sampler_.Sample(rng); }
 
   /// \brief \p m synthetic points (the dataset Y of the problem statement).
   std::vector<Point> Generate(size_t m, RandomEngine* rng) const;
@@ -34,8 +41,12 @@ class PrivHPGenerator {
   /// \brief Streams \p m synthetic points into \p sink without
   /// materializing them — the serve-side dual of the bounded-memory
   /// builder (a CSV writer or socket sink keeps the footprint O(1) in m).
-  /// Draws the same point sequence as Generate() for a given rng state.
+  /// Points move through PointSink::Add(Point&&), and the sequence is
+  /// identical to Generate() for a given rng state.
   Status GenerateTo(size_t m, RandomEngine* rng, PointSink* sink) const;
+
+  /// \brief The compiled sampling distribution (shared hot path).
+  const CompiledSampler& sampler() const { return sampler_; }
 
   /// \brief The underlying tree (the private artifact itself).
   const PartitionTree& tree() const { return tree_; }
@@ -58,6 +69,10 @@ class PrivHPGenerator {
  private:
   PartitionTree tree_;
   ResolvedPlan plan_;
+  // Compiled from tree_ at construction. Self-contained (holds no
+  // pointer into the tree arena, only the stable Domain pointer), so the
+  // generator stays freely movable and copyable.
+  CompiledSampler sampler_;
 };
 
 }  // namespace privhp

@@ -45,7 +45,9 @@ class PrivHPShard : public PointSink {
                                   const ResolvedPlan& plan);
 
   /// \brief Processes one stream element (Algorithm 1 Lines 10-15,
-  /// without noise).
+  /// without noise). The shard only reads coordinates, so the inherited
+  /// move overload (which forwards here) costs nothing extra.
+  using PointSink::Add;
   Status Add(const Point& x) override;
 
   /// \brief Processes a batch of points.

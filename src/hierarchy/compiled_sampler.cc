@@ -1,0 +1,94 @@
+#include "hierarchy/compiled_sampler.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+CompiledSampler::CompiledSampler(const PartitionTree& tree)
+    : domain_(tree.domain()) {
+  std::vector<double> masses;
+  for (NodeId id : tree.Leaves()) {
+    const TreeNode& n = tree.node(id);
+    if (n.count > 0.0) {
+      cells_.push_back(n.cell);
+      masses.push_back(n.count);
+      total_mass_ += n.count;
+    }
+  }
+  if (cells_.empty() || total_mass_ <= 0.0) {
+    // Uniform fallback over the whole domain: a single slot holding the
+    // root cell, same degenerate behaviour as TreeSampler.
+    cells_.assign(1, CellId{0, 0});
+    accept_.assign(1, 1.0);
+    alias_.assign(1, 0);
+    total_mass_ = 0.0;
+    return;
+  }
+
+  // Vose's alias method: scale masses so the mean slot weight is 1, then
+  // pair each underfull slot with an overfull donor. O(n) build, exact
+  // (every slot ends with its own probability plus one alias).
+  const size_t n = cells_.size();
+  PRIVHP_CHECK(n <= static_cast<size_t>(UINT32_MAX));
+  accept_.assign(n, 1.0);
+  alias_.resize(n);
+  for (size_t i = 0; i < n; ++i) alias_[i] = static_cast<uint32_t>(i);
+
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total_mass_;
+  for (size_t i = 0; i < n; ++i) scaled[i] = masses[i] * scale;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    const uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    // The donor gives away (1 - scaled[s]) of its weight.
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers (either list) are exactly-full slots up to rounding; their
+  // accept probability stays 1, alias self.
+  for (uint32_t i : small) accept_[i] = 1.0;
+  for (uint32_t i : large) accept_[i] = 1.0;
+}
+
+std::vector<Point> CompiledSampler::SampleBatch(size_t m,
+                                                RandomEngine* rng) const {
+  std::vector<Point> out;
+  out.reserve(m);
+  for (size_t i = 0; i < m; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+Status CompiledSampler::GenerateTo(size_t m, RandomEngine* rng,
+                                   PointSink* sink) const {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sink must not be null");
+  }
+  for (size_t i = 0; i < m; ++i) {
+    // Sample() returns a prvalue, so this lands on Add(Point&&): the
+    // point allocated inside SampleCell is handed to the sink untouched.
+    PRIVHP_RETURN_NOT_OK(sink->Add(Sample(rng)));
+  }
+  return Status::OK();
+}
+
+size_t CompiledSampler::MemoryBytes() const {
+  return sizeof(*this) + cells_.capacity() * sizeof(CellId) +
+         accept_.capacity() * sizeof(double) +
+         alias_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace privhp

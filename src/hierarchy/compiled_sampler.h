@@ -1,0 +1,91 @@
+// O(1)-per-draw sampler compiled from a decomposition tree.
+//
+// A consistent tree is a categorical distribution over its leaf cells, so
+// the root-to-leaf walk (tree_sampler.h) can be compiled once into a Vose
+// alias table over the positive-mass leaves: every draw is then one
+// uniform slot pick plus one biased coin, independent of tree depth, with
+// no pointer chasing through the node arena. Zero-mass leaves never enter
+// the table, so the compiled sampler is structurally incapable of
+// emitting points from cells the released distribution assigns zero
+// probability (the edge case the walk needs explicit guards for).
+//
+// Compilation is deterministic (leaves are taken in pre-order), so a
+// fixed seed yields a fixed output stream — but the draw sequence is NOT
+// byte-compatible with the legacy walk's (sampler format v2; see
+// docs/ARCHITECTURE.md "Sampler determinism & versioning").
+//
+// Like everything downstream of the released tree, this is privacy-free
+// post-processing (Lemma 2).
+
+#ifndef PRIVHP_HIERARCHY_COMPILED_SAMPLER_H_
+#define PRIVHP_HIERARCHY_COMPILED_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "domain/domain.h"
+#include "hierarchy/partition_tree.h"
+#include "io/point_sink.h"
+
+namespace privhp {
+
+/// \brief Alias-table batch sampler over a tree's leaf-cell distribution.
+///
+/// Self-contained: construction copies the leaf cells and masses out of
+/// the tree, so the tree may be mutated or destroyed afterwards — only
+/// the Domain must outlive the sampler. If the tree's total positive leaf
+/// mass is <= 0 (possible at extreme privacy noise), sampling falls back
+/// to uniform over the whole domain, matching TreeSampler.
+class CompiledSampler {
+ public:
+  /// \brief Compiles the alias table from \p tree's leaves (O(#leaves)).
+  explicit CompiledSampler(const PartitionTree& tree);
+
+  /// \brief The leaf cell one draw lands in: O(1), two RNG draws.
+  CellId SampleLeafCell(RandomEngine* rng) const {
+    const uint64_t i = rng->UniformInt(cells_.size());
+    const double u = rng->UniformDouble();
+    return cells_[u < accept_[i] ? i : alias_[i]];
+  }
+
+  /// \brief One synthetic point (leaf cell draw + uniform within cell).
+  Point Sample(RandomEngine* rng) const {
+    const CellId cell = SampleLeafCell(rng);
+    return domain_->SampleCell(cell.level, cell.index, rng);
+  }
+
+  /// \brief \p m synthetic points. Draws the same sequence as m calls to
+  /// Sample() and as GenerateTo() under the same rng state.
+  std::vector<Point> SampleBatch(size_t m, RandomEngine* rng) const;
+
+  /// \brief Streams \p m points into \p sink without materializing them,
+  /// moving each point through PointSink::Add(Point&&) — the serve-side
+  /// hot path (no per-point copy between sampler and sink).
+  Status GenerateTo(size_t m, RandomEngine* rng, PointSink* sink) const;
+
+  /// \brief Positive-mass leaf cells in the table (1 on the uniform
+  /// fallback).
+  size_t num_cells() const { return cells_.size(); }
+
+  /// \brief Sum of positive leaf masses the table was built from (0 on
+  /// the uniform fallback).
+  double total_mass() const { return total_mass_; }
+
+  const Domain* domain() const { return domain_; }
+
+  /// \brief Bytes held by the compiled table.
+  size_t MemoryBytes() const;
+
+ private:
+  const Domain* domain_;
+  std::vector<CellId> cells_;     // positive-mass leaves, pre-order
+  std::vector<double> accept_;    // Vose acceptance probability per slot
+  std::vector<uint32_t> alias_;   // Vose alias slot
+  double total_mass_ = 0.0;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_HIERARCHY_COMPILED_SAMPLER_H_

@@ -16,14 +16,33 @@ NodeId TreeSampler::WalkToLeaf(RandomEngine* rng) const {
   while (!tree_->node(id).is_leaf()) {
     const TreeNode& n = tree_->node(id);
     const double left_mass = tree_->node(n.left).count;
-    if (u <= left_mass) {
+    const double right_mass = tree_->node(n.right).count;
+    if (left_mass <= 0.0 && right_mass <= 0.0) {
+      // This node carries mass its children do not (possible within the
+      // consistency tolerance). Stop here and sample uniformly from this
+      // cell: descending would fabricate a point from a zero-count
+      // subtree.
+      break;
+    }
+    // Strict `<` plus explicit zero-mass guards: a zero-count subtree is
+    // unreachable no matter where u lands. The old `u <= left_mass` test
+    // let a draw at the boundary (u == 0 against a zero-count left child
+    // — reachable through the drift clamp below, or when parent counts
+    // exceed their children's sum within the consistency tolerance)
+    // descend into cells the released distribution assigns zero
+    // probability.
+    const bool go_left =
+        left_mass > 0.0 && (u < left_mass || right_mass <= 0.0);
+    if (go_left) {
       id = n.left;
+      // Floating-point drift (or the zero-mass guard) can leave u at or
+      // past the child's mass; clamping keeps the walk well-defined
+      // without biasing the draw.
+      if (u > left_mass) u = left_mass;
     } else {
       u -= left_mass;
+      if (u < 0.0) u = 0.0;
       id = n.right;
-      // Floating-point drift can push u past the right child's mass;
-      // clamping keeps the walk well-defined without biasing the draw.
-      const double right_mass = tree_->node(id).count;
       if (u > right_mass) u = right_mass;
     }
   }

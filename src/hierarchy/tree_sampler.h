@@ -2,10 +2,17 @@
 //
 // A tree with consistent counts *is* a sampling distribution: draw
 // u ~ Uniform[0, root.count], walk root-to-leaf branching left when
-// u <= left.count (subtracting the left mass when branching right), then
-// return a uniform point from the leaf cell. Any deterministic
-// post-processing of a private tree — including this sampler — is private
-// by Lemma 2.
+// u < left.count (subtracting the left mass when branching right), then
+// return a uniform point from the leaf cell. Zero-count subtrees are
+// explicitly unreachable: whenever one child has zero mass the walk takes
+// the positive-mass sibling regardless of u, so no draw can land in a
+// cell the released distribution assigns zero probability. Any
+// deterministic post-processing of a private tree — including this
+// sampler — is private by Lemma 2.
+//
+// This walk is the reference implementation; the serve hot path uses the
+// O(1)-per-draw CompiledSampler (hierarchy/compiled_sampler.h) compiled
+// from the same tree.
 
 #ifndef PRIVHP_HIERARCHY_TREE_SAMPLER_H_
 #define PRIVHP_HIERARCHY_TREE_SAMPLER_H_
@@ -34,8 +41,12 @@ class TreeSampler {
   /// \brief \p m synthetic points.
   std::vector<Point> SampleBatch(size_t m, RandomEngine* rng) const;
 
-  /// \brief The leaf cell a single draw lands in (used by tests that check
+  /// \brief The cell a single draw lands in (used by tests that check
   /// the categorical distribution without the in-cell uniform step).
+  /// Normally a leaf cell; if the walk reaches a node whose children are
+  /// all zero-count while the node itself carries mass (possible within
+  /// the consistency tolerance), that node's cell is returned instead of
+  /// descending into the zero-count subtree.
   CellId SampleLeafCell(RandomEngine* rng) const;
 
   const PartitionTree* tree() const { return tree_; }

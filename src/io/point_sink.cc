@@ -1,5 +1,7 @@
 #include "io/point_sink.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace privhp {
@@ -21,6 +23,12 @@ Result<bool> VectorPointSource::Next(Point* out) {
 Status CollectingSink::Add(const Point& x) {
   if (domain_ != nullptr) PRIVHP_RETURN_NOT_OK(domain_->ValidatePoint(x));
   points_.push_back(x);
+  return Status::OK();
+}
+
+Status CollectingSink::Add(Point&& x) {
+  if (domain_ != nullptr) PRIVHP_RETURN_NOT_OK(domain_->ValidatePoint(x));
+  points_.push_back(std::move(x));
   return Status::OK();
 }
 

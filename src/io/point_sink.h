@@ -26,6 +26,12 @@ class PointSink {
   /// \brief Processes one stream element.
   virtual Status Add(const Point& x) = 0;
 
+  /// \brief Move-accepting overload for producers handing over freshly
+  /// built points (the sampling hot path): storing sinks take ownership
+  /// instead of copying. Default forwards to the const-ref overload, so
+  /// read-only sinks need not override it.
+  virtual Status Add(Point&& x) { return Add(static_cast<const Point&>(x)); }
+
   /// \brief Processes a batch; default forwards to Add point-by-point.
   virtual Status AddAll(const std::vector<Point>& points);
 
@@ -65,6 +71,7 @@ class CollectingSink : public PointSink {
       : domain_(domain) {}
 
   Status Add(const Point& x) override;
+  Status Add(Point&& x) override;
   uint64_t num_processed() const override { return points_.size(); }
 
   const std::vector<Point>& points() const { return points_; }

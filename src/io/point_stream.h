@@ -55,6 +55,10 @@ class CsvPointWriter : public PointSink {
  public:
   static Result<CsvPointWriter> Open(const std::string& path);
 
+  // The writer only reads coordinates, so the inherited move overload
+  // (which forwards here) is already optimal; the using-declaration
+  // keeps both Add signatures visible on the concrete type.
+  using PointSink::Add;
   Status Add(const Point& x) override;
   uint64_t num_processed() const override { return num_written_; }
 

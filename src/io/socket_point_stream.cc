@@ -81,6 +81,15 @@ Status SocketPointSink::Add(const Point& x) {
   return Status::OK();
 }
 
+Status SocketPointSink::Add(Point&& x) {
+  if (finished_) {
+    return Status::FailedPrecondition("point stream already finished");
+  }
+  buffer_.push_back(std::move(x));
+  if (buffer_.size() >= batch_size_) return Flush();
+  return Status::OK();
+}
+
 Status SocketPointSink::Flush() {
   if (buffer_.empty()) return Status::OK();
   PRIVHP_RETURN_NOT_OK(

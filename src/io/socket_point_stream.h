@@ -54,6 +54,9 @@ class SocketPointSink : public PointSink {
   explicit SocketPointSink(const Socket* sock, size_t batch_size = 1024);
 
   Status Add(const Point& x) override;
+  /// \brief Takes ownership of \p x — the SAMPLE hot path hands each
+  /// freshly sampled point straight into the wire buffer, no copy.
+  Status Add(Point&& x) override;
   uint64_t num_processed() const override { return num_sent_; }
 
   /// \brief Sends any buffered points now.

@@ -32,6 +32,10 @@ namespace privhp {
 /// Immutable after construction: concurrent readers share it through
 /// const shared_ptrs, so serving needs no per-artifact locking. The
 /// domain is owned here because a loaded tree holds a raw pointer to it.
+/// The generator carries its CompiledSampler alias table (built once at
+/// publish/load time), so the registry is also the cache of compiled
+/// sampling tables: every concurrent SAMPLE request against an artifact
+/// shares the one table its generator holds.
 class ServedArtifact {
  public:
   /// \brief Wraps a generator built over \p domain (which the generator's

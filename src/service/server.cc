@@ -13,6 +13,7 @@
 #include "core/builder.h"
 #include "core/queries.h"
 #include "domain/hypercube_domain.h"
+#include "hierarchy/compiled_sampler.h"
 #include "hierarchy/tree_serialization.h"
 #include "io/socket_point_stream.h"
 
@@ -294,7 +295,11 @@ Status PrivHPServer::HandleSample(const Socket& conn,
                                "of " +
                                std::to_string(options_.max_sample_points)));
   }
-  const PrivHPGenerator& generator = (*artifact)->generator();
+  // The alias table was compiled once when the artifact's generator was
+  // built; every concurrent SAMPLE request against this artifact shares
+  // it through the registry's shared_ptr — nothing is rebuilt per
+  // request or per chunk.
+  const CompiledSampler& sampler = (*artifact)->generator().sampler();
 
   WireWriter header = BeginOkResponse();
   header.PutU32(static_cast<uint32_t>((*artifact)->domain().dimension()));
@@ -308,14 +313,15 @@ Status PrivHPServer::HandleSample(const Socket& conn,
   RandomEngine* rng = req.seed != 0 ? &seeded : engine;
   SocketPointSink sink(&conn, options_.sample_batch);
   // Generate one wire batch at a time so shutdown can interrupt a large
-  // response between frames.
+  // response between frames; points move sampler -> sink -> frame with
+  // no intermediate copy.
   for (uint64_t generated = 0; generated < req.m;) {
     if (stopping_.load()) {
       return Status::FailedPrecondition("server stopping");
     }
     const uint64_t chunk = std::min<uint64_t>(options_.sample_batch,
                                               req.m - generated);
-    PRIVHP_RETURN_NOT_OK(generator.GenerateTo(chunk, rng, &sink));
+    PRIVHP_RETURN_NOT_OK(sampler.GenerateTo(chunk, rng, &sink));
     generated += chunk;
   }
   PRIVHP_RETURN_NOT_OK(sink.FinishStream());

@@ -13,8 +13,11 @@
 // Randomness: workers never share a RandomEngine. Each worker owns one
 // engine (forked from the server seed) for seedless SAMPLE requests, and
 // a seeded SAMPLE gets a fresh engine so the response is reproducible no
-// matter which worker serves it. TreeSampler itself is stateless over a
-// const tree, which is what makes concurrent sampling race-free.
+// matter which worker serves it. Sampling state is the CompiledSampler
+// alias table built once inside each published PrivHPGenerator: it is
+// immutable after construction, so every concurrent SAMPLE request
+// pinning the artifact shares the one compiled table race-free — no
+// per-request sampler construction on the hot path.
 
 #ifndef PRIVHP_SERVICE_SERVER_H_
 #define PRIVHP_SERVICE_SERVER_H_

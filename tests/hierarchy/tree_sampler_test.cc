@@ -78,8 +78,46 @@ TEST(TreeSamplerTest, ZeroMassLeavesAreNeverChosen) {
   tree->node(2).count = 6.0;
   TreeSampler sampler(&(*tree));
   RandomEngine rng(11);
-  for (int i = 0; i < 500; ++i) {
-    EXPECT_EQ(sampler.SampleLeafCell(&rng).index, 1u);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_EQ(sampler.SampleLeafCell(&rng).index, 1u);
+  }
+}
+
+// A zero-mass *right* subtree under a parent whose count exceeds its
+// children's sum (legal within the consistency tolerance): the old
+// `u <= left_mass` walk clamped the surplus draws into the zero-mass
+// side; the zero-mass guard must route every draw to the positive
+// sibling. Deeper variant of the ISSUE-4 regression, exercising the
+// drift-clamp path rather than the u == 0 boundary.
+TEST(TreeSamplerTest, SurplusMassNeverEntersZeroCountSubtree) {
+  IntervalDomain domain;
+  auto tree = PartitionTree::Complete(&domain, 2);
+  ASSERT_TRUE(tree.ok());
+  tree->node(tree->Find(CellId{2, 0})).count = 4.0;
+  tree->node(tree->Find(CellId{2, 1})).count = 2.0;
+  tree->node(tree->Find(CellId{1, 0})).count = 6.0;
+  tree->node(tree->root()).count = 7.0;  // surplus over children's sum
+  TreeSampler sampler(&(*tree));
+  RandomEngine rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    const CellId cell = sampler.SampleLeafCell(&rng);
+    ASSERT_LT(cell.index, 2u) << "walk entered the zero-count subtree";
+  }
+}
+
+// A node carrying mass its children do not (a consistency-tolerance
+// residue, exaggerated here): the walk must stop at that node's cell
+// rather than descend into the all-zero subtree below it.
+TEST(TreeSamplerTest, StopsAtNodeWhenAllChildrenAreZeroCount) {
+  IntervalDomain domain;
+  auto tree = PartitionTree::Complete(&domain, 2);
+  ASSERT_TRUE(tree.ok());
+  tree->node(tree->root()).count = 1.0;
+  TreeSampler sampler(&(*tree));
+  RandomEngine rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.SampleLeafCell(&rng), (CellId{0, 0}));
+    EXPECT_TRUE(domain.Contains(sampler.Sample(&rng)));
   }
 }
 

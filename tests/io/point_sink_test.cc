@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "baselines/nonprivate.h"
 #include "common/macros.h"
@@ -15,20 +16,57 @@ namespace privhp {
 namespace {
 
 // Conformance checks every PointSink implementation must satisfy:
-// Add() counts accepted points, AddAll() behaves like repeated Add().
+// Add() counts accepted points, the move overload behaves like the
+// copying one, AddAll() behaves like repeated Add().
 void CheckSinkConformance(PointSink* sink) {
   const uint64_t before = sink->num_processed();
   ASSERT_TRUE(sink->Add({0.25}).ok());
   EXPECT_EQ(sink->num_processed(), before + 1);
   ASSERT_TRUE(sink->AddAll({{0.5}, {0.75}}).ok());
   EXPECT_EQ(sink->num_processed(), before + 3);
+  Point moved = {0.125};
+  ASSERT_TRUE(sink->Add(std::move(moved)).ok());
+  EXPECT_EQ(sink->num_processed(), before + 4);
 }
 
 TEST(PointSinkTest, CollectingSinkConforms) {
   CollectingSink sink;
   CheckSinkConformance(&sink);
-  EXPECT_EQ(sink.points().size(), 3u);
-  EXPECT_EQ(sink.TakePoints().size(), 3u);
+  EXPECT_EQ(sink.points().size(), 4u);
+  EXPECT_EQ(sink.TakePoints().size(), 4u);
+}
+
+TEST(PointSinkTest, MoveAddTakesOwnershipWithoutCopying) {
+  CollectingSink sink;
+  Point p = {0.5};
+  const double* storage = p.data();
+  ASSERT_TRUE(sink.Add(std::move(p)).ok());
+  // The collected point reuses the moved-in allocation: no copy was made
+  // on the move path.
+  ASSERT_EQ(sink.points().size(), 1u);
+  EXPECT_EQ(sink.points()[0].data(), storage);
+}
+
+TEST(PointSinkTest, MoveAddStillValidatesAgainstDomain) {
+  IntervalDomain domain;
+  CollectingSink sink(&domain);
+  EXPECT_TRUE(sink.Add(Point{1.5}).IsOutOfRange());
+  EXPECT_TRUE(sink.Add(Point{0.5}).ok());
+  EXPECT_EQ(sink.num_processed(), 1u);
+}
+
+// Read-only sinks (shard, builder, CSV writer) fall back to the base
+// forwarding overload: a moved-in point must behave exactly like a
+// copied one.
+TEST(PointSinkTest, MoveAddForwardsForReadOnlySinks) {
+  IntervalDomain domain;
+  PrivHPOptions options;
+  options.expected_n = 1024;
+  auto builder = PrivHPBuilder::Make(&domain, options);
+  ASSERT_TRUE(builder.ok());
+  PointSink* sink = &*builder;
+  ASSERT_TRUE(sink->Add(Point{0.5}).ok());
+  EXPECT_EQ(sink->num_processed(), 1u);
 }
 
 TEST(PointSinkTest, CollectingSinkValidatesAgainstDomain) {

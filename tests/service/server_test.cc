@@ -13,6 +13,7 @@
 #include "core/queries.h"
 #include "domain/hypercube_domain.h"
 #include "domain/interval_domain.h"
+#include "hierarchy/compiled_sampler.h"
 #include "hierarchy/tree_serialization.h"
 #include "io/point_sink.h"
 #include "service/client.h"
@@ -107,11 +108,15 @@ TEST_F(ServerTest, SeededSampleIsReproducibleAcrossConnections) {
   EXPECT_EQ(*s1, *s2);
 
   // And identical to sampling the artifact locally with the same seed:
-  // the server adds no hidden randomness.
+  // the server adds no hidden randomness. SampleBatch on the artifact's
+  // cached compiled table is the local ground truth, so this also pins
+  // wire-level byte determinism of the compiled path.
   auto artifact = registry_.Get("beta");
   ASSERT_TRUE(artifact.ok());
   RandomEngine rng(123);
-  EXPECT_EQ(*s1, (*artifact)->generator().Generate(500, &rng));
+  EXPECT_EQ(*s1, (*artifact)->generator().sampler().SampleBatch(500, &rng));
+  RandomEngine rng2(123);
+  EXPECT_EQ(*s1, (*artifact)->generator().Generate(500, &rng2));
 
   // A different seed gives a different stream.
   auto s3 = c1->Sample("beta", 500, /*seed=*/124);
@@ -207,6 +212,59 @@ TEST_F(ServerTest, ConcurrentSeededSamplesAreReproducible) {
   const PrivHPServer::Stats stats = server_->stats();
   EXPECT_GE(stats.requests, uint64_t{kClients * kRequests});
   EXPECT_GE(stats.sampled_points, uint64_t{kClients * kRequests * kM});
+}
+
+// Concurrent SAMPLE clients all pin the same ServedArtifact, so they
+// share the one CompiledSampler alias table its generator carries —
+// this test hammers that shared table from >= 4 threads (race-clean
+// under TSan in CI) while the registry publishes an unrelated artifact
+// mid-flight, and checks every response byte-for-byte against local
+// draws from the same table.
+TEST_F(ServerTest, ConcurrentSamplesShareOneCompiledTable) {
+  constexpr int kClients = 4;
+  constexpr int kRequests = 6;
+  constexpr size_t kM = 300;
+
+  auto artifact = registry_.Get("beta");
+  ASSERT_TRUE(artifact.ok());
+  const CompiledSampler& table = (*artifact)->generator().sampler();
+  EXPECT_GT(table.num_cells(), 1u);
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      auto client = Connect();
+      ASSERT_TRUE(client.ok());
+      for (int r = 0; r < kRequests; ++r) {
+        const uint64_t seed = 900 + t * 37 + r;
+        auto points = client->Sample("beta", kM, seed);
+        ASSERT_TRUE(points.ok());
+        RandomEngine rng(seed);
+        ASSERT_EQ(*points, table.SampleBatch(kM, &rng));
+      }
+    });
+  }
+  // Publish a different artifact while the samplers run: registry
+  // mutation must not perturb concurrent reads of the cached table.
+  {
+    auto domain = std::make_unique<IntervalDomain>();
+    PrivHPOptions options;
+    options.expected_n = 500;
+    options.seed = 1234;
+    auto builder = PrivHPBuilder::Make(domain.get(), options);
+    ASSERT_TRUE(builder.ok());
+    for (const Point& p : MakeData(500, 1, 99)) {
+      ASSERT_TRUE(builder->Add(p).ok());
+    }
+    auto other = std::move(*builder).Finish();
+    ASSERT_TRUE(other.ok());
+    ASSERT_TRUE(registry_
+                    .Publish("gamma", ServedArtifact::Make(
+                                          std::move(domain),
+                                          std::move(*other), "swap"))
+                    .ok());
+  }
+  for (std::thread& c : clients) c.join();
 }
 
 // Ingest over the socket == build from the same data locally, bit for

@@ -198,8 +198,9 @@ int Sample(const Args& args) {
   }
   RandomEngine rng(
       std::strtoull(args.GetOr("seed", "1").c_str(), nullptr, 10));
-  // Stream points straight into the CSV sink: the serve side is bounded
-  // memory in m, just like the build side is in n.
+  // Stream points straight into the CSV sink through the generator's
+  // compiled alias sampler: the serve side is bounded memory in m, just
+  // like the build side is in n.
   auto writer = CsvPointWriter::Open(*out);
   if (!writer.ok()) {
     std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
