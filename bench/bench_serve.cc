@@ -126,6 +126,47 @@ int RunBench(const Config& config) {
                   total_points / seconds / 1e6);
     }
 
+    // INGEST workload: each client streams its own copy of the dataset
+    // into the server (SocketPointSource -> BuildParallel -> AddBatch on
+    // the worker) and the server publishes one artifact per client —
+    // the wire-to-published dual of the SAMPLE row.
+    {
+      RandomEngine ingest_rng(23);
+      std::vector<Point> dataset;
+      dataset.reserve(config.n);
+      for (size_t i = 0; i < config.n; ++i) {
+        dataset.push_back(
+            {ingest_rng.UniformDouble() * ingest_rng.UniformDouble()});
+      }
+      bench::Stopwatch watch;
+      std::vector<std::thread> threads;
+      std::vector<int> errors(clients, 0);
+      for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t]() {
+          auto client = PrivHPClient::ConnectUnix(socket_path);
+          if (!client.ok()) {
+            ++errors[t];
+            return;
+          }
+          PrivHPClient::IngestSpec spec;
+          spec.dim = 1;
+          spec.n = config.n;
+          spec.batch = 4096;
+          VectorPointSource source(&dataset);
+          auto report = client->Ingest(
+              "ingest-" + std::to_string(t), spec, &source);
+          if (!report.ok() || report->points_sent != config.n) ++errors[t];
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double seconds = watch.Seconds();
+      for (int e : errors) failures += e;
+      const double total_points = static_cast<double>(clients) * config.n;
+      std::printf("%8d %10s %12.1f %12.0f %12.2f\n", clients, "ingest",
+                  seconds * 1e3, clients / seconds,
+                  total_points / seconds / 1e6);
+    }
+
     // RANGE (point-read) workload: tiny requests, measures per-request
     // overhead rather than streaming throughput.
     {

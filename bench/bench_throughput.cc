@@ -1,17 +1,28 @@
 // EXP-PERF — Corollary 1's cost model, self-timed (bench_util.h):
-//   * stream update cost vs n        (claimed O(log(eps n)) per update)
+//   * stream update cost vs n        (scalar Add vs batched AddBatch;
+//                                     claimed O(log(eps n)) per update)
 //   * sharded parallel ingestion     (--threads sweep; the merged build
 //                                     is bit-identical to 1 thread)
 //   * generator build (Finish)       (claimed O(M log n))
 //   * synthetic sampling             (O(depth) per point)
 //   * PMM build for contrast         (Theta(eps n) memory + work)
 //
-// usage: bench_throughput [--log2n B] [--threads "1,2,4"] [--repeats R]
+// Always-on correctness gate (sized for --smoke): the batched ingest
+// path must leave tree counters and sketch cells bit-identical to the
+// scalar path, and the released artifacts (scalar / batched /
+// BuildParallel) must serialize byte-identically — a perf regression
+// fix can't silently fork the two paths. --smoke shrinks the workload
+// so the run doubles as a ctest / TSan check of concurrent batched
+// ingestion.
+//
+// usage: bench_throughput [--smoke] [--log2n B] [--threads "1,2,4"]
+//                         [--repeats R]
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +35,8 @@
 #include "domain/hypercube_domain.h"
 #include "domain/interval_domain.h"
 #include "eval/workloads.h"
+#include "hierarchy/tree_serialization.h"
+#include "io/point_sink.h"
 
 namespace privhp {
 namespace {
@@ -47,18 +60,22 @@ double TimedMedian(int repeats, const std::function<double()>& fn) {
   return times[times.size() / 2];
 }
 
-void StreamUpdateSweep(int repeats) {
-  TablePrinter table("stream update (1 thread)",
-                     {"domain", "n", "Mpts/s", "ns/point", "builder mem"});
+void StreamUpdateSweep(int repeats, bool smoke) {
+  TablePrinter table(
+      "stream update (1 thread, scalar Add vs batched AddBatch)",
+      {"domain", "n", "path", "Mpts/s", "ns/point", "speedup"});
   struct Case {
     const char* name;
     int dim;
     size_t n;
   };
-  const Case cases[] = {{"interval", 1, size_t{1} << 16},
-                        {"interval", 1, size_t{1} << 18},
-                        {"interval", 1, size_t{1} << 20},
-                        {"hypercube-2d", 2, size_t{1} << 18}};
+  const std::vector<Case> cases =
+      smoke ? std::vector<Case>{{"interval", 1, size_t{1} << 16},
+                                {"hypercube-2d", 2, size_t{1} << 16}}
+            : std::vector<Case>{{"interval", 1, size_t{1} << 16},
+                                {"interval", 1, size_t{1} << 18},
+                                {"interval", 1, size_t{1} << 20},
+                                {"hypercube-2d", 2, size_t{1} << 18}};
   for (const Case& c : cases) {
     HypercubeDomain cube(c.dim == 1 ? 1 : 2);
     IntervalDomain interval;
@@ -66,9 +83,10 @@ void StreamUpdateSweep(int repeats) {
         c.dim == 1 ? static_cast<const Domain&>(interval)
                    : static_cast<const Domain&>(cube);
     RandomEngine rng(1);
+    // 65536 divides every n in the sweep, so cycling the staged dataset
+    // feeds the scalar and batched paths the identical point multiset.
     const auto data = GenerateZipfCells(c.dim, 65536, 10, 1.2, &rng);
-    size_t mem = 0;
-    const double secs = TimedMedian(repeats, [&] {
+    const double scalar_secs = TimedMedian(repeats, [&] {
       auto builder = PrivHPBuilder::Make(&domain, BenchOptions(c.n));
       PRIVHP_CHECK(builder.ok());
       bench::Stopwatch watch;
@@ -77,18 +95,113 @@ void StreamUpdateSweep(int repeats) {
         PRIVHP_CHECK(builder->Add(data[i]).ok());
         i = (i + 1) % data.size();
       }
-      mem = builder->MemoryBytes();
       return watch.Seconds();
     });
-    table.BeginRow();
-    table.Cell(std::string(c.name));
-    table.Cell(static_cast<uint64_t>(c.n));
-    table.Cell(c.n / secs / 1e6);
-    table.Cell(secs / c.n * 1e9);
-    table.Cell(bench::FormatBytes(mem));
+    const double batched_secs = TimedMedian(repeats, [&] {
+      auto builder = PrivHPBuilder::Make(&domain, BenchOptions(c.n));
+      PRIVHP_CHECK(builder.ok());
+      bench::Stopwatch watch;
+      for (size_t done = 0; done < c.n; done += data.size()) {
+        const size_t take = std::min(data.size(), c.n - done);
+        PRIVHP_CHECK(builder->AddBatch(data.data(), take).ok());
+      }
+      return watch.Seconds();
+    });
+    for (int path = 0; path < 2; ++path) {
+      const double secs = path == 0 ? scalar_secs : batched_secs;
+      table.BeginRow();
+      table.Cell(std::string(c.name));
+      table.Cell(static_cast<uint64_t>(c.n));
+      table.Cell(std::string(path == 0 ? "scalar" : "batched"));
+      table.Cell(c.n / secs / 1e6);
+      table.Cell(secs / c.n * 1e9);
+      table.Cell(scalar_secs / secs, 3);
+    }
   }
   table.Print(std::cout);
   std::cout << "\n";
+}
+
+// Always-on gate: the batched path must be bit-identical to the scalar
+// path — shard state (exact counters + sketch cells) and the released
+// artifact (scalar / batched / 3-thread BuildParallel all serialize to
+// the same bytes). Returns false (and prints why) on any mismatch.
+bool BatchedEqualsScalarGate() {
+  HypercubeDomain domain(2);
+  const size_t n = size_t{1} << 13;
+  PrivHPOptions options = BenchOptions(n);
+  RandomEngine rng(17);
+  const auto data = GenerateZipfCells(2, n, 10, 1.2, &rng);
+
+  auto scalar_builder = PrivHPBuilder::Make(&domain, options);
+  auto batched_builder = PrivHPBuilder::Make(&domain, options);
+  PRIVHP_CHECK(scalar_builder.ok() && batched_builder.ok());
+
+  // Shard-level comparison first: it pins down *where* a divergence
+  // lives (a counter vs a sketch row) before noise and growth mix it in.
+  auto scalar_shard = scalar_builder->NewShard();
+  auto batched_shard = batched_builder->NewShard();
+  PRIVHP_CHECK(scalar_shard.ok() && batched_shard.ok());
+  for (const Point& x : data) PRIVHP_CHECK(scalar_shard->Add(x).ok());
+  PRIVHP_CHECK(batched_shard->AddBatch(data).ok());
+  for (size_t i = 0; i < scalar_shard->tree().num_nodes(); ++i) {
+    const double a = scalar_shard->tree().node(static_cast<NodeId>(i)).count;
+    const double b = batched_shard->tree().node(static_cast<NodeId>(i)).count;
+    if (a != b) {
+      std::cerr << "gate: tree node " << i << " scalar=" << a
+                << " batched=" << b << "\n";
+      return false;
+    }
+  }
+  for (size_t s = 0; s < scalar_shard->sketches().size(); ++s) {
+    const CountMinSketch& sa = scalar_shard->sketches()[s];
+    const CountMinSketch& sb = batched_shard->sketches()[s];
+    for (size_t row = 0; row < sa.depth(); ++row) {
+      for (size_t col = 0; col < sa.width(); ++col) {
+        if (sa.CellValue(row, col) != sb.CellValue(row, col)) {
+          std::cerr << "gate: sketch " << s << " cell (" << row << ", "
+                    << col << ") diverges\n";
+          return false;
+        }
+      }
+    }
+  }
+
+  // Artifact-level: released trees must serialize byte-identically.
+  auto serialize = [](const PrivHPGenerator& g) {
+    std::stringstream ss;
+    PRIVHP_CHECK(SaveTree(g.tree(), &ss).ok());
+    return ss.str();
+  };
+  for (const Point& x : data) PRIVHP_CHECK(scalar_builder->Add(x).ok());
+  PRIVHP_CHECK(batched_builder->AddAll(data).ok());
+  auto scalar_gen = std::move(*scalar_builder).Finish();
+  auto batched_gen = std::move(*batched_builder).Finish();
+  auto parallel_gen = PrivHPBuilder::BuildParallel(&domain, options, data, 3);
+  // Streaming overload too: its reader thread and workers exchange whole
+  // batches through the queue, which is exactly the concurrent batched
+  // ingest path the TSan smoke wants covered.
+  VectorPointSource source(&data);
+  auto stream_gen = PrivHPBuilder::BuildParallel(&domain, options, &source, 3);
+  PRIVHP_CHECK(scalar_gen.ok() && batched_gen.ok() && parallel_gen.ok() &&
+               stream_gen.ok());
+  const std::string scalar_bytes = serialize(*scalar_gen);
+  if (scalar_bytes != serialize(*batched_gen)) {
+    std::cerr << "gate: batched artifact differs from scalar\n";
+    return false;
+  }
+  if (scalar_bytes != serialize(*parallel_gen)) {
+    std::cerr << "gate: BuildParallel artifact differs from scalar\n";
+    return false;
+  }
+  if (scalar_bytes != serialize(*stream_gen)) {
+    std::cerr << "gate: streaming BuildParallel artifact differs from "
+                 "scalar\n";
+    return false;
+  }
+  std::cout << "checks: batched-vs-scalar equality OK (shard state + "
+            << "released artifact, n=" << n << ")\n\n";
+  return true;
 }
 
 void ThreadSweep(size_t n, const std::vector<int>& thread_counts,
@@ -223,27 +336,49 @@ std::vector<int> ParseThreadList(const std::string& csv) {
 }
 
 int Run(int argc, char** argv) {
+  bool smoke = false;
   int log2n = 20;
   int repeats = 3;
   std::vector<int> threads = {1, 2, 4};
-  for (int i = 1; i < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    // Small enough for ctest/TSan; the thread sweep runs the sliced
+    // concurrent batched ingestion and the always-on gate runs the
+    // queue-based streaming overload, so the smoke is a real
+    // end-to-end check of both concurrent batched-ingest paths.
+    // Defaults only: explicit flags below still override them.
+    log2n = 14;
+    repeats = 1;
+    threads = {1, 2, 4};
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) continue;
+    const bool known = std::strcmp(argv[i], "--log2n") == 0 ||
+                       std::strcmp(argv[i], "--threads") == 0 ||
+                       std::strcmp(argv[i], "--repeats") == 0;
+    if (!known) {
+      std::cerr << "unknown flag " << argv[i] << "\n";
+      return 2;
+    }
     if (i + 1 >= argc) {
       std::cerr << "flag " << argv[i] << " is missing a value\n";
       return 2;
     }
     if (std::strcmp(argv[i], "--log2n") == 0) {
-      log2n = std::atoi(argv[i + 1]);
+      log2n = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = ParseThreadList(argv[i + 1]);
+      threads = ParseThreadList(argv[++i]);
     } else if (std::strcmp(argv[i], "--repeats") == 0) {
-      repeats = std::atoi(argv[i + 1]);
-    } else {
-      std::cerr << "unknown flag " << argv[i] << "\n";
-      return 2;
+      repeats = std::atoi(argv[++i]);
     }
+    // A flag added to `known` without a branch here leaves its value in
+    // argv, which the next iteration rejects as an unknown flag — loud,
+    // not silent.
   }
   if (log2n < 10 || log2n > 26 || repeats < 1 || threads.empty()) {
-    std::cerr << "usage: bench_throughput [--log2n 10..26] "
+    std::cerr << "usage: bench_throughput [--smoke] [--log2n 10..26] "
               << "[--threads \"1,2,4\"] [--repeats R>=1]\n";
     return 2;
   }
@@ -256,7 +391,11 @@ int Run(int argc, char** argv) {
   std::cout << "EXP-PERF: ingestion/build/sampling throughput "
             << "(hardware threads: " << std::thread::hardware_concurrency()
             << ")\n\n";
-  StreamUpdateSweep(repeats);
+  if (!BatchedEqualsScalarGate()) {
+    std::cerr << "bench_throughput: batched-vs-scalar gate failed\n";
+    return 1;
+  }
+  StreamUpdateSweep(repeats, smoke);
   ThreadSweep(size_t{1} << log2n, threads, repeats);
   FinishAndSample(repeats);
   PmmContrast(repeats);

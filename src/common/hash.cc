@@ -36,10 +36,6 @@ CompactHash::CompactHash(uint64_t seed) {
   salt_ = SplitMix64(&state);
 }
 
-uint64_t CompactHash::Hash(uint64_t key) const {
-  return multiplier_ * Mix64(key ^ salt_);
-}
-
 HashFamily::HashFamily(uint64_t seed, size_t count) {
   members_.reserve(count);
   for (size_t i = 0; i < count; ++i) {

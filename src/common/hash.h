@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/random.h"
+
 namespace privhp {
 
 /// \brief Simple tabulation hash over 64-bit keys.
@@ -66,8 +68,9 @@ class CompactHash {
  public:
   explicit CompactHash(uint64_t seed);
 
-  /// \brief 64-bit hash of \p key.
-  uint64_t Hash(uint64_t key) const;
+  /// \brief 64-bit hash of \p key. Inline: the sketch ingest path calls
+  /// this depth-times per key per level.
+  uint64_t Hash(uint64_t key) const { return multiplier_ * Mix64(key ^ salt_); }
 
   /// \brief Hash reduced to a bucket in [0, range).
   uint64_t Bucket(uint64_t key, uint64_t range) const {

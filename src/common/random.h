@@ -17,12 +17,22 @@ namespace privhp {
 
 /// \brief SplitMix64 step: advances \p state and returns the next output.
 ///
-/// Used for seeding and as a cheap stateless mixer.
-uint64_t SplitMix64(uint64_t* state);
+/// Used for seeding and as a cheap stateless mixer. Inline: this is the
+/// mixing core of the sketch row hashes, called depth-times per key on
+/// the ingest hot path.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// \brief Mixes a 64-bit value through the SplitMix64 finalizer
 /// (stateless; useful for deriving stream-independent seeds).
-uint64_t Mix64(uint64_t x);
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(&state);
+}
 
 /// \brief Deterministic pseudo-random engine with DP-oriented samplers.
 class RandomEngine {

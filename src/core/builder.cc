@@ -89,10 +89,14 @@ Status PrivHPBuilder::Add(const Point& x) {
 }
 
 Status PrivHPBuilder::AddAll(const std::vector<Point>& points) {
+  return AddBatch(points.data(), points.size());
+}
+
+Status PrivHPBuilder::AddBatch(const Point* points, size_t count) {
   if (finished_) {
     return Status::FailedPrecondition("builder already finished");
   }
-  return root_.AddAll(points);
+  return root_.AddBatch(points, count);
 }
 
 Result<PrivHPShard> PrivHPBuilder::NewShard() const {
@@ -187,8 +191,11 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
   }
 
   // Single reader (the source is sequential), bounded batch queue, one
-  // worker per shard. Any worker failure drains the queue and stops the
-  // reader; the first error wins.
+  // worker per shard. The reader pulls whole batches (NextBatch), so a
+  // framed source's decoded frames go into the queue as-is — no
+  // per-point re-staging — and each worker feeds its batch straight
+  // into the shard's AddBatch. Any worker failure drains the queue and
+  // stops the reader; the first error wins.
   constexpr size_t kBatchSize = 512;
   const size_t max_queued = static_cast<size_t>(num_threads) * 4;
   std::mutex mu;
@@ -234,26 +241,21 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
   {
     std::vector<Point> batch;
     batch.reserve(kBatchSize);
-    Point x;
-    bool more = true;
-    while (more) {
-      Result<bool> next = source->Next(&x);
+    for (;;) {
+      Result<size_t> next = source->NextBatch(kBatchSize, &batch);
       if (!next.ok()) {
         read_error = next.status();
         break;
       }
-      more = *next;
-      if (more) batch.push_back(x);
-      if (!batch.empty() && (!more || batch.size() >= kBatchSize)) {
-        std::unique_lock<std::mutex> lock(mu);
-        slot_ready.wait(lock,
-                        [&] { return failed || queue.size() < max_queued; });
-        if (failed) break;
-        queue.push_back(std::move(batch));
-        batch = std::vector<Point>();
-        batch.reserve(kBatchSize);
-        batch_ready.notify_one();
-      }
+      if (*next == 0) break;
+      std::unique_lock<std::mutex> lock(mu);
+      slot_ready.wait(lock,
+                      [&] { return failed || queue.size() < max_queued; });
+      if (failed) break;
+      queue.push_back(std::move(batch));
+      batch = std::vector<Point>();
+      batch.reserve(kBatchSize);
+      batch_ready.notify_one();
     }
   }
   {

@@ -59,8 +59,14 @@ class PrivHPBuilder : public PointSink {
   using PointSink::Add;
   Status Add(const Point& x) override;
 
-  /// \brief Processes a batch of points.
+  /// \brief Processes a batch of points through the shard's batched
+  /// ingest path (PrivHPShard::AddBatch): validated up front — a failed
+  /// batch leaves the build state untouched — then applied with one
+  /// LocatePathBatch call and row-major sketch updates per chunk.
   Status AddAll(const std::vector<Point>& points) override;
+
+  /// \brief Span form of the batched ingest path.
+  Status AddBatch(const Point* points, size_t count);
 
   /// \brief A fresh accumulation shard sharing this build's plan (and
   /// hence its hash-seed family). Shards are independent: ingest into

@@ -1,5 +1,6 @@
 #include "core/shard.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/macros.h"
@@ -49,8 +50,53 @@ Status PrivHPShard::Add(const Point& x) {
   return Status::OK();
 }
 
+namespace {
+
+// AddBatch chunk size: large enough that the per-chunk LocatePathBatch
+// virtual call and the per-level loop overheads amortize away, small
+// enough that the reused path matrix (kAddBatchChunk * (l_max+1) keys)
+// stays a bounded scratch allocation no matter how large a batch is.
+constexpr size_t kAddBatchChunk = 256;
+
+}  // namespace
+
+Status PrivHPShard::AddBatch(const Point* points, size_t count) {
+  if (count == 0) return Status::OK();
+  if (points == nullptr) {
+    return Status::InvalidArgument("AddBatch requires points");
+  }
+  // Validate the whole batch before mutating anything, so a bad point
+  // anywhere in the batch leaves the shard untouched instead of
+  // half-mutated (the old AddRange bug).
+  PRIVHP_RETURN_NOT_OK(domain_->ValidateBatch(points, count));
+  const size_t levels = static_cast<size_t>(plan_.l_max) + 1;
+  batch_scratch_.resize(std::min(count, kAddBatchChunk) * levels);
+  for (size_t base = 0; base < count; base += kAddBatchChunk) {
+    const size_t n = std::min(kAddBatchChunk, count - base);
+    // One virtual call locates the whole chunk, level-major: row l holds
+    // the chunk's level-l cell keys contiguously.
+    domain_->LocatePathBatch(points + base, n, plan_.l_max,
+                             batch_scratch_.data());
+    // Counter levels: each row's bumps land in one contiguous arena
+    // stretch (level l occupies slots [2^l - 1, 2^{l+1} - 1)).
+    for (int l = 0; l <= plan_.l_star; ++l) {
+      const uint64_t* row = batch_scratch_.data() + static_cast<size_t>(l) * n;
+      for (size_t i = 0; i < n; ++i) {
+        tree_.node(CompleteNodeId(l, row[i])).count += 1.0;
+      }
+    }
+    // Sketch levels: one row-major vectorizable update per level.
+    for (int l = plan_.l_star + 1; l <= plan_.l_max; ++l) {
+      sketches_[l - plan_.l_star - 1].UpdateBatch(
+          batch_scratch_.data() + static_cast<size_t>(l) * n, n, 1.0);
+    }
+  }
+  num_processed_ += count;
+  return Status::OK();
+}
+
 Status PrivHPShard::AddAll(const std::vector<Point>& points) {
-  return AddRange(points, 0, points.size());
+  return AddBatch(points.data(), points.size());
 }
 
 Status PrivHPShard::AddRange(const std::vector<Point>& points, size_t begin,
@@ -61,10 +107,7 @@ Status PrivHPShard::AddRange(const std::vector<Point>& points, size_t begin,
                               ") exceed dataset of size " +
                               std::to_string(points.size()));
   }
-  for (size_t i = begin; i < end; ++i) {
-    PRIVHP_RETURN_NOT_OK(Add(points[i]));
-  }
-  return Status::OK();
+  return AddBatch(points.data() + begin, end - begin);
 }
 
 Status PrivHPShard::Merge(PrivHPShard&& other) {

@@ -50,11 +50,25 @@ class PrivHPShard : public PointSink {
   using PointSink::Add;
   Status Add(const Point& x) override;
 
-  /// \brief Processes a batch of points.
+  /// \brief Batched ingest hot path: processes \p count points in one
+  /// call. Atomic: the whole batch is validated before any state is
+  /// touched, so a failed batch leaves tree counts, sketches and
+  /// num_processed() exactly as they were. Internally the batch is
+  /// processed in fixed-size chunks through one reused level-major path
+  /// matrix (Domain::LocatePathBatch), with per-level counter bumps and
+  /// CountMinSketch::UpdateBatch row updates — bit-identical to calling
+  /// Add() per point, just without the per-point dispatch.
+  Status AddBatch(const Point* points, size_t count);
+  Status AddBatch(const std::vector<Point>& points) {
+    return AddBatch(points.data(), points.size());
+  }
+
+  /// \brief Processes a batch of points (routes through AddBatch, so it
+  /// shares its all-or-nothing failure semantics).
   Status AddAll(const std::vector<Point>& points) override;
 
   /// \brief Processes points[begin..end) (BuildParallel slices a dataset
-  /// into contiguous ranges without copying).
+  /// into contiguous ranges without copying). Also atomic via AddBatch.
   Status AddRange(const std::vector<Point>& points, size_t begin,
                   size_t end);
 
@@ -88,6 +102,9 @@ class PrivHPShard : public PointSink {
   PartitionTree tree_;
   std::vector<CountMinSketch> sketches_;  // level l_star+1+i
   std::vector<uint64_t> path_scratch_;
+  // Level-major chunk x (l_max+1) path matrix reused across AddBatch
+  // chunks, so batch size never grows the shard's bounded footprint.
+  std::vector<uint64_t> batch_scratch_;
   uint64_t num_processed_ = 0;
 };
 

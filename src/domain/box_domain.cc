@@ -61,6 +61,63 @@ uint64_t BoxDomain::Locate(const Point& x, int level) const {
   return index;
 }
 
+Status BoxDomain::ValidateBatch(const Point* points, size_t count) const {
+  const size_t d = lo_.size();
+  const double* lo = lo_.data();
+  const double* hi = hi_.data();
+  for (size_t i = 0; i < count; ++i) {
+    const Point& x = points[i];
+    bool inside = x.size() == d;
+    const double* xs = x.data();
+    for (size_t c = 0; inside && c < d; ++c) {
+      // Negated-compare form matches Contains(): NaN coordinates fail.
+      inside = xs[c] >= lo[c] && xs[c] <= hi[c];
+    }
+    if (!inside) {
+      const Status valid = ValidatePoint(x);
+      return Status(valid.code(), "batch point " + std::to_string(i) +
+                                      ": " + valid.message());
+    }
+  }
+  return Status::OK();
+}
+
+void BoxDomain::LocatePathBatch(const Point* points, size_t count, int max,
+                                uint64_t* out) const {
+  PRIVHP_DCHECK(max >= 0 && max <= max_level_);
+  const int d = dimension();
+  PRIVHP_CHECK(d <= 64);
+  // The cut count per coordinate depends only on `max`, so it is hoisted
+  // out of the per-point loop. The per-point arithmetic below must stay
+  // exactly Locate()'s (same division, same cast, same boundary clamp):
+  // the batched and scalar ingest paths are required to agree bit-for-bit.
+  int coord_cuts[64];
+  for (int i = 0; i < d; ++i) coord_cuts[i] = CutsForCoord(max, i);
+  uint64_t coord_cell[64];
+  for (size_t p = 0; p < count; ++p) {
+    const Point& x = points[p];
+    PRIVHP_DCHECK(Contains(x));
+    for (int i = 0; i < d; ++i) {
+      const double t = (x[i] - lo_[i]) / (hi_[i] - lo_[i]);
+      const uint64_t cells = uint64_t{1} << coord_cuts[i];
+      uint64_t c = static_cast<uint64_t>(t * static_cast<double>(cells));
+      if (c >= cells) c = cells - 1;  // x at the upper boundary
+      coord_cell[i] = c;
+    }
+    uint64_t index = 0;
+    for (int step = 0; step < max; ++step) {
+      const int coord = step % d;
+      const int cut = step / d;
+      const int bit = static_cast<int>(
+          (coord_cell[coord] >> (coord_cuts[coord] - 1 - cut)) & 1u);
+      index = (index << 1) | static_cast<uint64_t>(bit);
+    }
+    for (int l = 0; l <= max; ++l) {
+      out[static_cast<size_t>(l) * count + p] = index >> (max - l);
+    }
+  }
+}
+
 double BoxDomain::CellDiameter(int level) const {
   PRIVHP_DCHECK(level >= 0 && level <= max_level_);
   double diam = 0.0;

@@ -40,6 +40,18 @@ class BoxDomain : public Domain {
   Point CellCenter(int level, uint64_t index) const override;
   double Distance(const Point& a, const Point& b) const override;
 
+  /// \brief Batched locate with the per-coordinate cut counts hoisted out
+  /// of the per-point loop and no virtual dispatch inside it. Produces
+  /// exactly Locate(x, max)'s indices (same arithmetic, same boundary
+  /// clamps), so the batched ingest path stays bit-identical to scalar.
+  void LocatePathBatch(const Point* points, size_t count, int max,
+                       uint64_t* out) const override;
+
+  /// \brief Devirtualized batch validation: one bounds scan with the box
+  /// limits hoisted; failures fall back to ValidatePoint for the exact
+  /// per-point status code and message.
+  Status ValidateBatch(const Point* points, size_t count) const override;
+
   /// \brief Bounds [lo, hi) of cell \p index at \p level along each
   /// coordinate; used by tests and the figure walk-throughs.
   void CellBounds(int level, uint64_t index, std::vector<double>* cell_lo,

@@ -16,6 +16,17 @@ Status Domain::ValidatePoint(const Point& x) const {
   return Status::OK();
 }
 
+Status Domain::ValidateBatch(const Point* points, size_t count) const {
+  for (size_t i = 0; i < count; ++i) {
+    const Status valid = ValidatePoint(points[i]);
+    if (!valid.ok()) {
+      return Status(valid.code(), "batch point " + std::to_string(i) +
+                                      ": " + valid.message());
+    }
+  }
+  return Status::OK();
+}
+
 Point Domain::CellCenter(int level, uint64_t index) const {
   RandomEngine rng(0x9e3779b97f4a7c15ULL ^ (index * 2654435761u + level));
   constexpr int kDraws = 32;
@@ -38,6 +49,17 @@ void Domain::LocatePath(const Point& x, int max,
   out->resize(max + 1);
   const uint64_t deepest = Locate(x, max);
   for (int l = 0; l <= max; ++l) (*out)[l] = deepest >> (max - l);
+}
+
+void Domain::LocatePathBatch(const Point* points, size_t count, int max,
+                             uint64_t* out) const {
+  PRIVHP_DCHECK(max <= max_level());
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t deepest = Locate(points[i], max);
+    for (int l = 0; l <= max; ++l) {
+      out[static_cast<size_t>(l) * count + i] = deepest >> (max - l);
+    }
+  }
 }
 
 }  // namespace privhp

@@ -96,11 +96,28 @@ class Domain {
   /// \brief Validates that \p x is a well-formed point for this domain.
   Status ValidatePoint(const Point& x) const;
 
+  /// \brief Validates \p count points, returning OK or the first
+  /// failure wrapped as "batch point <i>: <reason>" (same status codes
+  /// as ValidatePoint). The batched ingest path validates every batch up
+  /// front before touching any state; the default loops ValidatePoint,
+  /// and concrete domains may override with a devirtualized scan.
+  virtual Status ValidateBatch(const Point* points, size_t count) const;
+
   /// \brief Locate all levels 0..max in one pass: out[l] = Locate(x, l).
   ///
   /// Default implementation derives all prefixes from Locate(x, max);
   /// correct because cell indices are prefix codes.
   void LocatePath(const Point& x, int max, std::vector<uint64_t>* out) const;
+
+  /// \brief Batched LocatePath over \p count points, written level-major
+  /// into caller-owned scratch: out[l * count + i] = Locate(points[i], l)
+  /// for 0 <= l <= max. The level-major layout hands each level's cell
+  /// keys to batched consumers (counter bumps, sketch row updates) as one
+  /// contiguous run. One virtual call per batch; the default derives all
+  /// prefixes from Locate(x, max) per point, and concrete domains may
+  /// override to drop the remaining per-point virtual dispatch.
+  virtual void LocatePathBatch(const Point* points, size_t count, int max,
+                               uint64_t* out) const;
 };
 
 }  // namespace privhp

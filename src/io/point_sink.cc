@@ -11,6 +11,18 @@ Status PointSink::AddAll(const std::vector<Point>& points) {
   return Status::OK();
 }
 
+Result<size_t> PointSource::NextBatch(size_t max_points,
+                                      std::vector<Point>* out) {
+  out->clear();
+  Point x;
+  while (out->size() < max_points) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, Next(&x));
+    if (!more) break;
+    out->push_back(std::move(x));
+  }
+  return out->size();
+}
+
 Result<bool> VectorPointSource::Next(Point* out) {
   if (points_ == nullptr) {
     return Status::InvalidArgument("vector point source has no backing data");
@@ -36,11 +48,15 @@ Status Drain(PointSource* source, PointSink* sink) {
   if (source == nullptr || sink == nullptr) {
     return Status::InvalidArgument("Drain requires a source and a sink");
   }
-  Point x;
+  // Pump batches, not points: batching sinks (shards, builders) get the
+  // vectorized AddAll path and framed sources hand over whole decoded
+  // frames; memory stays bounded by the batch size either way.
+  std::vector<Point> batch;
   for (;;) {
-    PRIVHP_ASSIGN_OR_RETURN(bool more, source->Next(&x));
-    if (!more) return Status::OK();
-    PRIVHP_RETURN_NOT_OK(sink->Add(x));
+    PRIVHP_ASSIGN_OR_RETURN(size_t n, source->NextBatch(kDrainBatchSize,
+                                                        &batch));
+    if (n == 0) return Status::OK();
+    PRIVHP_RETURN_NOT_OK(sink->AddAll(batch));
   }
 }
 

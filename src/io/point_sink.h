@@ -47,6 +47,16 @@ class PointSource {
   /// \brief Reads the next point into \p out. Returns false at
   /// end-of-stream, an error Status on malformed input.
   virtual Result<bool> Next(Point* out) = 0;
+
+  /// \brief Reads the next batch of points into \p out (cleared first)
+  /// and returns the number read; 0 means end-of-stream. \p max_points
+  /// is advisory: sources with natural framing (a decoded socket frame)
+  /// may hand over a whole frame even when it is larger, so callers must
+  /// accept any non-empty batch. The default loops Next(); batching
+  /// sources override it to amortize per-point dispatch and hand over
+  /// already-materialized batches without re-staging.
+  virtual Result<size_t> NextBatch(size_t max_points,
+                                   std::vector<Point>* out);
 };
 
 /// \brief PointSource over an in-memory dataset (not owned).
@@ -82,8 +92,15 @@ class CollectingSink : public PointSink {
   std::vector<Point> points_;
 };
 
-/// \brief Pumps \p source dry into \p sink. Stops at the first error from
-/// either side and returns it.
+/// \brief Points per batch Drain pumps when the source has no natural
+/// framing of its own.
+inline constexpr size_t kDrainBatchSize = 1024;
+
+/// \brief Pumps \p source dry into \p sink in batches (NextBatch ->
+/// AddAll), so batching sinks see whole batches rather than single
+/// points. Stops at the first error from either side and returns it; a
+/// sink that rejects a batch atomically (PrivHPShard) is left without
+/// any of that batch's points.
 Status Drain(PointSource* source, PointSink* sink);
 
 }  // namespace privhp

@@ -1,8 +1,11 @@
 #include "io/point_stream.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 
 #include "common/macros.h"
@@ -30,10 +33,18 @@ Status ParseCsvPoint(const std::string& line, int dimension, Point* out) {
     char* end = nullptr;
     errno = 0;
     const double value = std::strtod(cursor, &end);
-    if (end == cursor || errno == ERANGE) {
+    if (end == cursor) {
       return Status::InvalidArgument("malformed coordinate " +
                                      std::to_string(c) + " in line '" +
                                      line + "'");
+    }
+    // ERANGE covers both overflow (result is +-HUGE_VAL) and underflow
+    // (result rounds to a denormal or zero). Only overflow is malformed:
+    // a tiny-but-representable coordinate like 1e-320 is valid input.
+    if (errno == ERANGE && std::abs(value) == HUGE_VAL) {
+      return Status::InvalidArgument("coordinate " + std::to_string(c) +
+                                     " overflows double in line '" + line +
+                                     "'");
     }
     out->push_back(value);
     cursor = end;
@@ -47,8 +58,21 @@ Status ParseCsvPoint(const std::string& line, int dimension, Point* out) {
       ++cursor;
     }
   }
+  // After the last coordinate: at most one bare trailing comma, then only
+  // whitespace/CR to end of line. Anything after that comma is an extra
+  // column — erroring (instead of silently dropping it) catches a file
+  // read with the wrong --dim.
   while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r') ++cursor;
-  if (*cursor != '\0' && *cursor != ',') {
+  if (*cursor == ',') {
+    ++cursor;
+    while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r') ++cursor;
+    if (*cursor != '\0') {
+      return Status::InvalidArgument(
+          "line '" + line + "' has more than " + std::to_string(dimension) +
+          " columns");
+    }
+  }
+  if (*cursor != '\0') {
     return Status::InvalidArgument("trailing garbage in line '" + line +
                                    "'");
   }
@@ -68,12 +92,11 @@ Result<CsvPointReader> CsvPointReader::Open(const std::string& path,
   return CsvPointReader(std::move(in), dimension);
 }
 
-Result<bool> CsvPointReader::Next(Point* out) {
-  std::string line;
-  while (std::getline(in_, line)) {
+Result<bool> CsvPointReader::ReadLineInto(Point* out) {
+  while (std::getline(in_, line_)) {
     ++line_number_;
-    if (IsSkippable(line)) continue;
-    const Status parsed = ParseCsvPoint(line, dimension_, out);
+    if (IsSkippable(line_)) continue;
+    const Status parsed = ParseCsvPoint(line_, dimension_, out);
     if (!parsed.ok()) {
       return Status::InvalidArgument(parsed.message() + " (line " +
                                      std::to_string(line_number_) + ")");
@@ -84,16 +107,32 @@ Result<bool> CsvPointReader::Next(Point* out) {
   return false;
 }
 
+Result<bool> CsvPointReader::Next(Point* out) { return ReadLineInto(out); }
+
+Result<size_t> CsvPointReader::NextBatch(size_t max_points,
+                                         std::vector<Point>* out) {
+  out->clear();
+  while (out->size() < max_points) {
+    out->emplace_back();
+    PRIVHP_ASSIGN_OR_RETURN(bool more, ReadLineInto(&out->back()));
+    if (!more) {
+      out->pop_back();
+      break;
+    }
+  }
+  return out->size();
+}
+
 Result<std::vector<Point>> ReadPointsCsv(const std::string& path,
                                          int dimension) {
   PRIVHP_ASSIGN_OR_RETURN(CsvPointReader reader,
                           CsvPointReader::Open(path, dimension));
   std::vector<Point> points;
-  Point p;
+  std::vector<Point> batch;
   for (;;) {
-    PRIVHP_ASSIGN_OR_RETURN(bool more, reader.Next(&p));
-    if (!more) break;
-    points.push_back(p);
+    PRIVHP_ASSIGN_OR_RETURN(size_t n, reader.NextBatch(4096, &batch));
+    if (n == 0) break;
+    std::move(batch.begin(), batch.end(), std::back_inserter(points));
   }
   return points;
 }

@@ -32,14 +32,27 @@ class CsvPointReader : public PointSource {
   /// Malformed lines produce an error Status carrying the line number.
   Result<bool> Next(Point* out) override;
 
+  /// \brief Parses up to \p max_points lines straight into \p out — one
+  /// stream read per line but no per-point virtual dispatch or staging
+  /// Point, which is what the batched ingest path (Drain -> AddBatch)
+  /// wants to see.
+  Result<size_t> NextBatch(size_t max_points,
+                           std::vector<Point>* out) override;
+
   /// \brief Lines consumed so far (including skipped ones).
   size_t line_number() const { return line_number_; }
 
  private:
   CsvPointReader(std::ifstream in, int dimension);
 
+  /// Reads the next non-skippable line and parses it into \p out; the
+  /// shared primitive behind Next and NextBatch, so the scalar and
+  /// batched read paths cannot diverge.
+  Result<bool> ReadLineInto(Point* out);
+
   std::ifstream in_;
   int dimension_;
+  std::string line_;  // getline scratch
   size_t line_number_ = 0;
 };
 

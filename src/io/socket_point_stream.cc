@@ -1,5 +1,6 @@
 #include "io/socket_point_stream.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -31,8 +32,11 @@ std::string EncodePointStreamEnd(uint64_t total_points) {
   return w.Take();
 }
 
-Status DecodePointBatch(const std::string& payload, int expected_dim,
-                        std::deque<Point>* out) {
+namespace {
+
+template <typename Container>
+Status DecodePointBatchInto(const std::string& payload, int expected_dim,
+                            Container* out) {
   WireReader r(payload);
   PRIVHP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
   if (tag != kPointBatchTag) {
@@ -67,6 +71,18 @@ Status DecodePointBatch(const std::string& payload, int expected_dim,
   return r.ExpectEnd();
 }
 
+}  // namespace
+
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        std::deque<Point>* out) {
+  return DecodePointBatchInto(payload, expected_dim, out);
+}
+
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        std::vector<Point>* out) {
+  return DecodePointBatchInto(payload, expected_dim, out);
+}
+
 SocketPointSink::SocketPointSink(const Socket* sock, size_t batch_size)
     : sock_(sock), batch_size_(batch_size == 0 ? 1 : batch_size) {
   buffer_.reserve(batch_size_);
@@ -87,6 +103,24 @@ Status SocketPointSink::Add(Point&& x) {
   }
   buffer_.push_back(std::move(x));
   if (buffer_.size() >= batch_size_) return Flush();
+  return Status::OK();
+}
+
+Status SocketPointSink::AddAll(const std::vector<Point>& points) {
+  if (finished_) {
+    return Status::FailedPrecondition("point stream already finished");
+  }
+  // Range-insert up to the frame boundary each round; Add() keeps the
+  // buffer strictly below batch_size_ between calls, so room > 0 holds
+  // on entry and after every Flush().
+  for (size_t i = 0; i < points.size();) {
+    const size_t room = batch_size_ - buffer_.size();
+    const size_t take = std::min(room, points.size() - i);
+    buffer_.insert(buffer_.end(), points.begin() + i,
+                   points.begin() + i + take);
+    i += take;
+    if (buffer_.size() >= batch_size_) PRIVHP_RETURN_NOT_OK(Flush());
+  }
   return Status::OK();
 }
 
@@ -136,30 +170,67 @@ Result<bool> SocketPointSource::RecvNext() {
   return r;
 }
 
+Status SocketPointSource::ConsumeEndFrame() {
+  WireReader r(frame_);
+  PRIVHP_RETURN_NOT_OK(r.U8().status());
+  PRIVHP_ASSIGN_OR_RETURN(uint64_t total, r.U64());
+  PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
+  if (total != num_received_) {
+    return Status::IOError(
+        "point stream declared " + std::to_string(total) +
+        " points but delivered " + std::to_string(num_received_));
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<bool> SocketPointSource::RecvBatchFrame() {
+  PRIVHP_ASSIGN_OR_RETURN(bool more, RecvNext());
+  if (!more) {
+    return Status::IOError("connection closed before end of point stream");
+  }
+  if (frame_.empty()) return Status::IOError("empty frame in point stream");
+  if (static_cast<uint8_t>(frame_[0]) == kPointStreamEndTag) {
+    PRIVHP_RETURN_NOT_OK(ConsumeEndFrame());
+    return false;
+  }
+  return true;
+}
+
 Result<bool> SocketPointSource::FillBuffer() {
   while (buffer_.empty()) {
-    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvNext());
-    if (!more) {
-      return Status::IOError("connection closed before end of point stream");
-    }
-    if (frame_.empty()) return Status::IOError("empty frame in point stream");
-    const uint8_t tag = static_cast<uint8_t>(frame_[0]);
-    if (tag == kPointStreamEndTag) {
-      WireReader r(frame_);
-      PRIVHP_RETURN_NOT_OK(r.U8().status());
-      PRIVHP_ASSIGN_OR_RETURN(uint64_t total, r.U64());
-      PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
-      if (total != num_received_) {
-        return Status::IOError(
-            "point stream declared " + std::to_string(total) +
-            " points but delivered " + std::to_string(num_received_));
-      }
-      finished_ = true;
-      return false;
-    }
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvBatchFrame());
+    if (!more) return false;
     PRIVHP_RETURN_NOT_OK(DecodePointBatch(frame_, expected_dim_, &buffer_));
   }
   return true;
+}
+
+Result<size_t> SocketPointSource::NextBatch(size_t max_points,
+                                            std::vector<Point>* out) {
+  out->clear();
+  if (finished_ || max_points == 0) return size_t{0};
+  // Points already staged by a Next() caller are served first so the two
+  // access styles can be mixed without reordering the stream.
+  if (!buffer_.empty()) {
+    const size_t take = std::min(max_points, buffer_.size());
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(buffer_.front()));
+      buffer_.pop_front();
+    }
+    num_received_ += take;
+    return take;
+  }
+  // Decode whole frames straight into the caller's batch (empty batch
+  // frames are legal — keep reading) until points arrive or the stream
+  // ends. A full frame may exceed max_points; the contract allows it.
+  while (out->empty()) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvBatchFrame());
+    if (!more) return size_t{0};
+    PRIVHP_RETURN_NOT_OK(DecodePointBatch(frame_, expected_dim_, out));
+  }
+  num_received_ += out->size();
+  return out->size();
 }
 
 Result<bool> SocketPointSource::Next(Point* out) {

@@ -44,6 +44,11 @@ std::string EncodePointStreamEnd(uint64_t total_points);
 Status DecodePointBatch(const std::string& payload, int expected_dim,
                         std::deque<Point>* out);
 
+/// \brief Vector overload: the batched ingest path decodes whole frames
+/// straight into the batch the shard consumes, with no deque staging.
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        std::vector<Point>* out);
+
 /// \brief PointSink that streams points over a socket in batch frames.
 ///
 /// Buffers up to \p batch_size points (so the wire sees large frames, not
@@ -57,6 +62,9 @@ class SocketPointSink : public PointSink {
   /// \brief Takes ownership of \p x — the SAMPLE hot path hands each
   /// freshly sampled point straight into the wire buffer, no copy.
   Status Add(Point&& x) override;
+  /// \brief Bulk append: one buffer extension + flushes at frame
+  /// boundaries, no per-point virtual dispatch (the batched Drain path).
+  Status AddAll(const std::vector<Point>& points) override;
   uint64_t num_processed() const override { return num_sent_; }
 
   /// \brief Sends any buffered points now.
@@ -93,6 +101,14 @@ class SocketPointSource : public PointSource {
 
   Result<bool> Next(Point* out) override;
 
+  /// \brief Hands over whole decoded batch frames: when the staging
+  /// buffer is empty, the next frame is decoded straight into \p out
+  /// (so a full frame may exceed \p max_points — the contract allows
+  /// it), which lets the service INGEST path feed each received frame
+  /// into PrivHPShard::AddBatch without per-point staging.
+  Result<size_t> NextBatch(size_t max_points,
+                           std::vector<Point>* out) override;
+
   /// \brief Reads and discards frames until the end frame (or EOF/error):
   /// lets a server that failed mid-ingest keep the connection in protocol
   /// sync so it can still deliver the error response.
@@ -113,6 +129,13 @@ class SocketPointSource : public PointSource {
   Result<bool> FillBuffer();
   /// Receives the next frame into frame_, applying the idle timeout.
   Result<bool> RecvNext();
+  /// Receives and classifies the next frame — the one protocol step
+  /// Next() and NextBatch() share: true means frame_ holds a point
+  /// batch to decode, false means the stream ended cleanly (end frame
+  /// verified and consumed).
+  Result<bool> RecvBatchFrame();
+  /// Verifies the end frame sitting in frame_ and marks the stream done.
+  Status ConsumeEndFrame();
 
   const Socket* sock_;
   int expected_dim_;

@@ -10,6 +10,7 @@ CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
     : width_(width),
       depth_(depth),
       seed_(seed),
+      width_pow2_((width & (width - 1)) == 0),
       hashes_(),
       cells_(width * depth, 0.0) {
   PRIVHP_CHECK(width_ >= 1);
@@ -30,8 +31,28 @@ Result<CountMinSketch> CountMinSketch::Make(size_t width, size_t depth,
 }
 
 void CountMinSketch::Update(uint64_t key, double delta) {
+  UpdateBatch(&key, 1, delta);
+}
+
+void CountMinSketch::UpdateBatch(const uint64_t* keys, size_t count,
+                                 double delta) {
+  if (width_pow2_) {
+    const uint64_t mask = width_ - 1;
+    for (size_t row = 0; row < depth_; ++row) {
+      const CompactHash hash = hashes_[row];
+      double* cells = cells_.data() + row * width_;
+      for (size_t i = 0; i < count; ++i) {
+        cells[hash.Hash(keys[i]) & mask] += delta;
+      }
+    }
+    return;
+  }
   for (size_t row = 0; row < depth_; ++row) {
-    cells_[row * width_ + hashes_[row].Bucket(key, width_)] += delta;
+    const CompactHash hash = hashes_[row];
+    double* cells = cells_.data() + row * width_;
+    for (size_t i = 0; i < count; ++i) {
+      cells[hash.Bucket(keys[i], width_)] += delta;
+    }
   }
 }
 

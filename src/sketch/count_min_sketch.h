@@ -35,6 +35,16 @@ class CountMinSketch : public FrequencyOracle {
                                      uint64_t seed);
 
   void Update(uint64_t key, double delta) override;
+
+  /// \brief Adds \p delta for each of \p count keys, one hash row at a
+  /// time: the inner loop hashes a contiguous key run and writes into one
+  /// row of `cells_`, which keeps the working set to a single row and
+  /// lets the compiler vectorize the hashing. For integer-valued deltas
+  /// (the ingest path's +1.0) the result is bit-identical to calling
+  /// Update() per key — whole-number double sums are exact, so the
+  /// row-major reordering cannot perturb the cells.
+  void UpdateBatch(const uint64_t* keys, size_t count, double delta);
+
   double Estimate(uint64_t key) const override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "count-min"; }
@@ -69,6 +79,11 @@ class CountMinSketch : public FrequencyOracle {
   size_t width_;
   size_t depth_;
   uint64_t seed_;
+  // True when width_ is a power of two: bucket reduction is then
+  // `hash & (width_ - 1)`, which equals `hash % width_` bit-for-bit but
+  // costs one AND instead of a 64-bit divide — the ingest hot path does
+  // depth_ reductions per key per level.
+  bool width_pow2_;
   std::vector<CompactHash> hashes_;
   std::vector<double> cells_;  // row-major depth_ x width_
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/macros.h"
@@ -94,6 +95,101 @@ TEST(ShardTest, AddRangeChecksBounds) {
   EXPECT_EQ(shard.num_processed(), 2u);
   EXPECT_TRUE(shard.AddRange(data, 2, 4).IsOutOfRange());
   EXPECT_TRUE(shard.AddRange(data, 3, 2).IsOutOfRange());
+}
+
+// Regression: AddRange used to mutate point-by-point, so a bad point in
+// the middle of a batch left the shard half-updated. A failed batch must
+// leave tree counts, sketch cells and num_processed bit-for-bit unchanged.
+TEST(ShardTest, FailedBatchLeavesShardUntouched) {
+  IntervalDomain domain;
+  const PrivHPOptions options = SmallOptions(1024);
+  PrivHPShard shard = MakeShard(&domain, options);
+  RandomEngine rng(21);
+  const auto good = GenerateUniform(1, 50, &rng);
+  ASSERT_TRUE(shard.AddAll(good).ok());
+  const PrivHPShard snapshot = shard;  // full accumulation state
+
+  std::vector<Point> batch = GenerateUniform(1, 20, &rng);
+  batch[13] = {2.5};  // outside [0,1]
+  const Status failed = shard.AddAll(batch);
+  EXPECT_TRUE(failed.IsOutOfRange());
+  EXPECT_NE(failed.message().find("batch point 13"), std::string::npos);
+  EXPECT_EQ(shard.num_processed(), 50u);
+  ExpectShardsEqual(shard, snapshot);
+
+  // Wrong dimension keeps its status code and is equally atomic.
+  std::vector<Point> wrong_dim = GenerateUniform(1, 4, &rng);
+  wrong_dim[2] = {0.5, 0.5};
+  EXPECT_TRUE(shard.AddAll(wrong_dim).IsInvalidArgument());
+  EXPECT_EQ(shard.num_processed(), 50u);
+  ExpectShardsEqual(shard, snapshot);
+
+  // And the shard still ingests normally afterwards.
+  EXPECT_TRUE(shard.AddAll(good).ok());
+  EXPECT_EQ(shard.num_processed(), 100u);
+}
+
+TEST(ShardTest, AddBatchBitwiseIdenticalToScalarAdd) {
+  HypercubeDomain domain(2);
+  const PrivHPOptions options = SmallOptions(4096);
+  RandomEngine rng(22);
+  const auto data = GenerateGaussianMixture(2, 3000, 3, 0.05, &rng);
+  PrivHPShard scalar = MakeShard(&domain, options);
+  PrivHPShard batched = MakeShard(&domain, options);
+  for (const Point& x : data) ASSERT_TRUE(scalar.Add(x).ok());
+  ASSERT_TRUE(batched.AddBatch(data).ok());
+  EXPECT_EQ(batched.num_processed(), scalar.num_processed());
+  ExpectShardsEqual(scalar, batched);
+
+  // Batch boundaries must not matter: odd sizes below, at and above the
+  // internal chunk produce the same state.
+  PrivHPShard chunked = MakeShard(&domain, options);
+  const size_t sizes[] = {1, 7, 255, 256, 257, 1000};
+  size_t base = 0;
+  size_t turn = 0;
+  while (base < data.size()) {
+    const size_t take = std::min(sizes[turn++ % 6], data.size() - base);
+    ASSERT_TRUE(chunked.AddBatch(data.data() + base, take).ok());
+    base += take;
+  }
+  ExpectShardsEqual(scalar, chunked);
+}
+
+// The released artifacts must agree too: scalar Add loop, one AddAll
+// batch, and an S-shard merged build (each shard fed through AddRange's
+// batched path) all serialize to the same bytes.
+TEST(ShardTest, BatchedBuildMatchesScalarAndShardedBitwise) {
+  HypercubeDomain domain(2);
+  const PrivHPOptions options = SmallOptions(4096);
+  RandomEngine rng(23);
+  const auto data = GenerateGaussianMixture(2, 4096, 3, 0.05, &rng);
+
+  auto scalar_builder = PrivHPBuilder::Make(&domain, options);
+  ASSERT_TRUE(scalar_builder.ok());
+  for (const Point& x : data) ASSERT_TRUE(scalar_builder->Add(x).ok());
+  auto gen_scalar = std::move(*scalar_builder).Finish();
+  ASSERT_TRUE(gen_scalar.ok());
+
+  auto batched_builder = PrivHPBuilder::Make(&domain, options);
+  ASSERT_TRUE(batched_builder.ok());
+  ASSERT_TRUE(batched_builder->AddAll(data).ok());
+  auto gen_batched = std::move(*batched_builder).Finish();
+  ASSERT_TRUE(gen_batched.ok());
+  EXPECT_EQ(Serialized(*gen_scalar), Serialized(*gen_batched));
+
+  auto sharded_builder = PrivHPBuilder::Make(&domain, options);
+  ASSERT_TRUE(sharded_builder.ok());
+  for (size_t s = 0; s < 3; ++s) {
+    auto shard = sharded_builder->NewShard();
+    ASSERT_TRUE(shard.ok());
+    const size_t begin = s * data.size() / 3;
+    const size_t end = (s + 1) * data.size() / 3;
+    ASSERT_TRUE(shard->AddRange(data, begin, end).ok());
+    ASSERT_TRUE(sharded_builder->AbsorbShard(std::move(*shard)).ok());
+  }
+  auto gen_sharded = std::move(*sharded_builder).Finish();
+  ASSERT_TRUE(gen_sharded.ok());
+  EXPECT_EQ(Serialized(*gen_scalar), Serialized(*gen_sharded));
 }
 
 TEST(ShardTest, MergeIsCommutative) {

@@ -110,6 +110,24 @@ TEST(PointSinkTest, VectorSourceDrainsIntoSink) {
   EXPECT_FALSE(*more);
 }
 
+TEST(PointSinkTest, DefaultNextBatchLoopsNext) {
+  std::vector<Point> data;
+  for (int i = 0; i < 10; ++i) data.push_back({i * 0.1});
+  VectorPointSource source(&data);
+  std::vector<Point> batch;
+  auto r1 = source.NextBatch(4, &batch);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 4u);
+  EXPECT_EQ(batch[3], data[3]);
+  auto r2 = source.NextBatch(100, &batch);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 6u);
+  EXPECT_EQ(batch[5], data[9]);
+  auto r3 = source.NextBatch(100, &batch);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, 0u);
+}
+
 TEST(PointSinkTest, DrainStopsAtFirstSinkError) {
   IntervalDomain domain;
   const std::vector<Point> data = {{0.1}, {1.7}, {0.3}};

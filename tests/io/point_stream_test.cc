@@ -39,6 +39,45 @@ TEST(ParseCsvPointTest, RejectsMalformedLines) {
   EXPECT_FALSE(ParseCsvPoint("0.5,0.6 junk", 2, &p).ok());
 }
 
+// Regression: a 3-column file read with dimension 2 used to parse
+// cleanly, silently dropping the third column — the classic wrong
+// `--dim` footgun. Extra columns must be an error.
+TEST(ParseCsvPointTest, RejectsExtraColumns) {
+  Point p;
+  EXPECT_TRUE(ParseCsvPoint("1,2,3", 2, &p).IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvPoint("1,2,3,4", 2, &p).IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvPoint("1,2, 3", 2, &p).IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvPoint("1,2,x", 2, &p).IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvPoint("1,2,,", 2, &p).IsInvalidArgument());
+}
+
+TEST(ParseCsvPointTest, AcceptsBareTrailingCommaAndWhitespace) {
+  Point p;
+  ASSERT_TRUE(ParseCsvPoint("1,2,", 2, &p).ok());  // bare trailing comma
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+  EXPECT_TRUE(ParseCsvPoint("1,2 ,", 2, &p).ok());
+  EXPECT_TRUE(ParseCsvPoint("1,2,\r", 2, &p).ok());
+  EXPECT_TRUE(ParseCsvPoint("1,2, \t", 2, &p).ok());
+  EXPECT_TRUE(ParseCsvPoint("1,2 \r", 2, &p).ok());
+  EXPECT_TRUE(ParseCsvPoint("1,2\t", 2, &p).ok());
+}
+
+// Regression: errno == ERANGE on underflow (a denormal result) was
+// treated as malformed, rejecting valid tiny coordinates. Only overflow
+// (+-HUGE_VAL) is malformed.
+TEST(ParseCsvPointTest, AcceptsUnderflowRejectsOverflow) {
+  Point p;
+  ASSERT_TRUE(ParseCsvPoint("1e-320,0.5", 2, &p).ok());
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_GT(p[0], 0.0);
+  EXPECT_LT(p[0], 1e-300);
+  ASSERT_TRUE(ParseCsvPoint("1e-400,0.5", 2, &p).ok());  // rounds to 0
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_TRUE(ParseCsvPoint("1e400,0.5", 2, &p).IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvPoint("0.5,-1e400", 2, &p).IsInvalidArgument());
+}
+
 TEST(CsvRoundTripTest, WriteThenReadPreservesPoints) {
   RandomEngine rng(1);
   const auto points = GenerateUniform(3, 200, &rng);
@@ -85,6 +124,43 @@ TEST(CsvPointReaderTest, ReportsLineNumberOnError) {
   auto bad = reader->Next(&p);
   ASSERT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointReaderTest, NextBatchReadsChunksAndSkipsComments) {
+  const std::string path = TempPath("batched.csv");
+  std::string contents = "# header\n";
+  for (int i = 0; i < 10; ++i) {
+    contents += std::to_string(i * 0.01) + "," + std::to_string(i * 0.02) +
+                "\n";
+  }
+  WriteFile(path, contents);
+  auto reader = CsvPointReader::Open(path, 2);
+  ASSERT_TRUE(reader.ok());
+  std::vector<Point> batch;
+  auto r1 = reader->NextBatch(4, &batch);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(*r1, 4u);
+  EXPECT_DOUBLE_EQ(batch[3][1], 3 * 0.02);
+  auto r2 = reader->NextBatch(100, &batch);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(*r2, 6u);
+  EXPECT_DOUBLE_EQ(batch[5][0], 9 * 0.01);
+  auto r3 = reader->NextBatch(100, &batch);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, 0u);  // EOF
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointReaderTest, NextBatchReportsLineNumberOnError) {
+  const std::string path = TempPath("badbatch.csv");
+  WriteFile(path, "0.1,0.2\n0.3,0.4\nbroken\n");
+  auto reader = CsvPointReader::Open(path, 2);
+  ASSERT_TRUE(reader.ok());
+  std::vector<Point> batch;
+  auto bad = reader->NextBatch(100, &batch);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
   std::remove(path.c_str());
 }
 
