@@ -4,12 +4,15 @@
 //   bench_sample [--smoke] [--n N] [--m M] [--dim D] [--repeats R]
 //
 // Builds one released artifact from a skewed stream (same shape as
-// bench_serve), then times four workloads over m draws each:
+// bench_serve), then times five workloads over m draws each:
 //
 //   walk/cells    TreeSampler::SampleLeafCell      (categorical only)
 //   alias/cells   CompiledSampler::SampleLeafCell  (categorical only)
 //   walk/points   TreeSampler::Sample -> sink->Add(const Point&)
-//   alias/points  CompiledSampler::GenerateTo      (move-through sink)
+//   alias/points  CompiledSampler::GenerateTo      (columnar chunks ->
+//                                                   sink AddAll)
+//   alias/arena   CompiledSampler::SampleTo        (reused PointBatch,
+//                                                   SIMD in-cell step)
 //
 // The cells rows isolate the alias-table gain from the in-cell uniform
 // step; the points rows are the serve-path unit of work. Reports the
@@ -148,6 +151,20 @@ int RunBench(const Config& config) {
     if (!compiled.GenerateTo(config.m, &rng, &sink).ok()) std::abort();
   });
   PrintRow("alias/points", config.m, alias_points, walk_points);
+  // Columnar arena sampling without sink dispatch: SampleTo fills one
+  // reused PointBatch per chunk (phase 1 RNG draws, phase 2 SIMD in-cell
+  // transform) — the raw producer cost of the serve path.
+  const double alias_arena = MedianSeconds(config.repeats, [&]() {
+    RandomEngine rng(2002);
+    PointBatch batch;
+    constexpr size_t kChunk = 4096;
+    for (size_t done = 0; done < config.m;) {
+      const size_t take = std::min(kChunk, config.m - done);
+      if (!compiled.SampleTo(take, &rng, &batch).ok()) std::abort();
+      done += take;
+    }
+  });
+  PrintRow("alias/arena", config.m, alias_arena, walk_points);
 
   if (cell_guard == 0) std::printf("(guard: %llu)\n",
                                    static_cast<unsigned long long>(cell_guard));
@@ -177,6 +194,16 @@ int RunBench(const Config& config) {
     RandomEngine det_a(55), det_b(55);
     const bool deterministic =
         compiled.SampleBatch(1000, &det_a) == compiled.SampleBatch(1000, &det_b);
+    // The columnar path (SIMD in-cell transform) must be bit-identical
+    // to per-point Sample() under the same seed, not just statistically
+    // close.
+    RandomEngine col_rng(56), pt_rng(56);
+    PointBatch columnar;
+    if (!compiled.SampleTo(1000, &col_rng, &columnar).ok()) std::abort();
+    bool columnar_identical = true;
+    for (size_t i = 0; i < 1000 && columnar_identical; ++i) {
+      columnar_identical = compiled.Sample(&pt_rng) == columnar.At(i);
+    }
     // Two independent multinomial samples over K cells differ by
     // E[L1] ~ sqrt(2K/draws) from noise alone; 2x that flags a genuinely
     // different distribution (a wrong normalization or a dropped cell
@@ -185,9 +212,11 @@ int RunBench(const Config& config) {
         0.05, 2.0 * std::sqrt(2.0 * static_cast<double>(compiled.num_cells()) /
                               static_cast<double>(draws)));
     std::printf("checks: walk-vs-alias L1 distance %.4f (gate %.4f, "
-                "draws=%zu), seeded determinism %s\n",
-                l1, l1_gate, draws, deterministic ? "OK" : "FAILED");
-    if (l1 > l1_gate || !deterministic) {
+                "draws=%zu), seeded determinism %s, columnar-vs-scalar "
+                "bit-equality %s\n",
+                l1, l1_gate, draws, deterministic ? "OK" : "FAILED",
+                columnar_identical ? "OK" : "FAILED");
+    if (l1 > l1_gate || !deterministic || !columnar_identical) {
       std::fprintf(stderr, "bench_sample: correctness gate failed\n");
       return 1;
     }

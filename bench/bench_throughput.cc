@@ -62,7 +62,8 @@ double TimedMedian(int repeats, const std::function<double()>& fn) {
 
 void StreamUpdateSweep(int repeats, bool smoke) {
   TablePrinter table(
-      "stream update (1 thread, scalar Add vs batched AddBatch)",
+      "stream update (1 thread, scalar Add vs batched AddBatch vs "
+      "columnar PointBatch)",
       {"domain", "n", "path", "Mpts/s", "ns/point", "speedup"});
   struct Case {
     const char* name;
@@ -107,12 +108,27 @@ void StreamUpdateSweep(int repeats, bool smoke) {
       }
       return watch.Seconds();
     });
-    for (int path = 0; path < 2; ++path) {
-      const double secs = path == 0 ? scalar_secs : batched_secs;
+    // Columnar: the dataset staged once into an arena, then ingested via
+    // AddAll(PointBatch) — the path a file or socket source actually
+    // drives (their NextBatch overrides hand over arenas).
+    const PointBatch staged = PointBatch::FromPoints(data);
+    const double columnar_secs = TimedMedian(repeats, [&] {
+      auto builder = PrivHPBuilder::Make(&domain, BenchOptions(c.n));
+      PRIVHP_CHECK(builder.ok());
+      bench::Stopwatch watch;
+      for (size_t done = 0; done < c.n; done += staged.size()) {
+        PRIVHP_CHECK(builder->AddAll(staged).ok());
+      }
+      return watch.Seconds();
+    });
+    const double secs_for[3] = {scalar_secs, batched_secs, columnar_secs};
+    const char* path_name[3] = {"scalar", "batched", "columnar"};
+    for (int path = 0; path < 3; ++path) {
+      const double secs = secs_for[path];
       table.BeginRow();
       table.Cell(std::string(c.name));
       table.Cell(static_cast<uint64_t>(c.n));
-      table.Cell(std::string(path == 0 ? "scalar" : "batched"));
+      table.Cell(std::string(path_name[path]));
       table.Cell(c.n / secs / 1e6);
       table.Cell(secs / c.n * 1e9);
       table.Cell(scalar_secs / secs, 3);
@@ -122,10 +138,11 @@ void StreamUpdateSweep(int repeats, bool smoke) {
   std::cout << "\n";
 }
 
-// Always-on gate: the batched path must be bit-identical to the scalar
-// path — shard state (exact counters + sketch cells) and the released
-// artifact (scalar / batched / 3-thread BuildParallel all serialize to
-// the same bytes). Returns false (and prints why) on any mismatch.
+// Always-on gate: every batch flavour must be bit-identical to the
+// scalar path — shard state (exact counters + sketch cells) and the
+// released artifact (scalar / batched / columnar / 3-thread
+// BuildParallel all serialize to the same bytes). Returns false (and
+// prints why) on any mismatch.
 bool BatchedEqualsScalarGate() {
   HypercubeDomain domain(2);
   const size_t n = size_t{1} << 13;
@@ -135,30 +152,41 @@ bool BatchedEqualsScalarGate() {
 
   auto scalar_builder = PrivHPBuilder::Make(&domain, options);
   auto batched_builder = PrivHPBuilder::Make(&domain, options);
-  PRIVHP_CHECK(scalar_builder.ok() && batched_builder.ok());
+  auto columnar_builder = PrivHPBuilder::Make(&domain, options);
+  PRIVHP_CHECK(scalar_builder.ok() && batched_builder.ok() &&
+               columnar_builder.ok());
 
   // Shard-level comparison first: it pins down *where* a divergence
   // lives (a counter vs a sketch row) before noise and growth mix it in.
+  // Three flavours: scalar Add, Point-array AddBatch, columnar
+  // AddBatch(PointBatch) — the last is the SIMD arena path.
   auto scalar_shard = scalar_builder->NewShard();
   auto batched_shard = batched_builder->NewShard();
-  PRIVHP_CHECK(scalar_shard.ok() && batched_shard.ok());
+  auto columnar_shard = columnar_builder->NewShard();
+  PRIVHP_CHECK(scalar_shard.ok() && batched_shard.ok() &&
+               columnar_shard.ok());
+  const PointBatch staged = PointBatch::FromPoints(data);
   for (const Point& x : data) PRIVHP_CHECK(scalar_shard->Add(x).ok());
   PRIVHP_CHECK(batched_shard->AddBatch(data).ok());
+  PRIVHP_CHECK(columnar_shard->AddBatch(staged).ok());
   for (size_t i = 0; i < scalar_shard->tree().num_nodes(); ++i) {
     const double a = scalar_shard->tree().node(static_cast<NodeId>(i)).count;
     const double b = batched_shard->tree().node(static_cast<NodeId>(i)).count;
-    if (a != b) {
+    const double c = columnar_shard->tree().node(static_cast<NodeId>(i)).count;
+    if (a != b || a != c) {
       std::cerr << "gate: tree node " << i << " scalar=" << a
-                << " batched=" << b << "\n";
+                << " batched=" << b << " columnar=" << c << "\n";
       return false;
     }
   }
   for (size_t s = 0; s < scalar_shard->sketches().size(); ++s) {
     const CountMinSketch& sa = scalar_shard->sketches()[s];
     const CountMinSketch& sb = batched_shard->sketches()[s];
+    const CountMinSketch& sc = columnar_shard->sketches()[s];
     for (size_t row = 0; row < sa.depth(); ++row) {
       for (size_t col = 0; col < sa.width(); ++col) {
-        if (sa.CellValue(row, col) != sb.CellValue(row, col)) {
+        if (sa.CellValue(row, col) != sb.CellValue(row, col) ||
+            sa.CellValue(row, col) != sc.CellValue(row, col)) {
           std::cerr << "gate: sketch " << s << " cell (" << row << ", "
                     << col << ") diverges\n";
           return false;
@@ -175,19 +203,25 @@ bool BatchedEqualsScalarGate() {
   };
   for (const Point& x : data) PRIVHP_CHECK(scalar_builder->Add(x).ok());
   PRIVHP_CHECK(batched_builder->AddAll(data).ok());
+  PRIVHP_CHECK(columnar_builder->AddAll(staged).ok());
   auto scalar_gen = std::move(*scalar_builder).Finish();
   auto batched_gen = std::move(*batched_builder).Finish();
+  auto columnar_gen = std::move(*columnar_builder).Finish();
   auto parallel_gen = PrivHPBuilder::BuildParallel(&domain, options, data, 3);
   // Streaming overload too: its reader thread and workers exchange whole
-  // batches through the queue, which is exactly the concurrent batched
-  // ingest path the TSan smoke wants covered.
+  // columnar batches through the queue, which is exactly the concurrent
+  // batched ingest path the TSan smoke wants covered.
   VectorPointSource source(&data);
   auto stream_gen = PrivHPBuilder::BuildParallel(&domain, options, &source, 3);
-  PRIVHP_CHECK(scalar_gen.ok() && batched_gen.ok() && parallel_gen.ok() &&
-               stream_gen.ok());
+  PRIVHP_CHECK(scalar_gen.ok() && batched_gen.ok() && columnar_gen.ok() &&
+               parallel_gen.ok() && stream_gen.ok());
   const std::string scalar_bytes = serialize(*scalar_gen);
   if (scalar_bytes != serialize(*batched_gen)) {
     std::cerr << "gate: batched artifact differs from scalar\n";
+    return false;
+  }
+  if (scalar_bytes != serialize(*columnar_gen)) {
+    std::cerr << "gate: columnar artifact differs from scalar\n";
     return false;
   }
   if (scalar_bytes != serialize(*parallel_gen)) {
@@ -200,7 +234,8 @@ bool BatchedEqualsScalarGate() {
     return false;
   }
   std::cout << "checks: batched-vs-scalar equality OK (shard state + "
-            << "released artifact, n=" << n << ")\n\n";
+            << "released artifact, scalar/batched/columnar/parallel, n="
+            << n << ")\n\n";
   return true;
 }
 

@@ -92,6 +92,13 @@ Status PrivHPBuilder::AddAll(const std::vector<Point>& points) {
   return AddBatch(points.data(), points.size());
 }
 
+Status PrivHPBuilder::AddAll(const PointBatch& batch) {
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  return root_.AddBatch(batch);
+}
+
 Status PrivHPBuilder::AddBatch(const Point* points, size_t count) {
   if (finished_) {
     return Status::FailedPrecondition("builder already finished");
@@ -201,7 +208,7 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
   std::mutex mu;
   std::condition_variable batch_ready;
   std::condition_variable slot_ready;
-  std::deque<std::vector<Point>> queue;
+  std::deque<PointBatch> queue;
   bool done = false;
   bool failed = false;
   Status worker_error;
@@ -212,7 +219,7 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
     workers.emplace_back([&, t]() {
       PrivHPShard& shard = shards[t];
       for (;;) {
-        std::vector<Point> batch;
+        PointBatch batch;
         {
           std::unique_lock<std::mutex> lock(mu);
           batch_ready.wait(
@@ -222,7 +229,7 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
           queue.pop_front();
           slot_ready.notify_one();
         }
-        const Status added = shard.AddAll(batch);
+        const Status added = shard.AddBatch(batch);
         if (!added.ok()) {
           std::lock_guard<std::mutex> lock(mu);
           if (!failed) {
@@ -239,8 +246,7 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
 
   Status read_error;
   {
-    std::vector<Point> batch;
-    batch.reserve(kBatchSize);
+    PointBatch batch;
     for (;;) {
       Result<size_t> next = source->NextBatch(kBatchSize, &batch);
       if (!next.ok()) {
@@ -253,8 +259,7 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
                       [&] { return failed || queue.size() < max_queued; });
       if (failed) break;
       queue.push_back(std::move(batch));
-      batch = std::vector<Point>();
-      batch.reserve(kBatchSize);
+      batch = PointBatch();
       batch_ready.notify_one();
     }
   }

@@ -65,6 +65,10 @@ class PrivHPBuilder : public PointSink {
   /// LocatePathBatch call and row-major sketch updates per chunk.
   Status AddAll(const std::vector<Point>& points) override;
 
+  /// \brief Columnar form: the arena goes straight to the shard's flat
+  /// locate path, no per-point staging.
+  Status AddAll(const PointBatch& batch) override;
+
   /// \brief Span form of the batched ingest path.
   Status AddBatch(const Point* points, size_t count);
 

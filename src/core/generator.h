@@ -38,11 +38,18 @@ class PrivHPGenerator {
   /// \brief \p m synthetic points (the dataset Y of the problem statement).
   std::vector<Point> Generate(size_t m, RandomEngine* rng) const;
 
+  /// \brief \p m synthetic points into a columnar batch (cleared first)
+  /// — the zero-allocation sampling hot path.
+  Status GenerateBatch(size_t m, RandomEngine* rng, PointBatch* out) const {
+    return sampler_.SampleTo(m, rng, out);
+  }
+
   /// \brief Streams \p m synthetic points into \p sink without
   /// materializing them — the serve-side dual of the bounded-memory
   /// builder (a CSV writer or socket sink keeps the footprint O(1) in m).
-  /// Points move through PointSink::Add(Point&&), and the sequence is
-  /// identical to Generate() for a given rng state.
+  /// Points travel in reused columnar chunks through
+  /// PointSink::AddAll(PointBatch), and the sequence is identical to
+  /// Generate() for a given rng state.
   Status GenerateTo(size_t m, RandomEngine* rng, PointSink* sink) const;
 
   /// \brief The compiled sampling distribution (shared hot path).

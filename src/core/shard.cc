@@ -60,36 +60,64 @@ constexpr size_t kAddBatchChunk = 256;
 
 }  // namespace
 
+void PrivHPShard::ApplyChunk(const double* flat, size_t n) {
+  // One virtual call locates the whole chunk, level-major: row l holds
+  // the chunk's level-l cell keys contiguously.
+  domain_->LocatePathBatch(flat, domain_->dimension(), n, plan_.l_max,
+                           batch_scratch_.data());
+  // Counter levels: each row's bumps land in one contiguous arena
+  // stretch (level l occupies slots [2^l - 1, 2^{l+1} - 1)).
+  for (int l = 0; l <= plan_.l_star; ++l) {
+    const uint64_t* row = batch_scratch_.data() + static_cast<size_t>(l) * n;
+    for (size_t i = 0; i < n; ++i) {
+      tree_.node(CompleteNodeId(l, row[i])).count += 1.0;
+    }
+  }
+  // Sketch levels: one row-major vectorizable update per level.
+  for (int l = plan_.l_star + 1; l <= plan_.l_max; ++l) {
+    sketches_[l - plan_.l_star - 1].UpdateBatch(
+        batch_scratch_.data() + static_cast<size_t>(l) * n, n, 1.0);
+  }
+}
+
+Status PrivHPShard::AddBatch(const PointBatch& batch) {
+  const size_t count = batch.size();
+  if (count == 0) return Status::OK();
+  // Validate the whole batch before mutating anything, so a bad point
+  // anywhere in the batch leaves the shard untouched instead of
+  // half-mutated (the old AddRange bug). On box domains this is one
+  // SIMD bounds scan over the arena.
+  PRIVHP_RETURN_NOT_OK(domain_->ValidateBatch(batch));
+  const size_t levels = static_cast<size_t>(plan_.l_max) + 1;
+  batch_scratch_.resize(std::min(count, kAddBatchChunk) * levels);
+  const size_t d = static_cast<size_t>(batch.dim());
+  for (size_t base = 0; base < count; base += kAddBatchChunk) {
+    const size_t n = std::min(kAddBatchChunk, count - base);
+    ApplyChunk(batch.data() + base * d, n);
+  }
+  num_processed_ += count;
+  return Status::OK();
+}
+
 Status PrivHPShard::AddBatch(const Point* points, size_t count) {
   if (count == 0) return Status::OK();
   if (points == nullptr) {
     return Status::InvalidArgument("AddBatch requires points");
   }
-  // Validate the whole batch before mutating anything, so a bad point
-  // anywhere in the batch leaves the shard untouched instead of
-  // half-mutated (the old AddRange bug).
+  // Same all-or-nothing contract as the columnar form: validate every
+  // point up front, then stage chunks into the reused arena and run the
+  // identical flat path (one locate/update implementation for all batch
+  // flavours).
   PRIVHP_RETURN_NOT_OK(domain_->ValidateBatch(points, count));
   const size_t levels = static_cast<size_t>(plan_.l_max) + 1;
   batch_scratch_.resize(std::min(count, kAddBatchChunk) * levels);
+  stage_.Reset(domain_->dimension());
+  stage_.Reserve(std::min(count, kAddBatchChunk));
   for (size_t base = 0; base < count; base += kAddBatchChunk) {
     const size_t n = std::min(kAddBatchChunk, count - base);
-    // One virtual call locates the whole chunk, level-major: row l holds
-    // the chunk's level-l cell keys contiguously.
-    domain_->LocatePathBatch(points + base, n, plan_.l_max,
-                             batch_scratch_.data());
-    // Counter levels: each row's bumps land in one contiguous arena
-    // stretch (level l occupies slots [2^l - 1, 2^{l+1} - 1)).
-    for (int l = 0; l <= plan_.l_star; ++l) {
-      const uint64_t* row = batch_scratch_.data() + static_cast<size_t>(l) * n;
-      for (size_t i = 0; i < n; ++i) {
-        tree_.node(CompleteNodeId(l, row[i])).count += 1.0;
-      }
-    }
-    // Sketch levels: one row-major vectorizable update per level.
-    for (int l = plan_.l_star + 1; l <= plan_.l_max; ++l) {
-      sketches_[l - plan_.l_star - 1].UpdateBatch(
-          batch_scratch_.data() + static_cast<size_t>(l) * n, n, 1.0);
-    }
+    stage_.Clear();
+    for (size_t i = 0; i < n; ++i) stage_.AppendPoint(points[base + i]);
+    ApplyChunk(stage_.data(), n);
   }
   num_processed_ += count;
   return Status::OK();

@@ -50,14 +50,22 @@ class PrivHPShard : public PointSink {
   using PointSink::Add;
   Status Add(const Point& x) override;
 
-  /// \brief Batched ingest hot path: processes \p count points in one
-  /// call. Atomic: the whole batch is validated before any state is
-  /// touched, so a failed batch leaves tree counts, sketches and
-  /// num_processed() exactly as they were. Internally the batch is
-  /// processed in fixed-size chunks through one reused level-major path
-  /// matrix (Domain::LocatePathBatch), with per-level counter bumps and
-  /// CountMinSketch::UpdateBatch row updates — bit-identical to calling
-  /// Add() per point, just without the per-point dispatch.
+  /// \brief Batched ingest hot path: processes the whole columnar batch
+  /// in one call. Atomic: the batch is validated (one SIMD bounds scan
+  /// on box domains) before any state is touched, so a failed batch
+  /// leaves tree counts, sketches and num_processed() exactly as they
+  /// were. Internally the arena is processed in fixed-size chunks
+  /// through one reused level-major path matrix
+  /// (Domain::LocatePathBatch over the flat array), with per-level
+  /// counter bumps and CountMinSketch::UpdateBatch row updates —
+  /// bit-identical to calling Add() per point, just without the
+  /// per-point dispatch and allocation.
+  Status AddBatch(const PointBatch& batch);
+
+  /// \brief Point-array compatibility form: stages chunks into a reused
+  /// columnar arena and runs the identical flat path, so every batch
+  /// flavour funnels through ONE locate/update code path (the
+  /// batched-vs-scalar equality gates then cover all of them at once).
   Status AddBatch(const Point* points, size_t count);
   Status AddBatch(const std::vector<Point>& points) {
     return AddBatch(points.data(), points.size());
@@ -66,6 +74,9 @@ class PrivHPShard : public PointSink {
   /// \brief Processes a batch of points (routes through AddBatch, so it
   /// shares its all-or-nothing failure semantics).
   Status AddAll(const std::vector<Point>& points) override;
+  Status AddAll(const PointBatch& batch) override {
+    return AddBatch(batch);
+  }
 
   /// \brief Processes points[begin..end) (BuildParallel slices a dataset
   /// into contiguous ranges without copying). Also atomic via AddBatch.
@@ -97,6 +108,9 @@ class PrivHPShard : public PointSink {
 
   PrivHPShard(const Domain* domain, ResolvedPlan plan, PartitionTree tree);
 
+  /// Applies one validated chunk of the flat arena (no further checks).
+  void ApplyChunk(const double* flat, size_t n);
+
   const Domain* domain_;
   ResolvedPlan plan_;
   PartitionTree tree_;
@@ -105,6 +119,8 @@ class PrivHPShard : public PointSink {
   // Level-major chunk x (l_max+1) path matrix reused across AddBatch
   // chunks, so batch size never grows the shard's bounded footprint.
   std::vector<uint64_t> batch_scratch_;
+  // Chunk-sized staging arena for the Point-array AddBatch form.
+  PointBatch stage_;
   uint64_t num_processed_ = 0;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/bits.h"
 #include "common/macros.h"
+#include "common/simd.h"
 
 namespace privhp {
 
@@ -18,6 +20,20 @@ BoxDomain::BoxDomain(std::string name, std::vector<double> lo,
   PRIVHP_CHECK(lo_.size() == hi_.size());
   PRIVHP_CHECK(max_level_ >= 1 && max_level_ <= 62);
   for (size_t i = 0; i < lo_.size(); ++i) PRIVHP_CHECK(lo_[i] < hi_[i]);
+  // Tile the bounds for the SIMD kernels: tile_ = lcm(d, 8) keeps the
+  // per-coordinate pattern aligned with both the point grid and the
+  // widest vector (see box_domain.h).
+  const size_t d = lo_.size();
+  tile_ = d * (8 / std::gcd(d, size_t{8}));
+  lo_pat_.resize(tile_);
+  hi_pat_.resize(tile_);
+  ext_pat_.resize(tile_);
+  for (size_t k = 0; k < tile_; ++k) {
+    lo_pat_[k] = lo_[k % d];
+    hi_pat_[k] = hi_[k % d];
+    // The exact denominator Locate() divides by.
+    ext_pat_[k] = hi_[k % d] - lo_[k % d];
+  }
 }
 
 int BoxDomain::CutsForCoord(int level, int i) const {
@@ -82,6 +98,93 @@ Status BoxDomain::ValidateBatch(const Point* points, size_t count) const {
   return Status::OK();
 }
 
+Status BoxDomain::ValidateBatch(const double* flat, int dim,
+                                size_t count) const {
+  if (count == 0) return Status::OK();
+  const size_t d = lo_.size();
+  if (static_cast<size_t>(dim) != d) {
+    // Arity is batch-wide in the columnar form; report it the way the
+    // per-point path would for the first point.
+    return Status::InvalidArgument(
+        "batch point 0: point has " + std::to_string(dim) +
+        " coordinates, domain '" + Name() + "' expects " +
+        std::to_string(d));
+  }
+  const size_t n = count * d;
+  const size_t bad =
+      simd::FindOutOfBounds(flat, n, lo_pat_.data(), hi_pat_.data(), tile_);
+  if (bad == n) return Status::OK();
+  const size_t i = bad / d;
+  const double* row = flat + i * d;
+  const Status valid = ValidatePoint(Point(row, row + d));
+  return Status(valid.code(),
+                "batch point " + std::to_string(i) + ": " + valid.message());
+}
+
+void BoxDomain::LocatePathBatch(const double* flat, int dim, size_t count,
+                                int max, uint64_t* out) const {
+  PRIVHP_DCHECK(max >= 0 && max <= max_level_);
+  PRIVHP_DCHECK(dim == dimension());
+  (void)dim;  // only consumed by the debug check above
+  const int d = dimension();
+  PRIVHP_CHECK(d <= 64);
+  int coord_cuts[64];
+  for (int i = 0; i < d; ++i) coord_cuts[i] = CutsForCoord(max, i);
+  // Phase 1 (vectorized): per-coordinate cut positions
+  // t*2^cuts = ((x - lo) / (hi - lo)) * cells over the whole arena, with
+  // the division and multiplication kept as two rounded steps so the
+  // values match Locate() bit-for-bit. Thread-local scratch: callers
+  // chunk batches (PrivHPShard), so this stays a bounded allocation.
+  thread_local std::vector<double> cells_pat;
+  thread_local std::vector<double> positions;
+  cells_pat.resize(tile_);
+  for (size_t k = 0; k < tile_; ++k) {
+    cells_pat[k] = static_cast<double>(
+        uint64_t{1} << coord_cuts[k % static_cast<size_t>(d)]);
+  }
+  const size_t n = count * static_cast<size_t>(d);
+  positions.resize(n);
+  simd::ScaledCutPositions(flat, n, lo_pat_.data(), ext_pat_.data(),
+                           cells_pat.data(), tile_, positions.data());
+  // Phase 2 (scalar): truncate, clamp, and bit-interleave. For d == 1
+  // the interleave is the identity (coord_cuts[0] == max and the bits
+  // are read MSB-to-LSB), so the deepest index IS the clamped cell.
+  if (d == 1) {
+    const uint64_t cells = uint64_t{1} << max;
+    for (size_t p = 0; p < count; ++p) {
+      uint64_t c = static_cast<uint64_t>(positions[p]);
+      if (c >= cells) c = cells - 1;  // x at the upper boundary
+      for (int l = 0; l <= max; ++l) {
+        out[static_cast<size_t>(l) * count + p] = c >> (max - l);
+      }
+    }
+    return;
+  }
+  for (size_t p = 0; p < count; ++p) {
+    const double* pos = positions.data() + p * static_cast<size_t>(d);
+    // Bit-interleave coordinate-major: coordinate i's cut bits land at
+    // positions max-1-i, max-1-i-d, ... (cut c of coordinate i is step
+    // c*d+i of the cyclic walk). Each coordinate's spread is an
+    // independent dependency chain, unlike the step-major walk, and no
+    // per-step division is needed. Produces exactly Locate()'s index.
+    uint64_t index = 0;
+    for (int i = 0; i < d; ++i) {
+      const int cuts = coord_cuts[i];
+      const uint64_t cells = uint64_t{1} << cuts;
+      uint64_t c = static_cast<uint64_t>(pos[i]);
+      if (c >= cells) c = cells - 1;  // x at the upper boundary
+      int at = max - 1 - i;           // position of this coord's MSB cut
+      for (int cut = cuts - 1; cut >= 0; --cut) {
+        index |= ((c >> cut) & 1u) << at;
+        at -= d;
+      }
+    }
+    for (int l = 0; l <= max; ++l) {
+      out[static_cast<size_t>(l) * count + p] = index >> (max - l);
+    }
+  }
+}
+
 void BoxDomain::LocatePathBatch(const Point* points, size_t count, int max,
                                 uint64_t* out) const {
   PRIVHP_DCHECK(max >= 0 && max <= max_level_);
@@ -93,24 +196,23 @@ void BoxDomain::LocatePathBatch(const Point* points, size_t count, int max,
   // the batched and scalar ingest paths are required to agree bit-for-bit.
   int coord_cuts[64];
   for (int i = 0; i < d; ++i) coord_cuts[i] = CutsForCoord(max, i);
-  uint64_t coord_cell[64];
   for (size_t p = 0; p < count; ++p) {
     const Point& x = points[p];
     PRIVHP_DCHECK(Contains(x));
+    // Coordinate-major bit interleave, same scheme as the flat overload:
+    // coordinate i's cut bits land at positions max-1-i, max-1-i-d, ...
+    uint64_t index = 0;
     for (int i = 0; i < d; ++i) {
+      const int cuts = coord_cuts[i];
       const double t = (x[i] - lo_[i]) / (hi_[i] - lo_[i]);
-      const uint64_t cells = uint64_t{1} << coord_cuts[i];
+      const uint64_t cells = uint64_t{1} << cuts;
       uint64_t c = static_cast<uint64_t>(t * static_cast<double>(cells));
       if (c >= cells) c = cells - 1;  // x at the upper boundary
-      coord_cell[i] = c;
-    }
-    uint64_t index = 0;
-    for (int step = 0; step < max; ++step) {
-      const int coord = step % d;
-      const int cut = step / d;
-      const int bit = static_cast<int>(
-          (coord_cell[coord] >> (coord_cuts[coord] - 1 - cut)) & 1u);
-      index = (index << 1) | static_cast<uint64_t>(bit);
+      int at = max - 1 - i;
+      for (int cut = cuts - 1; cut >= 0; --cut) {
+        index |= ((c >> cut) & 1u) << at;
+        at -= d;
+      }
     }
     for (int l = 0; l <= max; ++l) {
       out[static_cast<size_t>(l) * count + p] = index >> (max - l);
@@ -134,6 +236,20 @@ double BoxDomain::LevelDiameterSum(int level) const {
   return std::ldexp(1.0, level) * CellDiameter(level);
 }
 
+void BoxDomain::CellBoundsWalk(int level, uint64_t index, double* lo,
+                               double* hi) const {
+  const int d = dimension();
+  for (int step = 0; step < level; ++step) {
+    const int coord = step % d;
+    const double mid = 0.5 * (lo[coord] + hi[coord]);
+    if (PrefixBit(index, level, step)) {
+      lo[coord] = mid;
+    } else {
+      hi[coord] = mid;
+    }
+  }
+}
+
 void BoxDomain::CellBounds(int level, uint64_t index,
                            std::vector<double>* cell_lo,
                            std::vector<double>* cell_hi) const {
@@ -141,16 +257,17 @@ void BoxDomain::CellBounds(int level, uint64_t index,
   PRIVHP_DCHECK(index < (uint64_t{1} << level));
   *cell_lo = lo_;
   *cell_hi = hi_;
-  const int d = dimension();
-  for (int step = 0; step < level; ++step) {
-    const int coord = step % d;
-    const double mid = 0.5 * ((*cell_lo)[coord] + (*cell_hi)[coord]);
-    if (PrefixBit(index, level, step)) {
-      (*cell_lo)[coord] = mid;
-    } else {
-      (*cell_hi)[coord] = mid;
-    }
-  }
+  CellBoundsWalk(level, index, cell_lo->data(), cell_hi->data());
+}
+
+bool BoxDomain::CellBoundsFor(int level, uint64_t index, double* lo,
+                              double* hi) const {
+  PRIVHP_DCHECK(level >= 0 && level <= max_level_);
+  PRIVHP_DCHECK(index < (uint64_t{1} << level));
+  std::copy(lo_.begin(), lo_.end(), lo);
+  std::copy(hi_.begin(), hi_.end(), hi);
+  CellBoundsWalk(level, index, lo, hi);
+  return true;
 }
 
 Point BoxDomain::SampleCell(int level, uint64_t index,

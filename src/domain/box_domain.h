@@ -47,24 +47,59 @@ class BoxDomain : public Domain {
   void LocatePathBatch(const Point* points, size_t count, int max,
                        uint64_t* out) const override;
 
+  /// \brief Columnar locate over a row-major arena: the per-coordinate
+  /// cut positions ((x - lo) / (hi - lo)) * 2^cuts run through the SIMD
+  /// kernel (common/simd.h) over the flat array, then the cast, clamp
+  /// and bit-interleave per point. Division and multiplication stay two
+  /// correctly-rounded steps, so results are bit-identical to Locate().
+  void LocatePathBatch(const double* flat, int dim, size_t count, int max,
+                       uint64_t* out) const override;
+  using Domain::LocatePathBatch;
+
   /// \brief Devirtualized batch validation: one bounds scan with the box
   /// limits hoisted; failures fall back to ValidatePoint for the exact
   /// per-point status code and message.
   Status ValidateBatch(const Point* points, size_t count) const override;
+
+  /// \brief Columnar batch validation: one SIMD bounds scan over the
+  /// arena (NaN-safe negated compares); a hit falls back to
+  /// ValidatePoint on the offending row for the exact message.
+  Status ValidateBatch(const double* flat, int dim,
+                       size_t count) const override;
+  using Domain::ValidateBatch;
 
   /// \brief Bounds [lo, hi) of cell \p index at \p level along each
   /// coordinate; used by tests and the figure walk-throughs.
   void CellBounds(int level, uint64_t index, std::vector<double>* cell_lo,
                   std::vector<double>* cell_hi) const;
 
+  /// \brief Box domains have closed-form cell bounds: the same midpoint
+  /// walk as CellBounds, written into caller arrays. Lets
+  /// CompiledSampler precompute per-slot bounds tables.
+  bool CellBoundsFor(int level, uint64_t index, double* lo,
+                     double* hi) const override;
+
  private:
   // Number of times coordinate i has been halved after `level` cuts.
   int CutsForCoord(int level, int i) const;
+
+  // Midpoint walk shared by CellBounds/CellBoundsFor; lo/hi hold
+  // dimension() doubles and enter as the domain bounds.
+  void CellBoundsWalk(int level, uint64_t index, double* lo,
+                      double* hi) const;
 
   std::string name_;
   std::vector<double> lo_;
   std::vector<double> hi_;
   int max_level_;
+  // SIMD pattern arrays: the box bounds (and hi-lo extents) tiled to
+  // tile_ = lcm(dimension(), 8) doubles, so coordinate j of a flat
+  // arena matches pattern slot j % tile_ and vector loads of the
+  // pattern stay aligned to the point grid (common/simd.h).
+  size_t tile_;
+  std::vector<double> lo_pat_;
+  std::vector<double> hi_pat_;
+  std::vector<double> ext_pat_;
 };
 
 }  // namespace privhp

@@ -27,6 +27,33 @@ Status Domain::ValidateBatch(const Point* points, size_t count) const {
   return Status::OK();
 }
 
+Status Domain::ValidateBatch(const double* flat, int dim,
+                             size_t count) const {
+  if (count == 0) return Status::OK();
+  // One scratch point reused across rows; ValidatePoint supplies the
+  // exact per-point status text the Point-array form produces.
+  Point x(static_cast<size_t>(dim));
+  for (size_t i = 0; i < count; ++i) {
+    const double* row = flat + i * static_cast<size_t>(dim);
+    x.assign(row, row + dim);
+    const Status valid = ValidatePoint(x);
+    if (!valid.ok()) {
+      return Status(valid.code(), "batch point " + std::to_string(i) +
+                                      ": " + valid.message());
+    }
+  }
+  return Status::OK();
+}
+
+bool Domain::CellBoundsFor(int level, uint64_t index, double* lo,
+                           double* hi) const {
+  (void)level;
+  (void)index;
+  (void)lo;
+  (void)hi;
+  return false;
+}
+
 Point Domain::CellCenter(int level, uint64_t index) const {
   RandomEngine rng(0x9e3779b97f4a7c15ULL ^ (index * 2654435761u + level));
   constexpr int kDraws = 32;
@@ -56,6 +83,21 @@ void Domain::LocatePathBatch(const Point* points, size_t count, int max,
   PRIVHP_DCHECK(max <= max_level());
   for (size_t i = 0; i < count; ++i) {
     const uint64_t deepest = Locate(points[i], max);
+    for (int l = 0; l <= max; ++l) {
+      out[static_cast<size_t>(l) * count + i] = deepest >> (max - l);
+    }
+  }
+}
+
+void Domain::LocatePathBatch(const double* flat, int dim, size_t count,
+                             int max, uint64_t* out) const {
+  PRIVHP_DCHECK(max <= max_level());
+  PRIVHP_DCHECK(dim == dimension());
+  Point x(static_cast<size_t>(dim));
+  for (size_t i = 0; i < count; ++i) {
+    const double* row = flat + i * static_cast<size_t>(dim);
+    x.assign(row, row + dim);
+    const uint64_t deepest = Locate(x, max);
     for (int l = 0; l <= max; ++l) {
       out[static_cast<size_t>(l) * count + i] = deepest >> (max - l);
     }

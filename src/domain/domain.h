@@ -22,12 +22,9 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "domain/point_batch.h"
 
 namespace privhp {
-
-/// \brief A point in the input domain. Coordinate count equals
-/// Domain::dimension().
-using Point = std::vector<double>;
 
 /// \brief Identifies one subdomain Omega_theta: `level` = |theta|,
 /// `index` = theta read as a binary number (MSB = first split).
@@ -103,6 +100,27 @@ class Domain {
   /// and concrete domains may override with a devirtualized scan.
   virtual Status ValidateBatch(const Point* points, size_t count) const;
 
+  /// \brief Columnar form over a row-major arena of \p count points of
+  /// \p dim coordinates each. Same contract and error text as the
+  /// Point-array form; the default stages one scratch Point per row, and
+  /// box-style domains override with a SIMD bounds scan.
+  virtual Status ValidateBatch(const double* flat, int dim,
+                               size_t count) const;
+
+  /// \brief PointBatch convenience (forwards to the flat overload).
+  Status ValidateBatch(const PointBatch& batch) const {
+    return ValidateBatch(batch.data(), batch.dim(), batch.size());
+  }
+
+  /// \brief Axis-aligned bounds of cell (\p level, \p index) when the
+  /// domain has them in closed form: fills \p lo and \p hi (dimension()
+  /// doubles each) and returns true. The default returns false, which
+  /// sends batched samplers down the generic SampleCell path; box-style
+  /// domains override so CompiledSampler can precompute per-slot bounds
+  /// tables for the SIMD in-cell uniform step.
+  virtual bool CellBoundsFor(int level, uint64_t index, double* lo,
+                             double* hi) const;
+
   /// \brief Locate all levels 0..max in one pass: out[l] = Locate(x, l).
   ///
   /// Default implementation derives all prefixes from Locate(x, max);
@@ -118,6 +136,21 @@ class Domain {
   /// override to drop the remaining per-point virtual dispatch.
   virtual void LocatePathBatch(const Point* points, size_t count, int max,
                                uint64_t* out) const;
+
+  /// \brief Columnar form of LocatePathBatch over a row-major arena of
+  /// \p count points of \p dim coordinates (dim must equal dimension();
+  /// callers validate first). Same level-major output contract; the
+  /// default stages one scratch Point per row, and box-style domains
+  /// override with the SIMD cut-position kernel. Requires every point to
+  /// be contained in the domain (like the Point-array form).
+  virtual void LocatePathBatch(const double* flat, int dim, size_t count,
+                               int max, uint64_t* out) const;
+
+  /// \brief PointBatch convenience (forwards to the flat overload).
+  void LocatePathBatch(const PointBatch& batch, int max,
+                       uint64_t* out) const {
+    LocatePathBatch(batch.data(), batch.dim(), batch.size(), max, out);
+  }
 };
 
 }  // namespace privhp

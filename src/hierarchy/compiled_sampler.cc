@@ -1,8 +1,10 @@
 #include "hierarchy/compiled_sampler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/simd.h"
 
 namespace privhp {
 
@@ -24,6 +26,7 @@ CompiledSampler::CompiledSampler(const PartitionTree& tree)
     accept_.assign(1, 1.0);
     alias_.assign(1, 0);
     total_mass_ = 0.0;
+    BuildBoundsTables();
     return;
   }
 
@@ -62,25 +65,95 @@ CompiledSampler::CompiledSampler(const PartitionTree& tree)
   // accept probability stays 1, alias self.
   for (uint32_t i : small) accept_[i] = 1.0;
   for (uint32_t i : large) accept_[i] = 1.0;
+  BuildBoundsTables();
+}
+
+void CompiledSampler::BuildBoundsTables() {
+  dim_ = domain_->dimension();
+  const size_t n = cells_.size();
+  slot_lo_.resize(n * static_cast<size_t>(dim_));
+  slot_ext_.resize(n * static_cast<size_t>(dim_));
+  std::vector<double> lo(dim_);
+  std::vector<double> hi(dim_);
+  has_bounds_ = true;
+  for (size_t s = 0; s < n; ++s) {
+    if (!domain_->CellBoundsFor(cells_[s].level, cells_[s].index, lo.data(),
+                                hi.data())) {
+      has_bounds_ = false;
+      slot_lo_.clear();
+      slot_ext_.clear();
+      return;
+    }
+    double* lo_row = slot_lo_.data() + s * static_cast<size_t>(dim_);
+    double* ext_row = slot_ext_.data() + s * static_cast<size_t>(dim_);
+    for (int c = 0; c < dim_; ++c) {
+      lo_row[c] = lo[c];
+      // Exactly the (hi - lo) SampleCell forms per draw, computed once.
+      ext_row[c] = hi[c] - lo[c];
+    }
+  }
+}
+
+Status CompiledSampler::SampleTo(size_t m, RandomEngine* rng,
+                                 PointBatch* out) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out batch must not be null");
+  }
+  out->Reset(dim_);
+  if (m == 0) return Status::OK();
+  out->Reserve(m);
+  if (!has_bounds_) {
+    // No closed-form cell bounds: per-point sampling into the arena.
+    // Draw order is identical by construction.
+    for (size_t i = 0; i < m; ++i) out->AppendPoint(Sample(rng));
+    return Status::OK();
+  }
+  // Phase 1 (serial, RNG-ordered): resolve each point's slot and store
+  // its raw uniform draws in the arena — exactly the draw sequence of m
+  // Sample() calls. Phase 2 (vectorized): the in-cell affine transform
+  // u -> lo + ext * u over the whole arena, which is bit-identical to
+  // UniformDouble(lo, hi) per coordinate.
+  thread_local std::vector<uint32_t> slots;
+  slots.resize(m);
+  double* rows = out->AppendRows(m);
+  const size_t d = static_cast<size_t>(dim_);
+  for (size_t i = 0; i < m; ++i) {
+    slots[i] = SampleSlot(rng);
+    double* row = rows + i * d;
+    for (size_t c = 0; c < d; ++c) row[c] = rng->UniformDouble();
+  }
+  simd::InCellTransform(slot_lo_.data(), slot_ext_.data(), slots.data(),
+                        dim_, m, rows);
+  return Status::OK();
 }
 
 std::vector<Point> CompiledSampler::SampleBatch(size_t m,
                                                 RandomEngine* rng) const {
-  std::vector<Point> out;
-  out.reserve(m);
-  for (size_t i = 0; i < m; ++i) out.push_back(Sample(rng));
-  return out;
+  PointBatch batch;
+  PRIVHP_CHECK(SampleTo(m, rng, &batch).ok());
+  return batch.ToPoints();
 }
+
+namespace {
+
+// GenerateTo chunk size: the bounded footprint of a streamed generation
+// (chunk * dim doubles), large enough that the per-chunk virtual AddAll
+// and the phase-2 kernel dispatch amortize away.
+constexpr size_t kGenerateChunk = 1024;
+
+}  // namespace
 
 Status CompiledSampler::GenerateTo(size_t m, RandomEngine* rng,
                                    PointSink* sink) const {
   if (sink == nullptr) {
     return Status::InvalidArgument("sink must not be null");
   }
-  for (size_t i = 0; i < m; ++i) {
-    // Sample() returns a prvalue, so this lands on Add(Point&&): the
-    // point allocated inside SampleCell is handed to the sink untouched.
-    PRIVHP_RETURN_NOT_OK(sink->Add(Sample(rng)));
+  PointBatch batch;
+  for (size_t done = 0; done < m;) {
+    const size_t n = std::min(kGenerateChunk, m - done);
+    PRIVHP_RETURN_NOT_OK(SampleTo(n, rng, &batch));
+    PRIVHP_RETURN_NOT_OK(sink->AddAll(batch));
+    done += n;
   }
   return Status::OK();
 }
@@ -88,7 +161,8 @@ Status CompiledSampler::GenerateTo(size_t m, RandomEngine* rng,
 size_t CompiledSampler::MemoryBytes() const {
   return sizeof(*this) + cells_.capacity() * sizeof(CellId) +
          accept_.capacity() * sizeof(double) +
-         alias_.capacity() * sizeof(uint32_t);
+         alias_.capacity() * sizeof(uint32_t) +
+         (slot_lo_.capacity() + slot_ext_.capacity()) * sizeof(double);
 }
 
 }  // namespace privhp

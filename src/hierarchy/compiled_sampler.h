@@ -43,11 +43,17 @@ class CompiledSampler {
   /// \brief Compiles the alias table from \p tree's leaves (O(#leaves)).
   explicit CompiledSampler(const PartitionTree& tree);
 
-  /// \brief The leaf cell one draw lands in: O(1), two RNG draws.
-  CellId SampleLeafCell(RandomEngine* rng) const {
+  /// \brief The alias-table slot one draw lands in: O(1), two RNG draws
+  /// (the uniform slot pick, then the biased coin).
+  uint32_t SampleSlot(RandomEngine* rng) const {
     const uint64_t i = rng->UniformInt(cells_.size());
     const double u = rng->UniformDouble();
-    return cells_[u < accept_[i] ? i : alias_[i]];
+    return static_cast<uint32_t>(u < accept_[i] ? i : alias_[i]);
+  }
+
+  /// \brief The leaf cell one draw lands in.
+  CellId SampleLeafCell(RandomEngine* rng) const {
+    return cells_[SampleSlot(rng)];
   }
 
   /// \brief One synthetic point (leaf cell draw + uniform within cell).
@@ -56,13 +62,26 @@ class CompiledSampler {
     return domain_->SampleCell(cell.level, cell.index, rng);
   }
 
+  /// \brief Appends \p m synthetic points to \p out (reset to the
+  /// domain's dimension first) — the columnar hot path. The RNG draw
+  /// order is exactly m Sample() calls (per point: slot pick, coin, then
+  /// one uniform per coordinate), so the output is bit-identical to the
+  /// scalar path; only the in-cell affine transform is deferred and run
+  /// vectorized over the arena (common/simd.h), using per-slot bounds
+  /// tables precompiled via Domain::CellBoundsFor. Domains without
+  /// closed-form cell bounds fall back to per-point Sample() into the
+  /// arena (same draws, trivially identical).
+  Status SampleTo(size_t m, RandomEngine* rng, PointBatch* out) const;
+
   /// \brief \p m synthetic points. Draws the same sequence as m calls to
   /// Sample() and as GenerateTo() under the same rng state.
   std::vector<Point> SampleBatch(size_t m, RandomEngine* rng) const;
 
-  /// \brief Streams \p m points into \p sink without materializing them,
-  /// moving each point through PointSink::Add(Point&&) — the serve-side
-  /// hot path (no per-point copy between sampler and sink).
+  /// \brief Streams \p m points into \p sink without materializing them
+  /// all: points travel in reused columnar chunks through
+  /// PointSink::AddAll(PointBatch) — the serve-side hot path (zero
+  /// per-point allocation between sampler and a batching sink). Same
+  /// draw sequence as m Sample() calls.
   Status GenerateTo(size_t m, RandomEngine* rng, PointSink* sink) const;
 
   /// \brief Positive-mass leaf cells in the table (1 on the uniform
@@ -79,11 +98,24 @@ class CompiledSampler {
   size_t MemoryBytes() const;
 
  private:
+  /// Precomputes slot_lo_/slot_ext_ from the domain's closed-form cell
+  /// bounds; sets has_bounds_ = false (per-point fallback) if the domain
+  /// has none.
+  void BuildBoundsTables();
+
   const Domain* domain_;
   std::vector<CellId> cells_;     // positive-mass leaves, pre-order
   std::vector<double> accept_;    // Vose acceptance probability per slot
   std::vector<uint32_t> alias_;   // Vose alias slot
   double total_mass_ = 0.0;
+  // Per-slot in-cell affine tables for the columnar path: slot s spans
+  // [slot_lo_[s*d+c], slot_lo_[s*d+c] + slot_ext_[s*d+c]) along
+  // coordinate c, with the extent precomputed as exactly the hi - lo
+  // difference SampleCell forms per draw (bit-identity; common/simd.h).
+  int dim_ = 0;
+  bool has_bounds_ = false;
+  std::vector<double> slot_lo_;
+  std::vector<double> slot_ext_;
 };
 
 }  // namespace privhp

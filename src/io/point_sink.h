@@ -35,6 +35,12 @@ class PointSink {
   /// \brief Processes a batch; default forwards to Add point-by-point.
   virtual Status AddAll(const std::vector<Point>& points);
 
+  /// \brief Columnar batch (the zero-allocation hot path): shards ingest
+  /// the arena directly and socket sinks encode wire frames straight
+  /// from it. Default stages one reused scratch Point per row and
+  /// forwards to Add, so point-at-a-time sinks need not override.
+  virtual Status AddAll(const PointBatch& batch);
+
   /// \brief Points accepted so far (rejected points do not count).
   virtual uint64_t num_processed() const = 0;
 };
@@ -57,6 +63,13 @@ class PointSource {
   /// already-materialized batches without re-staging.
   virtual Result<size_t> NextBatch(size_t max_points,
                                    std::vector<Point>* out);
+
+  /// \brief Columnar batch read: \p out is cleared (its dimension is the
+  /// source's to set) and filled with up to \p max_points points —
+  /// subject to the same natural-framing allowance as the vector form.
+  /// The default loops Next() into the arena; framing sources override
+  /// to decode whole frames straight into it.
+  virtual Result<size_t> NextBatch(size_t max_points, PointBatch* out);
 };
 
 /// \brief PointSource over an in-memory dataset (not owned).
@@ -82,6 +95,9 @@ class CollectingSink : public PointSink {
 
   Status Add(const Point& x) override;
   Status Add(Point&& x) override;
+  /// \brief Appends arena rows without a per-row scratch staging point.
+  Status AddAll(const PointBatch& batch) override;
+  using PointSink::AddAll;
   uint64_t num_processed() const override { return points_.size(); }
 
   const std::vector<Point>& points() const { return points_; }
@@ -98,9 +114,11 @@ inline constexpr size_t kDrainBatchSize = 1024;
 
 /// \brief Pumps \p source dry into \p sink in batches (NextBatch ->
 /// AddAll), so batching sinks see whole batches rather than single
-/// points. Stops at the first error from either side and returns it; a
-/// sink that rejects a batch atomically (PrivHPShard) is left without
-/// any of that batch's points.
+/// points. The batches travel as one reused columnar PointBatch — no
+/// per-point allocation anywhere between a batching source and a
+/// batching sink. Stops at the first error from either side and returns
+/// it; a sink that rejects a batch atomically (PrivHPShard) is left
+/// without any of that batch's points.
 Status Drain(PointSource* source, PointSink* sink);
 
 }  // namespace privhp

@@ -123,6 +123,21 @@ Result<size_t> CsvPointReader::NextBatch(size_t max_points,
   return out->size();
 }
 
+Result<size_t> CsvPointReader::NextBatch(size_t max_points,
+                                         PointBatch* out) {
+  out->Reset(dimension_);
+  out->Reserve(max_points);
+  Point scratch;
+  size_t n = 0;
+  while (n < max_points) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, ReadLineInto(&scratch));
+    if (!more) break;
+    out->AppendPoint(scratch);
+    ++n;
+  }
+  return n;
+}
+
 Result<std::vector<Point>> ReadPointsCsv(const std::string& path,
                                          int dimension) {
   PRIVHP_ASSIGN_OR_RETURN(CsvPointReader reader,
@@ -155,6 +170,22 @@ Status CsvPointWriter::Add(const Point& x) {
   out_ << "\n";
   if (!out_.good()) return Status::IOError("write failure");
   ++num_written_;
+  return Status::OK();
+}
+
+Status CsvPointWriter::AddAll(const PointBatch& batch) {
+  const size_t n = batch.size();
+  const int d = batch.dim();
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = batch.row(i);
+    for (int c = 0; c < d; ++c) {
+      if (c) out_ << ",";
+      out_ << row[c];
+    }
+    out_ << "\n";
+    if (!out_.good()) return Status::IOError("write failure");
+    ++num_written_;
+  }
   return Status::OK();
 }
 

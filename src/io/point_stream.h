@@ -39,6 +39,11 @@ class CsvPointReader : public PointSource {
   Result<size_t> NextBatch(size_t max_points,
                            std::vector<Point>* out) override;
 
+  /// \brief Columnar form: lines parse through one reused scratch point
+  /// into the arena, so a file -> shard pipeline allocates nothing per
+  /// point once the scratch capacities warm up.
+  Result<size_t> NextBatch(size_t max_points, PointBatch* out) override;
+
   /// \brief Lines consumed so far (including skipped ones).
   size_t line_number() const { return line_number_; }
 
@@ -73,6 +78,9 @@ class CsvPointWriter : public PointSink {
   // keeps both Add signatures visible on the concrete type.
   using PointSink::Add;
   Status Add(const Point& x) override;
+  /// \brief Writes arena rows without staging a Point per row.
+  Status AddAll(const PointBatch& batch) override;
+  using PointSink::AddAll;
   uint64_t num_processed() const override { return num_written_; }
 
   /// \brief Flushes and reports any deferred stream error.

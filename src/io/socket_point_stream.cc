@@ -20,9 +20,24 @@ std::string EncodePointBatch(const std::vector<Point>& points, size_t begin,
   w.PutU32(dim);
   for (size_t i = begin; i < end; ++i) {
     PRIVHP_DCHECK(points[i].size() == dim);
-    for (double c : points[i]) w.PutDouble(c);
+    w.PutDoubleArray(points[i].data(), points[i].size());
   }
   return w.Take();
+}
+
+std::string EncodePointBatch(const double* flat, uint32_t dim,
+                             size_t count) {
+  WireWriter w;
+  w.PutU8(kPointBatchTag);
+  w.PutU32(static_cast<uint32_t>(count));
+  w.PutU32(count > 0 ? dim : 0);
+  w.PutDoubleArray(flat, count * dim);
+  return w.Take();
+}
+
+std::string EncodePointBatch(const PointBatch& batch) {
+  return EncodePointBatch(batch.data(),
+                          static_cast<uint32_t>(batch.dim()), batch.size());
 }
 
 std::string EncodePointStreamEnd(uint64_t total_points) {
@@ -34,38 +49,46 @@ std::string EncodePointStreamEnd(uint64_t total_points) {
 
 namespace {
 
-template <typename Container>
-Status DecodePointBatchInto(const std::string& payload, int expected_dim,
-                            Container* out) {
-  WireReader r(payload);
-  PRIVHP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+// Shared header parse + bounds guard for every batch-frame decoder: on
+// OK, the reader sits at the coordinate block and count*dim doubles are
+// guaranteed to be present.
+Status ParsePointBatchHeader(WireReader* r, int expected_dim,
+                             uint32_t* count, uint32_t* dim) {
+  PRIVHP_ASSIGN_OR_RETURN(uint8_t tag, r->U8());
   if (tag != kPointBatchTag) {
     return Status::IOError("not a point batch frame");
   }
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, r.U32());
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t dim, r.U32());
-  if (count > 0 && dim == 0) {
+  PRIVHP_ASSIGN_OR_RETURN(*count, r->U32());
+  PRIVHP_ASSIGN_OR_RETURN(*dim, r->U32());
+  if (*count > 0 && *dim == 0) {
     return Status::IOError("point batch with zero dimension");
   }
-  if (expected_dim > 0 && count > 0 &&
-      dim != static_cast<uint32_t>(expected_dim)) {
+  if (expected_dim > 0 && *count > 0 &&
+      *dim != static_cast<uint32_t>(expected_dim)) {
     return Status::InvalidArgument(
-        "point batch has dimension " + std::to_string(dim) + ", expected " +
-        std::to_string(expected_dim));
+        "point batch has dimension " + std::to_string(*dim) +
+        ", expected " + std::to_string(expected_dim));
   }
   // Every coordinate is an 8-byte double; a header whose count*dim
   // outruns the payload is malformed, and checking up front keeps the
   // declared dim from driving reserve() before any bytes are verified.
-  if (static_cast<uint64_t>(count) * dim > r.remaining() / 8) {
+  if (static_cast<uint64_t>(*count) * *dim > r->remaining() / 8) {
     return Status::IOError("point batch header exceeds frame payload");
   }
+  return Status::OK();
+}
+
+template <typename Container>
+Status DecodePointBatchInto(const std::string& payload, int expected_dim,
+                            Container* out) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  uint32_t dim = 0;
+  PRIVHP_RETURN_NOT_OK(ParsePointBatchHeader(&r, expected_dim, &count,
+                                             &dim));
   for (uint32_t i = 0; i < count; ++i) {
-    Point p;
-    p.reserve(dim);
-    for (uint32_t c = 0; c < dim; ++c) {
-      PRIVHP_ASSIGN_OR_RETURN(double v, r.Double());
-      p.push_back(v);
-    }
+    Point p(dim);
+    PRIVHP_RETURN_NOT_OK(r.ReadDoubles(p.data(), dim));
     out->push_back(std::move(p));
   }
   return r.ExpectEnd();
@@ -83,25 +106,71 @@ Status DecodePointBatch(const std::string& payload, int expected_dim,
   return DecodePointBatchInto(payload, expected_dim, out);
 }
 
-SocketPointSink::SocketPointSink(const Socket* sock, size_t batch_size)
-    : sock_(sock), batch_size_(batch_size == 0 ? 1 : batch_size) {
-  buffer_.reserve(batch_size_);
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        PointBatch* out) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  uint32_t dim = 0;
+  PRIVHP_RETURN_NOT_OK(ParsePointBatchHeader(&r, expected_dim, &count,
+                                             &dim));
+  if (count == 0) return r.ExpectEnd();
+  const int d = static_cast<int>(dim);
+  if (out->empty()) {
+    if (out->dim() != d) out->Reset(d);
+  } else if (out->dim() != d) {
+    return Status::InvalidArgument(
+        "point batch has dimension " + std::to_string(dim) +
+        " but the receiving batch holds dimension " +
+        std::to_string(out->dim()) + " points");
+  }
+  // The bounds guard above proved the coordinate block is fully present,
+  // so this single bulk read cannot fail and the arena never holds
+  // partially decoded rows.
+  PRIVHP_RETURN_NOT_OK(r.ReadDoubles(out->AppendRows(count),
+                                     static_cast<size_t>(count) * dim));
+  return r.ExpectEnd();
 }
+
+SocketPointSink::SocketPointSink(const Socket* sock, size_t batch_size)
+    : sock_(sock), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+namespace {
+
+// The wire buffer takes its dimension from the first point and holds it
+// for the stream's lifetime; a point of another dimension would encode
+// a frame the receiver must reject anyway, so fail it at the sender
+// with a usable message.
+Status PrepareWireBuffer(PointBatch* buffer, size_t dim,
+                         size_t reserve_points) {
+  if (dim == 0) {
+    return Status::InvalidArgument(
+        "cannot stream zero-coordinate points");
+  }
+  const int d = static_cast<int>(dim);
+  if (buffer->empty()) {
+    if (buffer->dim() != d) {
+      buffer->Reset(d);
+      buffer->Reserve(reserve_points);
+    }
+    return Status::OK();
+  }
+  if (buffer->dim() != d) {
+    return Status::InvalidArgument(
+        "point has " + std::to_string(dim) +
+        " coordinates but the stream carries " +
+        std::to_string(buffer->dim()) + "-dimensional points");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status SocketPointSink::Add(const Point& x) {
   if (finished_) {
     return Status::FailedPrecondition("point stream already finished");
   }
-  buffer_.push_back(x);
-  if (buffer_.size() >= batch_size_) return Flush();
-  return Status::OK();
-}
-
-Status SocketPointSink::Add(Point&& x) {
-  if (finished_) {
-    return Status::FailedPrecondition("point stream already finished");
-  }
-  buffer_.push_back(std::move(x));
+  PRIVHP_RETURN_NOT_OK(PrepareWireBuffer(&buffer_, x.size(), batch_size_));
+  buffer_.AppendPoint(x);
   if (buffer_.size() >= batch_size_) return Flush();
   return Status::OK();
 }
@@ -110,14 +179,43 @@ Status SocketPointSink::AddAll(const std::vector<Point>& points) {
   if (finished_) {
     return Status::FailedPrecondition("point stream already finished");
   }
-  // Range-insert up to the frame boundary each round; Add() keeps the
-  // buffer strictly below batch_size_ between calls, so room > 0 holds
-  // on entry and after every Flush().
+  // Append up to the frame boundary each round; Add() keeps the buffer
+  // strictly below batch_size_ between calls, so room > 0 holds on
+  // entry and after every Flush().
   for (size_t i = 0; i < points.size();) {
+    PRIVHP_RETURN_NOT_OK(
+        PrepareWireBuffer(&buffer_, points[i].size(), batch_size_));
     const size_t room = batch_size_ - buffer_.size();
     const size_t take = std::min(room, points.size() - i);
-    buffer_.insert(buffer_.end(), points.begin() + i,
-                   points.begin() + i + take);
+    for (size_t j = 0; j < take; ++j) {
+      const Point& p = points[i + j];
+      if (p.size() != static_cast<size_t>(buffer_.dim())) {
+        PRIVHP_RETURN_NOT_OK(
+            PrepareWireBuffer(&buffer_, p.size(), batch_size_));
+      }
+      buffer_.AppendPoint(p);
+    }
+    i += take;
+    if (buffer_.size() >= batch_size_) PRIVHP_RETURN_NOT_OK(Flush());
+  }
+  return Status::OK();
+}
+
+Status SocketPointSink::AddAll(const PointBatch& batch) {
+  if (finished_) {
+    return Status::FailedPrecondition("point stream already finished");
+  }
+  if (batch.empty()) return Status::OK();
+  PRIVHP_RETURN_NOT_OK(
+      PrepareWireBuffer(&buffer_, static_cast<size_t>(batch.dim()),
+                        batch_size_));
+  const size_t d = static_cast<size_t>(batch.dim());
+  // Arena-to-arena slices at frame boundaries: no per-point work at all
+  // between the sampler and the wire.
+  for (size_t i = 0; i < batch.size();) {
+    const size_t room = batch_size_ - buffer_.size();
+    const size_t take = std::min(room, batch.size() - i);
+    buffer_.AppendFlat(batch.data() + i * d, take);
     i += take;
     if (buffer_.size() >= batch_size_) PRIVHP_RETURN_NOT_OK(Flush());
   }
@@ -126,10 +224,9 @@ Status SocketPointSink::AddAll(const std::vector<Point>& points) {
 
 Status SocketPointSink::Flush() {
   if (buffer_.empty()) return Status::OK();
-  PRIVHP_RETURN_NOT_OK(
-      SendFrame(*sock_, EncodePointBatch(buffer_, 0, buffer_.size())));
+  PRIVHP_RETURN_NOT_OK(SendFrame(*sock_, EncodePointBatch(buffer_)));
   num_sent_ += buffer_.size();
-  buffer_.clear();
+  buffer_.Clear();
   return Status::OK();
 }
 
@@ -224,6 +321,35 @@ Result<size_t> SocketPointSource::NextBatch(size_t max_points,
   // Decode whole frames straight into the caller's batch (empty batch
   // frames are legal — keep reading) until points arrive or the stream
   // ends. A full frame may exceed max_points; the contract allows it.
+  while (out->empty()) {
+    PRIVHP_ASSIGN_OR_RETURN(bool more, RecvBatchFrame());
+    if (!more) return size_t{0};
+    PRIVHP_RETURN_NOT_OK(DecodePointBatch(frame_, expected_dim_, out));
+  }
+  num_received_ += out->size();
+  return out->size();
+}
+
+Result<size_t> SocketPointSource::NextBatch(size_t max_points,
+                                            PointBatch* out) {
+  out->Clear();
+  if (finished_ || max_points == 0) return size_t{0};
+  // Points already staged by a Next() caller are served first so the two
+  // access styles can be mixed without reordering the stream.
+  if (!buffer_.empty()) {
+    const size_t take = std::min(max_points, buffer_.size());
+    out->Reset(static_cast<int>(buffer_.front().size()));
+    out->Reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->AppendPoint(buffer_.front());
+      buffer_.pop_front();
+    }
+    num_received_ += take;
+    return take;
+  }
+  // Decode whole frames straight into the arena (empty batch frames are
+  // legal — keep reading) until points arrive or the stream ends. A full
+  // frame may exceed max_points; the contract allows it.
   while (out->empty()) {
     PRIVHP_ASSIGN_OR_RETURN(bool more, RecvBatchFrame());
     if (!more) return size_t{0};

@@ -36,6 +36,12 @@ inline constexpr uint8_t kPointStreamEndTag = 0x21;
 /// \brief Encodes points[begin..end) as one batch-frame payload.
 std::string EncodePointBatch(const std::vector<Point>& points, size_t begin,
                              size_t end);
+/// \brief Encodes \p count row-major points of \p dim coordinates as one
+/// batch-frame payload. The arena layout matches the wire layout, so on
+/// a little-endian host the coordinate block is one append.
+std::string EncodePointBatch(const double* flat, uint32_t dim, size_t count);
+/// \brief Encodes a whole columnar batch as one batch-frame payload.
+std::string EncodePointBatch(const PointBatch& batch);
 /// \brief Encodes the end-of-stream payload carrying the stream total.
 std::string EncodePointStreamEnd(uint64_t total_points);
 
@@ -49,6 +55,14 @@ Status DecodePointBatch(const std::string& payload, int expected_dim,
 Status DecodePointBatch(const std::string& payload, int expected_dim,
                         std::vector<Point>* out);
 
+/// \brief Columnar overload: the coordinate block is bounds-checked
+/// against the payload, then copied straight into the arena (one memcpy
+/// on little-endian hosts) — no per-point allocation on the receive
+/// path. Appends to \p out; a non-empty \p out whose dimension differs
+/// from the frame's is an error.
+Status DecodePointBatch(const std::string& payload, int expected_dim,
+                        PointBatch* out);
+
 /// \brief PointSink that streams points over a socket in batch frames.
 ///
 /// Buffers up to \p batch_size points (so the wire sees large frames, not
@@ -58,13 +72,17 @@ class SocketPointSink : public PointSink {
  public:
   explicit SocketPointSink(const Socket* sock, size_t batch_size = 1024);
 
+  // The buffer is columnar, so the move overload gains nothing over the
+  // copy; the using-declaration keeps both Add signatures visible.
+  using PointSink::Add;
   Status Add(const Point& x) override;
-  /// \brief Takes ownership of \p x — the SAMPLE hot path hands each
-  /// freshly sampled point straight into the wire buffer, no copy.
-  Status Add(Point&& x) override;
   /// \brief Bulk append: one buffer extension + flushes at frame
   /// boundaries, no per-point virtual dispatch (the batched Drain path).
   Status AddAll(const std::vector<Point>& points) override;
+  /// \brief Columnar append: arena rows copy into the wire buffer (also
+  /// an arena) in frame-sized slices — the SAMPLE hot path
+  /// (CompiledSampler::GenerateTo) lands here with zero per-point work.
+  Status AddAll(const PointBatch& batch) override;
   uint64_t num_processed() const override { return num_sent_; }
 
   /// \brief Sends any buffered points now.
@@ -76,7 +94,10 @@ class SocketPointSink : public PointSink {
  private:
   const Socket* sock_;
   size_t batch_size_;
-  std::vector<Point> buffer_;
+  // Pending points, columnar: Flush() encodes the arena as one frame
+  // payload (the arena layout IS the wire layout). Dimension is set by
+  // the first point and must stay fixed for the stream's lifetime.
+  PointBatch buffer_;
   uint64_t num_sent_ = 0;
   bool finished_ = false;
 };
@@ -108,6 +129,11 @@ class SocketPointSource : public PointSource {
   /// into PrivHPShard::AddBatch without per-point staging.
   Result<size_t> NextBatch(size_t max_points,
                            std::vector<Point>* out) override;
+
+  /// \brief Columnar form: frames decode straight into the arena (one
+  /// bounds-checked copy per frame), so the server INGEST path goes
+  /// wire -> arena -> PrivHPShard::AddBatch with no per-point staging.
+  Result<size_t> NextBatch(size_t max_points, PointBatch* out) override;
 
   /// \brief Reads and discards frames until the end frame (or EOF/error):
   /// lets a server that failed mid-ingest keep the connection in protocol

@@ -24,6 +24,27 @@ void WireWriter::PutDouble(double v) {
   PutU64(bits);
 }
 
+namespace {
+
+// The wire carries doubles as little-endian u64 bit patterns, which on a
+// little-endian host is exactly the in-memory layout of a double array.
+constexpr bool kHostIsLittleEndian =
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    true;
+#else
+    false;
+#endif
+
+}  // namespace
+
+void WireWriter::PutDoubleArray(const double* v, size_t n) {
+  if (kHostIsLittleEndian) {
+    buf_.append(reinterpret_cast<const char*>(v), n * sizeof(double));
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) PutDouble(v[i]);
+}
+
 void WireWriter::PutString(const std::string& s) {
   PutU32(static_cast<uint32_t>(s.size()));
   buf_.append(s);
@@ -76,6 +97,25 @@ Result<double> WireReader::Double() {
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+Status WireReader::ReadDoubles(double* out, size_t n) {
+  // Check n * 8 without overflow: n beyond remaining_ / 8 cannot fit.
+  if (n > remaining_ / sizeof(double)) {
+    return Status::IOError("truncated frame: need " +
+                           std::to_string(n * sizeof(double)) +
+                           " bytes, have " + std::to_string(remaining_));
+  }
+  if (kHostIsLittleEndian) {
+    std::memcpy(out, p_, n * sizeof(double));
+    p_ += n * sizeof(double);
+    remaining_ -= n * sizeof(double);
+    return Status::OK();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(out[i], Double());
+  }
+  return Status::OK();
 }
 
 Result<std::string> WireReader::String() {

@@ -24,6 +24,11 @@ class WireWriter {
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutDouble(double v);
+  /// \brief \p n doubles, each as its IEEE-754 bit pattern little-endian.
+  /// On a little-endian host this is one append of the raw array (the
+  /// columnar point-batch frames encode whole arenas this way);
+  /// byte-identical to n PutDouble calls on any host.
+  void PutDoubleArray(const double* v, size_t n);
   /// \brief u32 length + raw bytes (also used for opaque blobs).
   void PutString(const std::string& s);
   void PutBytes(const void* data, size_t size);
@@ -51,6 +56,10 @@ class WireReader {
   Result<uint32_t> U32();
   Result<uint64_t> U64();
   Result<double> Double();
+  /// \brief Reads \p n wire doubles into \p out — bounds-checked up
+  /// front, then one memcpy on a little-endian host. Value-identical to
+  /// n Double() calls.
+  Status ReadDoubles(double* out, size_t n);
   /// \brief Reads a u32 length + that many bytes.
   Result<std::string> String();
   /// \brief Reads a u32 element count, rejecting one the remaining

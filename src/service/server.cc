@@ -313,8 +313,8 @@ Status PrivHPServer::HandleSample(const Socket& conn,
   RandomEngine* rng = req.seed != 0 ? &seeded : engine;
   SocketPointSink sink(&conn, options_.sample_batch);
   // Generate one wire batch at a time so shutdown can interrupt a large
-  // response between frames; points move sampler -> sink -> frame with
-  // no intermediate copy.
+  // response between frames; points travel as columnar chunks (sampler
+  // arena -> sink arena -> frame bytes) with no per-point allocation.
   for (uint64_t generated = 0; generated < req.m;) {
     if (stopping_.load()) {
       return Status::FailedPrecondition("server stopping");

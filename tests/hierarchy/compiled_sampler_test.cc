@@ -10,6 +10,7 @@
 #include "domain/interval_domain.h"
 #include "hierarchy/tree_sampler.h"
 #include "io/point_sink.h"
+#include "testing/stats.h"
 
 namespace privhp {
 namespace {
@@ -107,30 +108,22 @@ TEST_P(CompiledChiSquareTest, MatchesLeafMassesAndLegacyWalk) {
   CompiledSampler compiled(tree);
   TreeSampler walk(&tree);
   const int draws = 32000;
-  std::vector<int> hits_c(16, 0), hits_w(16, 0);
+  std::vector<double> hits_c(16, 0.0), hits_w(16, 0.0), expected(16, 0.0);
   RandomEngine rng_c(6000 + GetParam()), rng_w(7000 + GetParam());
   for (int i = 0; i < draws; ++i) {
-    ++hits_c[compiled.SampleLeafCell(&rng_c).index];
-    ++hits_w[walk.SampleLeafCell(&rng_w).index];
+    hits_c[compiled.SampleLeafCell(&rng_c).index] += 1.0;
+    hits_w[walk.SampleLeafCell(&rng_w).index] += 1.0;
   }
+  for (size_t i = 0; i < 16; ++i) expected[i] = draws * masses[i] / total;
 
-  // Compiled vs the exact leaf masses (15 dof: mean 15, std ~5.5).
-  double chi2_exact = 0.0;
-  for (size_t i = 0; i < 16; ++i) {
-    const double expected = draws * masses[i] / total;
-    const double diff = hits_c[i] - expected;
-    chi2_exact += diff * diff / expected;
-  }
-  EXPECT_LT(chi2_exact, 45.0);
+  // Compiled vs the exact leaf masses (15 dof).
+  EXPECT_LT(testing::ChiSquare(hits_c, expected),
+            testing::ChiSquareBound(15));
 
   // Compiled vs legacy walk: two-sample chi-square on the same draw
   // count; both estimate the same distribution.
-  double chi2_pair = 0.0;
-  for (size_t i = 0; i < 16; ++i) {
-    const double diff = hits_c[i] - hits_w[i];
-    chi2_pair += diff * diff / (hits_c[i] + hits_w[i]);
-  }
-  EXPECT_LT(chi2_pair, 45.0);
+  EXPECT_LT(testing::ChiSquarePaired(hits_c, hits_w),
+            testing::ChiSquareBound(15));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompiledChiSquareTest,

@@ -21,6 +21,7 @@
 #include "hierarchy/tree_sampler.h"
 #include "hierarchy/tree_serialization.h"
 #include "hierarchy/tree_stats.h"
+#include "testing/stats.h"
 
 namespace privhp {
 namespace {
@@ -54,20 +55,18 @@ TEST_P(SamplerChiSquareTest, LeafFrequenciesMatchMasses) {
   TreeSampler sampler(&tree);
   RandomEngine rng(2000 + GetParam());
   const int draws = 32000;
-  std::vector<int> hits(16, 0);
+  std::vector<double> hits(16, 0.0), expected(16, 0.0);
   for (int i = 0; i < draws; ++i) {
-    ++hits[sampler.SampleLeafCell(&rng).index];
+    hits[sampler.SampleLeafCell(&rng).index] += 1.0;
   }
-  double chi2 = 0.0;
   for (NodeId id : tree.NodesAtLevel(4)) {
     const TreeNode& n = tree.node(id);
-    const double expected = draws * n.count / total;
-    if (expected < 5.0) continue;  // chi-square validity guard
-    const double diff = hits[n.cell.index] - expected;
-    chi2 += diff * diff / expected;
+    expected[n.cell.index] = draws * n.count / total;
   }
-  // 15 dof: mean 15, std ~5.5; 15 + 5*5.5 ~ 42. Seeded, so deterministic.
-  EXPECT_LT(chi2, 45.0);
+  int dof = 0;
+  const double chi2 = testing::ChiSquare(hits, expected,
+                                         /*min_expected=*/5.0, &dof);
+  EXPECT_LT(chi2, testing::ChiSquareBound(dof));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SamplerChiSquareTest,

@@ -1,0 +1,240 @@
+// Deterministic fuzz for the byte-level protocol surface: every decoder
+// that accepts raw network bytes — ParseRequest (server side),
+// ParseResponse (client side), and the three DecodePointBatch overloads
+// (deque / vector / columnar PointBatch) — must turn ANY input into a
+// clean Status, never a crash, hang, or unbounded allocation. Seeded
+// RandomEngine draws keep every case reproducible (a failing seed is a
+// regression test by itself), and the whole file runs under the ASan/
+// UBSan and TSan CI legs, which is where parser bugs actually surface.
+//
+// Three layers:
+//   1. random bytes at random lengths (pure noise),
+//   2. structure-aware mutations of VALID frames (bit flips, truncation,
+//      integer-field boundary overwrites, splices) — these reach deep
+//      decoder states that noise almost never finds,
+//   3. a fixed regression corpus: the huge-count / huge-dim batch
+//      headers that once pointed reserve() at ~2^35 elements.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "domain/point_batch.h"
+#include "io/socket_point_stream.h"
+#include "io/wire_format.h"
+#include "service/protocol.h"
+
+namespace privhp {
+namespace {
+
+// Runs one payload through every byte-level decoder. The decoders must
+// not crash; on success the three point-batch decoders must agree with
+// each other exactly.
+void DriveDecoders(const std::string& payload) {
+  // Server request path.
+  auto request = ParseRequest(payload);
+  (void)request;  // any Status is fine, crashing is not
+
+  // Client response path.
+  WireReader reader(payload);
+  const Status response = ParseResponse(payload, &reader);
+  (void)response;
+
+  // Point-frame path, all three decode targets. expected_dim = 2 for
+  // the protocol-checked flavor, 0 for the unchecked one.
+  for (int expected_dim : {0, 2}) {
+    std::deque<Point> dq;
+    std::vector<Point> vec;
+    PointBatch batch;
+    const Status s_dq = DecodePointBatch(payload, expected_dim, &dq);
+    const Status s_vec = DecodePointBatch(payload, expected_dim, &vec);
+    const Status s_batch = DecodePointBatch(payload, expected_dim, &batch);
+    ASSERT_EQ(s_dq.ok(), s_vec.ok()) << s_dq.ToString() << " vs "
+                                     << s_vec.ToString();
+    ASSERT_EQ(s_dq.ok(), s_batch.ok()) << s_dq.ToString() << " vs "
+                                       << s_batch.ToString();
+    if (s_dq.ok()) {
+      ASSERT_EQ(dq.size(), vec.size());
+      ASSERT_EQ(dq.size(), batch.size());
+      for (size_t i = 0; i < vec.size(); ++i) {
+        ASSERT_EQ(vec[i], dq[i]);
+        ASSERT_EQ(std::memcmp(batch.row(i), vec[i].data(),
+                              vec[i].size() * sizeof(double)),
+                  0);
+      }
+    }
+  }
+}
+
+class RandomBytesFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBytesFuzzTest, NoiseNeverCrashesAnyDecoder) {
+  RandomEngine rng(42000 + GetParam());
+  for (int round = 0; round < 64; ++round) {
+    const size_t len = rng.UniformInt(300);
+    std::string payload(len, '\0');
+    for (char& b : payload) {
+      b = static_cast<char>(rng.UniformInt(256));
+    }
+    // Bias half the rounds toward plausible first bytes so decoding gets
+    // past the opcode/tag check and into the field parsers.
+    if (round % 2 == 0 && !payload.empty()) {
+      static const uint8_t kTags[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                      0x07, 0x10, 0x20, 0x21, 0x00};
+      payload[0] = static_cast<char>(
+          kTags[rng.UniformInt(sizeof(kTags))]);
+    }
+    DriveDecoders(payload);
+    if (HasFatalFailure()) {
+      FAIL() << "seed " << GetParam() << ", round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytesFuzzTest, ::testing::Range(0, 8));
+
+// Valid frames of every kind: the mutation corpus.
+std::vector<std::string> ValidCorpus() {
+  std::vector<std::string> corpus;
+  corpus.push_back(EncodePingRequest());
+  corpus.push_back(EncodeListRequest());
+  corpus.push_back(EncodeSampleRequest("demo", 1000, 7));
+  corpus.push_back(EncodeRangeRequest("demo", 3, 5));
+  corpus.push_back(EncodeQuantileRequest("demo", {0.1, 0.5, 0.9}));
+  corpus.push_back(EncodeHeavyRequest("demo", 0.01));
+  corpus.push_back(EncodeExportRequest("demo"));
+  ServiceRequest ingest;
+  ingest.op = ServiceOp::kIngest;
+  ingest.artifact = "demo";
+  ingest.dim = 2;
+  ingest.epsilon = 0.5;
+  ingest.k = 16;
+  ingest.n = 4096;
+  ingest.threads = 2;
+  corpus.push_back(EncodeIngestRequest(ingest));
+  corpus.push_back(EncodePointBatch({{0.25, 0.75}, {0.5, 0.5}}, 0, 2));
+  corpus.push_back(EncodePointStreamEnd(2));
+  corpus.push_back(BeginOkResponse().Take());
+  corpus.push_back(
+      EncodeErrorResponse(Status::InvalidArgument("fuzz probe")));
+  return corpus;
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationFuzzTest, MutatedValidFramesNeverCrashAnyDecoder) {
+  RandomEngine rng(73000 + GetParam());
+  const std::vector<std::string> corpus = ValidCorpus();
+  for (int round = 0; round < 96; ++round) {
+    std::string payload = corpus[rng.UniformInt(corpus.size())];
+    switch (rng.UniformInt(6)) {
+      case 0:  // single bit flip
+        if (!payload.empty()) {
+          const size_t pos = rng.UniformInt(payload.size());
+          payload[pos] = static_cast<char>(
+              payload[pos] ^ (1 << rng.UniformInt(8)));
+        }
+        break;
+      case 1:  // truncate
+        payload.resize(rng.UniformInt(payload.size() + 1));
+        break;
+      case 2:  // extend with noise
+        for (size_t i = rng.UniformInt(16) + 1; i > 0; --i) {
+          payload.push_back(static_cast<char>(rng.UniformInt(256)));
+        }
+        break;
+      case 3: {  // overwrite an aligned u32 with a boundary value
+        if (payload.size() >= 4) {
+          static const uint32_t kBoundary[] = {0u, 1u, 0x7FFFFFFFu,
+                                               0xFFFFFFFFu, 0x80000000u};
+          const uint32_t v = kBoundary[rng.UniformInt(5)];
+          const size_t pos = rng.UniformInt(payload.size() - 3);
+          std::memcpy(&payload[pos], &v, sizeof(v));
+        }
+        break;
+      }
+      case 4: {  // splice two corpus entries
+        const std::string& other = corpus[rng.UniformInt(corpus.size())];
+        const size_t keep = rng.UniformInt(payload.size() + 1);
+        payload.resize(keep);
+        const size_t from = rng.UniformInt(other.size() + 1);
+        payload.append(other, from, std::string::npos);
+        break;
+      }
+      default:  // double mutation: flip then truncate
+        if (!payload.empty()) {
+          payload[rng.UniformInt(payload.size())] =
+              static_cast<char>(rng.UniformInt(256));
+          payload.resize(rng.UniformInt(payload.size() + 1));
+        }
+        break;
+    }
+    DriveDecoders(payload);
+    if (HasFatalFailure()) {
+      FAIL() << "seed " << GetParam() << ", round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest, ::testing::Range(0, 8));
+
+// Unmutated valid frames must still decode cleanly after a trip through
+// the fuzz driver (guards against a driver that "passes" only because
+// everything errors out).
+TEST(ProtocolFuzzCorpusTest, ValidFramesStillParse) {
+  for (const std::string& payload : ValidCorpus()) {
+    DriveDecoders(payload);
+  }
+  auto ping = ParseRequest(EncodePingRequest());
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->op, ServiceOp::kPing);
+  auto sample = ParseRequest(EncodeSampleRequest("demo", 1000, 7));
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->artifact, "demo");
+  EXPECT_EQ(sample->m, 1000u);
+  EXPECT_EQ(sample->seed, 7u);
+}
+
+// The PR-3 regression corpus: batch headers whose declared count or dim
+// outruns the payload must be rejected BEFORE any allocation sized from
+// the header — by every decode target, including the columnar arena.
+TEST(ProtocolFuzzCorpusTest, HugeHeaderFramesRejectedByAllDecoders) {
+  WireWriter huge_count;
+  huge_count.PutU8(kPointBatchTag);
+  huge_count.PutU32(0xFFFFFFFFu);  // count
+  huge_count.PutU32(1);            // dim
+  huge_count.PutDouble(0.5);
+
+  WireWriter huge_dim;
+  huge_dim.PutU8(kPointBatchTag);
+  huge_dim.PutU32(1);              // count
+  huge_dim.PutU32(0xFFFFFFFFu);    // dim
+  huge_dim.PutDouble(0.5);
+
+  // count*dim overflows 32 bits; the guard must do the math in 64.
+  WireWriter overflow;
+  overflow.PutU8(kPointBatchTag);
+  overflow.PutU32(0x10000u);       // count
+  overflow.PutU32(0x10000u);       // dim
+  overflow.PutDouble(0.5);
+
+  for (const std::string& payload :
+       {huge_count.Take(), huge_dim.Take(), overflow.Take()}) {
+    std::deque<Point> dq;
+    std::vector<Point> vec;
+    PointBatch batch;
+    EXPECT_TRUE(DecodePointBatch(payload, 0, &dq).IsIOError());
+    EXPECT_TRUE(DecodePointBatch(payload, 0, &vec).IsIOError());
+    EXPECT_TRUE(DecodePointBatch(payload, 0, &batch).IsIOError());
+    EXPECT_TRUE(dq.empty());
+    EXPECT_TRUE(vec.empty());
+    EXPECT_TRUE(batch.empty());
+  }
+}
+
+}  // namespace
+}  // namespace privhp

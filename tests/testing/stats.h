@@ -1,0 +1,69 @@
+// Shared statistical helpers for the test suites.
+//
+// Several suites gate sampler output with a chi-square goodness-of-fit
+// statistic (hierarchy/property_test, hierarchy/compiled_sampler_test,
+// common/simd_test). The computation and the acceptance threshold live
+// here so every suite applies the same validity guard (small expected
+// counts are skipped, and skipped bins shrink the degrees of freedom)
+// and the same deterministic-seed bound.
+
+#ifndef PRIVHP_TESTS_TESTING_STATS_H_
+#define PRIVHP_TESTS_TESTING_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace privhp {
+namespace testing {
+
+/// \brief One-sample chi-square statistic of observed counts against
+/// expected counts (same length, expected already scaled to the draw
+/// total). Bins with expected < \p min_expected are skipped — the usual
+/// validity guard for the chi-square approximation — and \p dof_out
+/// (when given) receives the resulting degrees of freedom: one per
+/// retained bin, minus one for the fixed total.
+inline double ChiSquare(const std::vector<double>& observed,
+                        const std::vector<double>& expected,
+                        double min_expected = 0.0, int* dof_out = nullptr) {
+  double chi2 = 0.0;
+  int used = 0;
+  for (size_t i = 0; i < observed.size() && i < expected.size(); ++i) {
+    if (expected[i] < min_expected || expected[i] <= 0.0) continue;
+    const double diff = observed[i] - expected[i];
+    chi2 += diff * diff / expected[i];
+    ++used;
+  }
+  if (dof_out != nullptr) *dof_out = used > 0 ? used - 1 : 0;
+  return chi2;
+}
+
+/// \brief Two-sample chi-square statistic: both count vectors estimate
+/// the same distribution over equal draw totals, so each bin contributes
+/// (a-b)^2 / (a+b). Empty bins (a+b == 0) are skipped.
+inline double ChiSquarePaired(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  double chi2 = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    const double total = a[i] + b[i];
+    if (total <= 0.0) continue;
+    const double diff = a[i] - b[i];
+    chi2 += diff * diff / total;
+  }
+  return chi2;
+}
+
+/// \brief Deterministic-seed acceptance bound for a chi-square statistic
+/// with \p dof degrees of freedom: mean + 5.5 standard deviations
+/// (mean = dof, variance = 2*dof). Far beyond sampling jitter for the
+/// seeded tests, but a wrong normalization or a dropped cell lands well
+/// above it. For 15 dof this is ~45, the bound the suites historically
+/// hard-coded.
+inline double ChiSquareBound(int dof) {
+  return dof + 5.5 * std::sqrt(2.0 * static_cast<double>(dof));
+}
+
+}  // namespace testing
+}  // namespace privhp
+
+#endif  // PRIVHP_TESTS_TESTING_STATS_H_
