@@ -1,104 +1,23 @@
 #include "core/queries.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/bits.h"
-#include "common/macros.h"
-
 namespace privhp {
 
 double CellMassFraction(const PartitionTree& tree, CellId cell) {
-  const double total = tree.node(tree.root()).count;
-  if (total <= 0.0) return 0.0;
-  // Walk the bit path; if the tree ends above the cell, apportion the
-  // leaf's mass uniformly across its descendants at the query level.
-  NodeId id = tree.root();
-  for (int l = 0; l < cell.level; ++l) {
-    const TreeNode& n = tree.node(id);
-    if (n.is_leaf()) {
-      const int gap = cell.level - l;
-      return n.count / total / std::ldexp(1.0, gap);
-    }
-    id = PrefixBit(cell.index, cell.level, l) ? n.right : n.left;
-  }
-  return tree.node(id).count / total;
+  return CellMassFractionOver(tree, cell);
 }
 
 Result<double> TreeQuantile(const PartitionTree& tree, double q) {
-  if (!(q >= 0.0 && q <= 1.0)) {
-    return Status::InvalidArgument("quantile must lie in [0, 1]");
-  }
-  if (tree.domain()->dimension() != 1) {
-    return Status::InvalidArgument(
-        "TreeQuantile requires a 1-dimensional domain");
-  }
-  const double total = tree.node(tree.root()).count;
-  if (total <= 0.0) {
-    return Status::FailedPrecondition("tree has no mass");
-  }
-  double target = q * total;
-  NodeId id = tree.root();
-  while (!tree.node(id).is_leaf()) {
-    const TreeNode& n = tree.node(id);
-    const double left_mass = tree.node(n.left).count;
-    if (target <= left_mass) {
-      id = n.left;
-    } else {
-      target -= left_mass;
-      id = n.right;
-    }
-  }
-  const TreeNode& leaf = tree.node(id);
-  // Uniform-within-leaf: interpolate by the residual mass fraction.
-  const double inside =
-      leaf.count > 0.0 ? std::clamp(target / leaf.count, 0.0, 1.0) : 0.5;
-  // Only 1-D domains reach here; recover the cell bounds from the
-  // domain's deterministic center and diameter.
-  const Point center = tree.domain()->CellCenter(leaf.cell.level,
-                                                 leaf.cell.index);
-  const double half = tree.domain()->CellDiameter(leaf.cell.level) / 2.0;
-  return center[0] - half + inside * 2.0 * half;
+  return TreeQuantileOver(tree, q);
 }
 
 Result<std::vector<double>> TreeQuantiles(const PartitionTree& tree,
                                           const std::vector<double>& qs) {
-  std::vector<double> out;
-  out.reserve(qs.size());
-  for (double q : qs) {
-    PRIVHP_ASSIGN_OR_RETURN(double value, TreeQuantile(tree, q));
-    out.push_back(value);
-  }
-  return out;
+  return TreeQuantilesOver(tree, qs);
 }
 
 Result<std::vector<HeavyCell>> HierarchicalHeavyHitters(
     const PartitionTree& tree, double threshold) {
-  if (!(threshold > 0.0 && threshold <= 1.0)) {
-    return Status::InvalidArgument("threshold must lie in (0, 1]");
-  }
-  const double total = tree.node(tree.root()).count;
-  std::vector<HeavyCell> out;
-  if (total <= 0.0) return out;
-
-  // Depth-first: report a node iff it clears the threshold and no child
-  // does (maximal depth <=> most specific heavy subdomain).
-  tree.PreOrder([&](NodeId id) {
-    const TreeNode& n = tree.node(id);
-    const double fraction = n.count / total;
-    if (fraction < threshold) return;
-    bool child_heavy = false;
-    if (!n.is_leaf()) {
-      child_heavy = tree.node(n.left).count / total >= threshold ||
-                    tree.node(n.right).count / total >= threshold;
-    }
-    if (!child_heavy) out.push_back(HeavyCell{n.cell, fraction});
-  });
-  std::sort(out.begin(), out.end(),
-            [](const HeavyCell& a, const HeavyCell& b) {
-              return a.fraction > b.fraction;
-            });
-  return out;
+  return HierarchicalHeavyHittersOver(tree, threshold);
 }
 
 }  // namespace privhp

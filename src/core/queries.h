@@ -8,17 +8,162 @@
 // paper positions itself against: range counting (fixed-query summaries),
 // quantiles (Alabi et al.), and (hierarchical) heavy hitters
 // (Biswas et al.).
+//
+// Each query exists in two forms: a generic `...Over` template over any
+// TreeLike — a type exposing root()/num_nodes()/domain() and
+// node(NodeId) with TreeNode's fields, by value or reference — and the
+// PartitionTree wrappers below. The paged storage tier
+// (storage/paged_artifact.h) runs the *same templates* over its in-place
+// on-disk view, which is what makes paged query results bit-identical to
+// the heap path: there is only one implementation to diverge from.
+// Walks are step-capped at num_nodes() so a corrupt on-disk view can
+// never loop a server worker forever; a well-formed tree never hits the
+// cap.
 
 #ifndef PRIVHP_CORE_QUERIES_H_
 #define PRIVHP_CORE_QUERIES_H_
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "common/bits.h"
 #include "common/status.h"
 #include "domain/domain.h"
 #include "hierarchy/partition_tree.h"
 
 namespace privhp {
+
+/// \brief A heavy-hitter cell: a subdomain holding at least a
+/// `threshold` fraction of the tree's mass, maximal in depth (its
+/// children, if present, both fall below the threshold).
+struct HeavyCell {
+  CellId cell;
+  double fraction = 0.0;
+};
+
+/// \brief Generic CellMassFraction over any TreeLike (see file comment).
+template <typename TreeLike>
+double CellMassFractionOver(const TreeLike& tree, CellId cell) {
+  const double total = tree.node(tree.root()).count;
+  if (total <= 0.0) return 0.0;
+  // Walk the bit path; if the tree ends above the cell, apportion the
+  // leaf's mass uniformly across its descendants at the query level.
+  NodeId id = tree.root();
+  for (int l = 0; l < cell.level; ++l) {
+    const auto& n = tree.node(id);
+    if (n.is_leaf()) {
+      const int gap = cell.level - l;
+      return n.count / total / std::ldexp(1.0, gap);
+    }
+    id = PrefixBit(cell.index, cell.level, l) ? n.right : n.left;
+  }
+  return tree.node(id).count / total;
+}
+
+/// \brief Generic TreeQuantile over any TreeLike.
+template <typename TreeLike>
+Result<double> TreeQuantileOver(const TreeLike& tree, double q) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must lie in [0, 1]");
+  }
+  if (tree.domain()->dimension() != 1) {
+    return Status::InvalidArgument(
+        "TreeQuantile requires a 1-dimensional domain");
+  }
+  const double total = tree.node(tree.root()).count;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("tree has no mass");
+  }
+  double target = q * total;
+  NodeId id = tree.root();
+  auto node = tree.node(id);
+  for (uint64_t steps = 0; !node.is_leaf(); ++steps) {
+    if (steps > tree.num_nodes()) {
+      return Status::IOError("quantile walk did not terminate "
+                             "(corrupt tree structure)");
+    }
+    const double left_mass = tree.node(node.left).count;
+    if (target <= left_mass) {
+      id = node.left;
+    } else {
+      target -= left_mass;
+      id = node.right;
+    }
+    node = tree.node(id);
+  }
+  // Uniform-within-leaf: interpolate by the residual mass fraction.
+  const double inside =
+      node.count > 0.0 ? std::clamp(target / node.count, 0.0, 1.0) : 0.5;
+  // Only 1-D domains reach here; recover the cell bounds from the
+  // domain's deterministic center and diameter.
+  const Point center = tree.domain()->CellCenter(node.cell.level,
+                                                 node.cell.index);
+  const double half = tree.domain()->CellDiameter(node.cell.level) / 2.0;
+  return center[0] - half + inside * 2.0 * half;
+}
+
+/// \brief Generic TreeQuantiles over any TreeLike.
+template <typename TreeLike>
+Result<std::vector<double>> TreeQuantilesOver(const TreeLike& tree,
+                                              const std::vector<double>& qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    Result<double> value = TreeQuantileOver(tree, q);
+    if (!value.ok()) return value.status();
+    out.push_back(*value);
+  }
+  return out;
+}
+
+/// \brief Generic HierarchicalHeavyHitters over any TreeLike. The walk
+/// replicates PartitionTree::PreOrder exactly (pop, visit, push right
+/// then left), so report order — and therefore the wire bytes — cannot
+/// depend on which representation served the query.
+template <typename TreeLike>
+Result<std::vector<HeavyCell>> HierarchicalHeavyHittersOver(
+    const TreeLike& tree, double threshold) {
+  if (!(threshold > 0.0 && threshold <= 1.0)) {
+    return Status::InvalidArgument("threshold must lie in (0, 1]");
+  }
+  const double total = tree.node(tree.root()).count;
+  std::vector<HeavyCell> out;
+  if (total <= 0.0) return out;
+
+  // Depth-first: report a node iff it clears the threshold and no child
+  // does (maximal depth <=> most specific heavy subdomain).
+  std::vector<NodeId> stack;
+  stack.push_back(tree.root());
+  uint64_t visited = 0;
+  while (!stack.empty()) {
+    if (++visited > tree.num_nodes()) {
+      return Status::IOError("heavy-hitter walk did not terminate "
+                             "(corrupt tree structure)");
+    }
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const auto& n = tree.node(id);
+    const double fraction = n.count / total;
+    bool child_heavy = false;
+    if (!n.is_leaf()) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+      if (fraction >= threshold) {
+        child_heavy = tree.node(n.left).count / total >= threshold ||
+                      tree.node(n.right).count / total >= threshold;
+      }
+    }
+    if (fraction >= threshold && !child_heavy) {
+      out.push_back(HeavyCell{{n.cell.level, n.cell.index}, fraction});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyCell& a, const HeavyCell& b) {
+              return a.fraction > b.fraction;
+            });
+  return out;
+}
 
 /// \brief Estimated fraction of the distribution inside cell
 /// (level, index). Mass of leaves above the cell is apportioned by the
@@ -33,14 +178,6 @@ Result<double> TreeQuantile(const PartitionTree& tree, double q);
 /// \brief Several quantiles at once (each q in [0,1], any order).
 Result<std::vector<double>> TreeQuantiles(const PartitionTree& tree,
                                           const std::vector<double>& qs);
-
-/// \brief A heavy-hitter cell: a subdomain holding at least a
-/// `threshold` fraction of the tree's mass, maximal in depth (its
-/// children, if present, both fall below the threshold).
-struct HeavyCell {
-  CellId cell;
-  double fraction = 0.0;
-};
 
 /// \brief Hierarchical heavy hitters: the deepest tree cells whose mass
 /// fraction is >= \p threshold (0 < threshold <= 1), in decreasing

@@ -68,6 +68,66 @@ CompiledSampler::CompiledSampler(const PartitionTree& tree)
   BuildBoundsTables();
 }
 
+CompiledSampler CompiledSampler::Borrow(const Domain* domain,
+                                        const CompiledTableView& view,
+                                        double total_mass) {
+  PRIVHP_CHECK(domain != nullptr);
+  PRIVHP_CHECK(view.cells != nullptr && view.accept != nullptr &&
+               view.alias != nullptr && view.num_slots > 0);
+  // Bounds tables come as a pair or not at all.
+  PRIVHP_CHECK((view.slot_lo != nullptr) == (view.slot_ext != nullptr));
+  CompiledSampler s;
+  s.domain_ = domain;
+  s.total_mass_ = total_mass;
+  s.dim_ = domain->dimension();
+  s.has_bounds_ = view.slot_lo != nullptr;
+  s.borrowed_ = true;
+  s.view_ = view;
+  return s;
+}
+
+CompiledSampler::CompiledSampler(const CompiledSampler& other)
+    : domain_(other.domain_),
+      cells_(other.cells_),
+      accept_(other.accept_),
+      alias_(other.alias_),
+      total_mass_(other.total_mass_),
+      dim_(other.dim_),
+      has_bounds_(other.has_bounds_),
+      slot_lo_(other.slot_lo_),
+      slot_ext_(other.slot_ext_),
+      borrowed_(other.borrowed_),
+      view_(other.view_) {
+  if (!borrowed_) RefreshView();
+}
+
+CompiledSampler& CompiledSampler::operator=(const CompiledSampler& other) {
+  if (this != &other) {
+    domain_ = other.domain_;
+    cells_ = other.cells_;
+    accept_ = other.accept_;
+    alias_ = other.alias_;
+    total_mass_ = other.total_mass_;
+    dim_ = other.dim_;
+    has_bounds_ = other.has_bounds_;
+    slot_lo_ = other.slot_lo_;
+    slot_ext_ = other.slot_ext_;
+    borrowed_ = other.borrowed_;
+    view_ = other.view_;
+    if (!borrowed_) RefreshView();
+  }
+  return *this;
+}
+
+void CompiledSampler::RefreshView() {
+  view_.cells = cells_.data();
+  view_.accept = accept_.data();
+  view_.alias = alias_.data();
+  view_.num_slots = cells_.size();
+  view_.slot_lo = has_bounds_ ? slot_lo_.data() : nullptr;
+  view_.slot_ext = has_bounds_ ? slot_ext_.data() : nullptr;
+}
+
 void CompiledSampler::BuildBoundsTables() {
   dim_ = domain_->dimension();
   const size_t n = cells_.size();
@@ -82,6 +142,7 @@ void CompiledSampler::BuildBoundsTables() {
       has_bounds_ = false;
       slot_lo_.clear();
       slot_ext_.clear();
+      RefreshView();
       return;
     }
     double* lo_row = slot_lo_.data() + s * static_cast<size_t>(dim_);
@@ -92,6 +153,7 @@ void CompiledSampler::BuildBoundsTables() {
       ext_row[c] = hi[c] - lo[c];
     }
   }
+  RefreshView();
 }
 
 Status CompiledSampler::SampleTo(size_t m, RandomEngine* rng,
@@ -122,7 +184,7 @@ Status CompiledSampler::SampleTo(size_t m, RandomEngine* rng,
     double* row = rows + i * d;
     for (size_t c = 0; c < d; ++c) row[c] = rng->UniformDouble();
   }
-  simd::InCellTransform(slot_lo_.data(), slot_ext_.data(), slots.data(),
+  simd::InCellTransform(view_.slot_lo, view_.slot_ext, slots.data(),
                         dim_, m, rows);
   return Status::OK();
 }

@@ -14,6 +14,14 @@
 // byte-compatible with the legacy walk's (sampler format v2; see
 // docs/ARCHITECTURE.md "Sampler determinism & versioning").
 //
+// The hot path reads the table through a CompiledTableView — raw pointers
+// plus a slot count. Normally the view points at the sampler's own
+// vectors, but Borrow() wraps a table that lives elsewhere (the alias
+// sections of a memory-mapped paged artifact, storage/paged_artifact.h),
+// so serving a packed file never copies or rebuilds the table. The draw
+// code is shared, so owned and borrowed samplers are bit-identical for
+// the same table bytes.
+//
 // Like everything downstream of the released tree, this is privacy-free
 // post-processing (Lemma 2).
 
@@ -31,29 +39,64 @@
 
 namespace privhp {
 
+/// \brief Borrowed, read-only view of a compiled alias table: the arrays
+/// the draw loop actually touches. slot_lo/slot_ext are the per-slot
+/// in-cell bounds rows (num_slots * dim doubles each) for the columnar
+/// transform; both are null when the domain has no closed-form cell
+/// bounds. The packer serializes exactly these arrays, so a paged
+/// artifact round-trips the table bit-for-bit.
+struct CompiledTableView {
+  const CellId* cells = nullptr;
+  const double* accept = nullptr;
+  const uint32_t* alias = nullptr;
+  size_t num_slots = 0;
+  const double* slot_lo = nullptr;
+  const double* slot_ext = nullptr;
+};
+
 /// \brief Alias-table batch sampler over a tree's leaf-cell distribution.
 ///
-/// Self-contained: construction copies the leaf cells and masses out of
-/// the tree, so the tree may be mutated or destroyed afterwards — only
-/// the Domain must outlive the sampler. If the tree's total positive leaf
-/// mass is <= 0 (possible at extreme privacy noise), sampling falls back
-/// to uniform over the whole domain, matching TreeSampler.
+/// Self-contained when built from a tree: construction copies the leaf
+/// cells and masses out of the tree, so the tree may be mutated or
+/// destroyed afterwards — only the Domain must outlive the sampler. If
+/// the tree's total positive leaf mass is <= 0 (possible at extreme
+/// privacy noise), sampling falls back to uniform over the whole domain,
+/// matching TreeSampler. A Borrow()ed sampler additionally requires the
+/// viewed arrays to outlive it.
 class CompiledSampler {
  public:
   /// \brief Compiles the alias table from \p tree's leaves (O(#leaves)).
   explicit CompiledSampler(const PartitionTree& tree);
 
+  /// \brief Wraps an already-compiled table without copying it (e.g. the
+  /// alias sections of an mmapped paged artifact). \p view's arrays must
+  /// outlive the sampler and must hold bytes a tree-compiling
+  /// construction would have produced — then every draw is bit-identical
+  /// to the owning sampler's. \p total_mass is the positive leaf mass
+  /// the table was built from (0 on the uniform fallback).
+  static CompiledSampler Borrow(const Domain* domain,
+                                const CompiledTableView& view,
+                                double total_mass);
+
+  // An owning sampler's view points into its own vectors, so copies must
+  // re-point the view at the copied storage; moves keep the heap buffers
+  // and need no fixup. Borrowed samplers share the external arrays.
+  CompiledSampler(const CompiledSampler& other);
+  CompiledSampler& operator=(const CompiledSampler& other);
+  CompiledSampler(CompiledSampler&& other) = default;
+  CompiledSampler& operator=(CompiledSampler&& other) = default;
+
   /// \brief The alias-table slot one draw lands in: O(1), two RNG draws
   /// (the uniform slot pick, then the biased coin).
   uint32_t SampleSlot(RandomEngine* rng) const {
-    const uint64_t i = rng->UniformInt(cells_.size());
+    const uint64_t i = rng->UniformInt(view_.num_slots);
     const double u = rng->UniformDouble();
-    return static_cast<uint32_t>(u < accept_[i] ? i : alias_[i]);
+    return static_cast<uint32_t>(u < view_.accept[i] ? i : view_.alias[i]);
   }
 
   /// \brief The leaf cell one draw lands in.
   CellId SampleLeafCell(RandomEngine* rng) const {
-    return cells_[SampleSlot(rng)];
+    return view_.cells[SampleSlot(rng)];
   }
 
   /// \brief One synthetic point (leaf cell draw + uniform within cell).
@@ -86,7 +129,7 @@ class CompiledSampler {
 
   /// \brief Positive-mass leaf cells in the table (1 on the uniform
   /// fallback).
-  size_t num_cells() const { return cells_.size(); }
+  size_t num_cells() const { return view_.num_slots; }
 
   /// \brief Sum of positive leaf masses the table was built from (0 on
   /// the uniform fallback).
@@ -94,16 +137,29 @@ class CompiledSampler {
 
   const Domain* domain() const { return domain_; }
 
-  /// \brief Bytes held by the compiled table.
+  /// \brief The table arrays the draw loop reads — what the artifact
+  /// packer serializes.
+  const CompiledTableView& view() const { return view_; }
+
+  /// \brief True iff the table is borrowed rather than owned.
+  bool borrowed() const { return borrowed_; }
+
+  /// \brief Bytes held by the compiled table (the owned storage only; a
+  /// borrowed sampler holds pointers into someone else's bytes).
   size_t MemoryBytes() const;
 
  private:
+  CompiledSampler() = default;
+
   /// Precomputes slot_lo_/slot_ext_ from the domain's closed-form cell
   /// bounds; sets has_bounds_ = false (per-point fallback) if the domain
   /// has none.
   void BuildBoundsTables();
 
-  const Domain* domain_;
+  /// Points view_ at the owned vectors.
+  void RefreshView();
+
+  const Domain* domain_ = nullptr;
   std::vector<CellId> cells_;     // positive-mass leaves, pre-order
   std::vector<double> accept_;    // Vose acceptance probability per slot
   std::vector<uint32_t> alias_;   // Vose alias slot
@@ -116,6 +172,8 @@ class CompiledSampler {
   bool has_bounds_ = false;
   std::vector<double> slot_lo_;
   std::vector<double> slot_ext_;
+  bool borrowed_ = false;
+  CompiledTableView view_;
 };
 
 }  // namespace privhp

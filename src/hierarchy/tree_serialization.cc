@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
-#include <limits>
 #include <sstream>
+
+#include "common/macros.h"
+#include "io/file_util.h"
 
 namespace privhp {
 
@@ -13,23 +15,8 @@ namespace {
 // tree cannot be sampled through the wrong domain (e.g. a dim-1 tree
 // loaded as dim-2 would fabricate coordinates).
 constexpr char kMagicV1[] = "privhp-tree-v1";
-constexpr char kMagicV2[] = "privhp-tree-v2";
+constexpr const char* kMagicV2 = kTreeMagicV2;
 }  // namespace
-
-Status SaveTree(const PartitionTree& tree, std::ostream* os) {
-  (*os) << kMagicV2 << "\n";
-  (*os) << tree.domain()->Name() << "\n";
-  (*os) << tree.domain()->dimension() << "\n";
-  (*os) << tree.num_nodes() << "\n";
-  os->precision(std::numeric_limits<double>::max_digits10);
-  for (size_t i = 0; i < tree.num_nodes(); ++i) {
-    const TreeNode& n = tree.node(static_cast<NodeId>(i));
-    (*os) << n.cell.level << " " << n.cell.index << " " << n.count << " "
-          << n.left << " " << n.right << "\n";
-  }
-  if (!os->good()) return Status::IOError("failed writing tree stream");
-  return Status::OK();
-}
 
 Result<PartitionTree> LoadTree(const Domain* domain, std::istream* is) {
   if (domain == nullptr) {
@@ -141,9 +128,12 @@ Result<PartitionTree> LoadTree(const Domain* domain, std::istream* is) {
 }
 
 Status SaveTreeToFile(const PartitionTree& tree, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  return SaveTree(tree, &out);
+  // Serialize into memory, then write temp + fsync + rename (in binary,
+  // byte-exact): a crash mid-save can no longer truncate an existing
+  // artifact in place, and a failed save leaves no partial file behind.
+  std::ostringstream os;
+  PRIVHP_RETURN_NOT_OK(SaveTree(tree, &os));
+  return WriteFileAtomic(path, os.str());
 }
 
 Result<PartitionTree> LoadTreeFromFile(const Domain* domain,

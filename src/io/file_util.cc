@@ -1,0 +1,162 @@
+#include "io/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace privhp {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(int fd, std::string temp_path,
+                                   std::string final_path)
+    : fd_(fd),
+      temp_path_(std::move(temp_path)),
+      final_path_(std::move(final_path)) {}
+
+Result<AtomicFileWriter> AtomicFileWriter::Create(
+    const std::string& final_path) {
+  if (final_path.empty()) {
+    return Status::InvalidArgument("target path must not be empty");
+  }
+  // Distinct temp names per (process, call) so concurrent writers to the
+  // same target never share a staging file; O_EXCL catches leftovers
+  // from a previous crashed process.
+  static std::atomic<uint64_t> counter{0};
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string temp = final_path + ".tmp." +
+                             std::to_string(::getpid()) + "." +
+                             std::to_string(counter.fetch_add(1));
+    const int fd =
+        ::open(temp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) return AtomicFileWriter(fd, temp, final_path);
+    if (errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("cannot create temp file", temp));
+    }
+  }
+  return Status::IOError("cannot create a unique temp file next to " +
+                         final_path);
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(std::exchange(other.size_, 0)),
+      temp_path_(std::move(other.temp_path_)),
+      final_path_(std::move(other.final_path_)) {
+  other.temp_path_.clear();
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+    temp_path_ = std::move(other.temp_path_);
+    final_path_ = std::move(other.final_path_);
+    other.temp_path_.clear();
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!temp_path_.empty()) {
+    ::unlink(temp_path_.c_str());
+    temp_path_.clear();
+  }
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("writer is closed");
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t w = ::write(fd_, p + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write failed on", temp_path_));
+    }
+    written += static_cast<size_t>(w);
+  }
+  size_ += n;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::WriteAt(uint64_t offset, const void* data,
+                                 size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("writer is closed");
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t w = ::pwrite(fd_, p + written, n - written,
+                               static_cast<off_t>(offset + written));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite failed on", temp_path_));
+    }
+    written += static_cast<size_t>(w);
+  }
+  if (offset + n > size_) size_ = offset + n;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (fd_ < 0) return Status::FailedPrecondition("writer is closed");
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed on", temp_path_));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IOError(ErrnoMessage("close failed on", temp_path_));
+  }
+  fd_ = -1;
+  if (::rename(temp_path_.c_str(), final_path_.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage(
+        "rename failed for", temp_path_ + " -> " + final_path_));
+  }
+  temp_path_.clear();
+  // Persist the rename itself. Best-effort: some filesystems refuse
+  // directory fsync, and the data is already durable in the file.
+  const int dir_fd =
+      ::open(DirName(final_path_).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::string& contents) {
+  Result<AtomicFileWriter> writer = AtomicFileWriter::Create(path);
+  if (!writer.ok()) return writer.status();
+  Status appended = writer->Append(contents.data(), contents.size());
+  if (!appended.ok()) return appended;
+  return writer->Commit();
+}
+
+}  // namespace privhp

@@ -1,0 +1,72 @@
+// Crash-safe file replacement shared by the tree serializer and the
+// paged artifact packer.
+//
+// Overwriting an artifact in place means a crash mid-write leaves a
+// truncated file behind the original name. AtomicFileWriter stages all
+// bytes in a temp file in the target's directory, fsyncs it, and renames
+// it over the target only on Commit() — readers observe either the old
+// bytes or the complete new bytes, never a prefix.
+
+#ifndef PRIVHP_IO_FILE_UTIL_H_
+#define PRIVHP_IO_FILE_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace privhp {
+
+/// \brief Write-then-rename staging for one target file.
+///
+/// Bytes go to `<target>.tmp.<pid>.<counter>` (same directory, so the
+/// rename cannot cross filesystems). Commit() fsyncs, renames over the
+/// target and fsyncs the directory; destruction before Commit() unlinks
+/// the temp file so failed writes leave nothing behind.
+class AtomicFileWriter {
+ public:
+  /// \brief Opens a fresh temp file next to \p final_path.
+  static Result<AtomicFileWriter> Create(const std::string& final_path);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// \brief Unlinks the temp file if Commit() never succeeded.
+  ~AtomicFileWriter();
+
+  /// \brief Appends \p n bytes at the current end of the temp file.
+  Status Append(const void* data, size_t n);
+
+  /// \brief Overwrites \p n bytes at \p offset — for patching a header
+  /// whose contents (checksums, counts) are only known after the body
+  /// has been written.
+  Status WriteAt(uint64_t offset, const void* data, size_t n);
+
+  /// \brief High-water mark of bytes written.
+  uint64_t size() const { return size_; }
+
+  /// \brief Flushes and fsyncs the temp file, renames it over the
+  /// target, and fsyncs the directory. The writer is inert afterwards.
+  Status Commit();
+
+ private:
+  AtomicFileWriter(int fd, std::string temp_path, std::string final_path);
+
+  void Abandon();
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::string temp_path_;
+  std::string final_path_;
+};
+
+/// \brief Writes \p contents to \p path with the atomic temp + fsync +
+/// rename discipline, byte-exact (no newline translation).
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace privhp
+
+#endif  // PRIVHP_IO_FILE_UTIL_H_

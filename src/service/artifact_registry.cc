@@ -1,30 +1,33 @@
 #include "service/artifact_registry.h"
 
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/macros.h"
 #include "domain/domain_factory.h"
+#include "hierarchy/tree_serialization.h"
+#include "storage/file_io.h"
 
 namespace privhp {
-
-ServedArtifact::ServedArtifact(std::unique_ptr<const Domain> domain,
-                               PrivHPGenerator generator, std::string source)
-    : domain_(std::move(domain)),
-      generator_(std::move(generator)),
-      source_(std::move(source)) {}
 
 std::shared_ptr<const ServedArtifact> ServedArtifact::Make(
     std::unique_ptr<const Domain> domain, PrivHPGenerator generator,
     std::string source) {
   PRIVHP_CHECK(domain != nullptr);
   PRIVHP_CHECK(generator.tree().domain() == domain.get());
-  return std::shared_ptr<const ServedArtifact>(new ServedArtifact(
-      std::move(domain), std::move(generator), std::move(source)));
+  auto artifact = std::shared_ptr<ServedArtifact>(new ServedArtifact());
+  artifact->domain_ = std::move(domain);
+  artifact->generator_.emplace(std::move(generator));
+  artifact->source_ = std::move(source);
+  return artifact;
 }
 
 Result<std::shared_ptr<const ServedArtifact>> ServedArtifact::FromFile(
     const std::string& path) {
+  if (storage::PagedArtifact::SniffPagedFile(path)) {
+    return FromPagedFile(path, storage::PagedReadOptions{});
+  }
   // Peek the header to learn which domain the tree was released over;
   // PrivHPGenerator::Load then re-validates name, dimension and structure
   // against the reconstructed domain (the format v2 checks).
@@ -55,6 +58,69 @@ Result<std::shared_ptr<const ServedArtifact>> ServedArtifact::FromFile(
               std::move(generator), "file:" + path);
 }
 
+Result<std::shared_ptr<const ServedArtifact>> ServedArtifact::FromPagedFile(
+    const std::string& path, const storage::PagedReadOptions& options) {
+  PRIVHP_ASSIGN_OR_RETURN(std::unique_ptr<const storage::PagedArtifact> paged,
+                          storage::PagedArtifact::Open(path, options));
+  auto artifact = std::shared_ptr<ServedArtifact>(new ServedArtifact());
+  artifact->paged_ = std::move(paged);
+  artifact->source_ = std::string(options.use_buffer_pool
+                                      ? "paged-pool:"
+                                      : "paged-mmap:") +
+                      path;
+  return std::shared_ptr<const ServedArtifact>(std::move(artifact));
+}
+
+const PrivHPGenerator& ServedArtifact::generator() const {
+  PRIVHP_CHECK(generator_.has_value());
+  return *generator_;
+}
+
+Result<double> ServedArtifact::RangeMass(CellId cell) const {
+  if (paged_) return paged_->RangeMass(cell);
+  return CellMassFraction(generator_->tree(), cell);
+}
+
+Result<std::vector<double>> ServedArtifact::Quantiles(
+    const std::vector<double>& qs) const {
+  if (paged_) return paged_->Quantiles(qs);
+  return TreeQuantiles(generator_->tree(), qs);
+}
+
+Result<std::vector<HeavyCell>> ServedArtifact::Heavy(double threshold) const {
+  if (paged_) return paged_->Heavy(threshold);
+  return HierarchicalHeavyHitters(generator_->tree(), threshold);
+}
+
+Status ServedArtifact::GenerateTo(size_t m, RandomEngine* rng,
+                                  PointSink* sink) const {
+  if (paged_) return paged_->GenerateTo(m, rng, sink);
+  return generator_->GenerateTo(m, rng, sink);
+}
+
+Result<std::string> ServedArtifact::ExportBlob() const {
+  std::ostringstream os;
+  if (paged_) {
+    PRIVHP_RETURN_NOT_OK(paged_->ExportTo(&os));
+  } else {
+    PRIVHP_RETURN_NOT_OK(SaveTree(generator_->tree(), &os));
+  }
+  return os.str();
+}
+
+uint64_t ServedArtifact::num_nodes() const {
+  return paged_ ? paged_->num_nodes() : generator_->tree().num_nodes();
+}
+
+double ServedArtifact::TotalMass() const {
+  return paged_ ? paged_->TotalMass() : generator_->TotalMass();
+}
+
+size_t ServedArtifact::ResidentBytes() const {
+  if (paged_) return paged_->ResidentBytes();
+  return generator_->MemoryBytes() + generator_->sampler().MemoryBytes();
+}
+
 Status ArtifactRegistry::Publish(
     const std::string& name, std::shared_ptr<const ServedArtifact> artifact) {
   if (name.empty()) {
@@ -76,8 +142,24 @@ Status ArtifactRegistry::Publish(
 
 Status ArtifactRegistry::LoadFile(const std::string& name,
                                   const std::string& path) {
-  PRIVHP_ASSIGN_OR_RETURN(std::shared_ptr<const ServedArtifact> artifact,
-                          ServedArtifact::FromFile(path));
+  std::shared_ptr<const ServedArtifact> artifact;
+  if (storage::PagedArtifact::SniffPagedFile(path)) {
+    storage::PagedReadOptions read;
+    if (options_.memory_budget_bytes > 0) {
+      // Budget check: mapping the file whole adds ~file_size of
+      // addressable bytes. Over budget, serve through a bounded pool.
+      PRIVHP_ASSIGN_OR_RETURN(const uint64_t file_size,
+                              storage::FileSize(path));
+      if (resident_bytes() + file_size > options_.memory_budget_bytes) {
+        read.use_buffer_pool = true;
+        read.pool_bytes = options_.pool_bytes_per_artifact;
+      }
+    }
+    PRIVHP_ASSIGN_OR_RETURN(artifact,
+                            ServedArtifact::FromPagedFile(path, read));
+  } else {
+    PRIVHP_ASSIGN_OR_RETURN(artifact, ServedArtifact::FromFile(path));
+  }
   return Publish(name, std::move(artifact));
 }
 
@@ -114,6 +196,13 @@ std::vector<std::string> ArtifactRegistry::List() const {
 size_t ArtifactRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return artifacts_.size();
+}
+
+size_t ArtifactRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& entry : artifacts_) total += entry.second->ResidentBytes();
+  return total;
 }
 
 }  // namespace privhp

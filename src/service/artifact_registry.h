@@ -5,12 +5,22 @@
 // builder runs once per stream, and the released noisy partition tree is
 // then queried and resampled indefinitely at no further privacy cost
 // (Lemma 2). The registry is the serving half of that split: it owns the
-// released artifacts by name, validates them on load (tree format v2
-// domain name + dimension checks), and lets a re-ingest atomically
-// replace a live artifact while readers keep sampling the version they
-// hold — publication is a shared_ptr swap, so readers are never blocked
-// by a swap and an unpublished artifact stays alive until its last
-// in-flight request drops it.
+// released artifacts by name, validates them on load, and lets a
+// re-ingest atomically replace a live artifact while readers keep
+// sampling the version they hold — publication is a shared_ptr swap, so
+// readers are never blocked by a swap and an unpublished artifact stays
+// alive until its last in-flight request drops it.
+//
+// An artifact is served from one of three representations behind the
+// same query surface, chosen at load time:
+//   - heap: a v2 tree file parsed into a PartitionTree + freshly
+//     compiled sampler (also the shape INGEST publishes);
+//   - mmap: a packed paged file (storage/paged_artifact.h) mapped and
+//     walked in place — near-zero startup, no heap copy of the tree;
+//   - pooled: the same paged file behind a bounded buffer pool, picked
+//     when mapping it would exceed the registry's memory budget.
+// All three answer queries bit-identically (the storage tests gate it),
+// so callers never know or care which representation they hit.
 
 #ifndef PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_
 #define PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_
@@ -18,24 +28,27 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/generator.h"
+#include "core/queries.h"
 #include "domain/domain.h"
+#include "io/point_sink.h"
+#include "storage/paged_artifact.h"
 
 namespace privhp {
 
-/// \brief One released generator plus the domain it samples through.
+/// \brief One released artifact plus everything needed to serve it.
 ///
 /// Immutable after construction: concurrent readers share it through
-/// const shared_ptrs, so serving needs no per-artifact locking. The
-/// domain is owned here because a loaded tree holds a raw pointer to it.
-/// The generator carries its CompiledSampler alias table (built once at
-/// publish/load time), so the registry is also the cache of compiled
-/// sampling tables: every concurrent SAMPLE request against an artifact
-/// shares the one table its generator holds.
+/// const shared_ptrs, so serving needs no per-artifact locking (the
+/// pooled representation synchronizes internally). Heap-backed
+/// artifacts carry their CompiledSampler alias table (built once at
+/// publish/load time); paged artifacts borrow the table straight from
+/// the file.
 class ServedArtifact {
  public:
   /// \brief Wraps a generator built over \p domain (which the generator's
@@ -45,35 +58,97 @@ class ServedArtifact {
       std::unique_ptr<const Domain> domain, PrivHPGenerator generator,
       std::string source);
 
-  /// \brief Loads a tree file, reconstructing the domain from the v2
-  /// header (name + dimension; v1 files are rejected — they predate the
-  /// dimension check and cannot be validated).
+  /// \brief Loads an artifact file of either format: a packed paged
+  /// artifact (sniffed by magic) is opened mmapped in place; a v2 tree
+  /// file is parsed onto the heap, reconstructing the domain from its
+  /// header (v1 files are rejected — they predate the dimension check
+  /// and cannot be validated).
   static Result<std::shared_ptr<const ServedArtifact>> FromFile(
       const std::string& path);
 
-  const Domain& domain() const { return *domain_; }
-  const PrivHPGenerator& generator() const { return generator_; }
+  /// \brief Opens a packed paged artifact with explicit read options
+  /// (the registry uses this to force buffer-pool mode over budget).
+  static Result<std::shared_ptr<const ServedArtifact>> FromPagedFile(
+      const std::string& path, const storage::PagedReadOptions& options);
+
+  const Domain& domain() const {
+    return paged_ ? paged_->domain() : *domain_;
+  }
   const std::string& source() const { return source_; }
 
- private:
-  ServedArtifact(std::unique_ptr<const Domain> domain,
-                 PrivHPGenerator generator, std::string source);
+  /// \brief The heap generator; only valid when !is_paged() (aborts
+  /// otherwise — serving code must go through the query surface below).
+  const PrivHPGenerator& generator() const;
 
-  std::unique_ptr<const Domain> domain_;
-  PrivHPGenerator generator_;
+  bool is_paged() const { return paged_ != nullptr; }
+  const storage::PagedArtifact* paged() const { return paged_.get(); }
+
+  // ---- Representation-independent query surface (what the server
+  // handlers call). Bit-identical across heap/mmap/pooled.
+
+  /// \brief Mass fraction inside \p cell (RANGE).
+  Result<double> RangeMass(CellId cell) const;
+
+  /// \brief Quantiles of a 1-D artifact (QUANTILE).
+  Result<std::vector<double>> Quantiles(const std::vector<double>& qs) const;
+
+  /// \brief Hierarchical heavy hitters at \p threshold (HEAVY).
+  Result<std::vector<HeavyCell>> Heavy(double threshold) const;
+
+  /// \brief Streams \p m synthetic points into \p sink (SAMPLE).
+  Status GenerateTo(size_t m, RandomEngine* rng, PointSink* sink) const;
+
+  /// \brief The artifact serialized in tree format v2 (EXPORT) —
+  /// byte-identical whichever representation serves it.
+  Result<std::string> ExportBlob() const;
+
+  /// \brief Node count of the released tree.
+  uint64_t num_nodes() const;
+
+  /// \brief Noisy root count.
+  double TotalMass() const;
+
+  /// \brief Bytes this artifact keeps addressable (tree + table on the
+  /// heap path; map or pool on the paged paths) — what the registry's
+  /// memory budget meters.
+  size_t ResidentBytes() const;
+
+ private:
+  ServedArtifact() = default;
+
+  std::unique_ptr<const Domain> domain_;     // heap mode only
+  std::optional<PrivHPGenerator> generator_;  // heap mode only
+  std::unique_ptr<const storage::PagedArtifact> paged_;
   std::string source_;
+};
+
+/// \brief Serving-tier memory policy.
+struct RegistryOptions {
+  /// \brief Soft cap on summed artifact ResidentBytes. 0 = unlimited.
+  /// When loading a paged file would push the total past the cap, the
+  /// registry serves it through a bounded buffer pool instead of
+  /// mapping it whole.
+  size_t memory_budget_bytes = 0;
+
+  /// \brief Buffer-pool capacity given to each over-budget artifact.
+  size_t pool_bytes_per_artifact = 4u << 20;
 };
 
 /// \brief Thread-safe name -> artifact map with atomic hot-swap.
 class ArtifactRegistry {
  public:
+  ArtifactRegistry() = default;
+  explicit ArtifactRegistry(RegistryOptions options)
+      : options_(options) {}
+
   /// \brief Publishes \p artifact under \p name, atomically replacing any
   /// previous artifact of that name (readers holding the old shared_ptr
   /// are unaffected).
   Status Publish(const std::string& name,
                  std::shared_ptr<const ServedArtifact> artifact);
 
-  /// \brief Loads a v2 tree file and publishes it under \p name.
+  /// \brief Loads an artifact file (paged or v2 tree) and publishes it
+  /// under \p name, honouring the memory budget for paged files.
   Status LoadFile(const std::string& name, const std::string& path);
 
   /// \brief The artifact currently published under \p name.
@@ -89,7 +164,13 @@ class ArtifactRegistry {
 
   size_t size() const;
 
+  /// \brief Summed ResidentBytes of the published artifacts.
+  size_t resident_bytes() const;
+
+  const RegistryOptions& options() const { return options_; }
+
  private:
+  RegistryOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ServedArtifact>> artifacts_;
 };

@@ -161,7 +161,52 @@ Result<std::string> PrivHPClient::Export(const std::string& artifact) {
   std::string frame;
   WireReader payload;
   PRIVHP_RETURN_NOT_OK(Call(EncodeExportRequest(artifact), &frame, &payload));
-  return payload.String();
+  PRIVHP_ASSIGN_OR_RETURN(const uint64_t total, payload.U64());
+
+  // The blob streams across chunk frames after the OK header. Unlike
+  // SAMPLE there is no resync possible mid-stream (chunks carry no
+  // self-describing count), so any failure closes the connection to
+  // keep later calls from parsing leftover chunks as responses.
+  std::string blob;
+  blob.reserve(static_cast<size_t>(std::min<uint64_t>(total, 64u << 20)));
+  for (;;) {
+    Result<bool> more = RecvFrame(sock_, &frame);
+    if (!more.ok() || !*more) {
+      sock_.Close();
+      return more.ok() ? Status::IOError(
+                             "server closed the connection mid-export")
+                       : more.status();
+    }
+    if (frame.empty()) {
+      sock_.Close();
+      return Status::IOError("empty frame inside export stream");
+    }
+    const uint8_t tag = static_cast<uint8_t>(frame[0]);
+    if (tag == kExportChunkTag) {
+      if (blob.size() + (frame.size() - 1) > total) {
+        sock_.Close();
+        return Status::IOError("export stream overran the promised " +
+                               std::to_string(total) + " bytes");
+      }
+      blob.append(frame, 1, frame.size() - 1);
+      continue;
+    }
+    if (tag == kExportEndTag) {
+      WireReader end(frame.data() + 1, frame.size() - 1);
+      const Result<uint64_t> echoed = end.U64();
+      if (!echoed.ok() || *echoed != total || blob.size() != total) {
+        sock_.Close();
+        return Status::IOError(
+            "export stream ended inconsistently: promised " +
+            std::to_string(total) + " bytes, received " +
+            std::to_string(blob.size()));
+      }
+      return blob;
+    }
+    sock_.Close();
+    return Status::IOError("unexpected frame tag 0x" +
+                           std::to_string(tag) + " inside export stream");
+  }
 }
 
 Result<PrivHPClient::IngestReport> PrivHPClient::Ingest(

@@ -15,9 +15,15 @@
 //   QUANTILE name q...                 -> OK [count:u32][value:double...]
 //   HEAVY    name threshold            -> OK [count:u32]
 //                                         [(level:u32,index:u64,frac:f64)...]
-//   EXPORT   name                      -> OK [artifact:string]  (the
+//   EXPORT   name                      -> OK [total:u64], then chunk
+//                                         frames [kExportChunkTag:u8]
+//                                         [raw bytes], then an end frame
+//                                         [kExportEndTag:u8][total:u64].
+//                                         The reassembled bytes are the
 //                                         serialized v2 tree — byte-equal
-//                                         to Save() on the server side)
+//                                         to Save() on the server side,
+//                                         with no frame-size ceiling on
+//                                         the artifact.
 //   INGEST   name dim eps k n seed thr -> OK, then the client streams
 //                                         point frames + end, then a final
 //                                         OK [nodes:u64][total_mass:f64]
@@ -40,6 +46,11 @@
 namespace privhp {
 
 inline constexpr uint32_t kServiceProtocolVersion = 1;
+
+/// \brief EXPORT stream frame tags (first byte of the frames following
+/// the OK header; disjoint from the point-stream tags 0x20/0x21).
+inline constexpr uint8_t kExportChunkTag = 0x30;
+inline constexpr uint8_t kExportEndTag = 0x31;
 
 /// \brief Request opcodes (first payload byte of a request frame).
 enum class ServiceOp : uint8_t {

@@ -6,15 +6,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <sstream>
 #include <utility>
 
 #include "common/macros.h"
 #include "core/builder.h"
 #include "core/queries.h"
 #include "domain/hypercube_domain.h"
-#include "hierarchy/compiled_sampler.h"
-#include "hierarchy/tree_serialization.h"
 #include "io/socket_point_stream.h"
 
 namespace privhp {
@@ -218,11 +215,13 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
       break;
   }
 
-  // The remaining reads resolve an artifact first.
+  // The remaining reads resolve an artifact first. They go through the
+  // representation-independent ServedArtifact query surface, so a
+  // heap-loaded tree, an mmapped paged file and a buffer-pooled paged
+  // file all answer with identical bytes.
   Result<std::shared_ptr<const ServedArtifact>> artifact =
       registry_->Get(req.artifact);
   if (!artifact.ok()) return SendError(conn, artifact.status());
-  const PartitionTree& tree = (*artifact)->generator().tree();
 
   switch (req.op) {
     case ServiceOp::kRange: {
@@ -231,13 +230,15 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
                                    "cell index out of range for level " +
                                    std::to_string(req.level)));
       }
+      Result<double> fraction = (*artifact)->RangeMass(
+          CellId{static_cast<int>(req.level), req.index});
+      if (!fraction.ok()) return SendError(conn, fraction.status());
       WireWriter w = BeginOkResponse();
-      w.PutDouble(CellMassFraction(
-          tree, CellId{static_cast<int>(req.level), req.index}));
+      w.PutDouble(*fraction);
       return SendFrame(conn, w.Take());
     }
     case ServiceOp::kQuantile: {
-      Result<std::vector<double>> values = TreeQuantiles(tree, req.qs);
+      Result<std::vector<double>> values = (*artifact)->Quantiles(req.qs);
       if (!values.ok()) return SendError(conn, values.status());
       WireWriter w = BeginOkResponse();
       w.PutU32(static_cast<uint32_t>(values->size()));
@@ -246,7 +247,7 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
     }
     case ServiceOp::kHeavy: {
       Result<std::vector<HeavyCell>> heavy =
-          HierarchicalHeavyHitters(tree, req.threshold);
+          (*artifact)->Heavy(req.threshold);
       if (!heavy.ok()) return SendError(conn, heavy.status());
       WireWriter w = BeginOkResponse();
       w.PutU32(static_cast<uint32_t>(heavy->size()));
@@ -257,30 +258,40 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
       }
       return SendFrame(conn, w.Take());
     }
-    case ServiceOp::kExport: {
-      std::ostringstream os;
-      const Status saved = SaveTree(tree, &os);
-      if (!saved.ok()) return SendError(conn, saved);
-      const std::string blob = os.str();
-      // Response framing adds a status byte and a u32 blob length; an
-      // artifact that cannot fit one frame gets an in-band error instead
-      // of a SendFrame failure that would drop the connection.
-      if (blob.size() > kMaxFrameBytes - 5) {
-        return SendError(conn,
-                         Status::InvalidArgument(
-                             "serialized artifact (" +
-                             std::to_string(blob.size()) +
-                             " bytes) exceeds the frame limit of " +
-                             std::to_string(kMaxFrameBytes) + " bytes"));
-      }
-      WireWriter w = BeginOkResponse();
-      w.PutString(blob);
-      return SendFrame(conn, w.Take());
-    }
+    case ServiceOp::kExport:
+      return HandleExport(conn, **artifact);
     default:
       return SendError(conn,
                        Status::Internal("unhandled opcode in dispatch"));
   }
+}
+
+Status PrivHPServer::HandleExport(const Socket& conn,
+                                  const ServedArtifact& artifact) {
+  Result<std::string> blob = artifact.ExportBlob();
+  if (!blob.ok()) return SendError(conn, blob.status());
+
+  // Stream the blob across as many chunk frames as it needs: the OK
+  // header promises the total, each chunk carries raw bytes, and the
+  // end frame echoes the total as a completeness check. No artifact
+  // size can hit the frame limit.
+  WireWriter header = BeginOkResponse();
+  header.PutU64(blob->size());
+  PRIVHP_RETURN_NOT_OK(SendFrame(conn, header.Take()));
+
+  const size_t chunk_bytes = std::min<size_t>(
+      std::max<size_t>(1, options_.export_chunk_bytes), kMaxFrameBytes - 16);
+  for (size_t off = 0; off < blob->size(); off += chunk_bytes) {
+    const size_t n = std::min(chunk_bytes, blob->size() - off);
+    WireWriter w;
+    w.PutU8(kExportChunkTag);
+    w.PutBytes(blob->data() + off, n);
+    PRIVHP_RETURN_NOT_OK(SendFrame(conn, w.Take()));
+  }
+  WireWriter end;
+  end.PutU8(kExportEndTag);
+  end.PutU64(blob->size());
+  return SendFrame(conn, end.Take());
 }
 
 Status PrivHPServer::HandleSample(const Socket& conn,
@@ -295,12 +306,6 @@ Status PrivHPServer::HandleSample(const Socket& conn,
                                "of " +
                                std::to_string(options_.max_sample_points)));
   }
-  // The alias table was compiled once when the artifact's generator was
-  // built; every concurrent SAMPLE request against this artifact shares
-  // it through the registry's shared_ptr — nothing is rebuilt per
-  // request or per chunk.
-  const CompiledSampler& sampler = (*artifact)->generator().sampler();
-
   WireWriter header = BeginOkResponse();
   header.PutU32(static_cast<uint32_t>((*artifact)->domain().dimension()));
   header.PutU64(req.m);
@@ -313,15 +318,19 @@ Status PrivHPServer::HandleSample(const Socket& conn,
   RandomEngine* rng = req.seed != 0 ? &seeded : engine;
   SocketPointSink sink(&conn, options_.sample_batch);
   // Generate one wire batch at a time so shutdown can interrupt a large
-  // response between frames; points travel as columnar chunks (sampler
-  // arena -> sink arena -> frame bytes) with no per-point allocation.
+  // response between frames. The artifact's sampling state (a compiled
+  // alias table for heap artifacts, the mmapped table or buffer pool
+  // for paged ones) was set up once at publish/load time and is shared
+  // by every concurrent request through the registry's shared_ptr —
+  // nothing is rebuilt per request or per chunk, and the point stream
+  // is bit-identical whichever representation serves it.
   for (uint64_t generated = 0; generated < req.m;) {
     if (stopping_.load()) {
       return Status::FailedPrecondition("server stopping");
     }
     const uint64_t chunk = std::min<uint64_t>(options_.sample_batch,
                                               req.m - generated);
-    PRIVHP_RETURN_NOT_OK(sampler.GenerateTo(chunk, rng, &sink));
+    PRIVHP_RETURN_NOT_OK((*artifact)->GenerateTo(chunk, rng, &sink));
     generated += chunk;
   }
   PRIVHP_RETURN_NOT_OK(sink.FinishStream());

@@ -69,6 +69,12 @@ struct ServerOptions {
   /// Upper bound accepted for an INGEST request's thread count.
   int max_ingest_threads = 16;
 
+  /// Bytes per EXPORT chunk frame (clamped to the frame limit). The
+  /// blob streams across as many frames as it needs, so artifacts
+  /// larger than one frame export fine; this only tunes frame count vs
+  /// per-frame memory.
+  size_t export_chunk_bytes = 4u << 20;
+
   /// Send timeout (seconds) on accepted connections, so a peer that
   /// stops reading mid-response errors the worker out instead of
   /// blocking it forever (0 = no timeout).
@@ -134,6 +140,7 @@ class PrivHPServer {
                   RandomEngine* engine);
   Status HandleSample(const Socket& conn, const ServiceRequest& req,
                       RandomEngine* engine);
+  Status HandleExport(const Socket& conn, const ServedArtifact& artifact);
   Status HandleIngest(const Socket& conn, const ServiceRequest& req);
   Status SendError(const Socket& conn, const Status& error);
 

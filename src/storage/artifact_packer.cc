@@ -1,0 +1,148 @@
+#include "storage/artifact_packer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "domain/domain_factory.h"
+#include "hierarchy/compiled_sampler.h"
+#include "hierarchy/tree_serialization.h"
+#include "io/file_util.h"
+
+namespace privhp {
+namespace storage {
+
+namespace {
+
+// Appends one section's raw bytes as whole zero-padded pages, recording
+// one Checksum64 per page written.
+Status WriteSection(AtomicFileWriter* w, const uint8_t* data, uint64_t bytes,
+                    uint32_t page_size, std::vector<uint64_t>* checksums) {
+  std::vector<uint8_t> page(page_size);
+  for (uint64_t off = 0; off < bytes; off += page_size) {
+    const uint64_t n = std::min<uint64_t>(page_size, bytes - off);
+    std::memcpy(page.data(), data + off, n);
+    if (n < page_size) std::memset(page.data() + n, 0, page_size - n);
+    checksums->push_back(Checksum64(page.data(), page_size));
+    PRIVHP_RETURN_NOT_OK(w->Append(page.data(), page_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PackArtifact(const PartitionTree& tree, const std::string& path,
+                    const PackOptions& options) {
+  const Domain* domain = tree.domain();
+  if (domain == nullptr) {
+    return Status::InvalidArgument("tree has no domain");
+  }
+  // Compile exactly the table the heap serving path would build, then
+  // serialize its arrays verbatim: a Borrow()ing reader is bit-identical
+  // by construction.
+  const CompiledSampler sampler(tree);
+  const CompiledTableView& view = sampler.view();
+  const bool has_bounds = view.slot_lo != nullptr;
+
+  PRIVHP_ASSIGN_OR_RETURN(
+      PagedHeader header,
+      ComputeLayout(options.page_size, static_cast<uint32_t>(
+                                           domain->dimension()),
+                    tree.num_nodes(), view.num_slots, has_bounds,
+                    sampler.total_mass(), domain->Name()));
+
+  // Stage node and cell records explicitly so the on-disk pad bytes are
+  // zero regardless of what the in-memory structs carry.
+  std::vector<PackedTreeNode> nodes(tree.num_nodes());
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& n = tree.node(static_cast<NodeId>(i));
+    nodes[i].level = n.cell.level;
+    nodes[i].index = n.cell.index;
+    nodes[i].count = n.count;
+    nodes[i].left = n.left;
+    nodes[i].right = n.right;
+  }
+  std::vector<PackedCell> cells(view.num_slots);
+  for (size_t i = 0; i < view.num_slots; ++i) {
+    cells[i].level = view.cells[i].level;
+    cells[i].index = view.cells[i].index;
+  }
+
+  const uint8_t* section_data[kNumSections] = {
+      reinterpret_cast<const uint8_t*>(nodes.data()),
+      reinterpret_cast<const uint8_t*>(cells.data()),
+      reinterpret_cast<const uint8_t*>(view.accept),
+      reinterpret_cast<const uint8_t*>(view.alias),
+      reinterpret_cast<const uint8_t*>(view.slot_lo),
+      reinterpret_cast<const uint8_t*>(view.slot_ext)};
+
+  PRIVHP_ASSIGN_OR_RETURN(AtomicFileWriter w, AtomicFileWriter::Create(path));
+
+  // Placeholder header + checksum-table pages; both are patched once the
+  // data pages (and their checksums) exist.
+  const uint64_t table_pages = header.data_offset / header.page_size - 1;
+  {
+    const std::vector<uint8_t> zero(header.page_size, 0);
+    for (uint64_t p = 0; p < 1 + table_pages; ++p) {
+      PRIVHP_RETURN_NOT_OK(w.Append(zero.data(), zero.size()));
+    }
+  }
+
+  std::vector<uint64_t> page_checksums;
+  page_checksums.reserve(header.data_pages());
+  for (int s = 0; s < kNumSections; ++s) {
+    if (header.sections[s].num_elements == 0) continue;
+    PRIVHP_CHECK(w.size() == header.sections[s].file_offset);
+    PRIVHP_RETURN_NOT_OK(WriteSection(
+        &w, section_data[s],
+        header.sections[s].num_elements * kSectionElemSize[s],
+        header.page_size, &page_checksums));
+  }
+  PRIVHP_CHECK(page_checksums.size() == header.data_pages());
+  PRIVHP_CHECK(w.size() == header.file_bytes());
+
+  const uint64_t table_bytes = page_checksums.size() * sizeof(uint64_t);
+  PRIVHP_RETURN_NOT_OK(w.WriteAt(header.checksum_table_offset,
+                                 page_checksums.data(), table_bytes));
+  header.checksum_table_checksum =
+      Checksum64(page_checksums.data(), table_bytes);
+
+  const std::string header_page = EncodeHeaderPage(header);
+  PRIVHP_RETURN_NOT_OK(w.WriteAt(0, header_page.data(), header_page.size()));
+  return w.Commit();
+}
+
+Status PackTreeFile(const std::string& tree_path, const std::string& out_path,
+                    const PackOptions& options) {
+  // Same header peek the registry does: the v2 header names the domain
+  // the tree was released over.
+  std::string magic;
+  std::string domain_name;
+  int dimension = 0;
+  {
+    std::ifstream in(tree_path);
+    if (!in) return Status::IOError("cannot open for read: " + tree_path);
+    if (!std::getline(in, magic) || !std::getline(in, domain_name)) {
+      return Status::IOError("truncated tree header in " + tree_path);
+    }
+    if (magic == "privhp-tree-v1") {
+      return Status::InvalidArgument(
+          "pack requires tree format v2 (v1 files carry no dimension): " +
+          tree_path);
+    }
+    if (!(in >> dimension)) {
+      return Status::IOError("missing dimension line in " + tree_path);
+    }
+  }
+  PRIVHP_ASSIGN_OR_RETURN(std::unique_ptr<Domain> domain,
+                          MakeDomainByName(domain_name, dimension));
+  PRIVHP_ASSIGN_OR_RETURN(PartitionTree tree,
+                          LoadTreeFromFile(domain.get(), tree_path));
+  return PackArtifact(tree, out_path, options);
+}
+
+}  // namespace storage
+}  // namespace privhp

@@ -1,0 +1,109 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace privhp {
+namespace storage {
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      frame_(std::exchange(other.frame_, 0)),
+      data_(std::exchange(other.data_, nullptr)) {}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = std::exchange(other.pool_, nullptr);
+    frame_ = std::exchange(other.frame_, 0);
+    data_ = std::exchange(other.data_, nullptr);
+  }
+  return *this;
+}
+
+PageRef::~PageRef() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+BufferPool::BufferPool(size_t page_bytes, size_t num_frames)
+    : page_bytes_(page_bytes) {
+  PRIVHP_CHECK(page_bytes > 0);
+  num_frames = std::max<size_t>(1, num_frames);
+  frames_.resize(num_frames);
+  arena_.resize(page_bytes_ * num_frames);
+  resident_.reserve(num_frames);
+}
+
+Result<PageRef> BufferPool::Fetch(uint64_t page_no, const PageLoader& loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  auto it = resident_.find(page_no);
+  if (it != resident_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    f.last_use = tick_;
+    ++stats_.hits;
+    return PageRef(this, it->second,
+                   arena_.data() + it->second * page_bytes_);
+  }
+  ++stats_.misses;
+
+  // Victim selection: any unoccupied frame first, else the LRU unpinned
+  // one. Linear scan — pools are tens of frames, not thousands.
+  size_t victim = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].occupied) {
+      victim = i;
+      break;
+    }
+    if (frames_[i].pins == 0 &&
+        (victim == frames_.size() ||
+         frames_[i].last_use < frames_[victim].last_use)) {
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: every frame is pinned (" +
+        std::to_string(frames_.size()) + " frames)");
+  }
+  Frame& f = frames_[victim];
+  if (f.occupied) {
+    resident_.erase(f.page_no);
+    f.occupied = false;
+    ++stats_.evictions;
+  }
+  uint8_t* dst = arena_.data() + victim * page_bytes_;
+  const Status loaded = loader(dst);
+  if (!loaded.ok()) return loaded;  // frame stays free
+  f.page_no = page_no;
+  f.occupied = true;
+  f.pins = 1;
+  f.last_use = tick_;
+  resident_.emplace(page_no, victim);
+  return PageRef(this, victim, dst);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PRIVHP_DCHECK(frame < frames_.size());
+  PRIVHP_DCHECK(frames_[frame].pins > 0);
+  --frames_[frame].pins;
+}
+
+size_t BufferPool::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sizeof(*this) + arena_.capacity() +
+         frames_.capacity() * sizeof(Frame) +
+         resident_.size() * (sizeof(uint64_t) + sizeof(size_t));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace storage
+}  // namespace privhp

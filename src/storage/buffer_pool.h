@@ -1,0 +1,119 @@
+// Fixed-capacity page cache fronting a paged artifact file.
+//
+// The pool owns one contiguous arena of page-size frames. Readers call
+// Fetch(page_no, loader): a hit pins the resident frame; a miss picks a
+// free frame (else evicts the least-recently-used *unpinned* frame),
+// runs the caller's loader to fill it, and pins it. Pins are RAII
+// (PageRef): a pinned frame is never evicted, so the bytes a query is
+// reading stay valid exactly as long as the ref lives. If every frame
+// is pinned a miss fails with FailedPrecondition rather than blocking —
+// callers hold at most a couple of pins at a time, so this only fires
+// on a misconfigured (too-small) pool.
+//
+// Concurrency: one mutex guards the frame table, pins, and the loader
+// call itself. Loading under the lock serializes cold misses, which is
+// deliberate — the pool exists to bound memory on the cold/over-budget
+// path, not to win throughput races (the mmap path serves the hot
+// case), and it keeps the invariant "a resident frame's bytes are
+// immutable" trivially race-free under TSan.
+
+#ifndef PRIVHP_STORAGE_BUFFER_POOL_H_
+#define PRIVHP_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privhp {
+namespace storage {
+
+class BufferPool;
+
+/// \brief RAII pin on a resident page frame. While alive, the frame's
+/// bytes are immutable and the frame cannot be evicted.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  const uint8_t* data() const { return data_; }
+  bool valid() const { return pool_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame, const uint8_t* data)
+      : pool_(pool), frame_(frame), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  const uint8_t* data_ = nullptr;
+};
+
+/// \brief Fills a frame with the page's bytes (exactly page_bytes of
+/// them); called under the pool lock on a miss.
+using PageLoader = std::function<Status(uint8_t* dst)>;
+
+/// \brief LRU page cache with pinning. Total memory = page_bytes *
+/// num_frames, allocated once up front.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// \brief \p num_frames is clamped up to 1: a pool that can hold no
+  /// page at all cannot serve anything.
+  BufferPool(size_t page_bytes, size_t num_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// \brief Pins page \p page_no, loading it via \p loader if absent.
+  /// Fails with FailedPrecondition if every frame is pinned, or with
+  /// the loader's error (the frame is then left free).
+  Result<PageRef> Fetch(uint64_t page_no, const PageLoader& loader);
+
+  size_t page_bytes() const { return page_bytes_; }
+  size_t num_frames() const { return frames_.size(); }
+
+  /// \brief Bytes held by the pool arena and bookkeeping.
+  size_t MemoryBytes() const;
+
+  Stats stats() const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    uint64_t page_no = 0;
+    uint64_t last_use = 0;
+    uint32_t pins = 0;
+    bool occupied = false;
+  };
+
+  void Unpin(size_t frame);
+
+  const size_t page_bytes_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::vector<uint8_t> arena_;
+  std::unordered_map<uint64_t, size_t> resident_;  // page_no -> frame
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace privhp
+
+#endif  // PRIVHP_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,132 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace privhp {
+namespace storage {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open for read:", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status error =
+        Status::IOError(ErrnoMessage("cannot stat:", path));
+    ::close(fd);
+    return error;
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IOError("cannot map empty file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents; the descriptor is not needed
+  // after mmap succeeds.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("mmap failed for", path));
+  }
+  return MmapFile(static_cast<uint8_t*>(addr), size);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+Result<RandomAccessFile> RandomAccessFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open for read:", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status error =
+        Status::IOError(ErrnoMessage("cannot stat:", path));
+    ::close(fd);
+    return error;
+  }
+  return RandomAccessFile(fd, static_cast<uint64_t>(st.st_size));
+}
+
+RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(std::exchange(other.size_, 0)) {}
+
+RandomAccessFile& RandomAccessFile::operator=(
+    RandomAccessFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::ReadAt(uint64_t offset, void* dst, size_t n) const {
+  if (fd_ < 0) return Status::FailedPrecondition("file is not open");
+  char* p = static_cast<char*>(dst);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::pread(fd_, p + got, n - got,
+                              static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread failed: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IOError(
+          "short read at offset " + std::to_string(offset) + ": wanted " +
+          std::to_string(n) + " bytes, file ends after " +
+          std::to_string(got) + " (truncated artifact?)");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("cannot stat:", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace storage
+}  // namespace privhp

@@ -1,0 +1,75 @@
+// Read-side file primitives for the paged storage tier: a read-only
+// memory map (the hot, fits-in-budget path) and a positional-read file
+// handle (the buffer-pool path). POSIX-only, like the socket layer.
+
+#ifndef PRIVHP_STORAGE_FILE_IO_H_
+#define PRIVHP_STORAGE_FILE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace privhp {
+namespace storage {
+
+/// \brief Whole-file read-only memory map.
+class MmapFile {
+ public:
+  /// \brief Maps \p path read-only. Fails cleanly on empty files.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  MmapFile(uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief Read-only file handle for positional page reads (pread).
+/// Thread-safe: pread carries its own offset, so concurrent readers
+/// share one handle without seeking.
+class RandomAccessFile {
+ public:
+  static Result<RandomAccessFile> Open(const std::string& path);
+
+  RandomAccessFile() = default;
+  RandomAccessFile(RandomAccessFile&& other) noexcept;
+  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept;
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+  ~RandomAccessFile();
+
+  /// \brief Reads exactly \p n bytes at \p offset into \p dst; a short
+  /// read (EOF inside the range) is an IOError.
+  Status ReadAt(uint64_t offset, void* dst, size_t n) const;
+
+  uint64_t size() const { return size_; }
+  bool open() const { return fd_ >= 0; }
+
+ private:
+  RandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+/// \brief Size of \p path in bytes (stat).
+Result<uint64_t> FileSize(const std::string& path);
+
+}  // namespace storage
+}  // namespace privhp
+
+#endif  // PRIVHP_STORAGE_FILE_IO_H_

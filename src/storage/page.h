@@ -1,0 +1,95 @@
+// Fixed-size page primitives for the paged artifact format
+// (storage/paged_format.h).
+//
+// A paged artifact is a sequence of equal-size pages: one header page, a
+// page-checksum table, then raw data pages. Data pages carry *no*
+// interior headers — section starts are page-aligned and every element
+// size divides the page size, so a section's pages form one contiguous
+// array that an mmapped reader can hand to the query templates and to
+// CompiledSampler::Borrow without copying. Integrity lives out-of-line:
+// one Checksum64 per data page in the checksum table, the table itself
+// covered by a checksum in the header.
+
+#ifndef PRIVHP_STORAGE_PAGE_H_
+#define PRIVHP_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/random.h"
+#include "domain/domain.h"
+
+namespace privhp {
+namespace storage {
+
+/// \brief Default page size: large enough that sequential scans are one
+/// fetch per 2048 nodes, small enough that a tiny buffer pool still
+/// holds several pages.
+inline constexpr uint32_t kDefaultPageSize = 64u * 1024;
+inline constexpr uint32_t kMinPageSize = 4096;
+inline constexpr uint32_t kMaxPageSize = 1u << 20;
+
+/// \brief Valid page sizes are powers of two in [kMinPageSize,
+/// kMaxPageSize] — so every element size in the format (4/8/16/32 bytes)
+/// divides the page size and no element ever straddles a page boundary.
+inline constexpr bool IsValidPageSize(uint64_t s) {
+  return s >= kMinPageSize && s <= kMaxPageSize && (s & (s - 1)) == 0;
+}
+
+/// \brief Checksum over a byte range: 8-byte words folded through the
+/// SplitMix64 finalizer, length-seeded so zero padding of different
+/// lengths cannot collide. Not cryptographic — it catches torn writes
+/// and bit rot, not adversaries.
+inline uint64_t Checksum64(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = Mix64(0x70726976687031ULL ^ n);  // "privhp1" ^ length
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = Mix64(h ^ w);
+  }
+  if (i < n) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h = Mix64(h ^ w ^ (static_cast<uint64_t>(n - i) << 56));
+  }
+  return h;
+}
+
+/// \brief On-disk node record: TreeNode minus the parent link (no query
+/// walks upward), padded to 32 bytes so records never straddle a page.
+/// Fields are little-endian, like the wire format; pad bytes are written
+/// as zero so packing is deterministic and pages checksum reproducibly.
+struct PackedTreeNode {
+  int32_t level = 0;
+  uint32_t pad0 = 0;
+  uint64_t index = 0;
+  double count = 0.0;
+  int32_t left = -1;
+  int32_t right = -1;
+};
+static_assert(sizeof(PackedTreeNode) == 32,
+              "PackedTreeNode must be exactly 32 bytes on disk");
+
+/// \brief On-disk leaf-cell record, layout-compatible with CellId so an
+/// mmapped cells section can be lent to CompiledSampler::Borrow without
+/// a copy. The pad bytes are written as zero.
+struct PackedCell {
+  int32_t level = 0;
+  uint32_t pad0 = 0;
+  uint64_t index = 0;
+};
+static_assert(sizeof(PackedCell) == 16,
+              "PackedCell must be exactly 16 bytes on disk");
+static_assert(sizeof(CellId) == sizeof(PackedCell) &&
+                  offsetof(CellId, index) == offsetof(PackedCell, index) &&
+                  offsetof(CellId, level) == offsetof(PackedCell, level),
+              "CellId must remain layout-compatible with PackedCell: the "
+              "mmap read path reinterprets the cells section as CellId[]");
+
+}  // namespace storage
+}  // namespace privhp
+
+#endif  // PRIVHP_STORAGE_PAGE_H_

@@ -1,0 +1,245 @@
+#include "storage/paged_format.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace privhp {
+namespace storage {
+
+namespace {
+
+// Fixed byte offsets within the header page. The header checksum covers
+// [kOffEndian, page_size): everything after the checksum field itself.
+constexpr size_t kOffMagic = 0;            // 16 bytes, NUL-padded
+constexpr size_t kOffHeaderChecksum = 16;  // u64
+constexpr size_t kOffEndian = 24;          // u32
+constexpr size_t kOffVersion = 28;         // u32
+constexpr size_t kOffPageSize = 32;        // u32
+constexpr size_t kOffDimension = 36;       // u32
+constexpr size_t kOffNumPages = 40;        // u64
+constexpr size_t kOffNumNodes = 48;        // u64
+constexpr size_t kOffNumSlots = 56;        // u64
+constexpr size_t kOffHasBounds = 64;       // u8 + 7 pad
+constexpr size_t kOffTotalMass = 72;       // f64
+constexpr size_t kOffTableChecksum = 80;   // u64
+constexpr size_t kOffTableOffset = 88;     // u64
+constexpr size_t kOffTableEntries = 96;    // u64
+constexpr size_t kOffDataOffset = 104;     // u64
+constexpr size_t kOffNameLen = 112;        // u64
+constexpr size_t kOffSections = 120;       // 6 * {u64 offset, u64 count}
+constexpr size_t kOffName = kOffSections + kNumSections * 16;  // = 216
+static_assert(kOffName + kMaxDomainNameBytes <= kMinPageSize,
+              "header fields must fit the smallest page");
+
+template <typename T>
+void Put(std::string* buf, size_t off, T value) {
+  std::memcpy(&(*buf)[off], &value, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* p, size_t off) {
+  T value;
+  std::memcpy(&value, p + off, sizeof(T));
+  return value;
+}
+
+uint64_t PagesFor(uint64_t bytes, uint32_t page_size) {
+  return (bytes + page_size - 1) / page_size;
+}
+
+}  // namespace
+
+Result<PagedHeader> ComputeLayout(uint32_t page_size, uint32_t dimension,
+                                  uint64_t num_nodes, uint64_t num_slots,
+                                  bool has_bounds, double total_mass,
+                                  const std::string& domain_name) {
+  if (!IsValidPageSize(page_size)) {
+    return Status::InvalidArgument(
+        "page size must be a power of two in [" +
+        std::to_string(kMinPageSize) + ", " + std::to_string(kMaxPageSize) +
+        "], got " + std::to_string(page_size));
+  }
+  if (dimension < 1 || dimension > kMaxPagedDimension) {
+    return Status::InvalidArgument("dimension out of range: " +
+                                   std::to_string(dimension));
+  }
+  if (num_nodes < 1 || num_nodes > static_cast<uint64_t>(INT32_MAX)) {
+    return Status::InvalidArgument("node count out of range: " +
+                                   std::to_string(num_nodes));
+  }
+  if (num_slots < 1 || num_slots > UINT32_MAX) {
+    return Status::InvalidArgument("slot count out of range: " +
+                                   std::to_string(num_slots));
+  }
+  if (domain_name.empty() || domain_name.size() > kMaxDomainNameBytes) {
+    return Status::InvalidArgument("domain name must be 1.." +
+                                   std::to_string(kMaxDomainNameBytes) +
+                                   " bytes");
+  }
+  if (!std::isfinite(total_mass) || total_mass < 0.0) {
+    return Status::InvalidArgument("total mass must be finite and >= 0");
+  }
+
+  PagedHeader h;
+  h.page_size = page_size;
+  h.dimension = dimension;
+  h.num_nodes = num_nodes;
+  h.num_slots = num_slots;
+  h.has_bounds = has_bounds;
+  h.total_mass = total_mass;
+  h.domain_name = domain_name;
+
+  const uint64_t bounds_elems =
+      has_bounds ? num_slots * static_cast<uint64_t>(dimension) : 0;
+  const uint64_t counts[kNumSections] = {num_nodes,    num_slots,
+                                         num_slots,    num_slots,
+                                         bounds_elems, bounds_elems};
+  uint64_t data_pages = 0;
+  for (int s = 0; s < kNumSections; ++s) {
+    h.sections[s].num_elements = counts[s];
+    data_pages += PagesFor(counts[s] * kSectionElemSize[s], page_size);
+  }
+  const uint64_t table_pages =
+      PagesFor(data_pages * sizeof(uint64_t), page_size);
+
+  h.checksum_table_offset = page_size;
+  h.checksum_table_entries = data_pages;
+  h.data_offset = static_cast<uint64_t>(page_size) * (1 + table_pages);
+  h.num_pages = 1 + table_pages + data_pages;
+
+  uint64_t offset = h.data_offset;
+  for (int s = 0; s < kNumSections; ++s) {
+    if (h.sections[s].num_elements == 0) {
+      h.sections[s].file_offset = 0;
+      continue;
+    }
+    h.sections[s].file_offset = offset;
+    offset += page_size *
+              PagesFor(h.sections[s].num_elements * kSectionElemSize[s],
+                       page_size);
+  }
+  PRIVHP_CHECK(offset == h.file_bytes());
+  return h;
+}
+
+std::string EncodeHeaderPage(const PagedHeader& header) {
+  std::string page(header.page_size, '\0');
+  std::memcpy(&page[kOffMagic], kPagedMagic, sizeof(kPagedMagic));
+  Put<uint32_t>(&page, kOffEndian, kPagedEndianTag);
+  Put<uint32_t>(&page, kOffVersion, kPagedVersion);
+  Put<uint32_t>(&page, kOffPageSize, header.page_size);
+  Put<uint32_t>(&page, kOffDimension, header.dimension);
+  Put<uint64_t>(&page, kOffNumPages, header.num_pages);
+  Put<uint64_t>(&page, kOffNumNodes, header.num_nodes);
+  Put<uint64_t>(&page, kOffNumSlots, header.num_slots);
+  Put<uint8_t>(&page, kOffHasBounds, header.has_bounds ? 1 : 0);
+  Put<double>(&page, kOffTotalMass, header.total_mass);
+  Put<uint64_t>(&page, kOffTableChecksum, header.checksum_table_checksum);
+  Put<uint64_t>(&page, kOffTableOffset, header.checksum_table_offset);
+  Put<uint64_t>(&page, kOffTableEntries, header.checksum_table_entries);
+  Put<uint64_t>(&page, kOffDataOffset, header.data_offset);
+  Put<uint64_t>(&page, kOffNameLen, header.domain_name.size());
+  for (int s = 0; s < kNumSections; ++s) {
+    Put<uint64_t>(&page, kOffSections + s * 16, header.sections[s].file_offset);
+    Put<uint64_t>(&page, kOffSections + s * 16 + 8,
+                  header.sections[s].num_elements);
+  }
+  std::memcpy(&page[kOffName], header.domain_name.data(),
+              header.domain_name.size());
+  Put<uint64_t>(&page, kOffHeaderChecksum,
+                Checksum64(page.data() + kOffEndian,
+                           header.page_size - kOffEndian));
+  return page;
+}
+
+Result<PagedHeader> ParseHeaderPage(const uint8_t* page, size_t available,
+                                    uint64_t file_size) {
+  if (available < kMinPageSize) {
+    return Status::IOError("paged artifact truncated: " +
+                           std::to_string(available) +
+                           " bytes is smaller than the minimum header page");
+  }
+  if (!HasPagedMagic(page, available)) {
+    return Status::IOError("not a paged artifact (bad magic)");
+  }
+  const uint32_t endian = Get<uint32_t>(page, kOffEndian);
+  if (endian != kPagedEndianTag) {
+    return Status::IOError(
+        "paged artifact was written on a foreign-endian host");
+  }
+  const uint32_t version = Get<uint32_t>(page, kOffVersion);
+  if (version != kPagedVersion) {
+    return Status::IOError("unsupported paged format version " +
+                           std::to_string(version));
+  }
+  const uint32_t page_size = Get<uint32_t>(page, kOffPageSize);
+  if (!IsValidPageSize(page_size)) {
+    return Status::IOError("corrupt header: invalid page size " +
+                           std::to_string(page_size));
+  }
+  if (available < page_size) {
+    return Status::IOError("paged artifact truncated inside the header page");
+  }
+  const uint64_t claimed = Get<uint64_t>(page, kOffHeaderChecksum);
+  const uint64_t actual =
+      Checksum64(page + kOffEndian, page_size - kOffEndian);
+  if (claimed != actual) {
+    return Status::IOError("header page checksum mismatch (corrupt header)");
+  }
+
+  const uint64_t name_len = Get<uint64_t>(page, kOffNameLen);
+  if (name_len == 0 || name_len > kMaxDomainNameBytes) {
+    return Status::IOError("corrupt header: bad domain name length");
+  }
+  std::string name(reinterpret_cast<const char*>(page) + kOffName, name_len);
+
+  // Recompute the canonical layout from the claimed shape and demand the
+  // header matches it exactly: there is only one valid file for a given
+  // shape, so no field-by-field offset arithmetic needs trusting.
+  Result<PagedHeader> canonical = ComputeLayout(
+      page_size, Get<uint32_t>(page, kOffDimension),
+      Get<uint64_t>(page, kOffNumNodes), Get<uint64_t>(page, kOffNumSlots),
+      Get<uint8_t>(page, kOffHasBounds) != 0,
+      Get<double>(page, kOffTotalMass), name);
+  if (!canonical.ok()) {
+    return Status::IOError("corrupt header: " +
+                           canonical.status().message());
+  }
+  PagedHeader h = std::move(canonical).ValueOrDie();
+  if (Get<uint64_t>(page, kOffNumPages) != h.num_pages ||
+      Get<uint64_t>(page, kOffTableOffset) != h.checksum_table_offset ||
+      Get<uint64_t>(page, kOffTableEntries) != h.checksum_table_entries ||
+      Get<uint64_t>(page, kOffDataOffset) != h.data_offset) {
+    return Status::IOError(
+        "corrupt header: layout fields disagree with the canonical layout "
+        "for the claimed shape");
+  }
+  for (int s = 0; s < kNumSections; ++s) {
+    if (Get<uint64_t>(page, kOffSections + s * 16) !=
+            h.sections[s].file_offset ||
+        Get<uint64_t>(page, kOffSections + s * 16 + 8) !=
+            h.sections[s].num_elements) {
+      return Status::IOError(
+          "corrupt header: section table disagrees with the canonical "
+          "layout");
+    }
+  }
+  if (file_size != h.file_bytes()) {
+    return Status::IOError(
+        "paged artifact size mismatch: header claims " +
+        std::to_string(h.file_bytes()) + " bytes, file has " +
+        std::to_string(file_size));
+  }
+  h.checksum_table_checksum = Get<uint64_t>(page, kOffTableChecksum);
+  return h;
+}
+
+bool HasPagedMagic(const uint8_t* data, size_t size) {
+  if (size < sizeof(kPagedMagic)) return false;
+  return std::memcmp(data, kPagedMagic, sizeof(kPagedMagic)) == 0;
+}
+
+}  // namespace storage
+}  // namespace privhp

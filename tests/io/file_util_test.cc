@@ -1,0 +1,126 @@
+#include "io/file_util.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace privhp {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+// ctest runs each test of this binary as its own process, often in
+// parallel, so scratch names must be per-process.
+std::string TestPath(const std::string& leaf) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" +
+         leaf;
+}
+
+TEST(WriteFileAtomicTest, WritesAndReplaces) {
+  const std::string path = TestPath("atomic_basic.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "first contents\n").ok());
+  EXPECT_EQ(ReadAll(path), "first contents\n");
+  // Replacement is whole-file: no prefix of the old contents survives.
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  EXPECT_EQ(ReadAll(path), "x");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, PreservesBinaryBytes) {
+  const std::string path = TestPath("atomic_binary.bin");
+  std::string contents;
+  for (int i = 0; i < 256; ++i) contents.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteFileAtomic(path, contents).ok());
+  EXPECT_EQ(ReadAll(path), contents);
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, FailsCleanlyOnBadDirectory) {
+  const Status written =
+      WriteFileAtomic("/nonexistent-dir-privhp/file.bin", "x");
+  EXPECT_TRUE(written.IsIOError());
+}
+
+TEST(AtomicFileWriterTest, AppendWriteAtCommit) {
+  const std::string path = TestPath("writer_patch.bin");
+  auto writer = AtomicFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  // Placeholder header, then body, then patch the header — the packer's
+  // write pattern.
+  ASSERT_TRUE(writer->Append("????", 4).ok());
+  ASSERT_TRUE(writer->Append("body", 4).ok());
+  EXPECT_EQ(writer->size(), 8u);
+  ASSERT_TRUE(writer->WriteAt(0, "HEAD", 4).ok());
+  EXPECT_EQ(writer->size(), 8u);
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(ReadAll(path), "HEADbody");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, AbandonedWriterLeavesNothingBehind) {
+  const std::string dir = ::testing::TempDir() + "/atomic_abandon_dir";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  const std::string path = dir + "/never_committed.bin";
+  {
+    auto writer = AtomicFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("doomed", 6).ok());
+    // No Commit: destruction must unlink the temp file.
+  }
+  EXPECT_TRUE(ListDir(dir).empty());
+  ::rmdir(dir.c_str());
+}
+
+TEST(AtomicFileWriterTest, UncommittedWriterDoesNotTouchTarget) {
+  const std::string path = TestPath("writer_keep_old.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "old bytes").ok());
+  {
+    auto writer = AtomicFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("new bytes that never land", 25).ok());
+  }
+  EXPECT_EQ(ReadAll(path), "old bytes");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, TempFilesAreDistinctUnderConcurrentCreates) {
+  const std::string path = TestPath("writer_concurrent.bin");
+  auto a = AtomicFileWriter::Create(path);
+  auto b = AtomicFileWriter::Create(path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->Append("aa", 2).ok());
+  ASSERT_TRUE(b->Append("bb", 2).ok());
+  ASSERT_TRUE(a->Commit().ok());
+  ASSERT_TRUE(b->Commit().ok());
+  // Last committer wins; neither corrupts the other.
+  EXPECT_EQ(ReadAll(path), "bb");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privhp

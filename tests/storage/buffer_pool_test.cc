@@ -1,0 +1,159 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privhp {
+namespace storage {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+// Loader that fills the page with a byte pattern derived from page_no.
+PageLoader PatternLoader(uint64_t page_no) {
+  return [page_no](uint8_t* dst) {
+    std::memset(dst, static_cast<int>(page_no & 0xff), kPage);
+    return Status::OK();
+  };
+}
+
+bool PageMatches(const uint8_t* data, uint64_t page_no) {
+  for (size_t i = 0; i < kPage; ++i) {
+    if (data[i] != static_cast<uint8_t>(page_no & 0xff)) return false;
+  }
+  return true;
+}
+
+TEST(BufferPoolTest, HitMissAndStats) {
+  BufferPool pool(kPage, 4);
+  EXPECT_EQ(pool.num_frames(), 4u);
+  {
+    auto ref = pool.Fetch(7, PatternLoader(7));
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(PageMatches(ref->data(), 7));
+  }
+  {
+    auto ref = pool.Fetch(7, PatternLoader(7));
+    ASSERT_TRUE(ref.ok());
+  }
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsedUnpinnedFrame) {
+  BufferPool pool(kPage, 2);
+  { auto r = pool.Fetch(1, PatternLoader(1)); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(2, PatternLoader(2)); ASSERT_TRUE(r.ok()); }
+  // Touch page 2 so page 1 is the LRU victim.
+  { auto r = pool.Fetch(2, PatternLoader(2)); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(3, PatternLoader(3)); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  // Page 2 must still be resident; page 1 must have been evicted.
+  { auto r = pool.Fetch(2, PatternLoader(2)); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.stats().hits, 2u);
+  { auto r = pool.Fetch(1, PatternLoader(1)); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.stats().misses, 4u);
+}
+
+TEST(BufferPoolTest, PinnedFrameSurvivesPressure) {
+  BufferPool pool(kPage, 2);
+  auto pinned = pool.Fetch(42, PatternLoader(42));
+  ASSERT_TRUE(pinned.ok());
+  // Churn the other frame hard; the pinned page must never be evicted.
+  for (uint64_t p = 100; p < 110; ++p) {
+    auto r = pool.Fetch(p, PatternLoader(p));
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(PageMatches(r->data(), p));
+  }
+  EXPECT_TRUE(PageMatches(pinned->data(), 42));
+  const uint64_t misses_before = pool.stats().misses;
+  auto again = pool.Fetch(42, PatternLoader(42));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats().misses, misses_before);  // hit, not reload
+}
+
+TEST(BufferPoolTest, AllFramesPinnedFailsCleanly) {
+  BufferPool pool(kPage, 1);
+  auto pinned = pool.Fetch(1, PatternLoader(1));
+  ASSERT_TRUE(pinned.ok());
+  auto blocked = pool.Fetch(2, PatternLoader(2));
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsFailedPrecondition());
+  // Dropping the pin frees the frame for the next fetch.
+  *pinned = PageRef();
+  auto retried = pool.Fetch(2, PatternLoader(2));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_TRUE(PageMatches(retried->data(), 2));
+}
+
+TEST(BufferPoolTest, LoaderFailureLeavesFrameReusable) {
+  BufferPool pool(kPage, 1);
+  auto failed = pool.Fetch(5, [](uint8_t*) {
+    return Status::IOError("disk exploded");
+  });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError());
+  // The frame must not be leaked or left claiming page 5.
+  auto ok = pool.Fetch(5, PatternLoader(5));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(PageMatches(ok->data(), 5));
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPoolTest, MovedFromRefIsInvalid) {
+  BufferPool pool(kPage, 2);
+  auto ref = pool.Fetch(9, PatternLoader(9));
+  ASSERT_TRUE(ref.ok());
+  PageRef moved = std::move(*ref);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(ref->valid());
+  EXPECT_TRUE(PageMatches(moved.data(), 9));
+}
+
+TEST(BufferPoolTest, ZeroFramesClampsToOne) {
+  BufferPool pool(kPage, 0);
+  EXPECT_EQ(pool.num_frames(), 1u);
+  auto ref = pool.Fetch(3, PatternLoader(3));
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(PageMatches(ref->data(), 3));
+}
+
+TEST(BufferPoolTest, ConcurrentFetchesSeeConsistentPages) {
+  BufferPool pool(kPage, 4);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &corrupt, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t page = static_cast<uint64_t>((t * 31 + i) % 16);
+        auto ref = pool.Fetch(page, PatternLoader(page));
+        if (!ref.ok() || !PageMatches(ref->data(), page)) {
+          corrupt.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace privhp

@@ -7,8 +7,11 @@
 //   privhp heavy   --tree generator.tree --dim 1 --threshold 0.05
 //   privhp w1      --a a.csv --b b.csv --dim 1        (exact for d = 1,
 //                                                      sliced otherwise)
+//   privhp pack    --tree generator.tree --out generator.paged
+//                  [--page-size BYTES]
 //   privhp serve   --unix /tmp/privhp.sock | --port 7557
 //                  [--load name=gen.tree ...] [--workers N]
+//                  [--memory-budget-mb MB]
 //   privhp query   --unix PATH | --host H --port P  --artifact NAME
 //                  --sample M | --quantile Q | --heavy T |
 //                  --level L --index I | --export F | --list
@@ -40,6 +43,8 @@
 #include "io/point_stream.h"
 #include "service/client.h"
 #include "service/server.h"
+#include "storage/artifact_packer.h"
+#include "storage/file_io.h"
 
 namespace privhp {
 namespace {
@@ -73,9 +78,11 @@ int Usage() {
       "  privhp quantile --tree gen.tree --q Q [--q Q2 ...]   (dim 1)\n"
       "  privhp heavy    --tree gen.tree --dim D --threshold T\n"
       "  privhp w1       --a a.csv --b b.csv --dim D\n"
+      "  privhp pack     --tree gen.tree --out gen.paged\n"
+      "                  [--page-size BYTES]\n"
       "  privhp serve    --unix PATH | --port P [--host H]\n"
       "                  [--load name=gen.tree ...] [--workers N]\n"
-      "                  [--seed S]\n"
+      "                  [--seed S] [--memory-budget-mb MB]\n"
       "  privhp query    --unix PATH | --host H --port P [--artifact A]\n"
       "                  --list | --sample M [--seed S] [--out F]\n"
       "                  | --quantile Q [--quantile Q2 ...]\n"
@@ -295,6 +302,32 @@ int W1(const Args& args) {
   return 0;
 }
 
+int Pack(const Args& args) {
+  const std::string* tree = args.Get("tree");
+  const std::string* out = args.Get("out");
+  if (!tree || !out) {
+    std::fprintf(stderr, "pack needs --tree and --out\n");
+    return 2;
+  }
+  storage::PackOptions options;
+  if (const std::string* page_size = args.Get("page-size")) {
+    options.page_size =
+        static_cast<uint32_t>(std::strtoul(page_size->c_str(), nullptr, 10));
+  }
+  const Status packed = storage::PackTreeFile(*tree, *out, options);
+  if (!packed.ok()) {
+    std::fprintf(stderr, "%s\n", packed.ToString().c_str());
+    return 1;
+  }
+  auto size = storage::FileSize(*out);
+  std::fprintf(stderr, "packed %s -> %s (%llu bytes, %u-byte pages)\n",
+               tree->c_str(), out->c_str(),
+               static_cast<unsigned long long>(
+                   size.ok() ? *size : uint64_t{0}),
+               options.page_size);
+  return 0;
+}
+
 volatile std::sig_atomic_t g_shutdown = 0;
 
 void HandleShutdownSignal(int) { g_shutdown = 1; }
@@ -312,7 +345,12 @@ int Serve(const Args& args) {
     return 2;
   }
 
-  ArtifactRegistry registry;
+  RegistryOptions registry_options;
+  registry_options.memory_budget_bytes =
+      std::strtoull(args.GetOr("memory-budget-mb", "0").c_str(), nullptr,
+                    10) *
+      (size_t{1} << 20);
+  ArtifactRegistry registry(registry_options);
   auto it = args.flags.find("load");
   if (it != args.flags.end()) {
     for (const std::string& spec : it->second) {
@@ -563,6 +601,7 @@ int Run(int argc, char** argv) {
   if (args->command == "quantile") return Quantile(*args);
   if (args->command == "heavy") return Heavy(*args);
   if (args->command == "w1") return W1(*args);
+  if (args->command == "pack") return Pack(*args);
   if (args->command == "serve") return Serve(*args);
   if (args->command == "query") return Query(*args);
   if (args->command == "ingest") return Ingest(*args);
