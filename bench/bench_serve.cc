@@ -1,16 +1,22 @@
 // Serve-path throughput: an in-process PrivHPServer over a Unix socket,
 // hammered by concurrent client threads.
 //
-//   bench_serve [--smoke] [--clients C] [--requests R] [--m M] [--n N]
-//               [--workers W]
+//   bench_serve [--smoke] [--stats-smoke] [--clients C] [--requests R]
+//               [--m M] [--n N] [--workers W]
 //
-// Reports requests/s and points/s for a SAMPLE workload (m points per
-// request, streamed in batch frames) and requests/s for a RANGE + mixed
-// read workload, per client count. --smoke shrinks everything so the run
-// doubles as a ctest end-to-end check of the service stack.
+// Reports requests/s, points/s, and client-observed p50/p99 request
+// latency for a SAMPLE workload (m points per request, streamed in batch
+// frames), an INGEST workload, and a RANGE point-read workload, per
+// client count. Per-request latencies are recorded into an obs::Histogram
+// shared by all client threads — the same lock-free recorder the server
+// uses, exercised here from the measuring side. --smoke shrinks
+// everything so the run doubles as a ctest end-to-end check of the
+// service stack; --stats-smoke instead drives a small workload and
+// asserts the STATS wire op reports it.
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -22,6 +28,8 @@
 #include "core/builder.h"
 #include "domain/interval_domain.h"
 #include "io/point_sink.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
 #include "service/client.h"
 #include "service/server.h"
 
@@ -32,12 +40,46 @@ using bench::CountingSink;
 
 struct Config {
   bool smoke = false;
+  bool stats_smoke = false;
   int clients = 4;
   int requests = 50;
   size_t m = 10000;
   size_t n = size_t{1} << 16;
   int workers = 4;
 };
+
+// Records one timed call into the workload's shared histogram.
+class RequestTimer {
+ public:
+  explicit RequestTimer(obs::Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~RequestTimer() {
+    hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+ private:
+  obs::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+void PrintWorkloadRow(int clients, const char* workload, double seconds,
+                      double total_requests, double mpts_per_s,
+                      const obs::Histogram& latency) {
+  const obs::HistogramSnapshot snap = latency.Snapshot();
+  char mpts[16];
+  if (mpts_per_s >= 0) {
+    std::snprintf(mpts, sizeof(mpts), "%.2f", mpts_per_s);
+  } else {
+    std::snprintf(mpts, sizeof(mpts), "-");
+  }
+  std::printf("%8d %10s %12.1f %12.0f %12s %10.1f %10.1f\n", clients,
+              workload, seconds * 1e3, total_requests / seconds, mpts,
+              static_cast<double>(snap.ValueAtQuantile(0.5)) / 1e3,
+              static_cast<double>(snap.ValueAtQuantile(0.99)) / 1e3);
+}
 
 int RunBench(const Config& config) {
   // Release artifact: a mildly skewed 1-D stream.
@@ -84,13 +126,14 @@ int RunBench(const Config& config) {
 
   std::printf("bench_serve: n=%zu, m=%zu/request, %d workers, unix socket\n",
               config.n, config.m, config.workers);
-  std::printf("%8s %10s %12s %12s %12s\n", "clients", "workload", "total_ms",
-              "req/s", "Mpts/s");
+  std::printf("%8s %10s %12s %12s %12s %10s %10s\n", "clients", "workload",
+              "total_ms", "req/s", "Mpts/s", "p50_us", "p99_us");
 
   int failures = 0;
   for (int clients : {1, config.clients}) {
     // SAMPLE workload.
     {
+      obs::Histogram latency;
       bench::Stopwatch watch;
       std::vector<std::thread> threads;
       std::vector<int> errors(clients, 0);
@@ -104,6 +147,7 @@ int RunBench(const Config& config) {
           CountingSink sink;
           for (int r = 0; r < config.requests; ++r) {
             const uint64_t seed = 1 + t * 1000 + r;
+            RequestTimer timer(&latency);
             if (!client->Sample("bench", config.m, seed, &sink).ok()) {
               ++errors[t];
               return;
@@ -121,9 +165,8 @@ int RunBench(const Config& config) {
       const double total_requests =
           static_cast<double>(clients) * config.requests;
       const double total_points = total_requests * config.m;
-      std::printf("%8d %10s %12.1f %12.0f %12.2f\n", clients, "sample",
-                  seconds * 1e3, total_requests / seconds,
-                  total_points / seconds / 1e6);
+      PrintWorkloadRow(clients, "sample", seconds, total_requests,
+                       total_points / seconds / 1e6, latency);
     }
 
     // INGEST workload: each client streams its own copy of the dataset
@@ -138,6 +181,7 @@ int RunBench(const Config& config) {
         dataset.push_back(
             {ingest_rng.UniformDouble() * ingest_rng.UniformDouble()});
       }
+      obs::Histogram latency;
       bench::Stopwatch watch;
       std::vector<std::thread> threads;
       std::vector<int> errors(clients, 0);
@@ -153,6 +197,7 @@ int RunBench(const Config& config) {
           spec.n = config.n;
           spec.batch = 4096;
           VectorPointSource source(&dataset);
+          RequestTimer timer(&latency);
           auto report = client->Ingest(
               "ingest-" + std::to_string(t), spec, &source);
           if (!report.ok() || report->points_sent != config.n) ++errors[t];
@@ -162,15 +207,15 @@ int RunBench(const Config& config) {
       const double seconds = watch.Seconds();
       for (int e : errors) failures += e;
       const double total_points = static_cast<double>(clients) * config.n;
-      std::printf("%8d %10s %12.1f %12.0f %12.2f\n", clients, "ingest",
-                  seconds * 1e3, clients / seconds,
-                  total_points / seconds / 1e6);
+      PrintWorkloadRow(clients, "ingest", seconds, clients,
+                       total_points / seconds / 1e6, latency);
     }
 
     // RANGE (point-read) workload: tiny requests, measures per-request
     // overhead rather than streaming throughput.
     {
       const int reads = config.requests * 20;
+      obs::Histogram latency;
       bench::Stopwatch watch;
       std::vector<std::thread> threads;
       std::vector<int> errors(clients, 0);
@@ -182,6 +227,7 @@ int RunBench(const Config& config) {
             return;
           }
           for (int r = 0; r < reads; ++r) {
+            RequestTimer timer(&latency);
             auto mass = client->RangeMass(
                 "bench", CellId{4, static_cast<uint64_t>(r % 16)});
             if (!mass.ok()) {
@@ -195,8 +241,8 @@ int RunBench(const Config& config) {
       const double seconds = watch.Seconds();
       for (int e : errors) failures += e;
       const double total_requests = static_cast<double>(clients) * reads;
-      std::printf("%8d %10s %12.1f %12.0f %12s\n", clients, "range",
-                  seconds * 1e3, total_requests / seconds, "-");
+      PrintWorkloadRow(clients, "range", seconds, total_requests, -1.0,
+                       latency);
     }
   }
 
@@ -219,6 +265,105 @@ int RunBench(const Config& config) {
   return 0;
 }
 
+// End-to-end STATS check for ctest: drive a small workload against a
+// live server, fetch the snapshot over the wire, and verify the
+// instrumentation reported it. Fails loudly on any missing metric, so a
+// regression in the wire format, the decoder, or the per-endpoint
+// instrumentation turns the bench suite red.
+int RunStatsSmoke() {
+  auto domain = std::make_unique<IntervalDomain>();
+  PrivHPOptions options;
+  options.expected_n = 4096;
+  options.k = 32;
+  options.seed = 42;
+  auto builder = PrivHPBuilder::Make(domain.get(), options);
+  if (!builder.ok()) return 1;
+  RandomEngine data_rng(7);
+  for (size_t i = 0; i < 4096; ++i) {
+    if (!builder->Add({data_rng.UniformDouble()}).ok()) return 1;
+  }
+  auto generator = std::move(*builder).Finish();
+  if (!generator.ok()) return 1;
+  ArtifactRegistry registry;
+  if (!registry
+           .Publish("bench", ServedArtifact::Make(std::move(domain),
+                                                  std::move(*generator),
+                                                  "bench"))
+           .ok()) {
+    return 1;
+  }
+  const std::string socket_path =
+      "/tmp/privhp_stats_smoke_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions server_options;
+  server_options.unix_path = socket_path;
+  server_options.num_workers = 2;
+  auto server = PrivHPServer::Start(&registry, server_options);
+  if (!server.ok()) return 1;
+
+  int checks_failed = 0;
+  auto expect = [&checks_failed](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "stats smoke FAILED: %s\n", what);
+      ++checks_failed;
+    }
+  };
+
+  {
+    auto client = PrivHPClient::ConnectUnix(socket_path);
+    expect(client.ok(), "connect");
+    if (!client.ok()) return 1;
+    CountingSink sink;
+    for (int r = 0; r < 3; ++r) {
+      expect(client->Sample("bench", 500, uint64_t(r + 1), &sink).ok(),
+             "sample request");
+    }
+    for (int r = 0; r < 5; ++r) {
+      expect(client->RangeMass(
+                       "bench", CellId{3, static_cast<uint64_t>(r % 8)})
+                 .ok(),
+             "range request");
+    }
+    expect(!client->RangeMass("ghost", CellId{1, 0}).ok(),
+           "range on missing artifact must fail");
+
+    auto snap = client->Stats();
+    expect(snap.ok(), "STATS round trip");
+    if (snap.ok()) {
+      expect(snap->CounterOr("op.sample.requests") == 3,
+             "op.sample.requests == 3");
+      expect(snap->CounterOr("op.range.requests") == 6,
+             "op.range.requests == 6");
+      expect(snap->CounterOr("op.range.errors") == 1,
+             "op.range.errors == 1");
+      expect(snap->CounterOr("sample.points") == 1500,
+             "sample.points == 1500");
+      const obs::HistogramSnapshot* lat =
+          snap->FindHistogram("op.sample.latency_ns");
+      expect(lat != nullptr && lat->Count() == 3 &&
+                 lat->ValueAtQuantile(0.99) > 0,
+             "sample latency histogram populated");
+      const obs::HistogramSnapshot* out =
+          snap->FindHistogram("op.sample.bytes_out");
+      expect(out != nullptr && out->max > 500 * 8,
+             "sample bytes_out reflects streamed payload");
+      expect(snap->GaugeOr("server.workers_total") == 2,
+             "server.workers_total == 2");
+      expect(snap->GaugeOr("registry.artifacts") == 1,
+             "registry.artifacts == 1");
+      expect(snap->GaugeOr("artifact.bench.resident_bytes") > 0,
+             "artifact.bench.resident_bytes > 0");
+      expect(snap->CounterOr("op.stats.requests") == 1,
+             "op.stats.requests counted before snapshot");
+    }
+  }
+
+  (*server)->Stop();
+  std::remove(socket_path.c_str());
+  if (checks_failed > 0) return 1;
+  std::printf("stats smoke: all checks passed\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace privhp
 
@@ -231,6 +376,8 @@ int main(int argc, char** argv) {
     };
     if (flag == "--smoke") {
       config.smoke = true;
+    } else if (flag == "--stats-smoke") {
+      config.stats_smoke = true;
     } else if (flag == "--clients") {
       config.clients = std::atoi(next());
     } else if (flag == "--requests") {
@@ -246,6 +393,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (config.stats_smoke) return privhp::RunStatsSmoke();
   if (config.smoke) {
     config.clients = 4;
     config.requests = 5;

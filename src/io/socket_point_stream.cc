@@ -224,8 +224,10 @@ Status SocketPointSink::AddAll(const PointBatch& batch) {
 
 Status SocketPointSink::Flush() {
   if (buffer_.empty()) return Status::OK();
-  PRIVHP_RETURN_NOT_OK(SendFrame(*sock_, EncodePointBatch(buffer_)));
+  const std::string payload = EncodePointBatch(buffer_);
+  PRIVHP_RETURN_NOT_OK(SendFrame(*sock_, payload));
   num_sent_ += buffer_.size();
+  bytes_sent_ += payload.size();
   buffer_.Clear();
   return Status::OK();
 }
@@ -236,7 +238,9 @@ Status SocketPointSink::FinishStream() {
   }
   PRIVHP_RETURN_NOT_OK(Flush());
   finished_ = true;
-  return SendFrame(*sock_, EncodePointStreamEnd(num_sent_));
+  const std::string end = EncodePointStreamEnd(num_sent_);
+  bytes_sent_ += end.size();
+  return SendFrame(*sock_, end);
 }
 
 SocketPointSource::SocketPointSource(const Socket* sock, int expected_dim,
@@ -287,10 +291,12 @@ Result<bool> SocketPointSource::RecvBatchFrame() {
     return Status::IOError("connection closed before end of point stream");
   }
   if (frame_.empty()) return Status::IOError("empty frame in point stream");
+  bytes_received_ += frame_.size();
   if (static_cast<uint8_t>(frame_[0]) == kPointStreamEndTag) {
     PRIVHP_RETURN_NOT_OK(ConsumeEndFrame());
     return false;
   }
+  ++num_batches_;
   return true;
 }
 

@@ -85,6 +85,10 @@ class SocketPointSink : public PointSink {
   Status AddAll(const PointBatch& batch) override;
   uint64_t num_processed() const override { return num_sent_; }
 
+  /// \brief Wire payload bytes flushed so far (batch + end frames) —
+  /// what the server's per-op bytes-out histogram records for SAMPLE.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
   /// \brief Sends any buffered points now.
   Status Flush();
 
@@ -99,6 +103,7 @@ class SocketPointSink : public PointSink {
   // the first point and must stay fixed for the stream's lifetime.
   PointBatch buffer_;
   uint64_t num_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
   bool finished_ = false;
 };
 
@@ -143,6 +148,14 @@ class SocketPointSource : public PointSource {
   /// \brief Points yielded so far.
   uint64_t num_received() const { return num_received_; }
 
+  /// \brief Batch frames received so far (the ingest pipeline's batch
+  /// counter; the end frame is not counted).
+  uint64_t num_batches() const { return num_batches_; }
+
+  /// \brief Wire payload bytes received so far (batch + end frames) —
+  /// what the server's per-op bytes-in histogram records for INGEST.
+  uint64_t bytes_received() const { return bytes_received_; }
+
   /// \brief True once the end frame has been consumed.
   bool finished() const { return finished_; }
 
@@ -170,6 +183,8 @@ class SocketPointSource : public PointSource {
   std::deque<Point> buffer_;
   std::string frame_;
   uint64_t num_received_ = 0;
+  uint64_t num_batches_ = 0;
+  uint64_t bytes_received_ = 0;
   bool finished_ = false;
   bool cancelled_ = false;
 };

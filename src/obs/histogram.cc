@@ -1,0 +1,72 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privhp {
+namespace obs {
+
+uint64_t HistogramSnapshot::Count() const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  return total;
+}
+
+double HistogramSnapshot::Mean() const {
+  const uint64_t count = Count();
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  const uint64_t count = Count();
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th event, 1-based; q = 0 means the first event.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      if (i == kHistogramBuckets - 1) return max;  // overflow bucket
+      const uint64_t lo = HistogramBucketLowerBound(i);
+      const uint64_t hi = HistogramBucketUpperBound(i);
+      return std::min(max, lo + (hi - lo) / 2);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] =
+        buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+  }
+  d.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  d.max = max;
+  return d;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace obs
+}  // namespace privhp

@@ -1,0 +1,70 @@
+#include "obs/metrics_registry.h"
+
+namespace privhp {
+namespace obs {
+
+uint64_t MetricsSnapshot::CounterOr(const std::string& name,
+                                    uint64_t fallback) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+int64_t MetricsSnapshot::GaugeOr(const std::string& name,
+                                 int64_t fallback) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h.hist;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    s.counters.push_back({entry.first, entry.second->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    s.gauges.push_back({entry.first, entry.second->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    s.histograms.push_back({entry.first, entry.second->Snapshot()});
+  }
+  return s;
+}
+
+}  // namespace obs
+}  // namespace privhp

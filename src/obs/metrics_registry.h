@@ -1,0 +1,109 @@
+// Process-wide named metrics: counters, gauges, and histograms.
+//
+// The registry is a rendezvous, not a hot path: instrumented code looks
+// a metric up ONCE (under the registry mutex, typically at subsystem
+// construction) and keeps the returned pointer, which stays valid for
+// the registry's lifetime. Recording through the pointer is lock-free —
+// a relaxed atomic add for counters/gauges, the fixed-bucket atomic
+// array for histograms (obs/histogram.h).
+//
+// Snapshot() copies every metric into plain structs sorted by name —
+// the deterministic inventory the STATS wire op serializes and
+// `privhp stats` / `privhp top` render. Metric names are dotted paths
+// ("op.sample.latency_ns", "pool.hits"); per-endpoint metrics are
+// distinct names, so the snapshot stays a flat, bounded list.
+
+#ifndef PRIVHP_OBS_METRICS_REGISTRY_H_
+#define PRIVHP_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace privhp {
+namespace obs {
+
+/// \brief Monotonic event counter (relaxed atomic).
+class Counter {
+ public:
+  void Inc() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed level (queue depth, busy workers, bytes
+/// resident).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Every metric at one instant, sorted by name. Plain data: safe
+/// to copy, merge, and serialize.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    HistogramSnapshot hist;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// \brief Value of the named counter/gauge, or \p fallback when absent
+  /// (linear scan — snapshots are small and this is display/test code).
+  uint64_t CounterOr(const std::string& name, uint64_t fallback = 0) const;
+  int64_t GaugeOr(const std::string& name, int64_t fallback = 0) const;
+  /// \brief The named histogram, or nullptr when absent.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+};
+
+/// \brief Thread-safe name -> metric map. Metrics are created on first
+/// lookup and never removed, so returned pointers are stable for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// \brief Copies every metric, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace privhp
+
+#endif  // PRIVHP_OBS_METRICS_REGISTRY_H_

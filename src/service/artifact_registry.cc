@@ -137,6 +137,7 @@ Status ArtifactRegistry::Publish(
     // holding mu_ would stall every concurrent Get().
     replaced = std::exchange(artifacts_[name], std::move(artifact));
   }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

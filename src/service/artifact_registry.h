@@ -25,6 +25,7 @@
 #ifndef PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_
 #define PRIVHP_SERVICE_ARTIFACT_REGISTRY_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,23 @@ class ServedArtifact {
 
   bool is_paged() const { return paged_ != nullptr; }
   const storage::PagedArtifact* paged() const { return paged_.get(); }
+
+  /// \brief Which serving representation backs this artifact. The
+  /// numeric values are what the STATS snapshot reports in
+  /// "artifact.<name>.repr" gauges, so they are part of the wire
+  /// contract — append, never renumber.
+  enum class Representation { kHeap = 0, kMmap = 1, kPool = 2 };
+  Representation representation() const {
+    if (!paged_) return Representation::kHeap;
+    return paged_->pooled() ? Representation::kPool : Representation::kMmap;
+  }
+
+  /// \brief The buffer pool serving this artifact, or nullptr for the
+  /// heap and mmap representations (observability surface for the
+  /// pool's hit/miss/eviction/checksum-verify counters).
+  const storage::BufferPool* buffer_pool() const {
+    return paged_ ? paged_->pool() : nullptr;
+  }
 
   // ---- Representation-independent query surface (what the server
   // handlers call). Bit-identical across heap/mmap/pooled.
@@ -167,12 +185,19 @@ class ArtifactRegistry {
   /// \brief Summed ResidentBytes of the published artifacts.
   size_t resident_bytes() const;
 
+  /// \brief Successful Publish() calls over the registry's lifetime
+  /// (LoadFile and INGEST both land here) — monotonic, unlike size().
+  uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
   const RegistryOptions& options() const { return options_; }
 
  private:
   RegistryOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ServedArtifact>> artifacts_;
+  std::atomic<uint64_t> publishes_{0};
 };
 
 }  // namespace privhp

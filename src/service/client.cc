@@ -48,6 +48,16 @@ Result<std::vector<std::string>> PrivHPClient::List() {
   return names;
 }
 
+Result<obs::MetricsSnapshot> PrivHPClient::Stats() {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(Call(EncodeStatsRequest(), &frame, &payload));
+  PRIVHP_ASSIGN_OR_RETURN(obs::MetricsSnapshot snapshot,
+                          DecodeStatsSnapshot(&payload));
+  PRIVHP_RETURN_NOT_OK(payload.ExpectEnd());
+  return snapshot;
+}
+
 Status PrivHPClient::Sample(const std::string& artifact, uint64_t m,
                             uint64_t seed, PointSink* sink) {
   if (sink == nullptr) {

@@ -17,6 +17,7 @@
 #include "domain/domain.h"
 #include "io/frame_socket.h"
 #include "io/point_sink.h"
+#include "obs/metrics_registry.h"
 #include "service/protocol.h"
 
 namespace privhp {
@@ -58,6 +59,11 @@ class PrivHPClient {
   /// server, so a served artifact can be compared bit-for-bit against a
   /// file-built one (or re-persisted locally).
   Result<std::string> Export(const std::string& artifact);
+
+  /// \brief The server's metrics snapshot (the STATS op): per-endpoint
+  /// latency/byte histograms, queue and worker gauges, registry and
+  /// buffer-pool state. Drives `privhp stats` and `privhp top`.
+  Result<obs::MetricsSnapshot> Stats();
 
   /// \brief Ingest parameters (mirrors `privhp build` flags).
   struct IngestSpec {

@@ -66,6 +66,12 @@ std::string EncodeExportRequest(const std::string& artifact) {
   return w.Take();
 }
 
+std::string EncodeStatsRequest() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ServiceOp::kStats));
+  return w.Take();
+}
+
 std::string EncodeIngestRequest(const ServiceRequest& spec) {
   WireWriter w;
   PutOpAndName(&w, ServiceOp::kIngest, spec.artifact);
@@ -85,6 +91,7 @@ Result<ServiceRequest> ParseRequest(const std::string& frame) {
   switch (op) {
     case static_cast<uint8_t>(ServiceOp::kPing):
     case static_cast<uint8_t>(ServiceOp::kList):
+    case static_cast<uint8_t>(ServiceOp::kStats):
       req.op = static_cast<ServiceOp>(op);
       PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
       return req;
@@ -166,6 +173,91 @@ Status ParseResponse(const std::string& frame, WireReader* payload) {
   }
   *payload = r;
   return Status::OK();
+}
+
+void EncodeStatsSnapshot(const obs::MetricsSnapshot& snapshot,
+                         WireWriter* w) {
+  w->PutU32(kStatsSnapshotVersion);
+  w->PutU32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& c : snapshot.counters) {
+    w->PutString(c.name);
+    w->PutU64(c.value);
+  }
+  w->PutU32(static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& g : snapshot.gauges) {
+    w->PutString(g.name);
+    w->PutU64(static_cast<uint64_t>(g.value));
+  }
+  w->PutU32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const auto& h : snapshot.histograms) {
+    w->PutString(h.name);
+    w->PutU64(h.hist.sum);
+    w->PutU64(h.hist.max);
+    uint32_t nonzero = 0;
+    for (uint64_t b : h.hist.buckets) nonzero += b != 0;
+    w->PutU32(nonzero);
+    for (uint32_t i = 0; i < obs::kHistogramBuckets; ++i) {
+      if (h.hist.buckets[i] == 0) continue;
+      w->PutU32(i);
+      w->PutU64(h.hist.buckets[i]);
+    }
+  }
+}
+
+Result<obs::MetricsSnapshot> DecodeStatsSnapshot(WireReader* payload) {
+  PRIVHP_ASSIGN_OR_RETURN(const uint32_t version, payload->U32());
+  if (version != kStatsSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported STATS snapshot version " + std::to_string(version) +
+        " (this client speaks version " +
+        std::to_string(kStatsSnapshotVersion) + ")");
+  }
+  obs::MetricsSnapshot snapshot;
+  // A counter entry is at least a 4-byte name length + an 8-byte value.
+  PRIVHP_ASSIGN_OR_RETURN(const uint32_t n_counters,
+                          payload->BoundedCount(12));
+  snapshot.counters.reserve(n_counters);
+  for (uint32_t i = 0; i < n_counters; ++i) {
+    obs::MetricsSnapshot::CounterValue c;
+    PRIVHP_ASSIGN_OR_RETURN(c.name, payload->String());
+    PRIVHP_ASSIGN_OR_RETURN(c.value, payload->U64());
+    snapshot.counters.push_back(std::move(c));
+  }
+  PRIVHP_ASSIGN_OR_RETURN(const uint32_t n_gauges, payload->BoundedCount(12));
+  snapshot.gauges.reserve(n_gauges);
+  for (uint32_t i = 0; i < n_gauges; ++i) {
+    obs::MetricsSnapshot::GaugeValue g;
+    PRIVHP_ASSIGN_OR_RETURN(g.name, payload->String());
+    PRIVHP_ASSIGN_OR_RETURN(const uint64_t raw, payload->U64());
+    g.value = static_cast<int64_t>(raw);
+    snapshot.gauges.push_back(std::move(g));
+  }
+  // A histogram entry is at least name length + sum + max + bucket count.
+  PRIVHP_ASSIGN_OR_RETURN(const uint32_t n_hists, payload->BoundedCount(24));
+  snapshot.histograms.reserve(n_hists);
+  for (uint32_t i = 0; i < n_hists; ++i) {
+    obs::MetricsSnapshot::HistogramValue h;
+    PRIVHP_ASSIGN_OR_RETURN(h.name, payload->String());
+    PRIVHP_ASSIGN_OR_RETURN(h.hist.sum, payload->U64());
+    PRIVHP_ASSIGN_OR_RETURN(h.hist.max, payload->U64());
+    // Sparse bucket entries: u32 index + u64 count each. The index lands
+    // in a fixed array, so validate it against the scheme the version
+    // byte promised — never index from an unchecked wire value.
+    PRIVHP_ASSIGN_OR_RETURN(const uint32_t n_buckets,
+                            payload->BoundedCount(12));
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+      PRIVHP_ASSIGN_OR_RETURN(const uint32_t index, payload->U32());
+      PRIVHP_ASSIGN_OR_RETURN(const uint64_t count, payload->U64());
+      if (index >= obs::kHistogramBuckets) {
+        return Status::IOError("STATS histogram bucket index " +
+                               std::to_string(index) +
+                               " outside the version-1 bucket array");
+      }
+      h.hist.buckets[index] += count;
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
 }
 
 }  // namespace privhp

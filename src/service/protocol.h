@@ -15,6 +15,10 @@
 //   QUANTILE name q...                 -> OK [count:u32][value:double...]
 //   HEAVY    name threshold            -> OK [count:u32]
 //                                         [(level:u32,index:u64,frac:f64)...]
+//   STATS                              -> OK, versioned metrics snapshot
+//                                         (counters, gauges, fixed-bucket
+//                                         histograms; see
+//                                         EncodeStatsSnapshot below)
 //   EXPORT   name                      -> OK [total:u64], then chunk
 //                                         frames [kExportChunkTag:u8]
 //                                         [raw bytes], then an end frame
@@ -42,6 +46,7 @@
 #include "common/status.h"
 #include "core/queries.h"
 #include "io/wire_format.h"
+#include "obs/metrics_registry.h"
 
 namespace privhp {
 
@@ -61,6 +66,7 @@ enum class ServiceOp : uint8_t {
   kQuantile = 0x05,
   kHeavy = 0x06,
   kExport = 0x07,
+  kStats = 0x08,
   kIngest = 0x10,
 };
 
@@ -102,6 +108,7 @@ std::string EncodeQuantileRequest(const std::string& artifact,
                                   const std::vector<double>& qs);
 std::string EncodeHeavyRequest(const std::string& artifact, double threshold);
 std::string EncodeExportRequest(const std::string& artifact);
+std::string EncodeStatsRequest();
 std::string EncodeIngestRequest(const ServiceRequest& spec);
 
 /// \brief Decodes any request frame (server side).
@@ -116,6 +123,28 @@ WireWriter BeginOkResponse();
 /// \brief Splits a response frame: returns the embedded error Status, or
 /// OK with \p payload positioned after the status byte.
 Status ParseResponse(const std::string& frame, WireReader* payload);
+
+/// \brief STATS snapshot payload version. Version 1 fixes both the field
+/// layout and the histogram bucket scheme (obs/histogram.h), so a peer
+/// that decodes version 1 can map bucket indices back to value bounds.
+inline constexpr uint32_t kStatsSnapshotVersion = 1;
+
+/// \brief Appends a STATS snapshot payload after the OK byte:
+///   [version:u32]
+///   [count:u32] { name:string value:u64 }        counters
+///   [count:u32] { name:string value:u64 }        gauges (two's complement)
+///   [count:u32] { name:string sum:u64 max:u64
+///                 [buckets:u32] { index:u32 count:u64 } }   histograms
+/// Histogram buckets are sparse (zero buckets are skipped), so a
+/// snapshot frame stays small no matter how wide the bucket array is.
+void EncodeStatsSnapshot(const obs::MetricsSnapshot& snapshot, WireWriter* w);
+
+/// \brief Decodes a STATS snapshot payload. Every peer-declared count is
+/// bounded against the remaining payload (WireReader::BoundedCount), and
+/// bucket indices are validated against the fixed bucket array, so a
+/// lying server cannot force a large allocation or an out-of-range
+/// write. Rejects unknown snapshot versions.
+Result<obs::MetricsSnapshot> DecodeStatsSnapshot(WireReader* payload);
 
 }  // namespace privhp
 

@@ -17,7 +17,17 @@
 namespace privhp {
 
 PrivHPServer::PrivHPServer(ArtifactRegistry* registry, ServerOptions options)
-    : registry_(registry), options_(std::move(options)) {}
+    : registry_(registry), options_(std::move(options)) {
+  metrics_registry_ = options_.metrics;
+  if (metrics_registry_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_registry_ = owned_metrics_.get();
+  }
+  // Resolve every handle now: the request loop records through raw
+  // pointers and never touches the registry mutex.
+  metrics_ = std::make_unique<ServiceMetrics>(metrics_registry_);
+  metrics_->workers_total->Set(options_.num_workers);
+}
 
 Result<std::unique_ptr<PrivHPServer>> PrivHPServer::Start(
     ArtifactRegistry* registry, const ServerOptions& options) {
@@ -138,8 +148,10 @@ void PrivHPServer::AcceptLoop(Socket listener) {
     }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_.push_back(std::move(*conn));
+      pending_.push_back(
+          PendingConn{std::move(*conn), std::chrono::steady_clock::now()});
     }
+    metrics_->queue_depth->Add(1);
     queue_cv_.notify_one();
   }
 }
@@ -149,16 +161,25 @@ void PrivHPServer::WorkerLoop(int worker_index) {
       RandomEngine(options_.seed).Fork(static_cast<uint64_t>(worker_index));
   for (;;) {
     Socket conn;
+    std::chrono::steady_clock::time_point enqueued;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
         return stopping_.load() || !pending_.empty();
       });
       if (stopping_.load()) return;
-      conn = std::move(pending_.front());
+      conn = std::move(pending_.front().sock);
+      enqueued = pending_.front().enqueued;
       pending_.pop_front();
     }
+    metrics_->queue_depth->Add(-1);
+    metrics_->queue_wait_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - enqueued)
+            .count()));
+    metrics_->workers_busy->Add(1);
     ServeConnection(conn, &engine);
+    metrics_->workers_busy->Add(-1);
   }
 }
 
@@ -181,36 +202,64 @@ void PrivHPServer::ServeConnection(const Socket& conn, RandomEngine* engine) {
     Result<ServiceRequest> req = ParseRequest(frame);
     if (!req.ok()) {
       // A frame we cannot parse means the peer speaks a different
-      // protocol; answer once and drop the connection.
+      // protocol; answer once and drop the connection. There is no
+      // endpoint to charge the error to, so only the server totals see
+      // it.
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
       (void)SendFrame(conn, EncodeErrorResponse(req.status()));
       return;
     }
-    if (!Dispatch(conn, *req, engine).ok()) return;
+    // Latency covers dispatch through the last response frame (send
+    // included: a slow-reading peer IS tail latency to the next request
+    // on this connection). Bytes in/out are per-request wire payloads —
+    // INGEST adds its streamed point frames, SAMPLE its response stream.
+    const auto started = std::chrono::steady_clock::now();
+    RequestScope scope;
+    scope.ep = &metrics_->ForOp(req->op);
+    scope.bytes_in = frame.size();
+    scope.ep->requests->Inc();
+    const Status handled = Dispatch(conn, *req, engine, &scope);
+    scope.ep->latency_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+    scope.ep->bytes_in->Record(scope.bytes_in);
+    scope.ep->bytes_out->Record(scope.bytes_out);
+    if (!handled.ok()) return;
   }
 }
 
-Status PrivHPServer::SendError(const Socket& conn, const Status& error) {
+Status PrivHPServer::SendError(const Socket& conn, const Status& error,
+                               RequestScope* scope) {
   stats_.errors.fetch_add(1, std::memory_order_relaxed);
-  return SendFrame(conn, EncodeErrorResponse(error));
+  if (scope != nullptr && scope->ep != nullptr) scope->ep->errors->Inc();
+  return SendCounted(conn, EncodeErrorResponse(error), scope);
+}
+
+Status PrivHPServer::SendCounted(const Socket& conn, const std::string& frame,
+                                 RequestScope* scope) {
+  if (scope != nullptr) scope->bytes_out += frame.size();
+  return SendFrame(conn, frame);
 }
 
 Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
-                              RandomEngine* engine) {
+                              RandomEngine* engine, RequestScope* scope) {
   switch (req.op) {
     case ServiceOp::kPing:
-      return SendFrame(conn, BeginOkResponse().Take());
+      return SendCounted(conn, BeginOkResponse().Take(), scope);
     case ServiceOp::kList: {
       WireWriter w = BeginOkResponse();
       const std::vector<std::string> names = registry_->List();
       w.PutU32(static_cast<uint32_t>(names.size()));
       for (const std::string& name : names) w.PutString(name);
-      return SendFrame(conn, w.Take());
+      return SendCounted(conn, w.Take(), scope);
     }
+    case ServiceOp::kStats:
+      return HandleStats(conn, scope);
     case ServiceOp::kSample:
-      return HandleSample(conn, req, engine);
+      return HandleSample(conn, req, engine, scope);
     case ServiceOp::kIngest:
-      return HandleIngest(conn, req);
+      return HandleIngest(conn, req, scope);
     default:
       break;
   }
@@ -221,34 +270,36 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
   // file all answer with identical bytes.
   Result<std::shared_ptr<const ServedArtifact>> artifact =
       registry_->Get(req.artifact);
-  if (!artifact.ok()) return SendError(conn, artifact.status());
+  if (!artifact.ok()) return SendError(conn, artifact.status(), scope);
 
   switch (req.op) {
     case ServiceOp::kRange: {
       if (req.level > 62 || (req.index >> req.level) != 0) {
-        return SendError(conn, Status::InvalidArgument(
-                                   "cell index out of range for level " +
-                                   std::to_string(req.level)));
+        return SendError(conn,
+                         Status::InvalidArgument(
+                             "cell index out of range for level " +
+                             std::to_string(req.level)),
+                         scope);
       }
       Result<double> fraction = (*artifact)->RangeMass(
           CellId{static_cast<int>(req.level), req.index});
-      if (!fraction.ok()) return SendError(conn, fraction.status());
+      if (!fraction.ok()) return SendError(conn, fraction.status(), scope);
       WireWriter w = BeginOkResponse();
       w.PutDouble(*fraction);
-      return SendFrame(conn, w.Take());
+      return SendCounted(conn, w.Take(), scope);
     }
     case ServiceOp::kQuantile: {
       Result<std::vector<double>> values = (*artifact)->Quantiles(req.qs);
-      if (!values.ok()) return SendError(conn, values.status());
+      if (!values.ok()) return SendError(conn, values.status(), scope);
       WireWriter w = BeginOkResponse();
       w.PutU32(static_cast<uint32_t>(values->size()));
       for (double v : *values) w.PutDouble(v);
-      return SendFrame(conn, w.Take());
+      return SendCounted(conn, w.Take(), scope);
     }
     case ServiceOp::kHeavy: {
       Result<std::vector<HeavyCell>> heavy =
           (*artifact)->Heavy(req.threshold);
-      if (!heavy.ok()) return SendError(conn, heavy.status());
+      if (!heavy.ok()) return SendError(conn, heavy.status(), scope);
       WireWriter w = BeginOkResponse();
       w.PutU32(static_cast<uint32_t>(heavy->size()));
       for (const HeavyCell& cell : *heavy) {
@@ -256,20 +307,22 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
         w.PutU64(cell.cell.index);
         w.PutDouble(cell.fraction);
       }
-      return SendFrame(conn, w.Take());
+      return SendCounted(conn, w.Take(), scope);
     }
     case ServiceOp::kExport:
-      return HandleExport(conn, **artifact);
+      return HandleExport(conn, **artifact, scope);
     default:
       return SendError(conn,
-                       Status::Internal("unhandled opcode in dispatch"));
+                       Status::Internal("unhandled opcode in dispatch"),
+                       scope);
   }
 }
 
 Status PrivHPServer::HandleExport(const Socket& conn,
-                                  const ServedArtifact& artifact) {
+                                  const ServedArtifact& artifact,
+                                  RequestScope* scope) {
   Result<std::string> blob = artifact.ExportBlob();
-  if (!blob.ok()) return SendError(conn, blob.status());
+  if (!blob.ok()) return SendError(conn, blob.status(), scope);
 
   // Stream the blob across as many chunk frames as it needs: the OK
   // header promises the total, each chunk carries raw bytes, and the
@@ -277,7 +330,7 @@ Status PrivHPServer::HandleExport(const Socket& conn,
   // size can hit the frame limit.
   WireWriter header = BeginOkResponse();
   header.PutU64(blob->size());
-  PRIVHP_RETURN_NOT_OK(SendFrame(conn, header.Take()));
+  PRIVHP_RETURN_NOT_OK(SendCounted(conn, header.Take(), scope));
 
   const size_t chunk_bytes = std::min<size_t>(
       std::max<size_t>(1, options_.export_chunk_bytes), kMaxFrameBytes - 16);
@@ -286,30 +339,33 @@ Status PrivHPServer::HandleExport(const Socket& conn,
     WireWriter w;
     w.PutU8(kExportChunkTag);
     w.PutBytes(blob->data() + off, n);
-    PRIVHP_RETURN_NOT_OK(SendFrame(conn, w.Take()));
+    PRIVHP_RETURN_NOT_OK(SendCounted(conn, w.Take(), scope));
   }
   WireWriter end;
   end.PutU8(kExportEndTag);
   end.PutU64(blob->size());
-  return SendFrame(conn, end.Take());
+  return SendCounted(conn, end.Take(), scope);
 }
 
 Status PrivHPServer::HandleSample(const Socket& conn,
                                   const ServiceRequest& req,
-                                  RandomEngine* engine) {
+                                  RandomEngine* engine,
+                                  RequestScope* scope) {
   Result<std::shared_ptr<const ServedArtifact>> artifact =
       registry_->Get(req.artifact);
-  if (!artifact.ok()) return SendError(conn, artifact.status());
+  if (!artifact.ok()) return SendError(conn, artifact.status(), scope);
   if (options_.max_sample_points > 0 && req.m > options_.max_sample_points) {
-    return SendError(conn, Status::InvalidArgument(
-                               "m exceeds the server's per-request limit "
-                               "of " +
-                               std::to_string(options_.max_sample_points)));
+    return SendError(conn,
+                     Status::InvalidArgument(
+                         "m exceeds the server's per-request limit "
+                         "of " +
+                         std::to_string(options_.max_sample_points)),
+                     scope);
   }
   WireWriter header = BeginOkResponse();
   header.PutU32(static_cast<uint32_t>((*artifact)->domain().dimension()));
   header.PutU64(req.m);
-  PRIVHP_RETURN_NOT_OK(SendFrame(conn, header.Take()));
+  PRIVHP_RETURN_NOT_OK(SendCounted(conn, header.Take(), scope));
 
   // seed != 0: a dedicated engine, so the response depends only on
   // (artifact, m, seed) — not on which worker served it or what it served
@@ -326,20 +382,29 @@ Status PrivHPServer::HandleSample(const Socket& conn,
   // is bit-identical whichever representation serves it.
   for (uint64_t generated = 0; generated < req.m;) {
     if (stopping_.load()) {
+      scope->bytes_out += sink.bytes_sent();
       return Status::FailedPrecondition("server stopping");
     }
     const uint64_t chunk = std::min<uint64_t>(options_.sample_batch,
                                               req.m - generated);
-    PRIVHP_RETURN_NOT_OK((*artifact)->GenerateTo(chunk, rng, &sink));
+    const Status chunked = (*artifact)->GenerateTo(chunk, rng, &sink);
+    if (!chunked.ok()) {
+      scope->bytes_out += sink.bytes_sent();
+      return chunked;
+    }
     generated += chunk;
   }
-  PRIVHP_RETURN_NOT_OK(sink.FinishStream());
+  const Status finished = sink.FinishStream();
+  scope->bytes_out += sink.bytes_sent();
+  PRIVHP_RETURN_NOT_OK(finished);
   stats_.sampled_points.fetch_add(req.m, std::memory_order_relaxed);
+  metrics_->sample_points->Add(req.m);
   return Status::OK();
 }
 
 Status PrivHPServer::HandleIngest(const Socket& conn,
-                                  const ServiceRequest& req) {
+                                  const ServiceRequest& req,
+                                  RequestScope* scope) {
   // Validate before acknowledging: the client only starts streaming after
   // the OK, so an error response here leaves the connection in sync.
   Status invalid = Status::OK();
@@ -357,7 +422,7 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
         "ingest threads must be in [1, " +
         std::to_string(options_.max_ingest_threads) + "]");
   }
-  if (!invalid.ok()) return SendError(conn, invalid);
+  if (!invalid.ok()) return SendError(conn, invalid, scope);
 
   auto domain = std::make_unique<HypercubeDomain>(static_cast<int>(req.dim));
   PrivHPOptions options;
@@ -370,9 +435,9 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
   // ...) are rejected without the client streaming anything.
   {
     Result<PrivHPBuilder> probe = PrivHPBuilder::Make(domain.get(), options);
-    if (!probe.ok()) return SendError(conn, probe.status());
+    if (!probe.ok()) return SendError(conn, probe.status(), scope);
   }
-  PRIVHP_RETURN_NOT_OK(SendFrame(conn, BeginOkResponse().Take()));
+  PRIVHP_RETURN_NOT_OK(SendCounted(conn, BeginOkResponse().Take(), scope));
 
   // The idle timeout rides the source so a peer that opens an ingest
   // session and goes silent frees the worker, same as between requests.
@@ -381,6 +446,10 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
                            options_.idle_timeout_seconds);
   Result<PrivHPGenerator> generator = PrivHPBuilder::BuildParallel(
       domain.get(), options, &source, static_cast<int>(req.threads));
+  // The streamed point frames are this request's real bytes-in, whether
+  // or not the build succeeded; the batch counter feeds ingest.batches.
+  scope->bytes_in += source.bytes_received();
+  metrics_->ingest_batches->Add(source.num_batches());
   if (!generator.ok()) {
     // A cancelled stream (shutdown, or the peer idle-timing out) has no
     // live sender to resync with — draining would just park the worker
@@ -392,10 +461,11 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
     // the drain itself fails the connection is beyond saving, and the
     // build error (not the drain error) is what is worth reporting.
     if (!source.SkipToEnd().ok()) return generator.status();
-    return SendError(conn, generator.status());
+    return SendError(conn, generator.status(), scope);
   }
   stats_.ingested_points.fetch_add(source.num_received(),
                                    std::memory_order_relaxed);
+  metrics_->ingest_points->Add(source.num_received());
 
   const uint64_t nodes = generator->tree().num_nodes();
   const double mass = generator->TotalMass();
@@ -403,13 +473,84 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
       req.artifact,
       ServedArtifact::Make(std::move(domain), std::move(*generator),
                            "ingest"));
-  if (!published.ok()) return SendError(conn, published);
+  if (!published.ok()) return SendError(conn, published, scope);
   stats_.ingests_published.fetch_add(1, std::memory_order_relaxed);
 
   WireWriter w = BeginOkResponse();
   w.PutU64(nodes);
   w.PutDouble(mass);
-  return SendFrame(conn, w.Take());
+  return SendCounted(conn, w.Take(), scope);
+}
+
+Status PrivHPServer::HandleStats(const Socket& conn, RequestScope* scope) {
+  WireWriter w = BeginOkResponse();
+  EncodeStatsSnapshot(StatsSnapshot(), &w);
+  return SendCounted(conn, w.Take(), scope);
+}
+
+obs::MetricsSnapshot PrivHPServer::StatsSnapshot() const {
+  obs::MetricsSnapshot snap = metrics_registry_->Snapshot();
+  auto counter = [&snap](std::string name, uint64_t value) {
+    snap.counters.push_back({std::move(name), value});
+  };
+  auto gauge = [&snap](std::string name, int64_t value) {
+    snap.gauges.push_back({std::move(name), value});
+  };
+
+  // The pre-metrics AtomicStats counters, under "server.*" — they are
+  // bumped on paths the per-op metrics do not see (unparseable frames,
+  // listener trouble), so both inventories stay in the one snapshot.
+  const Stats s = stats();
+  counter("server.connections", s.connections);
+  counter("server.requests", s.requests);
+  counter("server.errors", s.errors);
+  counter("server.sampled_points", s.sampled_points);
+  counter("server.ingested_points", s.ingested_points);
+  counter("server.ingests_published", s.ingests_published);
+  counter("server.listener_failure_streaks", s.listener_failure_streaks);
+
+  // Serving-tier state is read at snapshot time rather than maintained
+  // by hot-path increments: the registry and pools already keep these
+  // totals, so the STATS op just asks them.
+  counter("registry.publishes", registry_->publishes());
+  gauge("registry.artifacts", static_cast<int64_t>(registry_->size()));
+  gauge("registry.resident_bytes",
+        static_cast<int64_t>(registry_->resident_bytes()));
+
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_verifies = 0;
+  for (const std::string& name : registry_->List()) {
+    Result<std::shared_ptr<const ServedArtifact>> artifact =
+        registry_->Get(name);
+    if (!artifact.ok()) continue;  // raced with Remove; skip
+    const std::string prefix = "artifact." + name + ".";
+    gauge(prefix + "resident_bytes",
+          static_cast<int64_t>((*artifact)->ResidentBytes()));
+    gauge(prefix + "nodes", static_cast<int64_t>((*artifact)->num_nodes()));
+    gauge(prefix + "repr",
+          static_cast<int64_t>((*artifact)->representation()));
+    if (const storage::BufferPool* pool = (*artifact)->buffer_pool()) {
+      const storage::BufferPool::Stats ps = pool->stats();
+      pool_hits += ps.hits;
+      pool_misses += ps.misses;
+      pool_evictions += ps.evictions;
+      pool_verifies += ps.checksum_verifies;
+    }
+  }
+  counter("pool.hits", pool_hits);
+  counter("pool.misses", pool_misses);
+  counter("pool.evictions", pool_evictions);
+  counter("pool.checksum_verifies", pool_verifies);
+
+  // Re-establish the sorted-by-name invariant the appends broke.
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  return snap;
 }
 
 }  // namespace privhp

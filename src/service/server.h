@@ -23,6 +23,7 @@
 #define PRIVHP_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,8 +36,10 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "io/frame_socket.h"
+#include "obs/metrics_registry.h"
 #include "service/artifact_registry.h"
 #include "service/protocol.h"
+#include "service/service_metrics.h"
 
 namespace privhp {
 
@@ -85,6 +88,14 @@ struct ServerOptions {
   /// every worker forever while accepted connections queue up
   /// (0 = no timeout).
   int idle_timeout_seconds = 300;
+
+  /// Metrics registry the server records into (per-endpoint latency and
+  /// byte histograms, queue/worker gauges, pipeline counters — served
+  /// back over the STATS op). Not owned; must outlive the server. When
+  /// null the server creates and owns a private registry, so
+  /// instrumentation is always on — recording is a couple of relaxed
+  /// atomic adds per request, cheap enough to never gate.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Running server over a registry. Start() spawns the threads;
@@ -125,8 +136,30 @@ class PrivHPServer {
   };
   Stats stats() const;
 
+  /// \brief Everything the server knows about itself, merged into one
+  /// snapshot: the metrics registry's counters/gauges/histograms, the
+  /// legacy Stats counters (as "server.*"), and snapshot-time registry
+  /// and per-artifact gauges ("registry.*", "artifact.<name>.*",
+  /// aggregated buffer-pool counters under "pool.*"). This is the
+  /// payload the STATS op encodes.
+  obs::MetricsSnapshot StatsSnapshot() const;
+
+  /// \brief The registry this server records into (the configured one,
+  /// or the server-owned fallback).
+  obs::MetricsRegistry* metrics_registry() const { return metrics_registry_; }
+
  private:
   PrivHPServer(ArtifactRegistry* registry, ServerOptions options);
+
+  /// Per-request bookkeeping threaded through dispatch: which endpoint's
+  /// metrics to charge, and the response bytes written so far (every
+  /// frame sent on behalf of the request accumulates here, so SAMPLE's
+  /// many point frames and EXPORT's chunk frames all count).
+  struct RequestScope {
+    EndpointMetrics* ep = nullptr;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
 
   Status StartListeners();
   void AcceptLoop(Socket listener);
@@ -137,16 +170,30 @@ class PrivHPServer {
   /// (the connection is then dropped); application errors travel back to
   /// the client as error responses.
   Status Dispatch(const Socket& conn, const ServiceRequest& req,
-                  RandomEngine* engine);
+                  RandomEngine* engine, RequestScope* scope);
   Status HandleSample(const Socket& conn, const ServiceRequest& req,
-                      RandomEngine* engine);
-  Status HandleExport(const Socket& conn, const ServedArtifact& artifact);
-  Status HandleIngest(const Socket& conn, const ServiceRequest& req);
-  Status SendError(const Socket& conn, const Status& error);
+                      RandomEngine* engine, RequestScope* scope);
+  Status HandleExport(const Socket& conn, const ServedArtifact& artifact,
+                      RequestScope* scope);
+  Status HandleIngest(const Socket& conn, const ServiceRequest& req,
+                      RequestScope* scope);
+  Status HandleStats(const Socket& conn, RequestScope* scope);
+  Status SendError(const Socket& conn, const Status& error,
+                   RequestScope* scope);
+  /// SendFrame that charges the frame to the request's bytes-out.
+  Status SendCounted(const Socket& conn, const std::string& frame,
+                     RequestScope* scope);
 
   ArtifactRegistry* registry_;
   ServerOptions options_;
   uint16_t tcp_port_ = 0;
+
+  // Metrics plumbing: resolved once here, recorded into lock-free from
+  // the workers. owned_metrics_ backs metrics_registry_ only when the
+  // options did not supply a registry.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::unique_ptr<ServiceMetrics> metrics_;
 
   std::atomic<bool> stopping_{false};
   std::vector<Socket> listeners_;
@@ -155,7 +202,13 @@ class PrivHPServer {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Socket> pending_;
+  /// Accepted connections awaiting a worker, stamped at enqueue time so
+  /// the dequeuing worker can record the queue-wait histogram.
+  struct PendingConn {
+    Socket sock;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  std::deque<PendingConn> pending_;
 
   struct AtomicStats {
     std::atomic<uint64_t> connections{0};

@@ -1,0 +1,64 @@
+// Per-endpoint instrumentation handles for the service layer.
+//
+// Resolved ONCE against a MetricsRegistry when the server starts; the
+// request loop then records through raw pointers — no name lookups, no
+// locks on the hot path. One EndpointMetrics per wire op gives every
+// endpoint its own latency / bytes-in / bytes-out histograms and
+// request / error counters under "op.<name>.*", plus server-level
+// queue and worker instrumentation under "server.*" and the ingest
+// pipeline counters under "ingest.*".
+
+#ifndef PRIVHP_SERVICE_SERVICE_METRICS_H_
+#define PRIVHP_SERVICE_SERVICE_METRICS_H_
+
+#include <array>
+
+#include "obs/metrics_registry.h"
+#include "service/protocol.h"
+
+namespace privhp {
+
+/// \brief The instrumentation one wire op records into.
+struct EndpointMetrics {
+  obs::Counter* requests = nullptr;
+  obs::Counter* errors = nullptr;
+  obs::Histogram* latency_ns = nullptr;
+  obs::Histogram* bytes_in = nullptr;
+  obs::Histogram* bytes_out = nullptr;
+};
+
+/// \brief Stable, display-ordered list of wire ops ("ping", "list", ...).
+/// kStatsNumOps is also the bound for OpIndex below.
+inline constexpr int kStatsNumOps = 9;
+const char* ServiceOpName(ServiceOp op);
+/// \brief Dense [0, kStatsNumOps) index for a wire op.
+int ServiceOpIndex(ServiceOp op);
+/// \brief The op at dense \p index (inverse of ServiceOpIndex).
+ServiceOp ServiceOpAt(int index);
+
+/// \brief All service-layer metric handles, resolved once at Start().
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(obs::MetricsRegistry* registry);
+
+  EndpointMetrics& ForOp(ServiceOp op) { return ops_[ServiceOpIndex(op)]; }
+
+  // Server-level instrumentation.
+  obs::Histogram* queue_wait_ns;  ///< accept-to-worker-dequeue wait
+  obs::Gauge* queue_depth;        ///< connections awaiting a worker
+  obs::Gauge* workers_busy;       ///< workers currently serving
+  obs::Gauge* workers_total;      ///< configured pool size
+
+  // Ingest pipeline (points and wire batch frames absorbed by builds).
+  obs::Counter* ingest_points;
+  obs::Counter* ingest_batches;
+  // Sampling pipeline (points streamed out of SAMPLE responses).
+  obs::Counter* sample_points;
+
+ private:
+  std::array<EndpointMetrics, kStatsNumOps> ops_;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SERVICE_SERVICE_METRICS_H_

@@ -101,8 +101,13 @@ size_t BufferPool::MemoryBytes() const {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.checksum_verifies = checksum_verifies_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace storage

@@ -20,6 +20,7 @@
 #ifndef PRIVHP_STORAGE_BUFFER_POOL_H_
 #define PRIVHP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -70,6 +71,11 @@ class BufferPool {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Page checksum verifications loaders reported via
+    /// NoteChecksumVerify() — every miss that re-reads from disk should
+    /// bump this once, so misses >> checksum_verifies means a loader
+    /// path is skipping integrity checks.
+    uint64_t checksum_verifies = 0;
   };
 
   /// \brief \p num_frames is clamped up to 1: a pool that can hold no
@@ -92,6 +98,13 @@ class BufferPool {
 
   Stats stats() const;
 
+  /// \brief Records one page checksum verification. Lock-free on a
+  /// separate atomic, so a PageLoader — which runs *under* the pool
+  /// mutex — can call it without deadlocking.
+  void NoteChecksumVerify() {
+    checksum_verifies_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   friend class PageRef;
 
@@ -111,6 +124,7 @@ class BufferPool {
   std::unordered_map<uint64_t, size_t> resident_;  // page_no -> frame
   uint64_t tick_ = 0;
   Stats stats_;
+  std::atomic<uint64_t> checksum_verifies_{0};
 };
 
 }  // namespace storage

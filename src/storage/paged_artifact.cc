@@ -223,6 +223,7 @@ Result<PageRef> PagedArtifact::FetchPage(uint64_t page_no) const {
   return pool_->Fetch(page_no, [this, page_no](uint8_t* dst) -> Status {
     PRIVHP_RETURN_NOT_OK(file_->ReadAt(page_no * header_.page_size, dst,
                                        header_.page_size));
+    pool_->NoteChecksumVerify();
     const uint64_t expected =
         page_checksums_[page_no - header_.first_data_page()];
     if (Checksum64(dst, header_.page_size) != expected) {

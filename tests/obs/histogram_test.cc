@@ -1,0 +1,177 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace privhp {
+namespace obs {
+namespace {
+
+TEST(HistogramBucketTest, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < 8; ++v) {
+    const uint32_t index = HistogramBucketIndex(v);
+    EXPECT_EQ(index, v);
+    EXPECT_EQ(HistogramBucketLowerBound(index), v);
+    EXPECT_EQ(HistogramBucketUpperBound(index), v + 1);
+  }
+}
+
+TEST(HistogramBucketTest, BoundsBracketEveryProbedValue) {
+  // Walk powers of two and their neighbours across the whole range: the
+  // bucket an index maps to must contain the value, with lower bound
+  // inclusive and upper bound exclusive.
+  std::vector<uint64_t> probes = {8, 9, 15, 16, 17, 1000, 4096, 65535};
+  for (int o = 3; o < kHistogramMaxOctave; ++o) {
+    const uint64_t base = uint64_t{1} << o;
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + base / 2);
+    probes.push_back(2 * base - 1);
+  }
+  for (uint64_t v : probes) {
+    const uint32_t index = HistogramBucketIndex(v);
+    ASSERT_LT(index, kHistogramBuckets);
+    EXPECT_LE(HistogramBucketLowerBound(index), v) << "value " << v;
+    EXPECT_GT(HistogramBucketUpperBound(index), v) << "value " << v;
+  }
+}
+
+TEST(HistogramBucketTest, BucketBoundariesAreContiguous) {
+  // Every non-overflow bucket's upper bound is the next bucket's lower
+  // bound: no value can fall between buckets or into two of them.
+  for (uint32_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+    EXPECT_EQ(HistogramBucketUpperBound(i), HistogramBucketLowerBound(i + 1))
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramBucketTest, RelativeBucketWidthIsBounded) {
+  // The design contract: above the exact range, bucket width is at most
+  // 12.5% of the bucket's lower bound (1 sub-bucket out of 8).
+  for (uint32_t i = 8; i + 1 < kHistogramBuckets; ++i) {
+    const uint64_t lo = HistogramBucketLowerBound(i);
+    const uint64_t hi = HistogramBucketUpperBound(i);
+    EXPECT_LE((hi - lo) * 8, lo) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBucketTest, OverflowBucketCatchesHugeValues) {
+  const uint32_t overflow = kHistogramBuckets - 1;
+  EXPECT_EQ(HistogramBucketIndex(uint64_t{1} << kHistogramMaxOctave),
+            overflow);
+  EXPECT_EQ(HistogramBucketIndex(UINT64_MAX), overflow);
+  EXPECT_EQ(HistogramBucketLowerBound(overflow),
+            uint64_t{1} << kHistogramMaxOctave);
+  EXPECT_EQ(HistogramBucketUpperBound(overflow), UINT64_MAX);
+}
+
+TEST(HistogramTest, CountSumMeanMax) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Count(), 3u);
+  EXPECT_EQ(snap.sum, 60u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 20.0);
+  EXPECT_EQ(snap.max, 30u);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Count(), 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(HistogramTest, QuantilesOfUniformRecordingAreAccurate) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  // Log-scale buckets guarantee <= 12.5% relative error on any quantile.
+  const uint64_t p50 = snap.ValueAtQuantile(0.5);
+  const uint64_t p99 = snap.ValueAtQuantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.125);
+  // Quantiles never report past the recorded max, and the extremes pin
+  // to the smallest/largest buckets touched.
+  EXPECT_LE(snap.ValueAtQuantile(1.0), snap.max);
+  EXPECT_LE(snap.ValueAtQuantile(0.0), snap.ValueAtQuantile(1.0));
+}
+
+TEST(HistogramTest, OverflowQuantileFallsBackToMax) {
+  Histogram h;
+  const uint64_t huge = (uint64_t{1} << kHistogramMaxOctave) + 12345;
+  h.Record(huge);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), huge);
+  EXPECT_EQ(snap.max, huge);
+}
+
+TEST(HistogramTest, MergeAddsComponentwise) {
+  Histogram a;
+  Histogram b;
+  a.Record(5);
+  a.Record(100);
+  b.Record(100);
+  b.Record(7000);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.Count(), 4u);
+  EXPECT_EQ(merged.sum, 5u + 100u + 100u + 7000u);
+  EXPECT_EQ(merged.max, 7000u);
+  EXPECT_EQ(merged.buckets[HistogramBucketIndex(100)], 2u);
+}
+
+TEST(HistogramTest, DeltaIsTheIntervalView) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  const HistogramSnapshot before = h.Snapshot();
+  h.Record(30);
+  h.Record(40);
+  const HistogramSnapshot delta = h.Snapshot().Delta(before);
+  EXPECT_EQ(delta.Count(), 2u);
+  EXPECT_EQ(delta.sum, 70u);
+  EXPECT_EQ(delta.buckets[HistogramBucketIndex(10)], 0u);
+  EXPECT_EQ(delta.buckets[HistogramBucketIndex(30)], 1u);
+  EXPECT_EQ(delta.buckets[HistogramBucketIndex(40)], 1u);
+}
+
+// The TSan-gated contract: snapshots taken while other threads record
+// concurrently are valid histograms (no torn counters, no data race
+// reports), and the final snapshot sees every recorded event.
+TEST(HistogramTest, SnapshotUnderConcurrentRecording) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * 1000 + (i % 997)));
+      }
+    });
+  }
+  uint64_t last_seen = 0;
+  for (int polls = 0; polls < 50; ++polls) {
+    const HistogramSnapshot snap = h.Snapshot();
+    const uint64_t count = snap.Count();
+    // Counts observed mid-flight only grow.
+    EXPECT_GE(count, last_seen);
+    last_seen = count;
+  }
+  for (auto& t : recorders) t.join();
+  const HistogramSnapshot final_snap = h.Snapshot();
+  EXPECT_EQ(final_snap.Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace privhp

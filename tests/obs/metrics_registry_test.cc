@@ -1,0 +1,104 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace privhp {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, LookupIsCreateOnFirstUseAndStable) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("a.requests");
+  ASSERT_NE(c, nullptr);
+  // Same name -> same object; values persist across lookups.
+  c->Add(3);
+  EXPECT_EQ(registry.GetCounter("a.requests"), c);
+  EXPECT_EQ(registry.GetCounter("a.requests")->value(), 3u);
+  // Counters, gauges and histograms are separate namespaces.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("a.requests")),
+            static_cast<void*>(c));
+}
+
+TEST(MetricsRegistryTest, GaugeIsSignedAndSettable) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("queue.depth");
+  g->Add(5);
+  g->Add(-7);
+  EXPECT_EQ(g->value(), -2);
+  g->Set(42);
+  EXPECT_EQ(g->value(), 42);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count")->Add(2);
+  registry.GetCounter("a.count")->Add(1);
+  registry.GetGauge("z.gauge")->Set(-5);
+  registry.GetHistogram("m.hist")->Record(100);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b.count");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "m.hist");
+  EXPECT_EQ(snap.histograms[0].hist.Count(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAccessors) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits")->Add(9);
+  registry.GetGauge("depth")->Set(4);
+  registry.GetHistogram("lat")->Record(50);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterOr("hits"), 9u);
+  EXPECT_EQ(snap.CounterOr("absent", 123), 123u);
+  EXPECT_EQ(snap.GaugeOr("depth"), 4);
+  EXPECT_EQ(snap.GaugeOr("absent", -1), -1);
+  ASSERT_NE(snap.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("lat")->Count(), 1u);
+  EXPECT_EQ(snap.FindHistogram("absent"), nullptr);
+}
+
+// Concurrent first-lookups of the same names must converge on one
+// metric each (the rendezvous contract), and recording during Snapshot()
+// must be race-free.
+TEST(MetricsRegistryTest, ConcurrentLookupAndRecord) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIters; ++i) {
+        registry.GetCounter("shared.count")->Inc();
+        registry.GetHistogram("shared.hist")->Record(
+            static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (int polls = 0; polls < 20; ++polls) {
+    (void)registry.Snapshot();
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterOr("shared.count"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  ASSERT_NE(snap.FindHistogram("shared.hist"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("shared.hist")->Count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace privhp

@@ -44,6 +44,12 @@ void DriveDecoders(const std::string& payload) {
   const Status response = ParseResponse(payload, &reader);
   (void)response;
 
+  // STATS snapshot path (client side of the kStats op). The decoder's
+  // BoundedCount discipline must hold against arbitrary bytes.
+  WireReader stats_reader(payload);
+  auto stats = DecodeStatsSnapshot(&stats_reader);
+  (void)stats;
+
   // Point-frame path, all three decode targets. expected_dim = 2 for
   // the protocol-checked flavor, 0 for the unchecked one.
   for (int expected_dim : {0, 2}) {
@@ -107,6 +113,19 @@ std::vector<std::string> ValidCorpus() {
   corpus.push_back(EncodeQuantileRequest("demo", {0.1, 0.5, 0.9}));
   corpus.push_back(EncodeHeavyRequest("demo", 0.01));
   corpus.push_back(EncodeExportRequest("demo"));
+  corpus.push_back(EncodeStatsRequest());
+  {
+    // A populated stats snapshot, so mutations explore the sparse-bucket
+    // decode states (version, counts, names, index/count pairs).
+    obs::MetricsRegistry registry;
+    registry.GetCounter("op.range.requests")->Add(3);
+    registry.GetGauge("server.queue_depth")->Set(1);
+    registry.GetHistogram("op.range.latency_ns")->Record(1500);
+    registry.GetHistogram("op.range.latency_ns")->Record(90000);
+    WireWriter stats;
+    EncodeStatsSnapshot(registry.Snapshot(), &stats);
+    corpus.push_back(stats.Take());
+  }
   ServiceRequest ingest;
   ingest.op = ServiceOp::kIngest;
   ingest.artifact = "demo";
@@ -192,6 +211,9 @@ TEST(ProtocolFuzzCorpusTest, ValidFramesStillParse) {
   auto ping = ParseRequest(EncodePingRequest());
   ASSERT_TRUE(ping.ok());
   EXPECT_EQ(ping->op, ServiceOp::kPing);
+  auto stats_req = ParseRequest(EncodeStatsRequest());
+  ASSERT_TRUE(stats_req.ok());
+  EXPECT_EQ(stats_req->op, ServiceOp::kStats);
   auto sample = ParseRequest(EncodeSampleRequest("demo", 1000, 7));
   ASSERT_TRUE(sample.ok());
   EXPECT_EQ(sample->artifact, "demo");
@@ -233,6 +255,48 @@ TEST(ProtocolFuzzCorpusTest, HugeHeaderFramesRejectedByAllDecoders) {
     EXPECT_TRUE(dq.empty());
     EXPECT_TRUE(vec.empty());
     EXPECT_TRUE(batch.empty());
+  }
+}
+
+// STATS frames whose declared counts outrun the payload must be
+// rejected by the BoundedCount guards before any reserve(), and bucket
+// indexes past the fixed array must never be used to index it.
+TEST(ProtocolFuzzCorpusTest, HugeStatsFramesRejectedBeforeAllocation) {
+  WireWriter huge_counters;
+  huge_counters.PutU32(kStatsSnapshotVersion);
+  huge_counters.PutU32(0xFFFFFFFFu);  // counter count, nothing behind it
+
+  WireWriter huge_buckets;
+  huge_buckets.PutU32(kStatsSnapshotVersion);
+  huge_buckets.PutU32(0);  // counters
+  huge_buckets.PutU32(0);  // gauges
+  huge_buckets.PutU32(1);  // one histogram
+  huge_buckets.PutString("h");
+  huge_buckets.PutU64(0);              // sum
+  huge_buckets.PutU64(0);              // max
+  huge_buckets.PutU32(0xFFFFFFFFu);    // bucket count, nothing behind it
+
+  WireWriter bad_index;
+  bad_index.PutU32(kStatsSnapshotVersion);
+  bad_index.PutU32(0);  // counters
+  bad_index.PutU32(0);  // gauges
+  bad_index.PutU32(1);  // one histogram
+  bad_index.PutString("h");
+  bad_index.PutU64(10);
+  bad_index.PutU64(10);
+  bad_index.PutU32(1);                     // one bucket entry
+  bad_index.PutU32(obs::kHistogramBuckets);  // first out-of-range index
+  bad_index.PutU64(1);
+
+  WireWriter bad_version;
+  bad_version.PutU32(kStatsSnapshotVersion + 1);
+
+  for (const std::string& payload :
+       {huge_counters.Take(), huge_buckets.Take(), bad_index.Take(),
+        bad_version.Take()}) {
+    WireReader r(payload);
+    auto decoded = DecodeStatsSnapshot(&r);
+    EXPECT_FALSE(decoded.ok());
   }
 }
 

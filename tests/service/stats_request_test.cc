@@ -1,0 +1,205 @@
+// End-to-end STATS coverage: drive a scripted request sequence against
+// a live server and assert that the per-endpoint counters, latency /
+// byte histograms, server gauges, and registry/artifact inventory all
+// advance the way the sequence dictates — both read through
+// PrivHPServer::StatsSnapshot() and round-tripped over the wire via
+// PrivHPClient::Stats().
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "domain/interval_domain.h"
+#include "obs/metrics_registry.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace privhp {
+namespace {
+
+class StatsRequestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = ::testing::TempDir() + "/stats_" +
+                   std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".sock";
+    auto domain = std::make_unique<IntervalDomain>();
+    PrivHPOptions options;
+    options.expected_n = kN;
+    options.seed = 42;
+    auto builder = PrivHPBuilder::Make(domain.get(), options);
+    ASSERT_TRUE(builder.ok());
+    RandomEngine rng(7);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(builder->Add({rng.UniformDouble()}).ok());
+    }
+    auto generator = std::move(*builder).Finish();
+    ASSERT_TRUE(generator.ok());
+    ASSERT_TRUE(registry_
+                    .Publish("alpha", ServedArtifact::Make(
+                                          std::move(domain),
+                                          std::move(*generator), "test"))
+                    .ok());
+
+    ServerOptions server_options;
+    server_options.unix_path = socket_path_;
+    server_options.num_workers = 2;
+    server_options.metrics = &metrics_;
+    auto server = PrivHPServer::Start(&registry_, server_options);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    std::remove(socket_path_.c_str());
+  }
+
+  Result<PrivHPClient> Connect() {
+    return PrivHPClient::ConnectUnix(socket_path_);
+  }
+
+  static constexpr size_t kN = 2000;
+  std::string socket_path_;
+  obs::MetricsRegistry metrics_;
+  ArtifactRegistry registry_;
+  std::unique_ptr<PrivHPServer> server_;
+};
+
+TEST_F(StatsRequestTest, ScriptedSequenceAdvancesCountersAndHistograms) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  // The script: 3 SAMPLEs, 2 RANGEs, 1 failing RANGE (bad artifact),
+  // 1 failing SAMPLE (bad artifact).
+  for (int i = 0; i < 3; ++i) {
+    auto s = client->Sample("alpha", 100, /*seed=*/uint64_t(i + 1));
+    ASSERT_TRUE(s.ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto r = client->RangeMass("alpha", CellId{1, 0});
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_FALSE(client->RangeMass("ghost", CellId{1, 0}).ok());
+  EXPECT_FALSE(client->Sample("ghost", 10, 1).ok());
+
+  // The server records a request's histograms *after* sending its
+  // response, so the newest request can race a snapshot. One trailing
+  // request (not asserted on) serializes everything scripted above:
+  // the worker records request N's metrics before reading frame N+1.
+  ASSERT_TRUE(client->List().ok());
+
+  const obs::MetricsSnapshot snap = server_->StatsSnapshot();
+
+  EXPECT_EQ(snap.CounterOr("op.sample.requests"), 4u);
+  EXPECT_EQ(snap.CounterOr("op.sample.errors"), 1u);
+  EXPECT_EQ(snap.CounterOr("op.range.requests"), 3u);
+  EXPECT_EQ(snap.CounterOr("op.range.errors"), 1u);
+  EXPECT_EQ(snap.CounterOr("op.ping.requests"), 0u);
+  EXPECT_EQ(snap.CounterOr("sample.points"), 300u);
+
+  // Latency histograms: one entry per request, all nonzero durations.
+  const obs::HistogramSnapshot* sample_lat =
+      snap.FindHistogram("op.sample.latency_ns");
+  ASSERT_NE(sample_lat, nullptr);
+  EXPECT_EQ(sample_lat->Count(), 4u);
+  EXPECT_GT(sample_lat->ValueAtQuantile(0.5), 0u);
+  const obs::HistogramSnapshot* range_lat =
+      snap.FindHistogram("op.range.latency_ns");
+  ASSERT_NE(range_lat, nullptr);
+  EXPECT_EQ(range_lat->Count(), 3u);
+
+  // Byte accounting: every request recorded its wire sizes. A RANGE
+  // request frame is opcode + name + level + index = 22 bytes.
+  const obs::HistogramSnapshot* range_in =
+      snap.FindHistogram("op.range.bytes_in");
+  ASSERT_NE(range_in, nullptr);
+  EXPECT_EQ(range_in->Count(), 3u);
+  EXPECT_EQ(range_in->max, 22u);
+  // A successful SAMPLE of 100 doubles streams > 800 payload bytes out.
+  const obs::HistogramSnapshot* sample_out =
+      snap.FindHistogram("op.sample.bytes_out");
+  ASSERT_NE(sample_out, nullptr);
+  EXPECT_EQ(sample_out->Count(), 4u);
+  EXPECT_GT(sample_out->max, 800u);
+
+  // Server-level instrumentation.
+  EXPECT_EQ(snap.GaugeOr("server.workers_total"), 2);
+  EXPECT_EQ(snap.GaugeOr("server.queue_depth"), 0);
+  const obs::HistogramSnapshot* queue_wait =
+      snap.FindHistogram("server.queue_wait_ns");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_GE(queue_wait->Count(), 1u);  // our one connection was queued
+
+  // Registry / artifact inventory, composed at snapshot time.
+  EXPECT_EQ(snap.CounterOr("registry.publishes"), 1u);
+  EXPECT_EQ(snap.GaugeOr("registry.artifacts"), 1);
+  EXPECT_GT(snap.GaugeOr("registry.resident_bytes"), 0);
+  EXPECT_GT(snap.GaugeOr("artifact.alpha.nodes"), 0);
+  EXPECT_EQ(snap.GaugeOr("artifact.alpha.repr", -1), 0);  // heap
+
+  // Legacy server totals ride along under "server.*".
+  EXPECT_EQ(snap.CounterOr("server.errors"), 2u);
+  EXPECT_EQ(snap.CounterOr("server.sampled_points"), 300u);
+}
+
+TEST_F(StatsRequestTest, WireRoundTripMatchesServerSnapshot) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto sampled = client->Sample("alpha", 50, 9);
+  ASSERT_TRUE(sampled.ok());
+
+  auto remote = client->Stats();
+  ASSERT_TRUE(remote.ok());
+
+  // The STATS request itself was counted before the snapshot encoded.
+  EXPECT_EQ(remote->CounterOr("op.stats.requests"), 1u);
+  EXPECT_EQ(remote->CounterOr("op.ping.requests"), 1u);
+  EXPECT_EQ(remote->CounterOr("op.sample.requests"), 1u);
+  EXPECT_EQ(remote->CounterOr("sample.points"), 50u);
+
+  // Histograms survive the sparse-bucket encoding exactly: compare the
+  // wire copy of a histogram against the server's own snapshot.
+  const obs::MetricsSnapshot local = server_->StatsSnapshot();
+  const obs::HistogramSnapshot* remote_lat =
+      remote->FindHistogram("op.sample.latency_ns");
+  const obs::HistogramSnapshot* local_lat =
+      local.FindHistogram("op.sample.latency_ns");
+  ASSERT_NE(remote_lat, nullptr);
+  ASSERT_NE(local_lat, nullptr);
+  EXPECT_EQ(remote_lat->buckets, local_lat->buckets);
+  EXPECT_EQ(remote_lat->sum, local_lat->sum);
+  EXPECT_EQ(remote_lat->max, local_lat->max);
+
+  // Names arrive sorted (the snapshot invariant the CLI relies on).
+  for (size_t i = 1; i < remote->counters.size(); ++i) {
+    EXPECT_LT(remote->counters[i - 1].name, remote->counters[i].name);
+  }
+  for (size_t i = 1; i < remote->histograms.size(); ++i) {
+    EXPECT_LT(remote->histograms[i - 1].name, remote->histograms[i].name);
+  }
+}
+
+TEST_F(StatsRequestTest, SharedRegistryIsReadableOutsideTheServer) {
+  // The test passed its own registry in ServerOptions, so the same
+  // counters are visible without any wire call — the embedding pattern
+  // (one process-wide registry shared by several subsystems).
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  const obs::MetricsSnapshot snap = metrics_.Snapshot();
+  EXPECT_EQ(snap.CounterOr("op.ping.requests"), 1u);
+  EXPECT_EQ(snap.GaugeOr("server.workers_total"), 2);
+}
+
+}  // namespace
+}  // namespace privhp

@@ -110,6 +110,28 @@ TEST(BufferPoolTest, LoaderFailureLeavesFrameReusable) {
   EXPECT_EQ(pool.stats().hits, 0u);
 }
 
+TEST(BufferPoolTest, ChecksumVerifiesCountedFromLoaders) {
+  BufferPool pool(kPage, 2);
+  // A loader that verifies (as the paged-artifact loader does) reports
+  // each verification through the pool's lock-free side channel — from
+  // *inside* the loader, which runs under the pool mutex.
+  auto verifying_loader = [&pool](uint64_t page_no) {
+    return [&pool, page_no](uint8_t* dst) {
+      std::memset(dst, static_cast<int>(page_no & 0xff), kPage);
+      pool.NoteChecksumVerify();
+      return Status::OK();
+    };
+  };
+  { auto r = pool.Fetch(1, verifying_loader(1)); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(2, verifying_loader(2)); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(1, verifying_loader(1)); ASSERT_TRUE(r.ok()); }
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Every miss re-read and verified; the hit did not.
+  EXPECT_EQ(stats.checksum_verifies, 2u);
+}
+
 TEST(BufferPoolTest, MovedFromRefIsInvalid) {
   BufferPool pool(kPage, 2);
   auto ref = pool.Fetch(9, PatternLoader(9));

@@ -17,6 +17,9 @@
 //                  --level L --index I | --export F | --list
 //   privhp ingest  --unix PATH | --host H --port P  --artifact NAME
 //                  --in data.csv --dim D [--epsilon E] [--k K] [--n N]
+//   privhp stats   --unix PATH | --host H --port P [--raw]
+//   privhp top     --unix PATH | --host H --port P
+//                  [--interval-ms MS] [--iterations N]
 //
 // The tree file is the released eps-DP artifact; every subcommand other
 // than `build` is post-processing and can be run any number of times.
@@ -24,9 +27,11 @@
 // post-processing queries over sockets; `ingest` streams a dataset into a
 // server-side bounded-memory build and publishes the result.
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <iostream>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -36,13 +41,17 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/table_printer.h"
 #include "core/builder.h"
 #include "core/queries.h"
 #include "domain/hypercube_domain.h"
 #include "eval/wasserstein.h"
 #include "io/point_stream.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
 #include "service/client.h"
 #include "service/server.h"
+#include "service/service_metrics.h"
 #include "storage/artifact_packer.h"
 #include "storage/file_io.h"
 
@@ -89,7 +98,12 @@ int Usage() {
       "                  | --heavy T | --level L --index I | --export F\n"
       "  privhp ingest   --unix PATH | --host H --port P --artifact A\n"
       "                  --in data.csv --dim D [--epsilon E] [--k K]\n"
-      "                  [--n N] [--seed S] [--threads T]\n");
+      "                  [--n N] [--seed S] [--threads T]\n"
+      "  privhp stats    --unix PATH | --host H --port P [--raw]\n"
+      "                  (one-shot metrics dump from a live server)\n"
+      "  privhp top      --unix PATH | --host H --port P\n"
+      "                  [--interval-ms MS] [--iterations N]\n"
+      "                  (refreshing per-endpoint latency/throughput view)\n");
   return 2;
 }
 
@@ -105,7 +119,8 @@ Result<Args> Parse(int argc, char** argv) {
     // Only known boolean flags may omit a value; for everything else a
     // missing value stays a hard error ("--seed --out f" must not parse
     // as seed = "").
-    const bool is_boolean = std::strcmp(flag, "--list") == 0;
+    const bool is_boolean = std::strcmp(flag, "--list") == 0 ||
+                            std::strcmp(flag, "--raw") == 0;
     if (is_boolean) {
       args.flags[flag + 2].push_back("");
     } else if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
@@ -593,6 +608,193 @@ int Ingest(const Args& args) {
   return 0;
 }
 
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+// Interval view of one named histogram: current minus previous snapshot
+// (or the cumulative view when there is no previous sample yet).
+obs::HistogramSnapshot HistogramDelta(const obs::MetricsSnapshot& cur,
+                                      const obs::MetricsSnapshot& prev,
+                                      const std::string& name) {
+  const obs::HistogramSnapshot* now = cur.FindHistogram(name);
+  if (now == nullptr) return obs::HistogramSnapshot{};
+  const obs::HistogramSnapshot* before = prev.FindHistogram(name);
+  return before == nullptr ? *now : now->Delta(*before);
+}
+
+// The per-endpoint table both `stats` (cumulative) and `top` (interval)
+// render: one row per wire op with latency percentiles and byte totals.
+void PrintEndpointTable(const obs::MetricsSnapshot& cur,
+                        const obs::MetricsSnapshot& prev, double seconds,
+                        bool rates) {
+  std::vector<std::string> columns = {"op",     rates ? "req/s" : "requests",
+                                      "errors", "p50_ms",
+                                      "p99_ms", "max_ms",
+                                      "in_B",   "out_B"};
+  TablePrinter table(rates ? "endpoints (interval)" : "endpoints", columns);
+  for (int i = 0; i < kStatsNumOps; ++i) {
+    const std::string op = ServiceOpName(ServiceOpAt(i));
+    const std::string prefix = "op." + op + ".";
+    const uint64_t requests = cur.CounterOr(prefix + "requests") -
+                              prev.CounterOr(prefix + "requests");
+    const uint64_t errors =
+        cur.CounterOr(prefix + "errors") - prev.CounterOr(prefix + "errors");
+    const obs::HistogramSnapshot lat =
+        HistogramDelta(cur, prev, prefix + "latency_ns");
+    const obs::HistogramSnapshot in =
+        HistogramDelta(cur, prev, prefix + "bytes_in");
+    const obs::HistogramSnapshot out =
+        HistogramDelta(cur, prev, prefix + "bytes_out");
+    table.BeginRow();
+    table.Cell(op);
+    if (rates) {
+      table.Cell(static_cast<double>(requests) / seconds, 3);
+    } else {
+      table.Cell(requests);
+    }
+    table.Cell(errors);
+    if (lat.Count() > 0) {
+      table.Cell(NsToMs(lat.ValueAtQuantile(0.5)), 3);
+      table.Cell(NsToMs(lat.ValueAtQuantile(0.99)), 3);
+      table.Cell(NsToMs(lat.max), 3);
+    } else {
+      table.Cell(std::string("-"));
+      table.Cell(std::string("-"));
+      table.Cell(std::string("-"));
+    }
+    table.Cell(in.sum);
+    table.Cell(out.sum);
+  }
+  table.Print(std::cout);
+}
+
+// Server/storage summary shared by `stats` and `top`: worker pool,
+// connection queue, artifact inventory, and buffer-pool effectiveness.
+void PrintServerSummary(const obs::MetricsSnapshot& snap) {
+  const uint64_t hits = snap.CounterOr("pool.hits");
+  const uint64_t misses = snap.CounterOr("pool.misses");
+  const double hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses);
+  const obs::HistogramSnapshot* queue_wait =
+      snap.FindHistogram("server.queue_wait_ns");
+  std::printf(
+      "workers %lld/%lld busy  queue depth %lld  queue wait p99 %.3f ms\n",
+      static_cast<long long>(snap.GaugeOr("server.workers_busy")),
+      static_cast<long long>(snap.GaugeOr("server.workers_total")),
+      static_cast<long long>(snap.GaugeOr("server.queue_depth")),
+      queue_wait == nullptr ? 0.0
+                            : NsToMs(queue_wait->ValueAtQuantile(0.99)));
+  std::printf(
+      "artifacts %lld  resident %.1f MiB  publishes %llu  "
+      "connections %llu  errors %llu\n",
+      static_cast<long long>(snap.GaugeOr("registry.artifacts")),
+      static_cast<double>(snap.GaugeOr("registry.resident_bytes")) /
+          (1024.0 * 1024.0),
+      static_cast<unsigned long long>(snap.CounterOr("registry.publishes")),
+      static_cast<unsigned long long>(snap.CounterOr("server.connections")),
+      static_cast<unsigned long long>(snap.CounterOr("server.errors")));
+  std::printf(
+      "pool hits %llu misses %llu (%.1f%% hit)  evictions %llu  "
+      "checksum verifies %llu\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), hit_rate,
+      static_cast<unsigned long long>(snap.CounterOr("pool.evictions")),
+      static_cast<unsigned long long>(
+          snap.CounterOr("pool.checksum_verifies")));
+  std::printf(
+      "ingest points %llu batches %llu  sampled points %llu\n",
+      static_cast<unsigned long long>(snap.CounterOr("ingest.points")),
+      static_cast<unsigned long long>(snap.CounterOr("ingest.batches")),
+      static_cast<unsigned long long>(snap.CounterOr("sample.points")));
+}
+
+int StatsCmd(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto snap = client->Stats();
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Get("raw")) {
+    // Machine-greppable dump of every metric in the snapshot, one per
+    // line, names already sorted by the snapshot invariant.
+    for (const auto& c : snap->counters) {
+      std::printf("counter %s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    }
+    for (const auto& g : snap->gauges) {
+      std::printf("gauge %s %lld\n", g.name.c_str(),
+                  static_cast<long long>(g.value));
+    }
+    for (const auto& h : snap->histograms) {
+      std::printf("histogram %s count %llu sum %llu p50 %llu p99 %llu "
+                  "max %llu\n",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.hist.Count()),
+                  static_cast<unsigned long long>(h.hist.sum),
+                  static_cast<unsigned long long>(
+                      h.hist.ValueAtQuantile(0.5)),
+                  static_cast<unsigned long long>(
+                      h.hist.ValueAtQuantile(0.99)),
+                  static_cast<unsigned long long>(h.hist.max));
+    }
+    return 0;
+  }
+  PrintEndpointTable(*snap, obs::MetricsSnapshot{}, /*seconds=*/0.0,
+                     /*rates=*/false);
+  std::printf("\n");
+  PrintServerSummary(*snap);
+  return 0;
+}
+
+int Top(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const int interval_ms =
+      std::max(1, std::atoi(args.GetOr("interval-ms", "1000").c_str()));
+  // 0 = refresh until interrupted; a bound makes `top` scriptable.
+  const long iterations =
+      std::atol(args.GetOr("iterations", "0").c_str());
+  // The first snapshot is the baseline; every displayed frame is the
+  // interval since the previous one.
+  auto prev = client->Stats();
+  if (!prev.ok()) {
+    std::fprintf(stderr, "%s\n", prev.status().ToString().c_str());
+    return 1;
+  }
+  auto prev_time = std::chrono::steady_clock::now();
+  for (long frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    auto snap = client->Stats();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds =
+        std::max(1e-9, std::chrono::duration<double>(now - prev_time).count());
+    // Home the cursor and clear downward; \x1b[2J would flicker.
+    std::printf("\x1b[H\x1b[J");
+    std::printf("privhp top — refresh %.1fs\n\n", seconds);
+    PrintEndpointTable(*snap, *prev, seconds, /*rates=*/true);
+    std::printf("\n");
+    PrintServerSummary(*snap);
+    std::fflush(stdout);
+    prev = std::move(snap);
+    prev_time = now;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto args = Parse(argc, argv);
   if (!args.ok()) return Usage();
@@ -605,6 +807,8 @@ int Run(int argc, char** argv) {
   if (args->command == "serve") return Serve(*args);
   if (args->command == "query") return Query(*args);
   if (args->command == "ingest") return Ingest(*args);
+  if (args->command == "stats") return StatsCmd(*args);
+  if (args->command == "top") return Top(*args);
   return Usage();
 }
 
