@@ -6,9 +6,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -182,6 +184,36 @@ Result<Socket> ConnectUnix(const std::string& path) {
   return sock;
 }
 
+Result<Socket> AcceptReady(const Socket& listener, bool* would_block) {
+  *would_block = false;
+  if (!listener.valid()) {
+    return Status::InvalidArgument("accept on an invalid socket");
+  }
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      // O_NONBLOCK inheritance across accept() is platform-defined; the
+      // readiness loop needs it set.
+      PRIVHP_RETURN_NOT_OK(SetNonBlocking(fd, true));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Socket();
+    }
+    return ErrnoStatus("accept");
+  }
+}
+
+Status SetSocketNonBlocking(const Socket& sock, bool enable) {
+  if (!sock.valid()) {
+    return Status::InvalidArgument("fcntl on an invalid socket");
+  }
+  return SetNonBlocking(sock.fd(), enable);
+}
+
 Result<Socket> Accept(const Socket& listener, const CancelFn& cancel) {
   if (!listener.valid()) {
     return Status::InvalidArgument("accept on an invalid socket");
@@ -250,6 +282,149 @@ Result<bool> RecvFrame(const Socket& sock, std::string* payload,
   PRIVHP_ASSIGN_OR_RETURN(bool body,
                           RecvAll(sock.fd(), &(*payload)[0], size, cancel));
   if (!body) return Status::IOError("connection closed mid-frame");
+  return true;
+}
+
+// Poll() parses frames out of a read buffer refilled one recv at a
+// time: a burst of small pipelined frames costs one syscall, not two
+// per frame. Bodies whose remainder exceeds the buffer are received
+// straight into frame_, skipping the extra copy.
+Result<FrameReader::Event> FrameReader::Poll(const Socket& sock) {
+  constexpr size_t kReadBufBytes = 64 * 1024;
+  if (!sock.valid()) {
+    return Status::InvalidArgument("recv on an invalid socket");
+  }
+  if (buf_.size() != kReadBufBytes) buf_.resize(kReadBufBytes);
+  for (;;) {
+    if (!in_body_ && len_ - pos_ >= 4) {
+      uint32_t size = 0;
+      for (int i = 0; i < 4; ++i) {
+        size |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+                << (8 * i);
+      }
+      if (size > kMaxFrameBytes) {
+        return Status::IOError("oversized frame: " + std::to_string(size) +
+                               " bytes");
+      }
+      pos_ += 4;
+      frame_.clear();
+      frame_.resize(size);
+      body_have_ = 0;
+      in_body_ = true;
+    }
+    if (in_body_) {
+      const size_t take = std::min(len_ - pos_, frame_.size() - body_have_);
+      if (take > 0) {
+        std::memcpy(&frame_[body_have_], buf_.data() + pos_, take);
+        pos_ += take;
+        body_have_ += take;
+      }
+      if (body_have_ == frame_.size()) {
+        in_body_ = false;
+        return Event::kFrame;
+      }
+      if (frame_.size() - body_have_ >= kReadBufBytes) {
+        // Large body and the buffer is drained (take emptied it):
+        // receive the rest directly into the frame.
+        const ssize_t n = ::recv(sock.fd(), &frame_[body_have_],
+                                 frame_.size() - body_have_, 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) return Event::kNeedMore;
+          return ErrnoStatus("recv");
+        }
+        if (n == 0) return Status::IOError("connection closed mid-frame");
+        body_have_ += static_cast<size_t>(n);
+        bytes_received_ += static_cast<uint64_t>(n);
+        continue;
+      }
+    }
+    // Refill: compact the consumed prefix, then one recv into the tail.
+    if (pos_ > 0) {
+      if (len_ > pos_) std::memmove(&buf_[0], buf_.data() + pos_, len_ - pos_);
+      len_ -= pos_;
+      pos_ = 0;
+    }
+    const ssize_t n = ::recv(sock.fd(), &buf_[len_], kReadBufBytes - len_, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Event::kNeedMore;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      // EOF: clean only at a frame boundary with nothing buffered.
+      if (in_body_ || len_ > 0) {
+        return Status::IOError("connection closed mid-frame");
+      }
+      return Event::kEof;
+    }
+    len_ += static_cast<size_t>(n);
+    bytes_received_ += static_cast<uint64_t>(n);
+  }
+}
+
+Status FrameWriter::Enqueue(std::string payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  char header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((size >> (8 * i)) & 0xff);
+  }
+  payload.insert(0, header, sizeof(header));
+  pending_bytes_ += payload.size();
+  queue_.push_back(std::move(payload));
+  return Status::OK();
+}
+
+Result<bool> FrameWriter::Pump(const Socket& sock) {
+  if (!sock.valid()) {
+    return Status::InvalidArgument("send on an invalid socket");
+  }
+  while (!queue_.empty()) {
+    // Gather as many queued frames as fit into one vectored send:
+    // pipelined responses are tiny, and one sendmsg per flush instead of
+    // one send per frame is most of the reactor's write-side cost.
+    struct iovec iov[64];
+    int iov_count = 0;
+    size_t batched = 0;
+    for (const std::string& frame : queue_) {
+      if (iov_count == 64) break;
+      const size_t offset = iov_count == 0 ? front_offset_ : 0;
+      iov[iov_count].iov_base =
+          const_cast<char*>(frame.data()) + offset;
+      iov[iov_count].iov_len = frame.size() - offset;
+      batched += iov[iov_count].iov_len;
+      ++iov_count;
+    }
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    const ssize_t n = ::sendmsg(sock.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return ErrnoStatus("sendmsg");
+    }
+    pending_bytes_ -= static_cast<size_t>(n);
+    bytes_sent_ += static_cast<uint64_t>(n);
+    size_t sent = static_cast<size_t>(n);
+    while (sent > 0) {
+      const size_t front_left = queue_.front().size() - front_offset_;
+      if (sent >= front_left) {
+        sent -= front_left;
+        queue_.pop_front();
+        front_offset_ = 0;
+      } else {
+        front_offset_ += sent;
+        sent = 0;
+      }
+    }
+    if (static_cast<size_t>(n) < batched) return false;  // kernel buffer full
+  }
   return true;
 }
 

@@ -7,14 +7,22 @@
 // protocol: the ingestion front end and the query server share one
 // transport.
 //
-// All calls are blocking; Accept and RecvFrame take an optional
-// cancellation predicate polled at a coarse interval so a server can shut
-// down threads parked in accept()/recv().
+// Two I/O styles share the framing:
+//  - Blocking SendFrame/RecvFrame for clients and simple tools; Accept
+//    and RecvFrame take an optional cancellation predicate polled at a
+//    coarse interval so a caller can shut down threads parked in
+//    accept()/recv().
+//  - Incremental FrameReader/FrameWriter state machines for readiness
+//    loops: each call consumes or produces as many bytes as the
+//    non-blocking socket allows, parks on EAGAIN, and resumes exactly
+//    where it left off on the next readiness event. Frame bytes on the
+//    wire are identical between the two styles.
 
 #ifndef PRIVHP_IO_FRAME_SOCKET_H_
 #define PRIVHP_IO_FRAME_SOCKET_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -69,6 +77,15 @@ Result<Socket> ConnectUnix(const std::string& path);
 /// \p cancel (when set) roughly every 100 ms.
 Result<Socket> Accept(const Socket& listener, const CancelFn& cancel = {});
 
+/// \brief Non-blocking accept for readiness loops. When no connection is
+/// pending, sets *\p would_block and returns an invalid Socket. The
+/// accepted socket is left in non-blocking mode (FrameReader/FrameWriter
+/// expect it that way).
+Result<Socket> AcceptReady(const Socket& listener, bool* would_block);
+
+/// \brief Toggles O_NONBLOCK on a connected socket.
+Status SetSocketNonBlocking(const Socket& sock, bool enable);
+
 /// \brief A connected AF_UNIX pair (tests and in-process plumbing).
 Result<std::pair<Socket, Socket>> SocketPair();
 
@@ -83,6 +100,71 @@ Result<bool> RecvFrame(const Socket& sock, std::string* payload,
 /// \brief Upper bound on a single frame payload (64 MiB); larger lengths
 /// are rejected as malformed so a bad peer cannot force huge allocations.
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// \brief Incremental RecvFrame over a non-blocking socket.
+///
+/// Poll() reads whatever the kernel has buffered and returns kFrame once
+/// a complete frame is assembled in frame() — call Poll() again for the
+/// next frame. kNeedMore means the socket drained mid-frame (or between
+/// frames): park the reader and call Poll() again on the next EPOLLIN.
+/// A clean EOF at a frame boundary is kEof; EOF mid-frame, an oversized
+/// length header, or a socket error come back as a Status error.
+class FrameReader {
+ public:
+  enum class Event { kFrame, kNeedMore, kEof };
+
+  Result<Event> Poll(const Socket& sock);
+
+  /// \brief The last completed frame payload (valid after kFrame, until
+  /// the next Poll()). Callers may std::move it out.
+  std::string& frame() { return frame_; }
+
+  /// \brief Total payload+header bytes consumed, for activity tracking.
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  /// \brief True when unparsed bytes sit in the read buffer. Poll()
+  /// over-reads the socket (one recv can carry many small frames), so a
+  /// caller that stops polling early — a fairness cap, say — must
+  /// reschedule itself when this is set: the kernel side may be drained
+  /// and EPOLLIN will not fire again for buffered data.
+  bool has_buffered() const { return pos_ < len_; }
+
+ private:
+  std::string frame_;
+  std::string buf_;   ///< read buffer (sized once); [pos_, len_) unparsed
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  size_t body_have_ = 0;
+  bool in_body_ = false;
+  uint64_t bytes_received_ = 0;
+};
+
+/// \brief Incremental SendFrame over a non-blocking socket.
+///
+/// Enqueue() frames a payload (u32 LE header + bytes, same wire format
+/// as SendFrame) into an output queue; Pump() writes until the socket
+/// would block or the queue drains, returning true when empty. The
+/// caller keeps EPOLLOUT armed exactly while pending_bytes() > 0.
+class FrameWriter {
+ public:
+  Status Enqueue(std::string payload);
+
+  /// \brief Writes queued bytes; true when the queue is fully drained.
+  Result<bool> Pump(const Socket& sock);
+
+  /// \brief Queued-but-unsent bytes (headers included).
+  size_t pending_bytes() const { return pending_bytes_; }
+  bool empty() const { return queue_.empty(); }
+
+  /// \brief Total bytes handed to the kernel, for activity tracking.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  std::deque<std::string> queue_;  // each entry: 4-byte header + payload
+  size_t front_offset_ = 0;        // bytes of queue_.front() already sent
+  size_t pending_bytes_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
 
 }  // namespace privhp
 

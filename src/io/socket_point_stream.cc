@@ -134,6 +134,11 @@ Status DecodePointBatch(const std::string& payload, int expected_dim,
 SocketPointSink::SocketPointSink(const Socket* sock, size_t batch_size)
     : sock_(sock), batch_size_(batch_size == 0 ? 1 : batch_size) {}
 
+SocketPointSink::SocketPointSink(FrameSendFn send_frame, size_t batch_size)
+    : sock_(nullptr),
+      send_fn_(std::move(send_frame)),
+      batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
 namespace {
 
 // The wire buffer takes its dimension from the first point and holds it
@@ -224,10 +229,12 @@ Status SocketPointSink::AddAll(const PointBatch& batch) {
 
 Status SocketPointSink::Flush() {
   if (buffer_.empty()) return Status::OK();
-  const std::string payload = EncodePointBatch(buffer_);
-  PRIVHP_RETURN_NOT_OK(SendFrame(*sock_, payload));
+  std::string payload = EncodePointBatch(buffer_);
+  const size_t payload_size = payload.size();
+  PRIVHP_RETURN_NOT_OK(send_fn_ ? send_fn_(std::move(payload))
+                                : SendFrame(*sock_, payload));
   num_sent_ += buffer_.size();
-  bytes_sent_ += payload.size();
+  bytes_sent_ += payload_size;
   buffer_.Clear();
   return Status::OK();
 }
@@ -238,9 +245,9 @@ Status SocketPointSink::FinishStream() {
   }
   PRIVHP_RETURN_NOT_OK(Flush());
   finished_ = true;
-  const std::string end = EncodePointStreamEnd(num_sent_);
+  std::string end = EncodePointStreamEnd(num_sent_);
   bytes_sent_ += end.size();
-  return SendFrame(*sock_, end);
+  return send_fn_ ? send_fn_(std::move(end)) : SendFrame(*sock_, end);
 }
 
 SocketPointSource::SocketPointSource(const Socket* sock, int expected_dim,
@@ -251,8 +258,15 @@ SocketPointSource::SocketPointSource(const Socket* sock, int expected_dim,
       cancel_(std::move(cancel)),
       idle_timeout_seconds_(idle_timeout_seconds) {}
 
+SocketPointSource::SocketPointSource(FrameRecvFn recv_frame, int expected_dim)
+    : sock_(nullptr),
+      recv_fn_(std::move(recv_frame)),
+      expected_dim_(expected_dim),
+      idle_timeout_seconds_(0) {}
+
 Result<bool> SocketPointSource::RecvNext() {
   Result<bool> r = [this]() -> Result<bool> {
+    if (recv_fn_) return recv_fn_(&frame_);
     if (idle_timeout_seconds_ <= 0) {
       return RecvFrame(*sock_, &frame_, cancel_);
     }

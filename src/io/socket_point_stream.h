@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -27,6 +29,16 @@
 #include "io/point_sink.h"
 
 namespace privhp {
+
+/// \brief Pluggable frame transports for the point streams. The sink
+/// hands each encoded frame payload to FrameSendFn; the source pulls the
+/// next frame payload from FrameRecvFn (true = frame delivered, false =
+/// clean EOF, FailedPrecondition = cancelled — the same contract as
+/// RecvFrame). The defaults wrap a blocking socket; the event-loop
+/// server plugs in its connection outbox and ingest channel instead,
+/// keeping the wire bytes identical across transports.
+using FrameSendFn = std::function<Status(std::string payload)>;
+using FrameRecvFn = std::function<Result<bool>(std::string* payload)>;
 
 /// \brief First payload byte of a point-batch frame.
 inline constexpr uint8_t kPointBatchTag = 0x20;
@@ -72,6 +84,11 @@ class SocketPointSink : public PointSink {
  public:
   explicit SocketPointSink(const Socket* sock, size_t batch_size = 1024);
 
+  /// \brief Custom-transport form: every encoded frame payload goes to
+  /// \p send_frame instead of a socket (e.g. the event-loop server's
+  /// per-connection output queue).
+  explicit SocketPointSink(FrameSendFn send_frame, size_t batch_size = 1024);
+
   // The buffer is columnar, so the move overload gains nothing over the
   // copy; the using-declaration keeps both Add signatures visible.
   using PointSink::Add;
@@ -97,6 +114,7 @@ class SocketPointSink : public PointSink {
 
  private:
   const Socket* sock_;
+  FrameSendFn send_fn_;
   size_t batch_size_;
   // Pending points, columnar: Flush() encodes the arena as one frame
   // payload (the arena layout IS the wire layout). Dimension is set by
@@ -124,6 +142,11 @@ class SocketPointSource : public PointSource {
   explicit SocketPointSource(const Socket* sock, int expected_dim = 0,
                              CancelFn cancel = {},
                              int idle_timeout_seconds = 0);
+
+  /// \brief Custom-transport form: frames come from \p recv_frame (which
+  /// owns its own blocking/timeout/cancel policy — a FailedPrecondition
+  /// from it marks the source cancelled, exactly like the socket form).
+  explicit SocketPointSource(FrameRecvFn recv_frame, int expected_dim = 0);
 
   Result<bool> Next(Point* out) override;
 
@@ -177,6 +200,7 @@ class SocketPointSource : public PointSource {
   Status ConsumeEndFrame();
 
   const Socket* sock_;
+  FrameRecvFn recv_fn_;
   int expected_dim_;
   CancelFn cancel_;
   int idle_timeout_seconds_;

@@ -9,9 +9,14 @@
 namespace privhp {
 
 Result<PrivHPClient> PrivHPClient::ConnectTcp(const std::string& host,
-                                              uint16_t port) {
+                                              uint16_t port,
+                                              const std::string& auth_token) {
   PRIVHP_ASSIGN_OR_RETURN(Socket sock, privhp::ConnectTcp(host, port));
-  return PrivHPClient(std::move(sock));
+  PrivHPClient client(std::move(sock));
+  if (!auth_token.empty()) {
+    PRIVHP_RETURN_NOT_OK(client.Auth(auth_token));
+  }
+  return client;
 }
 
 Result<PrivHPClient> PrivHPClient::ConnectUnix(const std::string& path) {
@@ -22,15 +27,82 @@ Result<PrivHPClient> PrivHPClient::ConnectUnix(const std::string& path) {
 Status PrivHPClient::Call(const std::string& request, std::string* frame,
                           WireReader* payload) {
   PRIVHP_RETURN_NOT_OK(SendFrame(sock_, request));
+  return RecvResponse(frame, payload);
+}
+
+Status PrivHPClient::RecvResponse(std::string* frame, WireReader* payload) {
   PRIVHP_ASSIGN_OR_RETURN(bool more, RecvFrame(sock_, frame));
   if (!more) return Status::IOError("server closed the connection");
   return ParseResponse(*frame, payload);
+}
+
+Status PrivHPClient::Auth(const std::string& token) {
+  std::string frame;
+  WireReader payload;
+  return Call(EncodeAuthRequest(token), &frame, &payload);
 }
 
 Status PrivHPClient::Ping() {
   std::string frame;
   WireReader payload;
   return Call(EncodePingRequest(), &frame, &payload);
+}
+
+// --- Pipelined mode -------------------------------------------------
+
+Status PrivHPClient::SendPing() {
+  return SendFrame(sock_, EncodePingRequest());
+}
+
+Status PrivHPClient::SendRangeMass(const std::string& artifact, CellId cell) {
+  return SendFrame(sock_, EncodeRangeRequest(
+                              artifact, static_cast<uint32_t>(cell.level),
+                              cell.index));
+}
+
+Status PrivHPClient::SendQuantiles(const std::string& artifact,
+                                   const std::vector<double>& qs) {
+  return SendFrame(sock_, EncodeQuantileRequest(artifact, qs));
+}
+
+Status PrivHPClient::SendSample(const std::string& artifact, uint64_t m,
+                                uint64_t seed) {
+  return SendFrame(sock_, EncodeSampleRequest(artifact, m, seed));
+}
+
+Status PrivHPClient::CollectPing() {
+  std::string frame;
+  WireReader payload;
+  return RecvResponse(&frame, &payload);
+}
+
+Result<double> PrivHPClient::CollectRangeMass() {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(RecvResponse(&frame, &payload));
+  return payload.Double();
+}
+
+Result<std::vector<double>> PrivHPClient::CollectQuantiles(size_t expected) {
+  std::string frame;
+  WireReader payload;
+  PRIVHP_RETURN_NOT_OK(RecvResponse(&frame, &payload));
+  // 8 bytes per double.
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.BoundedCount(8));
+  // Callers index the result by the position of the quantile they asked
+  // for, so a count mismatch must fail here, not corrupt them there.
+  if (count != expected) {
+    return Status::IOError("server returned " + std::to_string(count) +
+                           " quantile values, requested " +
+                           std::to_string(expected));
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(double v, payload.Double());
+    values.push_back(v);
+  }
+  return values;
 }
 
 Result<std::vector<std::string>> PrivHPClient::List() {
@@ -63,10 +135,17 @@ Status PrivHPClient::Sample(const std::string& artifact, uint64_t m,
   if (sink == nullptr) {
     return Status::InvalidArgument("sink must not be null");
   }
+  PRIVHP_RETURN_NOT_OK(SendSample(artifact, m, seed));
+  return CollectSample(m, sink);
+}
+
+Status PrivHPClient::CollectSample(uint64_t m, PointSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sink must not be null");
+  }
   std::string frame;
   WireReader payload;
-  PRIVHP_RETURN_NOT_OK(
-      Call(EncodeSampleRequest(artifact, m, seed), &frame, &payload));
+  PRIVHP_RETURN_NOT_OK(RecvResponse(&frame, &payload));
   // Once the server answers OK it streams its point frames no matter
   // what goes wrong on our side, so every failure from here on must
   // funnel through the resync below — including header-parse failures.
@@ -113,37 +192,14 @@ Result<std::vector<Point>> PrivHPClient::Sample(const std::string& artifact,
 
 Result<double> PrivHPClient::RangeMass(const std::string& artifact,
                                        CellId cell) {
-  std::string frame;
-  WireReader payload;
-  PRIVHP_RETURN_NOT_OK(
-      Call(EncodeRangeRequest(artifact, static_cast<uint32_t>(cell.level),
-                              cell.index),
-           &frame, &payload));
-  return payload.Double();
+  PRIVHP_RETURN_NOT_OK(SendRangeMass(artifact, cell));
+  return CollectRangeMass();
 }
 
 Result<std::vector<double>> PrivHPClient::Quantiles(
     const std::string& artifact, const std::vector<double>& qs) {
-  std::string frame;
-  WireReader payload;
-  PRIVHP_RETURN_NOT_OK(
-      Call(EncodeQuantileRequest(artifact, qs), &frame, &payload));
-  // 8 bytes per double.
-  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.BoundedCount(8));
-  // Callers index the result by the position of the quantile they asked
-  // for, so a count mismatch must fail here, not corrupt them there.
-  if (count != qs.size()) {
-    return Status::IOError("server returned " + std::to_string(count) +
-                           " quantile values, requested " +
-                           std::to_string(qs.size()));
-  }
-  std::vector<double> values;
-  values.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    PRIVHP_ASSIGN_OR_RETURN(double v, payload.Double());
-    values.push_back(v);
-  }
-  return values;
+  PRIVHP_RETURN_NOT_OK(SendQuantiles(artifact, qs));
+  return CollectQuantiles(qs.size());
 }
 
 Result<std::vector<HeavyCell>> PrivHPClient::Heavy(

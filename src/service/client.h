@@ -1,9 +1,16 @@
 // Client for the PrivHP service protocol — used by `privhp query` /
 // `privhp ingest`, the serve bench, and the service tests.
 //
-// A client wraps one connection and issues requests synchronously. It is
-// not thread-safe; open one client per thread (connections are cheap and
-// the server pairs each with a pooled worker).
+// A client wraps one connection. The plain methods issue one request and
+// wait for its response; the Send*/Collect* pairs pipeline — many
+// requests go out before the first response is read, and responses come
+// back strictly in request order, so calls must pair FIFO (Send A,
+// Send B, Collect A, Collect B). Keep the number of uncollected sends
+// at or below the server's max_pipeline_requests: past it the server
+// stops reading and a client that never collects deadlocks itself
+// against TCP backpressure. Not thread-safe; open one client per thread
+// (connections are cheap and the server multiplexes them onto its
+// worker pool).
 
 #ifndef PRIVHP_SERVICE_CLIENT_H_
 #define PRIVHP_SERVICE_CLIENT_H_
@@ -25,9 +32,19 @@ namespace privhp {
 /// \brief Synchronous client over one service connection.
 class PrivHPClient {
  public:
+  /// \brief Connects over TCP. When \p auth_token is non-empty the AUTH
+  /// handshake runs before returning (servers started with a token
+  /// demand it as the connection's first frame).
   static Result<PrivHPClient> ConnectTcp(const std::string& host,
-                                         uint16_t port);
+                                         uint16_t port,
+                                         const std::string& auth_token = "");
   static Result<PrivHPClient> ConnectUnix(const std::string& path);
+
+  /// \brief Presents \p token to the server (the AUTH op). Required as
+  /// the first exchange on TCP when the server has a token configured;
+  /// harmless anywhere else (a wrong token is rejected on any
+  /// transport).
+  Status Auth(const std::string& token);
 
   Status Ping();
 
@@ -86,6 +103,26 @@ class PrivHPClient {
   Result<IngestReport> Ingest(const std::string& artifact,
                               const IngestSpec& spec, PointSource* source);
 
+  // --- Pipelined mode ----------------------------------------------
+  // Send* writes a request frame without waiting; Collect* reads the
+  // next response. Pair them FIFO — the server answers in request
+  // order. A Collect that fails with a transport error leaves the
+  // connection unusable (close and reconnect); a server-reported error
+  // (unknown artifact, ...) is per-request and the pipeline continues.
+
+  Status SendPing();
+  Status SendRangeMass(const std::string& artifact, CellId cell);
+  Status SendQuantiles(const std::string& artifact,
+                       const std::vector<double>& qs);
+  Status SendSample(const std::string& artifact, uint64_t m, uint64_t seed);
+
+  Status CollectPing();
+  Result<double> CollectRangeMass();
+  /// \brief \p expected must be the size of the qs the paired Send sent.
+  Result<std::vector<double>> CollectQuantiles(size_t expected);
+  /// \brief \p m must match the paired SendSample's m.
+  Status CollectSample(uint64_t m, PointSink* sink);
+
  private:
   explicit PrivHPClient(Socket sock) : sock_(std::move(sock)) {}
 
@@ -93,6 +130,9 @@ class PrivHPClient {
   /// and positions \p payload after the status byte.
   Status Call(const std::string& request, std::string* frame,
               WireReader* payload);
+  /// \brief Receives one response frame and positions \p payload after
+  /// the status byte (the collect half of Call).
+  Status RecvResponse(std::string* frame, WireReader* payload);
 
   Socket sock_;
 };

@@ -1,0 +1,126 @@
+#include "service/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace privhp {
+
+namespace {
+
+// The wakeup eventfd is registered under a tag no connection or listener
+// can use (connection tags are bounded by the fd space).
+constexpr uint64_t kWakeTag = ~uint64_t{0};
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+uint32_t EpollMask(bool read, bool write) {
+  uint32_t mask = 0;
+  if (read) mask |= EPOLLIN;
+  if (write) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Result<EventLoop> EventLoop::Make() {
+  EventLoop loop;
+  loop.epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (loop.epoll_fd_ < 0) return ErrnoStatus("epoll_create1");
+  loop.wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (loop.wake_fd_ < 0) return ErrnoStatus("eventfd");
+  PRIVHP_RETURN_NOT_OK(loop.Add(loop.wake_fd_, true, false, kWakeTag));
+  return loop;
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+EventLoop::EventLoop(EventLoop&& other) noexcept
+    : epoll_fd_(other.epoll_fd_), wake_fd_(other.wake_fd_) {
+  other.epoll_fd_ = -1;
+  other.wake_fd_ = -1;
+}
+
+EventLoop& EventLoop::operator=(EventLoop&& other) noexcept {
+  if (this != &other) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = other.epoll_fd_;
+    wake_fd_ = other.wake_fd_;
+    other.epoll_fd_ = -1;
+    other.wake_fd_ = -1;
+  }
+  return *this;
+}
+
+Status EventLoop::Add(int fd, bool read, bool write, uint64_t tag) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EpollMask(read, write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, bool read, bool write, uint64_t tag) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EpollMask(read, write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Del(int fd) {
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return ErrnoStatus("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Poll(int timeout_ms, std::vector<Event>* out) {
+  struct epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return ErrnoStatus("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kWakeTag) {
+      uint64_t drained = 0;
+      // Non-blocking read resets the counter; failure just means another
+      // Wake() races in, which only causes an extra (harmless) poll round.
+      (void)!::read(wake_fd_, &drained, sizeof(drained));
+      continue;
+    }
+    Event e;
+    e.tag = events[i].data.u64;
+    e.readable = (events[i].events & EPOLLIN) != 0;
+    e.writable = (events[i].events & EPOLLOUT) != 0;
+    e.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+    out->push_back(e);
+  }
+  return Status::OK();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace privhp

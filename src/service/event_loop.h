@@ -1,0 +1,61 @@
+// A thin epoll wrapper for the service reactor.
+//
+// One EventLoop is owned by exactly one thread (the reactor), which
+// registers fds with opaque u64 tags and blocks in Poll(). The only
+// cross-thread entry point is Wake(): worker threads ring an eventfd to
+// pull the reactor out of epoll_wait after handing it response frames.
+// The wakeup is consumed inside Poll() and never surfaces as an event —
+// callers just see Poll() return early.
+
+#ifndef PRIVHP_SERVICE_EVENT_LOOP_H_
+#define PRIVHP_SERVICE_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "io/frame_socket.h"
+
+namespace privhp {
+
+class EventLoop {
+ public:
+  struct Event {
+    uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< EPOLLHUP/EPOLLERR: peer is gone or broken
+  };
+
+  static Result<EventLoop> Make();
+
+  EventLoop() = default;
+  ~EventLoop();
+  EventLoop(EventLoop&& other) noexcept;
+  EventLoop& operator=(EventLoop&& other) noexcept;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// \brief Registers \p fd with read and/or write interest under \p tag
+  /// (delivered back in Event::tag). Level-triggered.
+  Status Add(int fd, bool read, bool write, uint64_t tag);
+  /// \brief Updates interest for a registered fd.
+  Status Mod(int fd, bool read, bool write, uint64_t tag);
+  /// \brief Unregisters \p fd.
+  Status Del(int fd);
+
+  /// \brief Waits up to \p timeout_ms (-1 = forever) and appends ready
+  /// events to \p out. Wakeups from Wake() return early with no event.
+  Status Poll(int timeout_ms, std::vector<Event>* out);
+
+  /// \brief Thread-safe: makes a concurrent/subsequent Poll() return.
+  void Wake();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace privhp
+
+#endif  // PRIVHP_SERVICE_EVENT_LOOP_H_

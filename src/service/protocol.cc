@@ -84,6 +84,13 @@ std::string EncodeIngestRequest(const ServiceRequest& spec) {
   return w.Take();
 }
 
+std::string EncodeAuthRequest(const std::string& token) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ServiceOp::kAuth));
+  w.PutString(token);
+  return w.Take();
+}
+
 Result<ServiceRequest> ParseRequest(const std::string& frame) {
   WireReader r(frame);
   ServiceRequest req;
@@ -95,6 +102,12 @@ Result<ServiceRequest> ParseRequest(const std::string& frame) {
       req.op = static_cast<ServiceOp>(op);
       PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
       return req;
+    case static_cast<uint8_t>(ServiceOp::kAuth): {
+      req.op = ServiceOp::kAuth;
+      PRIVHP_ASSIGN_OR_RETURN(req.token, r.String());
+      PRIVHP_RETURN_NOT_OK(r.ExpectEnd());
+      return req;
+    }
     case static_cast<uint8_t>(ServiceOp::kSample):
     case static_cast<uint8_t>(ServiceOp::kRange):
     case static_cast<uint8_t>(ServiceOp::kQuantile):

@@ -31,10 +31,18 @@
 //   INGEST   name dim eps k n seed thr -> OK, then the client streams
 //                                         point frames + end, then a final
 //                                         OK [nodes:u64][total_mass:f64]
+//   AUTH     token                     -> OK
 //
 // SAMPLE's seed makes a request reproducible: the same (artifact, m,
 // seed) yields the identical point sequence on every worker. seed = 0
 // requests "fresh" points from the worker's own engine instead.
+//
+// AUTH is the preshared-token handshake: when the server is started with
+// `ServerOptions::auth_token`, a TCP connection's FIRST frame must be an
+// AUTH request carrying the matching token — anything else gets an error
+// response and the connection is closed. Unix-domain connections are
+// exempt (filesystem permissions already gate them) but may still send
+// AUTH; a wrong token is rejected on any transport.
 
 #ifndef PRIVHP_SERVICE_PROTOCOL_H_
 #define PRIVHP_SERVICE_PROTOCOL_H_
@@ -67,6 +75,7 @@ enum class ServiceOp : uint8_t {
   kHeavy = 0x06,
   kExport = 0x07,
   kStats = 0x08,
+  kAuth = 0x09,
   kIngest = 0x10,
 };
 
@@ -95,6 +104,9 @@ struct ServiceRequest {
   uint64_t k = 32;
   uint64_t n = 0;
   uint32_t threads = 1;
+
+  // kAuth
+  std::string token;
 };
 
 /// \brief Request encoders (client side).
@@ -110,6 +122,7 @@ std::string EncodeHeavyRequest(const std::string& artifact, double threshold);
 std::string EncodeExportRequest(const std::string& artifact);
 std::string EncodeStatsRequest();
 std::string EncodeIngestRequest(const ServiceRequest& spec);
+std::string EncodeAuthRequest(const std::string& token);
 
 /// \brief Decodes any request frame (server side).
 Result<ServiceRequest> ParseRequest(const std::string& frame);

@@ -1,7 +1,8 @@
 #include "service/server.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 
 #include <algorithm>
 #include <chrono>
@@ -16,6 +17,215 @@
 
 namespace privhp {
 
+namespace {
+
+// Listener fds are tagged with their index; connection tags start here.
+// The fd space can never reach this many listeners.
+constexpr uint64_t kConnTagBase = uint64_t{1} << 16;
+
+// Reactor tick: epoll_wait timeout, which also bounds how stale the
+// idle/backpressure deadline sweep can get.
+constexpr int kReactorTickMs = 100;
+
+// Fairness bounds: how much one readable connection or one listener may
+// consume of a single reactor round before others get a turn.
+constexpr int kMaxFramesPerRound = 32;
+constexpr int kMaxAcceptsPerRound = 64;
+
+// Bounds on the per-connection ingest frame channel (reactor-to-worker
+// hand-off of streamed point frames). When full, the reactor stops
+// reading the connection, which the peer sees as TCP backpressure.
+constexpr size_t kIngestChannelMaxBytes = size_t{8} << 20;
+constexpr size_t kIngestChannelMaxFrames = 256;
+
+// How many pipelined requests one worker may drain from a single
+// connection before handing the execution slot back through the task
+// queue. Inline continuation is what makes pipelining pay (no two
+// thread wake-ups between back-to-back requests), but an unbounded
+// drain would let one pipelining peer monopolize a worker.
+constexpr int kMaxInlineRequestsPerTask = 32;
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Connection: the reactor's per-peer state plus the worker-facing
+// hand-off surfaces. Field ownership is strict — the reactor-owned block
+// is touched by the reactor thread only and never locked; everything
+// shared with workers goes through mu / ingest_mu / the atomics.
+// ---------------------------------------------------------------------------
+
+struct PrivHPServer::Connection {
+  /// What the next inbound frame on this connection means.
+  enum class InputMode {
+    kAuth,     ///< TCP with a configured token, handshake not done
+    kRequest,  ///< frames are ServiceRequests
+    kIngest,   ///< frames belong to an expected ingest point stream
+  };
+
+  uint64_t tag = 0;
+  Socket sock;
+  bool needs_auth = false;
+
+  // ---- reactor-owned (single thread, never locked) ----
+  FrameReader reader;
+  FrameWriter writer;
+  InputMode mode = InputMode::kRequest;
+  bool authed = false;
+  /// Ingest point streams the peer still owes us (one per INGEST request
+  /// parsed and not yet released). While > 0 inbound frames route to the
+  /// ingest channel instead of the request parser.
+  int streams_expected = 0;
+  bool want_read = true;   ///< current EPOLLIN interest
+  bool want_write = false; ///< current EPOLLOUT interest
+  /// Stop consuming input for good (unparseable frame / failed auth):
+  /// the queued response still flushes, then the connection closes.
+  bool reading_disabled = false;
+  bool close_after_flush = false;
+  DropReason flush_drop_reason = DropReason::kNone;
+  bool dropped = false;
+  uint64_t last_bytes_received = 0;
+  std::chrono::steady_clock::time_point last_activity;
+  std::chrono::steady_clock::time_point last_write_progress;
+
+  // ---- shared with workers (guarded by mu) ----
+  std::mutex mu;
+  bool closed = false;  ///< worker-visible mirror of dropped
+  /// Parsed requests awaiting execution. The reactor pushes; either the
+  /// reactor pops (MaybeStartNext, when no worker holds the slot) or
+  /// the worker finishing the previous request pops the next one inline
+  /// — that continuation is what lets pipelined requests run
+  /// back-to-back without two thread wake-ups in between.
+  std::deque<PendingRequest> pending;
+  bool executing = false;  ///< a worker owns a request or parked stream
+  std::deque<std::string> outbox;  ///< response frames awaiting the writer
+  /// Request-completion hand-off, consumed by the reactor in
+  /// DrainReadyList: the executing request finished; optionally asks for
+  /// a drop and/or releases an unconsumed ingest stream expectation.
+  bool request_done = false;
+  bool done_drop = false;
+  DropReason done_drop_reason = DropReason::kNone;
+  bool done_release_stream = false;
+  /// A SAMPLE/EXPORT response that hit the output high-water mark,
+  /// waiting for the peer to drain. The request slot stays occupied
+  /// (executing == true) but no worker is held.
+  std::unique_ptr<ResponseStream> parked;
+  bool resume_scheduled = false;
+
+  /// Bytes queued toward the peer (outbox + writer, frame headers
+  /// included) — atomic so stream producers can check the high-water
+  /// mark without taking the reactor's state apart.
+  std::atomic<size_t> queued_bytes{0};
+
+  /// Membership in the reactor's ready list (dedup for NotifyConn).
+  std::atomic<bool> in_ready{false};
+
+  // ---- ingest frame channel (guarded by ingest_mu) ----
+  // The reactor pushes raw point-stream frames; the worker executing the
+  // INGEST pops them through a SocketPointSource. Bounded by
+  // kIngestChannelMax*; when full the reactor pauses reads.
+  std::mutex ingest_mu;
+  std::condition_variable ingest_cv;
+  std::deque<std::string> ingest_frames;
+  size_t ingest_bytes = 0;
+  bool ingest_closed = false;
+};
+
+// ---------------------------------------------------------------------------
+// Response streams: resumable generation state for responses larger than
+// the output queue. Pump() produces frames until done, failure, or the
+// high-water mark; a parked stream holds whatever it needs (including
+// the artifact pin) until the reactor reschedules it.
+// ---------------------------------------------------------------------------
+
+struct PrivHPServer::ResponseStream {
+  enum class PumpResult { kDone, kParked, kFailed };
+
+  virtual ~ResponseStream() = default;
+  virtual PumpResult Pump() = 0;
+
+  PrivHPServer* server = nullptr;
+  std::shared_ptr<Connection> conn;
+  RequestScope scope;
+};
+
+struct PrivHPServer::SampleStream : ResponseStream {
+  std::shared_ptr<const ServedArtifact> artifact;
+  RandomEngine engine;
+  uint64_t remaining = 0;
+  uint64_t total = 0;
+  std::unique_ptr<SocketPointSink> sink;
+
+  PumpResult Pump() override {
+    const size_t high = server->options_.max_output_queue_bytes;
+    // Generate one wire batch at a time so a park (or shutdown) can
+    // interrupt a large response between frames. The artifact's
+    // sampling state (compiled alias table, mmapped table or buffer
+    // pool) was set up once at publish/load time and is shared by every
+    // concurrent request through the registry's shared_ptr — nothing is
+    // rebuilt per request or per chunk, and the point stream is
+    // bit-identical whichever representation serves it.
+    while (remaining > 0) {
+      if (server->stopping_.load()) return PumpResult::kFailed;
+      if (conn->queued_bytes.load(std::memory_order_relaxed) >= high) {
+        return PumpResult::kParked;
+      }
+      const uint64_t chunk = std::min<uint64_t>(
+          std::max<size_t>(1, server->options_.sample_batch), remaining);
+      if (!artifact->GenerateTo(chunk, &engine, sink.get()).ok()) {
+        return PumpResult::kFailed;
+      }
+      remaining -= chunk;
+    }
+    if (!sink->FinishStream().ok()) return PumpResult::kFailed;
+    server->stats_.sampled_points.fetch_add(total,
+                                            std::memory_order_relaxed);
+    server->metrics_->sample_points->Add(static_cast<int64_t>(total));
+    return PumpResult::kDone;
+  }
+};
+
+struct PrivHPServer::ExportStream : ResponseStream {
+  std::string blob;
+  size_t offset = 0;
+  size_t chunk_bytes = 0;
+
+  PumpResult Pump() override {
+    const size_t high = server->options_.max_output_queue_bytes;
+    while (offset < blob.size()) {
+      if (server->stopping_.load()) return PumpResult::kFailed;
+      if (conn->queued_bytes.load(std::memory_order_relaxed) >= high) {
+        return PumpResult::kParked;
+      }
+      const size_t n = std::min(chunk_bytes, blob.size() - offset);
+      WireWriter w;
+      w.PutU8(kExportChunkTag);
+      w.PutBytes(blob.data() + offset, n);
+      if (!server->EnqueueFrame(conn, w.Take(), &scope).ok()) {
+        return PumpResult::kFailed;
+      }
+      offset += n;
+    }
+    WireWriter end;
+    end.PutU8(kExportEndTag);
+    end.PutU64(blob.size());
+    if (!server->EnqueueFrame(conn, end.Take(), &scope).ok()) {
+      return PumpResult::kFailed;
+    }
+    return PumpResult::kDone;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
 PrivHPServer::PrivHPServer(ArtifactRegistry* registry, ServerOptions options)
     : registry_(registry), options_(std::move(options)) {
   metrics_registry_ = options_.metrics;
@@ -23,7 +233,7 @@ PrivHPServer::PrivHPServer(ArtifactRegistry* registry, ServerOptions options)
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics_registry_ = owned_metrics_.get();
   }
-  // Resolve every handle now: the request loop records through raw
+  // Resolve every handle now: the request path records through raw
   // pointers and never touches the registry mutex.
   metrics_ = std::make_unique<ServiceMetrics>(metrics_registry_);
   metrics_->workers_total->Set(options_.num_workers);
@@ -41,15 +251,18 @@ Result<std::unique_ptr<PrivHPServer>> PrivHPServer::Start(
   if (options.num_workers < 1) {
     return Status::InvalidArgument("num_workers must be >= 1");
   }
-  std::unique_ptr<PrivHPServer> server(
-      new PrivHPServer(registry, options));
-  PRIVHP_RETURN_NOT_OK(server->StartListeners());
-  for (size_t i = 0; i < server->listeners_.size(); ++i) {
-    server->acceptors_.emplace_back(
-        [srv = server.get(), i]() {
-          srv->AcceptLoop(std::move(srv->listeners_[i]));
-        });
+  if (options.max_output_queue_bytes == 0) {
+    return Status::InvalidArgument("max_output_queue_bytes must be > 0");
   }
+  if (options.max_pipeline_requests < 1) {
+    return Status::InvalidArgument("max_pipeline_requests must be >= 1");
+  }
+  std::unique_ptr<PrivHPServer> server(new PrivHPServer(registry, options));
+  PRIVHP_ASSIGN_OR_RETURN(server->loop_, EventLoop::Make());
+  PRIVHP_RETURN_NOT_OK(server->StartListeners());
+  server->reactor_ = std::thread([srv = server.get()]() {
+    srv->ReactorLoop();
+  });
   for (int w = 0; w < options.num_workers; ++w) {
     server->workers_.emplace_back(
         [srv = server.get(), w]() { srv->WorkerLoop(w); });
@@ -61,6 +274,9 @@ Status PrivHPServer::StartListeners() {
   if (!options_.unix_path.empty()) {
     PRIVHP_ASSIGN_OR_RETURN(Socket listener, ListenUnix(options_.unix_path));
     listeners_.push_back(std::move(listener));
+    ListenerState state;
+    state.is_tcp = false;
+    listener_state_.push_back(state);
   }
   if (options_.tcp_port >= 0) {
     uint16_t bound = 0;
@@ -70,6 +286,14 @@ Status PrivHPServer::StartListeners() {
                   static_cast<uint16_t>(options_.tcp_port), &bound));
     tcp_port_ = bound;
     listeners_.push_back(std::move(listener));
+    ListenerState state;
+    state.is_tcp = true;
+    listener_state_.push_back(state);
+  }
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    // Listeners must not block the reactor in accept().
+    PRIVHP_RETURN_NOT_OK(SetSocketNonBlocking(listeners_[i], true));
+    PRIVHP_RETURN_NOT_OK(loop_.Add(listeners_[i].fd(), true, false, i));
   }
   return Status::OK();
 }
@@ -78,14 +302,15 @@ PrivHPServer::~PrivHPServer() { Stop(); }
 
 void PrivHPServer::Stop() {
   if (stopping_.exchange(true)) return;
+  loop_.Wake();
+  // The reactor drops every connection on its way out, which closes the
+  // ingest channels and unblocks any worker waiting on streamed frames.
+  if (reactor_.joinable()) reactor_.join();
   // Pairing the flag flip with the queue lock closes the lost-wakeup
   // race: a worker that read stopping_ == false under the lock is
   // guaranteed to be inside wait() by the time we notify.
-  { std::lock_guard<std::mutex> lock(queue_mu_); }
-  queue_cv_.notify_all();
-  for (std::thread& t : acceptors_) {
-    if (t.joinable()) t.join();
-  }
+  { std::lock_guard<std::mutex> lock(task_mu_); }
+  task_cv_.notify_all();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -105,161 +330,783 @@ PrivHPServer::Stats PrivHPServer::stats() const {
   return s;
 }
 
-void PrivHPServer::AcceptLoop(Socket listener) {
-  const CancelFn cancel = [this]() { return stopping_.load(); };
-  int consecutive_failures = 0;
+// ---------------------------------------------------------------------------
+// Reactor side
+// ---------------------------------------------------------------------------
+
+void PrivHPServer::ReactorLoop() {
+  std::vector<EventLoop::Event> events;
   while (!stopping_.load()) {
-    Result<Socket> conn = Accept(listener, cancel);
-    if (!conn.ok()) {
-      if (stopping_.load()) return;
-      // Accept failures are retried forever: transient causes
-      // (ECONNABORTED under load, EMFILE during fd exhaustion) can
-      // outlast any fixed budget, and abandoning the listener would
-      // leave a healthy-looking server that never accepts again. The
-      // backoff cap keeps even a structurally dead fd (EBADF) from
-      // spinning, and a sustained streak is surfaced via stderr and
-      // Stats::listener_failure_streaks.
-      ++consecutive_failures;
-      if (consecutive_failures == 16) {
-        stats_.listener_failure_streaks.fetch_add(1,
-                                                  std::memory_order_relaxed);
+    events.clear();
+    const Status polled = loop_.Poll(kReactorTickMs, &events);
+    if (!polled.ok()) {
+      // A broken epoll fd is unrecoverable; stop serving rather than
+      // spin. Stop() still joins cleanly.
+      std::fprintf(stderr, "privhp server: reactor poll failed: %s\n",
+                   polled.message().c_str());
+      break;
+    }
+    for (const EventLoop::Event& ev : events) {
+      if (ev.tag < kConnTagBase) {
+        if (ev.tag < listeners_.size()) {
+          AcceptPending(static_cast<size_t>(ev.tag));
+        }
+        continue;
       }
-      if (consecutive_failures % 16 == 0) {
-        std::fprintf(stderr,
-                     "privhp server: listener failing, %d consecutive "
-                     "accept failures, last: %s\n",
-                     consecutive_failures, conn.status().message().c_str());
+      auto it = conns_.find(ev.tag);
+      if (it == conns_.end()) continue;  // dropped earlier this round
+      std::shared_ptr<Connection> conn = it->second;
+      // EPOLLHUP/EPOLLERR surface through the read path: recv() reports
+      // the EOF or the socket error with a usable message.
+      if (ev.readable || ev.hangup) HandleReadable(conn);
+      if (!conn->dropped && ev.writable) PumpConnection(conn);
+    }
+    DrainReadyList();
+    SweepDeadlines(std::chrono::steady_clock::now());
+  }
+  // Shutdown: close every connection. This marks the worker-visible
+  // closed flags and ingest channels, so in-flight builds and streams
+  // fail fast instead of waiting out their timeouts.
+  std::vector<std::shared_ptr<Connection>> all;
+  all.reserve(conns_.size());
+  for (const auto& entry : conns_) all.push_back(entry.second);
+  for (const std::shared_ptr<Connection>& conn : all) {
+    DropConnection(conn, DropReason::kNone);
+  }
+}
+
+void PrivHPServer::AcceptPending(size_t listener_index) {
+  ListenerState& state = listener_state_[listener_index];
+  for (int i = 0; i < kMaxAcceptsPerRound; ++i) {
+    bool would_block = false;
+    Result<Socket> accepted =
+        AcceptReady(listeners_[listener_index], &would_block);
+    if (!accepted.ok()) {
+      PauseListener(listener_index, accepted.status());
+      return;
+    }
+    if (would_block) break;
+    state.consecutive_failures = 0;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    metrics_->connections_open->Add(1);
+    if (state.is_tcp) {
+      // Responses are written as soon as the peer can take them; never
+      // let Nagle hold a finished response frame hostage.
+      int one = 1;
+      ::setsockopt(accepted->fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one));
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->tag = kConnTagBase + next_conn_tag_++;
+    conn->sock = std::move(*accepted);
+    conn->needs_auth = state.is_tcp && !options_.auth_token.empty();
+    RecomputeMode(conn);
+    const auto now = std::chrono::steady_clock::now();
+    conn->last_activity = now;
+    conn->last_write_progress = now;
+    if (!loop_.Add(conn->sock.fd(), true, false, conn->tag).ok()) {
+      metrics_->connections_open->Add(-1);
+      continue;  // the Socket destructor closes the fd
+    }
+    conn->want_read = true;
+    conn->want_write = false;
+    conns_[conn->tag] = std::move(conn);
+  }
+}
+
+void PrivHPServer::PauseListener(size_t listener_index, const Status& error) {
+  ListenerState& state = listener_state_[listener_index];
+  // Accept failures are retried forever: transient causes (ECONNABORTED
+  // under load, EMFILE during fd exhaustion) can outlast any fixed
+  // budget, and abandoning the listener would leave a healthy-looking
+  // server that never accepts again. The backoff cap keeps even a
+  // structurally dead fd (EBADF) from hogging the reactor, and a
+  // sustained streak is surfaced via stderr and
+  // Stats::listener_failure_streaks.
+  ++state.consecutive_failures;
+  if (state.consecutive_failures == 16) {
+    stats_.listener_failure_streaks.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (state.consecutive_failures % 16 == 0) {
+    std::fprintf(stderr,
+                 "privhp server: listener failing, %d consecutive "
+                 "accept failures, last: %s\n",
+                 state.consecutive_failures, error.message().c_str());
+  }
+  (void)loop_.Del(listeners_[listener_index].fd());
+  state.paused = true;
+  const int backoff_ms = std::min(10 * state.consecutive_failures, 1000);
+  state.rearm_at = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(backoff_ms);
+}
+
+void PrivHPServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  bool socket_drained = false;
+  for (int i = 0; i < kMaxFramesPerRound; ++i) {
+    if (conn->dropped) return;
+    // Routing may have paused input mid-round (pipeline cap, full
+    // ingest channel, failed auth); stop pulling frames immediately.
+    if (!WantRead(conn)) break;
+    Result<FrameReader::Event> event = conn->reader.Poll(conn->sock);
+    const uint64_t received = conn->reader.bytes_received();
+    if (received != conn->last_bytes_received) {
+      conn->last_bytes_received = received;
+      conn->last_activity = std::chrono::steady_clock::now();
+    }
+    if (!event.ok() || *event == FrameReader::Event::kEof) {
+      // EOF or a socket error: the peer is gone. In-flight work fails
+      // fast through the closed flags; this is an ordinary close, not a
+      // policy drop.
+      DropConnection(conn, DropReason::kNone);
+      return;
+    }
+    if (*event == FrameReader::Event::kNeedMore) {
+      socket_drained = true;
+      break;
+    }
+    RouteFrame(conn, std::move(conn->reader.frame()));
+  }
+  if (conn->dropped) return;
+  UpdateInterest(conn);
+  // The reader over-reads: stopping for a fairness cap or a paused
+  // pipeline can leave complete frames in its buffer with the kernel
+  // side drained, so EPOLLIN alone would never deliver them. Reschedule
+  // through the ready list (a kNeedMore exit means the buffer holds at
+  // most a partial frame — EPOLLIN is the right wake-up for that).
+  if (!socket_drained && conn->reader.has_buffered()) NotifyConn(conn);
+}
+
+void PrivHPServer::RouteFrame(const std::shared_ptr<Connection>& conn,
+                              std::string frame) {
+  switch (conn->mode) {
+    case Connection::InputMode::kAuth:
+      HandleAuthFrame(conn, frame);
+      return;
+    case Connection::InputMode::kIngest: {
+      // The frame belongs to an expected point stream: hand it to the
+      // ingest worker through the bounded channel without decoding.
+      const bool is_end =
+          !frame.empty() &&
+          static_cast<uint8_t>(frame[0]) == kPointStreamEndTag;
+      {
+        std::lock_guard<std::mutex> lock(conn->ingest_mu);
+        if (!conn->ingest_closed) {
+          conn->ingest_bytes += frame.size();
+          conn->ingest_frames.push_back(std::move(frame));
+        }
       }
-      // Sliced sleep so shutdown is not delayed by the full backoff.
-      const int backoff_ms = std::min(10 * consecutive_failures, 1000);
-      for (int slept = 0; slept < backoff_ms && !stopping_.load();
-           slept += 50) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      conn->ingest_cv.notify_one();
+      if (is_end) {
+        if (conn->streams_expected > 0) --conn->streams_expected;
+        RecomputeMode(conn);
+      }
+      return;
+    }
+    case Connection::InputMode::kRequest:
+      break;
+  }
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  PendingRequest pending;
+  pending.bytes_in = frame.size();
+  Result<ServiceRequest> parsed = ParseRequest(frame);
+  if (!parsed.ok()) {
+    // A frame we cannot parse means the peer speaks a different
+    // protocol: stop reading, answer this one in pipeline order (behind
+    // any responses already owed), then close.
+    pending.parse_error = parsed.status();
+    conn->reading_disabled = true;
+  } else {
+    pending.req = std::move(*parsed);
+    if (pending.req.op == ServiceOp::kIngest) {
+      // The peer will follow up with a point stream once (if) the
+      // request is acknowledged; route those frames to the channel. An
+      // INGEST therefore acts as a pipeline barrier: a conforming
+      // client waits for the verdict before sending more requests.
+      ++conn->streams_expected;
+      RecomputeMode(conn);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->pending.push_back(std::move(pending));
+  }
+  MaybeStartNext(conn);
+}
+
+void PrivHPServer::HandleAuthFrame(const std::shared_ptr<Connection>& conn,
+                                   const std::string& frame) {
+  // The handshake is answered by the reactor itself: no artifact state
+  // is involved, and keeping unauthenticated peers away from the worker
+  // pool means a flood of bad handshakes cannot starve real requests.
+  const auto started = std::chrono::steady_clock::now();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  EndpointMetrics& ep = metrics_->ForOp(ServiceOp::kAuth);
+  ep.requests->Inc();
+  Result<ServiceRequest> parsed = ParseRequest(frame);
+  Status verdict = Status::OK();
+  if (!parsed.ok()) {
+    verdict = parsed.status();
+  } else if (parsed->op != ServiceOp::kAuth) {
+    verdict = Status::FailedPrecondition(
+        "authentication required: first frame must be AUTH");
+  } else if (parsed->token != options_.auth_token) {
+    verdict = Status::FailedPrecondition("authentication failed");
+  }
+  uint64_t bytes_out = 0;
+  if (verdict.ok()) {
+    conn->authed = true;
+    RecomputeMode(conn);
+    std::string ok = BeginOkResponse().Take();
+    bytes_out = ok.size();
+    (void)EnqueueFrame(conn, std::move(ok), nullptr);
+  } else {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    ep.errors->Inc();
+    std::string err = EncodeErrorResponse(verdict);
+    bytes_out = err.size();
+    (void)EnqueueFrame(conn, std::move(err), nullptr);
+    conn->reading_disabled = true;
+    conn->close_after_flush = true;
+    conn->flush_drop_reason = DropReason::kAuth;
+  }
+  ep.latency_ns->Record(
+      ElapsedNs(started, std::chrono::steady_clock::now()));
+  ep.bytes_in->Record(frame.size());
+  ep.bytes_out->Record(bytes_out);
+}
+
+void PrivHPServer::MaybeStartNext(const std::shared_ptr<Connection>& conn) {
+  // One request executes per connection at a time: responses come back
+  // in request order because nothing else can produce them out of turn.
+  if (conn->dropped || conn->close_after_flush) return;
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->executing || conn->pending.empty()) return;
+    task.request = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    conn->executing = true;
+  }
+  task.conn = conn;
+  task.enqueued = std::chrono::steady_clock::now();
+  SubmitTask(std::move(task));
+}
+
+void PrivHPServer::RecomputeMode(const std::shared_ptr<Connection>& conn) {
+  if (conn->needs_auth && !conn->authed) {
+    conn->mode = Connection::InputMode::kAuth;
+  } else if (conn->streams_expected > 0) {
+    conn->mode = Connection::InputMode::kIngest;
+  } else {
+    conn->mode = Connection::InputMode::kRequest;
+  }
+}
+
+bool PrivHPServer::WantRead(const std::shared_ptr<Connection>& conn) {
+  if (conn->reading_disabled || conn->close_after_flush) return false;
+  if (conn->mode == Connection::InputMode::kIngest) {
+    std::lock_guard<std::mutex> lock(conn->ingest_mu);
+    return conn->ingest_bytes < kIngestChannelMaxBytes &&
+           conn->ingest_frames.size() < kIngestChannelMaxFrames;
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  return conn->pending.size() <
+         static_cast<size_t>(options_.max_pipeline_requests);
+}
+
+void PrivHPServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->dropped) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (!conn->outbox.empty()) {
+      // Frames were size-checked when the worker encoded them.
+      const Status queued =
+          conn->writer.Enqueue(std::move(conn->outbox.front()));
+      PRIVHP_DCHECK(queued.ok());
+      (void)queued;
+      conn->outbox.pop_front();
+    }
+  }
+  if (!conn->writer.empty()) {
+    const size_t before = conn->writer.pending_bytes();
+    Result<bool> drained = conn->writer.Pump(conn->sock);
+    const size_t flushed = before - conn->writer.pending_bytes();
+    if (flushed > 0) {
+      conn->queued_bytes.fetch_sub(flushed, std::memory_order_relaxed);
+      metrics_->output_queue_bytes->Add(-static_cast<int64_t>(flushed));
+      const auto now = std::chrono::steady_clock::now();
+      conn->last_write_progress = now;
+      conn->last_activity = now;
+    }
+    if (!drained.ok()) {
+      DropConnection(conn, DropReason::kNone);
+      return;
+    }
+  }
+  // Resume a parked stream once the peer drained below the low-water
+  // mark (half the cap — hysteresis, so a stream does not thrash between
+  // parking and resuming on every frame).
+  if (conn->queued_bytes.load(std::memory_order_relaxed) <=
+      options_.max_output_queue_bytes / 2) {
+    bool submit = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->parked != nullptr && !conn->resume_scheduled) {
+        conn->resume_scheduled = true;
+        submit = true;
+      }
+    }
+    if (submit) {
+      Task task;
+      task.conn = conn;
+      task.resume = true;
+      task.enqueued = std::chrono::steady_clock::now();
+      SubmitTask(std::move(task));
+    }
+  }
+  if (conn->close_after_flush && conn->writer.empty()) {
+    bool flushed_and_idle;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      flushed_and_idle = conn->outbox.empty() && !conn->executing;
+    }
+    if (flushed_and_idle) {
+      DropConnection(conn, conn->flush_drop_reason);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void PrivHPServer::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  if (conn->dropped) return;
+  const bool want_read = WantRead(conn);
+  const bool want_write = !conn->writer.empty();
+  if (want_read == conn->want_read && want_write == conn->want_write) {
+    return;
+  }
+  conn->want_read = want_read;
+  conn->want_write = want_write;
+  if (!loop_.Mod(conn->sock.fd(), want_read, want_write, conn->tag).ok()) {
+    DropConnection(conn, DropReason::kNone);
+  }
+}
+
+void PrivHPServer::DrainReadyList() {
+  std::vector<std::shared_ptr<Connection>> ready;
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    ready.swap(ready_);
+  }
+  for (const std::shared_ptr<Connection>& conn : ready) {
+    // Clear membership before reading the flags: a worker notification
+    // racing with this pass just re-queues the connection for the next
+    // round instead of being lost.
+    conn->in_ready.store(false, std::memory_order_release);
+    if (conn->dropped) continue;
+    bool done = false;
+    bool drop = false;
+    bool release_stream = false;
+    DropReason reason = DropReason::kNone;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      done = conn->request_done;
+      if (done) {
+        conn->request_done = false;
+        drop = conn->done_drop;
+        conn->done_drop = false;
+        reason = conn->done_drop_reason;
+        conn->done_drop_reason = DropReason::kNone;
+        release_stream = conn->done_release_stream;
+        conn->done_release_stream = false;
+        conn->executing = false;
+      }
+    }
+    if (done) {
+      if (release_stream && conn->streams_expected > 0) {
+        // The INGEST finished without consuming its point stream (it
+        // was rejected before the ack): the peer will not send one.
+        --conn->streams_expected;
+      }
+      RecomputeMode(conn);
+      if (drop) {
+        conn->close_after_flush = true;
+        conn->flush_drop_reason = reason;
+        conn->reading_disabled = true;
+      } else {
+        MaybeStartNext(conn);
+      }
+    }
+    // A pipeline un-pausing (request slots freed, ingest channel
+    // drained) is signalled through this list, not by EPOLLIN: continue
+    // parsing any frames the reader buffered past an earlier round's
+    // fairness cap.
+    if (conn->reader.has_buffered() && WantRead(conn)) {
+      HandleReadable(conn);
+      if (conn->dropped) continue;
+    }
+    PumpConnection(conn);
+  }
+}
+
+void PrivHPServer::SweepDeadlines(std::chrono::steady_clock::time_point now) {
+  for (size_t i = 0; i < listener_state_.size(); ++i) {
+    ListenerState& state = listener_state_[i];
+    if (state.paused && now >= state.rearm_at) {
+      if (loop_.Add(listeners_[i].fd(), true, false, i).ok()) {
+        state.paused = false;
+      } else {
+        state.rearm_at = now + std::chrono::milliseconds(std::min(
+                                   10 * state.consecutive_failures, 1000));
+      }
+    }
+  }
+  if (conns_.empty()) return;
+  const auto send_limit = std::chrono::seconds(options_.send_timeout_seconds);
+  const auto idle_limit = std::chrono::seconds(options_.idle_timeout_seconds);
+  std::vector<std::pair<std::shared_ptr<Connection>, DropReason>> expired;
+  for (const auto& entry : conns_) {
+    const std::shared_ptr<Connection>& conn = entry.second;
+    if (conn->queued_bytes.load(std::memory_order_relaxed) > 0) {
+      // Output is pending: the clock that matters is write progress. A
+      // peer that stopped reading is a backpressure casualty, whatever
+      // else it is doing.
+      const auto stalled = now - conn->last_write_progress;
+      const bool hit =
+          (options_.send_timeout_seconds > 0 && stalled >= send_limit) ||
+          (options_.idle_timeout_seconds > 0 && stalled >= idle_limit);
+      if (hit) {
+        // A failed handshake waiting out its flush keeps its own label.
+        const DropReason reason =
+            conn->close_after_flush &&
+                    conn->flush_drop_reason != DropReason::kNone
+                ? conn->flush_drop_reason
+                : DropReason::kBackpressure;
+        expired.emplace_back(conn, reason);
       }
       continue;
     }
-    consecutive_failures = 0;
-    stats_.connections.fetch_add(1, std::memory_order_relaxed);
-    if (options_.send_timeout_seconds > 0) {
-      struct timeval tv;
-      tv.tv_sec = options_.send_timeout_seconds;
-      tv.tv_usec = 0;
-      ::setsockopt(conn->fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    }
+    // A worker owns the connection (request running, stream parked, or
+    // ingest consuming its channel — which applies the idle bound per
+    // frame itself); the sweep leaves it alone.
+    bool executing;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_.push_back(
-          PendingConn{std::move(*conn), std::chrono::steady_clock::now()});
+      std::lock_guard<std::mutex> lock(conn->mu);
+      executing = conn->executing;
     }
-    metrics_->queue_depth->Add(1);
-    queue_cv_.notify_one();
+    if (executing) continue;
+    if (options_.idle_timeout_seconds > 0 &&
+        now - conn->last_activity >= idle_limit) {
+      expired.emplace_back(conn, DropReason::kIdle);
+    }
   }
+  for (const auto& entry : expired) {
+    DropConnection(entry.first, entry.second);
+  }
+}
+
+void PrivHPServer::DropConnection(const std::shared_ptr<Connection>& conn,
+                                  DropReason reason) {
+  if (conn->dropped) return;
+  conn->dropped = true;
+  (void)loop_.Del(conn->sock.fd());
+  switch (reason) {
+    case DropReason::kIdle:
+      metrics_->dropped_idle->Inc();
+      break;
+    case DropReason::kBackpressure:
+      metrics_->dropped_backpressure->Inc();
+      break;
+    case DropReason::kAuth:
+      metrics_->dropped_auth->Inc();
+      break;
+    case DropReason::kNone:
+      break;
+  }
+  metrics_->connections_open->Add(-1);
+  size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    conn->pending.clear();
+    conn->outbox.clear();
+    conn->parked.reset();
+    // Exchanged under mu so a racing EnqueueFrame either lands before
+    // (its bytes are in `queued`) or observes closed and adds nothing.
+    queued = conn->queued_bytes.exchange(0, std::memory_order_relaxed);
+  }
+  if (queued > 0) {
+    metrics_->output_queue_bytes->Add(-static_cast<int64_t>(queued));
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->ingest_mu);
+    conn->ingest_closed = true;
+    conn->ingest_frames.clear();
+    conn->ingest_bytes = 0;
+  }
+  conn->ingest_cv.notify_all();
+  conn->sock.Close();
+  conns_.erase(conn->tag);
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+void PrivHPServer::SubmitTask(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  metrics_->queue_depth->Add(1);
+  task_cv_.notify_one();
 }
 
 void PrivHPServer::WorkerLoop(int worker_index) {
   RandomEngine engine =
       RandomEngine(options_.seed).Fork(static_cast<uint64_t>(worker_index));
   for (;;) {
-    Socket conn;
-    std::chrono::steady_clock::time_point enqueued;
+    Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load() || !pending_.empty();
+      std::unique_lock<std::mutex> lock(task_mu_);
+      task_cv_.wait(lock, [this] {
+        return stopping_.load() || !tasks_.empty();
       });
       if (stopping_.load()) return;
-      conn = std::move(pending_.front().sock);
-      enqueued = pending_.front().enqueued;
-      pending_.pop_front();
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
     }
     metrics_->queue_depth->Add(-1);
-    metrics_->queue_wait_ns->Record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - enqueued)
-            .count()));
+    metrics_->queue_wait_ns->Record(
+        ElapsedNs(task.enqueued, std::chrono::steady_clock::now()));
     metrics_->workers_busy->Add(1);
-    ServeConnection(conn, &engine);
+    ExecuteTask(std::move(task), &engine);
     metrics_->workers_busy->Add(-1);
   }
 }
 
-void PrivHPServer::ServeConnection(const Socket& conn, RandomEngine* engine) {
-  std::string frame;
-  while (!stopping_.load()) {
-    // The deadline restarts per request: it bounds idle time between
-    // frames, not the lifetime of a busy connection.
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::seconds(options_.idle_timeout_seconds);
-    const CancelFn cancel = [this, deadline]() {
-      return stopping_.load() ||
-             (options_.idle_timeout_seconds > 0 &&
-              std::chrono::steady_clock::now() >= deadline);
-    };
-    Result<bool> more = RecvFrame(conn, &frame, cancel);
-    if (!more.ok() || !*more) return;  // cancelled, error, or clean EOF
-    stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    Result<ServiceRequest> req = ParseRequest(frame);
-    if (!req.ok()) {
-      // A frame we cannot parse means the peer speaks a different
-      // protocol; answer once and drop the connection. There is no
-      // endpoint to charge the error to, so only the server totals see
-      // it.
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      (void)SendFrame(conn, EncodeErrorResponse(req.status()));
-      return;
+void PrivHPServer::ExecuteTask(Task task, RandomEngine* engine) {
+  bool continuable;
+  if (task.resume) {
+    std::unique_ptr<ResponseStream> stream;
+    {
+      std::lock_guard<std::mutex> lock(task.conn->mu);
+      stream = std::move(task.conn->parked);
+      task.conn->resume_scheduled = false;
     }
-    // Latency covers dispatch through the last response frame (send
-    // included: a slow-reading peer IS tail latency to the next request
-    // on this connection). Bytes in/out are per-request wire payloads —
-    // INGEST adds its streamed point frames, SAMPLE its response stream.
-    const auto started = std::chrono::steady_clock::now();
-    RequestScope scope;
-    scope.ep = &metrics_->ForOp(req->op);
-    scope.bytes_in = frame.size();
-    scope.ep->requests->Inc();
-    const Status handled = Dispatch(conn, *req, engine, &scope);
-    scope.ep->latency_ns->Record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - started)
-            .count()));
-    scope.ep->bytes_in->Record(scope.bytes_in);
-    scope.ep->bytes_out->Record(scope.bytes_out);
-    if (!handled.ok()) return;
+    // A null stream means the connection dropped between scheduling and
+    // execution; there is nothing left to finish.
+    if (stream == nullptr) return;
+    continuable = RunStream(std::move(stream));
+  } else {
+    continuable = ExecuteRequest(task.conn, std::move(task.request), engine);
   }
+  // Inline continuation: while the connection has pipelined requests
+  // waiting and the last one completed cleanly, keep the execution slot
+  // and run the next one right here — bouncing through the reactor and
+  // the task queue would cost two thread wake-ups per request. Bounded
+  // so one pipelining peer cannot monopolize a worker: past the budget
+  // the slot goes back through the reactor, which re-submits the
+  // connection at the tail of the task queue.
+  int budget = kMaxInlineRequestsPerTask;
+  while (continuable) {
+    PendingRequest next;
+    {
+      std::lock_guard<std::mutex> lock(task.conn->mu);
+      if (task.conn->closed || task.conn->pending.empty()) {
+        task.conn->executing = false;
+        return;
+      }
+      if (--budget <= 0) {
+        task.conn->request_done = true;
+        break;
+      }
+      next = std::move(task.conn->pending.front());
+      task.conn->pending.pop_front();
+    }
+    continuable = ExecuteRequest(task.conn, std::move(next), engine);
+  }
+  NotifyConn(task.conn);
 }
 
-Status PrivHPServer::SendError(const Socket& conn, const Status& error,
-                               RequestScope* scope) {
+bool PrivHPServer::ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                                  PendingRequest pending,
+                                  RandomEngine* engine) {
+  // Latency covers dispatch through the last response frame enqueued
+  // (parked stream time included: a slow-reading peer IS tail latency to
+  // the next request on this connection). Bytes in/out are per-request
+  // wire payloads — INGEST adds its streamed point frames, SAMPLE its
+  // response stream.
+  RequestScope scope;
+  scope.started = std::chrono::steady_clock::now();
+  scope.bytes_in = pending.bytes_in;
+  if (!pending.parse_error.ok()) {
+    // Unparseable frame: answer once and close. There is no endpoint to
+    // charge the error to, so only the server totals see it.
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    (void)EnqueueFrame(conn, EncodeErrorResponse(pending.parse_error),
+                       &scope);
+    return FinalizeRequest(conn, &scope, /*drop_connection=*/true,
+                           DropReason::kNone,
+                           /*ingest_stream_consumed=*/true);
+  }
+  scope.ep = &metrics_->ForOp(pending.req.op);
+  scope.ep->requests->Inc();
+  bool drop = false;
+  DropReason reason = DropReason::kNone;
+  bool stream_consumed = true;
+  std::unique_ptr<ResponseStream> stream;
+  DispatchRequest(conn, pending.req, engine, &scope, &drop, &reason,
+                  &stream_consumed, &stream);
+  if (stream != nullptr) {
+    stream->scope = scope;
+    return RunStream(std::move(stream));
+  }
+  return FinalizeRequest(conn, &scope, drop, reason, stream_consumed);
+}
+
+bool PrivHPServer::RunStream(std::unique_ptr<ResponseStream> stream) {
+  const std::shared_ptr<Connection> conn = stream->conn;
+  const ResponseStream::PumpResult result = stream->Pump();
+  if (result == ResponseStream::PumpResult::kParked) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) {
+        conn->parked = std::move(stream);
+      }
+    }
+    if (stream != nullptr) {
+      // The connection dropped while we streamed; finish the request so
+      // its slot is not stuck (no one will read the response anyway).
+      return FinalizeRequest(conn, &stream->scope,
+                             /*drop_connection=*/false, DropReason::kNone,
+                             /*ingest_stream_consumed=*/true);
+    }
+    NotifyConn(conn);
+    return false;
+  }
+  return FinalizeRequest(conn, &stream->scope,
+                         result == ResponseStream::PumpResult::kFailed,
+                         DropReason::kNone, /*ingest_stream_consumed=*/true);
+}
+
+bool PrivHPServer::FinalizeRequest(const std::shared_ptr<Connection>& conn,
+                                   RequestScope* scope, bool drop_connection,
+                                   DropReason reason,
+                                   bool ingest_stream_consumed) {
+  // Record before the slot can move on: the connection's next pipelined
+  // request (a STATS, say — whether started inline by this worker or by
+  // the reactor once it sees request_done) must observe this one's
+  // metrics.
+  if (scope->ep != nullptr) {
+    scope->ep->latency_ns->Record(
+        ElapsedNs(scope->started, std::chrono::steady_clock::now()));
+    scope->ep->bytes_in->Record(scope->bytes_in);
+    scope->ep->bytes_out->Record(scope->bytes_out);
+  }
+  if (drop_connection || !ingest_stream_consumed) {
+    // The reactor has cleanup to do (close after flush / release the
+    // expected ingest stream); hand the slot back through request_done.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->request_done = true;
+      if (drop_connection) {
+        conn->done_drop = true;
+        conn->done_drop_reason = reason;
+      }
+      if (!ingest_stream_consumed) conn->done_release_stream = true;
+    }
+    NotifyConn(conn);
+    return false;
+  }
+  // Clean completion: the worker keeps the execution slot and may
+  // continue with the connection's next pending request inline. Output
+  // pumping was already scheduled by EnqueueFrame's NotifyConn.
+  return true;
+}
+
+Status PrivHPServer::EnqueueFrame(const std::shared_ptr<Connection>& conn,
+                                  std::string frame, RequestScope* scope) {
+  if (scope != nullptr) scope->bytes_out += frame.size();
+  // Account the 4-byte frame header too, matching the writer's
+  // pending_bytes so queued_bytes drains exactly to zero.
+  const size_t wire_bytes = frame.size() + 4;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return Status::IOError("connection dropped");
+    conn->outbox.push_back(std::move(frame));
+    conn->queued_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
+  }
+  metrics_->output_queue_bytes->Add(static_cast<int64_t>(wire_bytes));
+  NotifyConn(conn);
+  return Status::OK();
+}
+
+Status PrivHPServer::EnqueueError(const std::shared_ptr<Connection>& conn,
+                                  const Status& error, RequestScope* scope) {
   stats_.errors.fetch_add(1, std::memory_order_relaxed);
   if (scope != nullptr && scope->ep != nullptr) scope->ep->errors->Inc();
-  return SendCounted(conn, EncodeErrorResponse(error), scope);
+  return EnqueueFrame(conn, EncodeErrorResponse(error), scope);
 }
 
-Status PrivHPServer::SendCounted(const Socket& conn, const std::string& frame,
-                                 RequestScope* scope) {
-  if (scope != nullptr) scope->bytes_out += frame.size();
-  return SendFrame(conn, frame);
+void PrivHPServer::NotifyConn(const std::shared_ptr<Connection>& conn) {
+  if (conn->in_ready.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    ready_.push_back(conn);
+  }
+  loop_.Wake();
 }
 
-Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
-                              RandomEngine* engine, RequestScope* scope) {
+// ---------------------------------------------------------------------------
+// Request dispatch (worker threads)
+// ---------------------------------------------------------------------------
+
+void PrivHPServer::DispatchRequest(
+    const std::shared_ptr<Connection>& conn, const ServiceRequest& req,
+    RandomEngine* engine, RequestScope* scope, bool* drop,
+    DropReason* reason, bool* stream_consumed,
+    std::unique_ptr<ResponseStream>* stream_out) {
   switch (req.op) {
     case ServiceOp::kPing:
-      return SendCounted(conn, BeginOkResponse().Take(), scope);
+      (void)EnqueueFrame(conn, BeginOkResponse().Take(), scope);
+      return;
     case ServiceOp::kList: {
       WireWriter w = BeginOkResponse();
       const std::vector<std::string> names = registry_->List();
       w.PutU32(static_cast<uint32_t>(names.size()));
       for (const std::string& name : names) w.PutString(name);
-      return SendCounted(conn, w.Take(), scope);
+      (void)EnqueueFrame(conn, w.Take(), scope);
+      return;
     }
-    case ServiceOp::kStats:
-      return HandleStats(conn, scope);
+    case ServiceOp::kStats: {
+      WireWriter w = BeginOkResponse();
+      EncodeStatsSnapshot(StatsSnapshot(), &w);
+      (void)EnqueueFrame(conn, w.Take(), scope);
+      return;
+    }
+    case ServiceOp::kAuth: {
+      // Reached only when the reactor did not demand the handshake up
+      // front (Unix transport, or no token configured): a correct or
+      // unnecessary token is fine, a wrong one is rejected on any
+      // transport.
+      if (options_.auth_token.empty() || req.token == options_.auth_token) {
+        (void)EnqueueFrame(conn, BeginOkResponse().Take(), scope);
+      } else {
+        (void)EnqueueError(
+            conn, Status::FailedPrecondition("authentication failed"),
+            scope);
+        *drop = true;
+        *reason = DropReason::kAuth;
+      }
+      return;
+    }
     case ServiceOp::kSample:
-      return HandleSample(conn, req, engine, scope);
+      HandleSampleRequest(conn, req, engine, scope, drop, stream_out);
+      return;
     case ServiceOp::kIngest:
-      return HandleIngest(conn, req, scope);
+      HandleIngestRequest(conn, req, scope, drop, reason, stream_consumed);
+      return;
     default:
       break;
   }
@@ -270,36 +1117,51 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
   // file all answer with identical bytes.
   Result<std::shared_ptr<const ServedArtifact>> artifact =
       registry_->Get(req.artifact);
-  if (!artifact.ok()) return SendError(conn, artifact.status(), scope);
+  if (!artifact.ok()) {
+    (void)EnqueueError(conn, artifact.status(), scope);
+    return;
+  }
 
   switch (req.op) {
     case ServiceOp::kRange: {
       if (req.level > 62 || (req.index >> req.level) != 0) {
-        return SendError(conn,
-                         Status::InvalidArgument(
-                             "cell index out of range for level " +
-                             std::to_string(req.level)),
-                         scope);
+        (void)EnqueueError(conn,
+                           Status::InvalidArgument(
+                               "cell index out of range for level " +
+                               std::to_string(req.level)),
+                           scope);
+        return;
       }
       Result<double> fraction = (*artifact)->RangeMass(
           CellId{static_cast<int>(req.level), req.index});
-      if (!fraction.ok()) return SendError(conn, fraction.status(), scope);
+      if (!fraction.ok()) {
+        (void)EnqueueError(conn, fraction.status(), scope);
+        return;
+      }
       WireWriter w = BeginOkResponse();
       w.PutDouble(*fraction);
-      return SendCounted(conn, w.Take(), scope);
+      (void)EnqueueFrame(conn, w.Take(), scope);
+      return;
     }
     case ServiceOp::kQuantile: {
       Result<std::vector<double>> values = (*artifact)->Quantiles(req.qs);
-      if (!values.ok()) return SendError(conn, values.status(), scope);
+      if (!values.ok()) {
+        (void)EnqueueError(conn, values.status(), scope);
+        return;
+      }
       WireWriter w = BeginOkResponse();
       w.PutU32(static_cast<uint32_t>(values->size()));
       for (double v : *values) w.PutDouble(v);
-      return SendCounted(conn, w.Take(), scope);
+      (void)EnqueueFrame(conn, w.Take(), scope);
+      return;
     }
     case ServiceOp::kHeavy: {
       Result<std::vector<HeavyCell>> heavy =
           (*artifact)->Heavy(req.threshold);
-      if (!heavy.ok()) return SendError(conn, heavy.status(), scope);
+      if (!heavy.ok()) {
+        (void)EnqueueError(conn, heavy.status(), scope);
+        return;
+      }
       WireWriter w = BeginOkResponse();
       w.PutU32(static_cast<uint32_t>(heavy->size()));
       for (const HeavyCell& cell : *heavy) {
@@ -307,22 +1169,84 @@ Status PrivHPServer::Dispatch(const Socket& conn, const ServiceRequest& req,
         w.PutU64(cell.cell.index);
         w.PutDouble(cell.fraction);
       }
-      return SendCounted(conn, w.Take(), scope);
+      (void)EnqueueFrame(conn, w.Take(), scope);
+      return;
     }
-    case ServiceOp::kExport:
-      return HandleExport(conn, **artifact, scope);
+    case ServiceOp::kExport: {
+      // The artifact pin moves into the stream via ExportBlob's copy.
+      HandleExportRequest(conn, req, scope, drop, stream_out);
+      return;
+    }
     default:
-      return SendError(conn,
-                       Status::Internal("unhandled opcode in dispatch"),
-                       scope);
+      (void)EnqueueError(
+          conn, Status::Internal("unhandled opcode in dispatch"), scope);
+      return;
   }
 }
 
-Status PrivHPServer::HandleExport(const Socket& conn,
-                                  const ServedArtifact& artifact,
-                                  RequestScope* scope) {
-  Result<std::string> blob = artifact.ExportBlob();
-  if (!blob.ok()) return SendError(conn, blob.status(), scope);
+void PrivHPServer::HandleSampleRequest(
+    const std::shared_ptr<Connection>& conn, const ServiceRequest& req,
+    RandomEngine* engine, RequestScope* scope, bool* drop,
+    std::unique_ptr<ResponseStream>* stream_out) {
+  Result<std::shared_ptr<const ServedArtifact>> artifact =
+      registry_->Get(req.artifact);
+  if (!artifact.ok()) {
+    (void)EnqueueError(conn, artifact.status(), scope);
+    return;
+  }
+  if (options_.max_sample_points > 0 && req.m > options_.max_sample_points) {
+    (void)EnqueueError(conn,
+                       Status::InvalidArgument(
+                           "m exceeds the server's per-request limit "
+                           "of " +
+                           std::to_string(options_.max_sample_points)),
+                       scope);
+    return;
+  }
+  WireWriter header = BeginOkResponse();
+  header.PutU32(static_cast<uint32_t>((*artifact)->domain().dimension()));
+  header.PutU64(req.m);
+  if (!EnqueueFrame(conn, header.Take(), scope).ok()) {
+    *drop = true;
+    return;
+  }
+
+  auto stream = std::make_unique<SampleStream>();
+  stream->server = this;
+  stream->conn = conn;
+  stream->artifact = std::move(*artifact);
+  stream->remaining = req.m;
+  stream->total = req.m;
+  // seed != 0: a dedicated engine, so the response depends only on
+  // (artifact, m, seed) — not on which worker served it or what it
+  // served before. seed == 0: an engine derived from (and advancing)
+  // the worker's own, so concurrent fresh samples never correlate.
+  stream->engine =
+      req.seed != 0 ? RandomEngine(req.seed) : RandomEngine(engine->NextUint64());
+  SampleStream* raw = stream.get();
+  stream->sink = std::make_unique<SocketPointSink>(
+      FrameSendFn([this, raw](std::string payload) {
+        return EnqueueFrame(raw->conn, std::move(payload), &raw->scope);
+      }),
+      options_.sample_batch);
+  *stream_out = std::move(stream);
+}
+
+void PrivHPServer::HandleExportRequest(
+    const std::shared_ptr<Connection>& conn, const ServiceRequest& req,
+    RequestScope* scope, bool* drop,
+    std::unique_ptr<ResponseStream>* stream_out) {
+  Result<std::shared_ptr<const ServedArtifact>> artifact =
+      registry_->Get(req.artifact);
+  if (!artifact.ok()) {
+    (void)EnqueueError(conn, artifact.status(), scope);
+    return;
+  }
+  Result<std::string> blob = (*artifact)->ExportBlob();
+  if (!blob.ok()) {
+    (void)EnqueueError(conn, blob.status(), scope);
+    return;
+  }
 
   // Stream the blob across as many chunk frames as it needs: the OK
   // header promises the total, each chunk carries raw bytes, and the
@@ -330,83 +1254,30 @@ Status PrivHPServer::HandleExport(const Socket& conn,
   // size can hit the frame limit.
   WireWriter header = BeginOkResponse();
   header.PutU64(blob->size());
-  PRIVHP_RETURN_NOT_OK(SendCounted(conn, header.Take(), scope));
-
-  const size_t chunk_bytes = std::min<size_t>(
+  if (!EnqueueFrame(conn, header.Take(), scope).ok()) {
+    *drop = true;
+    return;
+  }
+  auto stream = std::make_unique<ExportStream>();
+  stream->server = this;
+  stream->conn = conn;
+  stream->blob = std::move(*blob);
+  stream->chunk_bytes = std::min<size_t>(
       std::max<size_t>(1, options_.export_chunk_bytes), kMaxFrameBytes - 16);
-  for (size_t off = 0; off < blob->size(); off += chunk_bytes) {
-    const size_t n = std::min(chunk_bytes, blob->size() - off);
-    WireWriter w;
-    w.PutU8(kExportChunkTag);
-    w.PutBytes(blob->data() + off, n);
-    PRIVHP_RETURN_NOT_OK(SendCounted(conn, w.Take(), scope));
-  }
-  WireWriter end;
-  end.PutU8(kExportEndTag);
-  end.PutU64(blob->size());
-  return SendCounted(conn, end.Take(), scope);
+  *stream_out = std::move(stream);
 }
 
-Status PrivHPServer::HandleSample(const Socket& conn,
-                                  const ServiceRequest& req,
-                                  RandomEngine* engine,
-                                  RequestScope* scope) {
-  Result<std::shared_ptr<const ServedArtifact>> artifact =
-      registry_->Get(req.artifact);
-  if (!artifact.ok()) return SendError(conn, artifact.status(), scope);
-  if (options_.max_sample_points > 0 && req.m > options_.max_sample_points) {
-    return SendError(conn,
-                     Status::InvalidArgument(
-                         "m exceeds the server's per-request limit "
-                         "of " +
-                         std::to_string(options_.max_sample_points)),
-                     scope);
-  }
-  WireWriter header = BeginOkResponse();
-  header.PutU32(static_cast<uint32_t>((*artifact)->domain().dimension()));
-  header.PutU64(req.m);
-  PRIVHP_RETURN_NOT_OK(SendCounted(conn, header.Take(), scope));
+void PrivHPServer::HandleIngestRequest(
+    const std::shared_ptr<Connection>& conn, const ServiceRequest& req,
+    RequestScope* scope, bool* drop, DropReason* reason,
+    bool* stream_consumed) {
+  // Until the stream's end frame is consumed (or the reactor releases
+  // the expectation on a pre-ack rejection), the request owes one.
+  *stream_consumed = false;
 
-  // seed != 0: a dedicated engine, so the response depends only on
-  // (artifact, m, seed) — not on which worker served it or what it served
-  // before. seed == 0: the worker's own engine, advancing per request.
-  RandomEngine seeded(req.seed);
-  RandomEngine* rng = req.seed != 0 ? &seeded : engine;
-  SocketPointSink sink(&conn, options_.sample_batch);
-  // Generate one wire batch at a time so shutdown can interrupt a large
-  // response between frames. The artifact's sampling state (a compiled
-  // alias table for heap artifacts, the mmapped table or buffer pool
-  // for paged ones) was set up once at publish/load time and is shared
-  // by every concurrent request through the registry's shared_ptr —
-  // nothing is rebuilt per request or per chunk, and the point stream
-  // is bit-identical whichever representation serves it.
-  for (uint64_t generated = 0; generated < req.m;) {
-    if (stopping_.load()) {
-      scope->bytes_out += sink.bytes_sent();
-      return Status::FailedPrecondition("server stopping");
-    }
-    const uint64_t chunk = std::min<uint64_t>(options_.sample_batch,
-                                              req.m - generated);
-    const Status chunked = (*artifact)->GenerateTo(chunk, rng, &sink);
-    if (!chunked.ok()) {
-      scope->bytes_out += sink.bytes_sent();
-      return chunked;
-    }
-    generated += chunk;
-  }
-  const Status finished = sink.FinishStream();
-  scope->bytes_out += sink.bytes_sent();
-  PRIVHP_RETURN_NOT_OK(finished);
-  stats_.sampled_points.fetch_add(req.m, std::memory_order_relaxed);
-  metrics_->sample_points->Add(req.m);
-  return Status::OK();
-}
-
-Status PrivHPServer::HandleIngest(const Socket& conn,
-                                  const ServiceRequest& req,
-                                  RequestScope* scope) {
-  // Validate before acknowledging: the client only starts streaming after
-  // the OK, so an error response here leaves the connection in sync.
+  // Validate before acknowledging: the client only starts streaming
+  // after the OK, so an error response here leaves the connection in
+  // sync (the reactor releases the expected stream when we finish).
   Status invalid = Status::OK();
   if (req.artifact.empty()) {
     invalid = Status::InvalidArgument("ingest needs an artifact name");
@@ -422,7 +1293,10 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
         "ingest threads must be in [1, " +
         std::to_string(options_.max_ingest_threads) + "]");
   }
-  if (!invalid.ok()) return SendError(conn, invalid, scope);
+  if (!invalid.ok()) {
+    (void)EnqueueError(conn, invalid, scope);
+    return;
+  }
 
   auto domain = std::make_unique<HypercubeDomain>(static_cast<int>(req.dim));
   PrivHPOptions options;
@@ -431,41 +1305,88 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
   options.expected_n = req.n;
   options.seed = req.seed;
 
-  // Resolve the plan before acknowledging, so bad parameters (epsilon <= 0,
-  // ...) are rejected without the client streaming anything.
+  // Resolve the plan before acknowledging, so bad parameters
+  // (epsilon <= 0, ...) are rejected without the client streaming
+  // anything.
   {
     Result<PrivHPBuilder> probe = PrivHPBuilder::Make(domain.get(), options);
-    if (!probe.ok()) return SendError(conn, probe.status(), scope);
+    if (!probe.ok()) {
+      (void)EnqueueError(conn, probe.status(), scope);
+      return;
+    }
   }
-  PRIVHP_RETURN_NOT_OK(SendCounted(conn, BeginOkResponse().Take(), scope));
+  if (!EnqueueFrame(conn, BeginOkResponse().Take(), scope).ok()) {
+    *drop = true;
+    return;
+  }
 
-  // The idle timeout rides the source so a peer that opens an ingest
-  // session and goes silent frees the worker, same as between requests.
-  SocketPointSource source(&conn, static_cast<int>(req.dim),
-                           [this]() { return stopping_.load(); },
-                           options_.idle_timeout_seconds);
+  // The point stream arrives through the connection's ingest channel:
+  // the reactor forwards raw frames, this worker decodes them. The idle
+  // deadline restarts per frame — it bounds silence, not the lifetime
+  // of a steadily streaming peer.
+  bool timed_out = false;
+  FrameRecvFn recv = [this, conn, &timed_out](std::string* payload)
+      -> Result<bool> {
+    std::unique_lock<std::mutex> lock(conn->ingest_mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::seconds(options_.idle_timeout_seconds);
+    for (;;) {
+      if (!conn->ingest_frames.empty()) {
+        *payload = std::move(conn->ingest_frames.front());
+        conn->ingest_frames.pop_front();
+        conn->ingest_bytes -= payload->size();
+        lock.unlock();
+        // The channel may have been full; let the reactor re-arm reads.
+        NotifyConn(conn);
+        return true;
+      }
+      if (conn->ingest_closed) {
+        return Status::IOError("connection dropped mid point stream");
+      }
+      if (stopping_.load()) {
+        return Status::FailedPrecondition("server stopping");
+      }
+      if (options_.idle_timeout_seconds > 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        timed_out = true;
+        return Status::FailedPrecondition("point stream idle timeout");
+      }
+      conn->ingest_cv.wait_for(lock, std::chrono::milliseconds(100));
+    }
+  };
+  SocketPointSource source(std::move(recv), static_cast<int>(req.dim));
   Result<PrivHPGenerator> generator = PrivHPBuilder::BuildParallel(
       domain.get(), options, &source, static_cast<int>(req.threads));
   // The streamed point frames are this request's real bytes-in, whether
   // or not the build succeeded; the batch counter feeds ingest.batches.
   scope->bytes_in += source.bytes_received();
-  metrics_->ingest_batches->Add(source.num_batches());
+  metrics_->ingest_batches->Add(
+      static_cast<int64_t>(source.num_batches()));
+  *stream_consumed = source.finished();
   if (!generator.ok()) {
     // A cancelled stream (shutdown, or the peer idle-timing out) has no
     // live sender to resync with — draining would just park the worker
     // for a second timeout window, so drop the connection instead.
     if (source.cancelled()) {
-      return generator.status();
+      *drop = true;
+      *reason = timed_out ? DropReason::kIdle : DropReason::kNone;
+      return;
     }
     // Otherwise regain frame sync so the error reaches the client; if
     // the drain itself fails the connection is beyond saving, and the
     // build error (not the drain error) is what is worth reporting.
-    if (!source.SkipToEnd().ok()) return generator.status();
-    return SendError(conn, generator.status(), scope);
+    if (!source.SkipToEnd().ok()) {
+      *drop = true;
+      return;
+    }
+    *stream_consumed = source.finished();
+    (void)EnqueueError(conn, generator.status(), scope);
+    return;
   }
   stats_.ingested_points.fetch_add(source.num_received(),
                                    std::memory_order_relaxed);
-  metrics_->ingest_points->Add(source.num_received());
+  metrics_->ingest_points->Add(static_cast<int64_t>(source.num_received()));
 
   const uint64_t nodes = generator->tree().num_nodes();
   const double mass = generator->TotalMass();
@@ -473,20 +1394,21 @@ Status PrivHPServer::HandleIngest(const Socket& conn,
       req.artifact,
       ServedArtifact::Make(std::move(domain), std::move(*generator),
                            "ingest"));
-  if (!published.ok()) return SendError(conn, published, scope);
+  if (!published.ok()) {
+    (void)EnqueueError(conn, published, scope);
+    return;
+  }
   stats_.ingests_published.fetch_add(1, std::memory_order_relaxed);
 
   WireWriter w = BeginOkResponse();
   w.PutU64(nodes);
   w.PutDouble(mass);
-  return SendCounted(conn, w.Take(), scope);
+  (void)EnqueueFrame(conn, w.Take(), scope);
 }
 
-Status PrivHPServer::HandleStats(const Socket& conn, RequestScope* scope) {
-  WireWriter w = BeginOkResponse();
-  EncodeStatsSnapshot(StatsSnapshot(), &w);
-  return SendCounted(conn, w.Take(), scope);
-}
+// ---------------------------------------------------------------------------
+// Stats snapshot (unchanged wire surface)
+// ---------------------------------------------------------------------------
 
 obs::MetricsSnapshot PrivHPServer::StatsSnapshot() const {
   obs::MetricsSnapshot snap = metrics_registry_->Snapshot();

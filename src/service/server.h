@@ -1,23 +1,42 @@
 // PrivHPServer — the long-running ingest/serve front end.
 //
-// Serving topology: one acceptor thread per listener (TCP and/or
-// Unix-domain), a shared connection queue, and a pool of worker threads
-// that each serve one connection at a time, request-by-request. Released
-// artifacts come from an ArtifactRegistry; reads (SAMPLE / RANGE /
-// QUANTILE / HEAVY / EXPORT) are lock-free post-processing of the
-// artifact the worker's shared_ptr pins, and INGEST streams the
-// connection's point frames straight into PrivHPBuilder::BuildParallel,
-// publishing the finished generator atomically — readers never observe a
-// half-built artifact.
+// Serving topology: one reactor thread owning an epoll event loop (all
+// listener and connection fds, readiness-driven, non-blocking framed
+// I/O) plus a CPU pool of worker threads that execute parsed requests.
+// The reactor parses request frames ahead of execution, so one
+// connection can pipeline many requests; requests on a connection run
+// one at a time in arrival order (responses come back in request
+// order), while different connections execute in parallel across the
+// pool. Workers never touch sockets: they append response frames to the
+// connection's output queue and the reactor writes them out as the peer
+// drains.
+//
+// Backpressure: each connection's queued-but-unsent response bytes are
+// bounded. A streaming response (SAMPLE / EXPORT) that reaches the
+// high-water mark parks its generation state on the connection and
+// returns the worker to the pool; the reactor resumes it when the peer
+// drains below the low-water mark. A peer that stops reading makes no
+// write progress, so the stall eventually trips send_timeout_seconds /
+// idle_timeout_seconds and the connection is dropped (classified as a
+// backpressure drop when output was pending, an idle drop otherwise).
+//
+// Released artifacts come from an ArtifactRegistry; reads (SAMPLE /
+// RANGE / QUANTILE / HEAVY / EXPORT) are lock-free post-processing of
+// the artifact the request's shared_ptr pins, and INGEST streams the
+// connection's point frames (forwarded by the reactor through a bounded
+// per-connection channel) straight into PrivHPBuilder::BuildParallel,
+// publishing the finished generator atomically — readers never observe
+// a half-built artifact.
 //
 // Randomness: workers never share a RandomEngine. Each worker owns one
-// engine (forked from the server seed) for seedless SAMPLE requests, and
-// a seeded SAMPLE gets a fresh engine so the response is reproducible no
-// matter which worker serves it. Sampling state is the CompiledSampler
-// alias table built once inside each published PrivHPGenerator: it is
-// immutable after construction, so every concurrent SAMPLE request
-// pinning the artifact shares the one compiled table race-free — no
-// per-request sampler construction on the hot path.
+// engine (forked from the server seed); a seeded SAMPLE gets a fresh
+// engine so the response is reproducible no matter which worker serves
+// it, and a seedless SAMPLE derives a per-request engine from the
+// worker's own (advancing it), so concurrent fresh samples never
+// correlate. Sampling state is the CompiledSampler alias table built
+// once inside each published PrivHPGenerator: it is immutable after
+// construction, so every concurrent SAMPLE request pinning the artifact
+// shares the one compiled table race-free.
 
 #ifndef PRIVHP_SERVICE_SERVER_H_
 #define PRIVHP_SERVICE_SERVER_H_
@@ -31,6 +50,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -38,6 +58,7 @@
 #include "io/frame_socket.h"
 #include "obs/metrics_registry.h"
 #include "service/artifact_registry.h"
+#include "service/event_loop.h"
 #include "service/protocol.h"
 #include "service/service_metrics.h"
 
@@ -55,7 +76,7 @@ struct ServerOptions {
   /// TCP bind address.
   std::string tcp_host = "127.0.0.1";
 
-  /// Worker threads (concurrent connections served).
+  /// Worker threads (requests executing concurrently across connections).
   int num_workers = 4;
 
   /// Seed for the per-worker engine pool (seedless SAMPLE requests).
@@ -66,7 +87,7 @@ struct ServerOptions {
   size_t sample_batch = 4096;
 
   /// Largest m a single SAMPLE request may ask for (0 = unlimited). A
-  /// 13-byte request should not be able to park a worker for hours.
+  /// 13-byte request should not be able to occupy the server for hours.
   uint64_t max_sample_points = uint64_t{1} << 24;
 
   /// Upper bound accepted for an INGEST request's thread count.
@@ -78,23 +99,43 @@ struct ServerOptions {
   /// per-frame memory.
   size_t export_chunk_bytes = 4u << 20;
 
-  /// Send timeout (seconds) on accepted connections, so a peer that
-  /// stops reading mid-response errors the worker out instead of
-  /// blocking it forever (0 = no timeout).
+  /// Write-stall bound (seconds): a connection with queued response
+  /// bytes and no write progress for this long is dropped as a
+  /// backpressure casualty (0 = only idle_timeout_seconds applies).
   int send_timeout_seconds = 30;
 
-  /// Idle receive timeout (seconds): a connection that sends no request
-  /// for this long is dropped, so num_workers stalled peers cannot park
-  /// every worker forever while accepted connections queue up
-  /// (0 = no timeout).
+  /// Idle timeout (seconds): a connection with no inbound frames, no
+  /// executing request and no pending output for this long is dropped
+  /// (0 = no timeout). It also bounds a stalled peer mid-INGEST (the
+  /// stream channel applies it between frames) and is the fallback
+  /// drop deadline for write-stalled peers.
   int idle_timeout_seconds = 300;
 
+  /// Preshared token for TCP connections: when non-empty, a TCP
+  /// connection's first frame must be an AUTH request carrying exactly
+  /// this token; anything else is answered with an error and the
+  /// connection is dropped. Unix-domain connections are exempt
+  /// (filesystem permissions already gate them), but a wrong token is
+  /// rejected on any transport.
+  std::string auth_token;
+
+  /// Per-connection high-water mark on queued-but-unsent response bytes.
+  /// Streaming producers park at the mark and resume once the queue
+  /// drains below half of it; the queue never exceeds the mark by more
+  /// than one frame.
+  size_t max_output_queue_bytes = 4u << 20;
+
+  /// Per-connection cap on parsed-but-unexecuted pipelined requests;
+  /// past it the reactor stops reading from the peer, which shows up to
+  /// the client as ordinary TCP backpressure.
+  int max_pipeline_requests = 64;
+
   /// Metrics registry the server records into (per-endpoint latency and
-  /// byte histograms, queue/worker gauges, pipeline counters — served
-  /// back over the STATS op). Not owned; must outlive the server. When
-  /// null the server creates and owns a private registry, so
-  /// instrumentation is always on — recording is a couple of relaxed
-  /// atomic adds per request, cheap enough to never gate.
+  /// byte histograms, queue/worker gauges, connection lifecycle
+  /// counters — served back over the STATS op). Not owned; must outlive
+  /// the server. When null the server creates and owns a private
+  /// registry, so instrumentation is always on — recording is a couple
+  /// of relaxed atomic adds per request, cheap enough to never gate.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -102,7 +143,7 @@ struct ServerOptions {
 /// Stop() (or destruction) joins them.
 class PrivHPServer {
  public:
-  /// \brief Starts listeners and workers. \p registry is not owned and
+  /// \brief Starts the reactor and workers. \p registry is not owned and
   /// must outlive the server.
   static Result<std::unique_ptr<PrivHPServer>> Start(
       ArtifactRegistry* registry, const ServerOptions& options);
@@ -129,7 +170,7 @@ class PrivHPServer {
     uint64_t ingested_points = 0;
     uint64_t ingests_published = 0;
     /// Times a listener entered a sustained accept-failure streak
-    /// (>= 16 consecutive failures); the loop keeps retrying with
+    /// (>= 16 consecutive failures); the reactor keeps retrying with
     /// capped backoff, but a non-zero value means some endpoint has
     /// been refusing connections and deserves a look.
     uint64_t listener_failure_streaks = 0;
@@ -149,40 +190,125 @@ class PrivHPServer {
   obs::MetricsRegistry* metrics_registry() const { return metrics_registry_; }
 
  private:
-  PrivHPServer(ArtifactRegistry* registry, ServerOptions options);
+  struct Connection;
+  struct ResponseStream;
+  struct SampleStream;
+  struct ExportStream;
+
+  /// Why a connection was closed — drives the
+  /// server.connections_dropped.* counters (kNone: ordinary close/EOF,
+  /// not counted as a drop).
+  enum class DropReason { kNone, kIdle, kBackpressure, kAuth };
 
   /// Per-request bookkeeping threaded through dispatch: which endpoint's
-  /// metrics to charge, and the response bytes written so far (every
-  /// frame sent on behalf of the request accumulates here, so SAMPLE's
-  /// many point frames and EXPORT's chunk frames all count).
+  /// metrics to charge, and the request/response wire payload bytes
+  /// (every frame enqueued on behalf of the request accumulates here, so
+  /// SAMPLE's many point frames and EXPORT's chunk frames all count).
   struct RequestScope {
     EndpointMetrics* ep = nullptr;
     uint64_t bytes_in = 0;
     uint64_t bytes_out = 0;
+    std::chrono::steady_clock::time_point started;
   };
 
-  Status StartListeners();
-  void AcceptLoop(Socket listener);
-  void WorkerLoop(int worker_index);
-  void ServeConnection(const Socket& conn, RandomEngine* engine);
+  /// A request frame the reactor parsed and queued for execution. A
+  /// non-OK parse_error marks a poison entry: the worker answers with
+  /// the error and the connection is closed after the flush.
+  struct PendingRequest {
+    ServiceRequest req;
+    uint64_t bytes_in = 0;
+    Status parse_error = Status::OK();
+  };
 
-  /// Dispatch helpers return a non-OK Status only for transport failures
-  /// (the connection is then dropped); application errors travel back to
-  /// the client as error responses.
-  Status Dispatch(const Socket& conn, const ServiceRequest& req,
-                  RandomEngine* engine, RequestScope* scope);
-  Status HandleSample(const Socket& conn, const ServiceRequest& req,
-                      RandomEngine* engine, RequestScope* scope);
-  Status HandleExport(const Socket& conn, const ServedArtifact& artifact,
-                      RequestScope* scope);
-  Status HandleIngest(const Socket& conn, const ServiceRequest& req,
-                      RequestScope* scope);
-  Status HandleStats(const Socket& conn, RequestScope* scope);
-  Status SendError(const Socket& conn, const Status& error,
-                   RequestScope* scope);
-  /// SendFrame that charges the frame to the request's bytes-out.
-  Status SendCounted(const Socket& conn, const std::string& frame,
-                     RequestScope* scope);
+  /// Unit of work for the CPU pool: execute a fresh request, or resume
+  /// the connection's parked response stream.
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    bool resume = false;
+    PendingRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  PrivHPServer(ArtifactRegistry* registry, ServerOptions options);
+
+  Status StartListeners();
+
+  // ---- reactor side (single thread; owns fds, parsing, routing) ----
+  void ReactorLoop();
+  void AcceptPending(size_t listener_index);
+  void PauseListener(size_t listener_index, const Status& error);
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void RouteFrame(const std::shared_ptr<Connection>& conn,
+                  std::string frame);
+  void HandleAuthFrame(const std::shared_ptr<Connection>& conn,
+                       const std::string& frame);
+  void MaybeStartNext(const std::shared_ptr<Connection>& conn);
+  /// Derives the routing mode from auth state and expected ingest
+  /// streams.
+  void RecomputeMode(const std::shared_ptr<Connection>& conn);
+  /// Whether the reactor should keep EPOLLIN armed for this connection
+  /// (auth/pipeline/ingest-channel caps pause reads — TCP backpressure).
+  bool WantRead(const std::shared_ptr<Connection>& conn);
+  /// Moves outbox frames into the writer, writes as much as the socket
+  /// takes, resumes parked streams below the low-water mark, closes
+  /// flush-pending connections, and refreshes epoll interest.
+  void PumpConnection(const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  void DrainReadyList();
+  void SweepDeadlines(std::chrono::steady_clock::time_point now);
+  void DropConnection(const std::shared_ptr<Connection>& conn,
+                      DropReason reason);
+
+  // ---- worker side (CPU pool; never touches fds) ----
+  void WorkerLoop(int worker_index);
+  void SubmitTask(Task task);
+  /// Runs the task's request (or resumes its parked stream), then keeps
+  /// draining the connection's pending pipeline inline while requests
+  /// complete cleanly — up to a fairness budget, after which the slot
+  /// goes back through the reactor and the task queue.
+  void ExecuteTask(Task task, RandomEngine* engine);
+  /// The bool these three return means "the execution slot is still
+  /// held by this worker and the connection's next pipelined request
+  /// may run inline". false = the slot was handed to the reactor
+  /// (request_done set) or stays parked with a stream.
+  bool ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                      PendingRequest pr, RandomEngine* engine);
+  bool RunStream(std::unique_ptr<ResponseStream> stream);
+  /// Records the request's metrics, then either keeps the slot with the
+  /// worker (clean completion, returns true) or marks it done for the
+  /// reactor (drop / ingest-stream release, returns false). Recording
+  /// happens before either hand-off, so the next pipelined request on
+  /// the connection observes this one's metrics.
+  bool FinalizeRequest(const std::shared_ptr<Connection>& conn,
+                       RequestScope* scope, bool drop_connection,
+                       DropReason reason, bool ingest_stream_consumed);
+
+  void DispatchRequest(const std::shared_ptr<Connection>& conn,
+                       const ServiceRequest& req, RandomEngine* engine,
+                       RequestScope* scope, bool* drop, DropReason* reason,
+                       bool* stream_consumed,
+                       std::unique_ptr<ResponseStream>* stream_out);
+  void HandleSampleRequest(const std::shared_ptr<Connection>& conn,
+                           const ServiceRequest& req, RandomEngine* engine,
+                           RequestScope* scope, bool* drop,
+                           std::unique_ptr<ResponseStream>* stream_out);
+  void HandleExportRequest(const std::shared_ptr<Connection>& conn,
+                           const ServiceRequest& req, RequestScope* scope,
+                           bool* drop,
+                           std::unique_ptr<ResponseStream>* stream_out);
+  void HandleIngestRequest(const std::shared_ptr<Connection>& conn,
+                           const ServiceRequest& req, RequestScope* scope,
+                           bool* drop, DropReason* reason,
+                           bool* stream_consumed);
+
+  /// Appends one response frame to the connection's output queue and
+  /// wakes the reactor; fails (IOError) once the connection is dropped.
+  Status EnqueueFrame(const std::shared_ptr<Connection>& conn,
+                      std::string frame, RequestScope* scope);
+  Status EnqueueError(const std::shared_ptr<Connection>& conn,
+                      const Status& error, RequestScope* scope);
+  /// Puts \p conn on the reactor's ready list and wakes the loop.
+  void NotifyConn(const std::shared_ptr<Connection>& conn);
 
   ArtifactRegistry* registry_;
   ServerOptions options_;
@@ -196,19 +322,33 @@ class PrivHPServer {
   std::unique_ptr<ServiceMetrics> metrics_;
 
   std::atomic<bool> stopping_{false};
+
+  EventLoop loop_;
   std::vector<Socket> listeners_;
-  std::vector<std::thread> acceptors_;
+  struct ListenerState {
+    bool is_tcp = false;
+    bool paused = false;  ///< unregistered after accept failures
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point rearm_at{};
+  };
+  std::vector<ListenerState> listener_state_;
+
+  std::thread reactor_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  /// Accepted connections awaiting a worker, stamped at enqueue time so
-  /// the dequeuing worker can record the queue-wait histogram.
-  struct PendingConn {
-    Socket sock;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-  std::deque<PendingConn> pending_;
+  // Reactor-owned connection table (tag -> connection).
+  uint64_t next_conn_tag_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+
+  // CPU-pool task queue.
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<Task> tasks_;
+
+  // Connections with worker-produced state the reactor must look at
+  // (new response frames, request completion, parked streams).
+  std::mutex ready_mu_;
+  std::vector<std::shared_ptr<Connection>> ready_;
 
   struct AtomicStats {
     std::atomic<uint64_t> connections{0};

@@ -11,7 +11,8 @@ namespace {
 constexpr ServiceOp kOpOrder[kStatsNumOps] = {
     ServiceOp::kPing,  ServiceOp::kList,   ServiceOp::kSample,
     ServiceOp::kRange, ServiceOp::kQuantile, ServiceOp::kHeavy,
-    ServiceOp::kExport, ServiceOp::kStats, ServiceOp::kIngest,
+    ServiceOp::kExport, ServiceOp::kStats, ServiceOp::kAuth,
+    ServiceOp::kIngest,
 };
 
 }  // namespace
@@ -34,6 +35,8 @@ const char* ServiceOpName(ServiceOp op) {
       return "export";
     case ServiceOp::kStats:
       return "stats";
+    case ServiceOp::kAuth:
+      return "auth";
     case ServiceOp::kIngest:
       return "ingest";
   }
@@ -67,6 +70,12 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* registry) {
   queue_depth = registry->GetGauge("server.queue_depth");
   workers_busy = registry->GetGauge("server.workers_busy");
   workers_total = registry->GetGauge("server.workers_total");
+  connections_open = registry->GetGauge("server.connections_open");
+  dropped_idle = registry->GetCounter("server.connections_dropped.idle");
+  dropped_backpressure =
+      registry->GetCounter("server.connections_dropped.backpressure");
+  dropped_auth = registry->GetCounter("server.connections_dropped.auth");
+  output_queue_bytes = registry->GetGauge("server.output_queue_bytes");
   ingest_points = registry->GetCounter("ingest.points");
   ingest_batches = registry->GetCounter("ingest.batches");
   sample_points = registry->GetCounter("sample.points");

@@ -29,7 +29,7 @@ struct EndpointMetrics {
 
 /// \brief Stable, display-ordered list of wire ops ("ping", "list", ...).
 /// kStatsNumOps is also the bound for OpIndex below.
-inline constexpr int kStatsNumOps = 9;
+inline constexpr int kStatsNumOps = 10;
 const char* ServiceOpName(ServiceOp op);
 /// \brief Dense [0, kStatsNumOps) index for a wire op.
 int ServiceOpIndex(ServiceOp op);
@@ -44,10 +44,17 @@ class ServiceMetrics {
   EndpointMetrics& ForOp(ServiceOp op) { return ops_[ServiceOpIndex(op)]; }
 
   // Server-level instrumentation.
-  obs::Histogram* queue_wait_ns;  ///< accept-to-worker-dequeue wait
-  obs::Gauge* queue_depth;        ///< connections awaiting a worker
+  obs::Histogram* queue_wait_ns;  ///< request parse-to-worker-dequeue wait
+  obs::Gauge* queue_depth;        ///< requests awaiting a worker
   obs::Gauge* workers_busy;       ///< workers currently serving
   obs::Gauge* workers_total;      ///< configured pool size
+
+  // Connection lifecycle (event-loop reactor).
+  obs::Gauge* connections_open;          ///< currently accepted peers
+  obs::Counter* dropped_idle;            ///< idle-timeout drops
+  obs::Counter* dropped_backpressure;    ///< stalled-reader drops
+  obs::Counter* dropped_auth;            ///< failed AUTH handshakes
+  obs::Gauge* output_queue_bytes;        ///< response bytes queued, all peers
 
   // Ingest pipeline (points and wire batch frames absorbed by builds).
   obs::Counter* ingest_points;

@@ -1,0 +1,251 @@
+// Pipelined-mode and AUTH-handshake coverage for the event-loop server.
+//
+// The contract under test: responses come back strictly in request
+// order regardless of how SAMPLE / RANGE / QUANTILE / PING interleave,
+// a seeded SAMPLE is byte-identical whether pipelined or issued
+// one-at-a-time, and the preshared-token handshake gates TCP while
+// leaving Unix-domain connections exempt (though a wrong token is
+// rejected on any transport).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/queries.h"
+#include "domain/interval_domain.h"
+#include "io/point_sink.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace privhp {
+namespace {
+
+std::vector<Point> MakeData(size_t n, uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<Point> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back({rng.UniformDouble() * rng.UniformDouble()});
+  }
+  return data;
+}
+
+void PublishArtifact(ArtifactRegistry* registry, const std::string& name) {
+  auto domain = std::make_unique<IntervalDomain>();
+  PrivHPOptions options;
+  options.expected_n = 4000;
+  options.seed = 42;
+  auto builder = PrivHPBuilder::Make(domain.get(), options);
+  ASSERT_TRUE(builder.ok());
+  for (const Point& p : MakeData(4000, 7)) {
+    ASSERT_TRUE(builder->Add(p).ok());
+  }
+  auto generator = std::move(*builder).Finish();
+  ASSERT_TRUE(generator.ok());
+  ASSERT_TRUE(registry
+                  ->Publish(name, ServedArtifact::Make(std::move(domain),
+                                                       std::move(*generator),
+                                                       "test"))
+                  .ok());
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = ::testing::TempDir() + "/pipe_" +
+                   std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".sock";
+    PublishArtifact(&registry_, "beta");
+    ServerOptions options;
+    options.unix_path = socket_path_;
+    options.num_workers = 4;
+    auto server = PrivHPServer::Start(&registry_, options);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    std::remove(socket_path_.c_str());
+  }
+
+  Result<PrivHPClient> Connect() {
+    return PrivHPClient::ConnectUnix(socket_path_);
+  }
+
+  std::string socket_path_;
+  ArtifactRegistry registry_;
+  std::unique_ptr<PrivHPServer> server_;
+};
+
+// Many rounds of SAMPLE / RANGE / QUANTILE / PING are in flight at
+// once; every response must land in request order. Exact (not
+// approximate) equality against a one-at-a-time client pins both the
+// ordering and the payload bytes — a response delivered out of order
+// would pair with the wrong collect and mismatch.
+TEST_F(PipelineTest, InterleavedResponsesArriveInRequestOrder) {
+  constexpr int kRounds = 24;
+  constexpr size_t kM = 64;
+  const std::vector<double> kQs = {0.1, 0.5, 0.9};
+
+  // One-at-a-time ground truth (seeded SAMPLE makes it deterministic).
+  auto reference = Connect();
+  ASSERT_TRUE(reference.ok());
+  std::vector<double> expected_mass(16);
+  for (int c = 0; c < 16; ++c) {
+    auto mass = reference->RangeMass("beta", CellId{4, uint64_t(c)});
+    ASSERT_TRUE(mass.ok());
+    expected_mass[c] = *mass;
+  }
+  auto expected_qs = reference->Quantiles("beta", kQs);
+  ASSERT_TRUE(expected_qs.ok());
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(client->SendRangeMass("beta", CellId{4, uint64_t(r % 16)})
+                    .ok());
+    ASSERT_TRUE(client->SendSample("beta", kM, /*seed=*/1000 + r).ok());
+    ASSERT_TRUE(client->SendQuantiles("beta", kQs).ok());
+    ASSERT_TRUE(client->SendPing().ok());
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    auto mass = client->CollectRangeMass();
+    ASSERT_TRUE(mass.ok());
+    EXPECT_EQ(*mass, expected_mass[r % 16]) << "round " << r;
+
+    CollectingSink sink;
+    ASSERT_TRUE(client->CollectSample(kM, &sink).ok());
+    auto expected_points = reference->Sample("beta", kM, 1000 + r);
+    ASSERT_TRUE(expected_points.ok());
+    EXPECT_EQ(sink.points(), *expected_points) << "round " << r;
+
+    auto qs = client->CollectQuantiles(kQs.size());
+    ASSERT_TRUE(qs.ok());
+    EXPECT_EQ(*qs, *expected_qs) << "round " << r;
+
+    ASSERT_TRUE(client->CollectPing().ok());
+  }
+  // The connection is healthy after the burst.
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+// A seeded SAMPLE streamed through the pipelined path is byte-identical
+// to the same request issued synchronously: pipelining changes
+// scheduling, never payloads.
+TEST_F(PipelineTest, PipelinedSeededSampleMatchesOneAtATime) {
+  constexpr size_t kM = 500;
+  constexpr uint64_t kSeed = 123;
+
+  auto sync_client = Connect();
+  ASSERT_TRUE(sync_client.ok());
+  auto sync_points = sync_client->Sample("beta", kM, kSeed);
+  ASSERT_TRUE(sync_points.ok());
+
+  auto pipelined = Connect();
+  ASSERT_TRUE(pipelined.ok());
+  // Surround the sample with other in-flight requests so its frames
+  // really do interleave with other responses on the server side.
+  ASSERT_TRUE(pipelined->SendPing().ok());
+  ASSERT_TRUE(pipelined->SendSample("beta", kM, kSeed).ok());
+  ASSERT_TRUE(pipelined->SendRangeMass("beta", CellId{1, 0}).ok());
+  ASSERT_TRUE(pipelined->CollectPing().ok());
+  CollectingSink sink;
+  ASSERT_TRUE(pipelined->CollectSample(kM, &sink).ok());
+  ASSERT_TRUE(pipelined->CollectRangeMass().ok());
+
+  EXPECT_EQ(sink.points(), *sync_points);
+}
+
+// AUTH handshake over TCP with a configured token: right token in,
+// wrong token out, missing token out.
+class AuthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = ::testing::TempDir() + "/auth_" +
+                   std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".sock";
+    PublishArtifact(&registry_, "beta");
+    ServerOptions options;
+    options.unix_path = socket_path_;
+    options.tcp_port = 0;  // ephemeral
+    options.num_workers = 2;
+    options.auth_token = "sesame";
+    auto server = PrivHPServer::Start(&registry_, options);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    std::remove(socket_path_.c_str());
+  }
+
+  std::string socket_path_;
+  ArtifactRegistry registry_;
+  std::unique_ptr<PrivHPServer> server_;
+};
+
+TEST_F(AuthTest, CorrectTokenIsAccepted) {
+  auto client =
+      PrivHPClient::ConnectTcp("127.0.0.1", server_->tcp_port(), "sesame");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+  auto names = client->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"beta"});
+}
+
+TEST_F(AuthTest, WrongTokenIsRejected) {
+  auto client =
+      PrivHPClient::ConnectTcp("127.0.0.1", server_->tcp_port(), "swordfish");
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsFailedPrecondition());
+}
+
+TEST_F(AuthTest, MissingTokenFirstFrameIsRejected) {
+  // Connect without running the handshake; the first non-AUTH frame
+  // must be answered with an error and the connection closed.
+  auto client = PrivHPClient::ConnectTcp("127.0.0.1", server_->tcp_port());
+  ASSERT_TRUE(client.ok());
+  Status ping = client->Ping();
+  ASSERT_FALSE(ping.ok());
+  EXPECT_TRUE(ping.IsFailedPrecondition());
+  // The server dropped the connection after the rejection.
+  EXPECT_FALSE(client->Ping().ok());
+}
+
+TEST_F(AuthTest, UnixConnectionsAreExempt) {
+  auto client = PrivHPClient::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(AuthTest, WrongTokenIsRejectedOnUnixToo) {
+  // Unix peers skip the mandatory handshake, but a token they do
+  // present is still checked.
+  auto client = PrivHPClient::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  Status auth = client->Auth("swordfish");
+  ASSERT_FALSE(auth.ok());
+  EXPECT_TRUE(auth.IsFailedPrecondition());
+
+  auto good = PrivHPClient::ConnectUnix(socket_path_);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->Auth("sesame").ok());
+  EXPECT_TRUE(good->Ping().ok());
+}
+
+}  // namespace
+}  // namespace privhp

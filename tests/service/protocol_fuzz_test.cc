@@ -66,8 +66,13 @@ void DriveDecoders(const std::string& payload) {
     if (s_dq.ok()) {
       ASSERT_EQ(dq.size(), vec.size());
       ASSERT_EQ(dq.size(), batch.size());
+      // Compare bitwise, not with operator==: mutated frames can carry
+      // NaN coordinates, where == is false even for identical bytes.
       for (size_t i = 0; i < vec.size(); ++i) {
-        ASSERT_EQ(vec[i], dq[i]);
+        ASSERT_EQ(vec[i].size(), dq[i].size());
+        ASSERT_EQ(std::memcmp(vec[i].data(), dq[i].data(),
+                              vec[i].size() * sizeof(double)),
+                  0);
         ASSERT_EQ(std::memcmp(batch.row(i), vec[i].data(),
                               vec[i].size() * sizeof(double)),
                   0);
@@ -90,7 +95,7 @@ TEST_P(RandomBytesFuzzTest, NoiseNeverCrashesAnyDecoder) {
     // past the opcode/tag check and into the field parsers.
     if (round % 2 == 0 && !payload.empty()) {
       static const uint8_t kTags[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
-                                      0x07, 0x10, 0x20, 0x21, 0x00};
+                                      0x07, 0x09, 0x10, 0x20, 0x21, 0x00};
       payload[0] = static_cast<char>(
           kTags[rng.UniformInt(sizeof(kTags))]);
     }
@@ -114,6 +119,7 @@ std::vector<std::string> ValidCorpus() {
   corpus.push_back(EncodeHeavyRequest("demo", 0.01));
   corpus.push_back(EncodeExportRequest("demo"));
   corpus.push_back(EncodeStatsRequest());
+  corpus.push_back(EncodeAuthRequest("fuzz-token"));
   {
     // A populated stats snapshot, so mutations explore the sparse-bucket
     // decode states (version, counts, names, index/count pairs).
@@ -219,6 +225,10 @@ TEST(ProtocolFuzzCorpusTest, ValidFramesStillParse) {
   EXPECT_EQ(sample->artifact, "demo");
   EXPECT_EQ(sample->m, 1000u);
   EXPECT_EQ(sample->seed, 7u);
+  auto auth = ParseRequest(EncodeAuthRequest("fuzz-token"));
+  ASSERT_TRUE(auth.ok());
+  EXPECT_EQ(auth->op, ServiceOp::kAuth);
+  EXPECT_EQ(auth->token, "fuzz-token");
 }
 
 // The PR-3 regression corpus: batch headers whose declared count or dim

@@ -11,7 +11,8 @@
 //                  [--page-size BYTES]
 //   privhp serve   --unix /tmp/privhp.sock | --port 7557
 //                  [--load name=gen.tree ...] [--workers N]
-//                  [--memory-budget-mb MB]
+//                  [--memory-budget-mb MB] [--auth-token T]
+//   (client commands over TCP take --auth-token T to match)
 //   privhp query   --unix PATH | --host H --port P  --artifact NAME
 //                  --sample M | --quantile Q | --heavy T |
 //                  --level L --index I | --export F | --list
@@ -92,7 +93,9 @@ int Usage() {
       "  privhp serve    --unix PATH | --port P [--host H]\n"
       "                  [--load name=gen.tree ...] [--workers N]\n"
       "                  [--seed S] [--memory-budget-mb MB]\n"
+      "                  [--auth-token T]   (TCP clients must present T)\n"
       "  privhp query    --unix PATH | --host H --port P [--artifact A]\n"
+      "                  [--auth-token T]\n"
       "                  --list | --sample M [--seed S] [--out F]\n"
       "                  | --quantile Q [--quantile Q2 ...]\n"
       "                  | --heavy T | --level L --index I | --export F\n"
@@ -355,6 +358,7 @@ int Serve(const Args& args) {
   options.tcp_host = args.GetOr("host", "127.0.0.1");
   options.num_workers = std::atoi(args.GetOr("workers", "4").c_str());
   options.seed = std::strtoull(args.GetOr("seed", "1").c_str(), nullptr, 10);
+  options.auth_token = args.GetOr("auth-token", "");
   if (options.unix_path.empty() && !port) {
     std::fprintf(stderr, "serve needs --unix PATH and/or --port P\n");
     return 2;
@@ -428,9 +432,12 @@ Result<PrivHPClient> ConnectFromArgs(const Args& args) {
   if (!port) {
     return Status::InvalidArgument("need --unix PATH or --host/--port");
   }
+  // A server started with --auth-token demands the handshake as the TCP
+  // connection's first frame; ConnectTcp runs it when given the token.
   return PrivHPClient::ConnectTcp(
       args.GetOr("host", "127.0.0.1"),
-      static_cast<uint16_t>(std::atoi(port->c_str())));
+      static_cast<uint16_t>(std::atoi(port->c_str())),
+      args.GetOr("auth-token", ""));
 }
 
 int Query(const Args& args) {
