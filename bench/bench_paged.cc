@@ -100,7 +100,7 @@ int RunBench(const Config& config) {
   auto packed_size = storage::FileSize(packed_path);
   if (!tree_size.ok() || !packed_size.ok()) return 1;
   std::printf(
-      "bench_paged: n=%zu nodes=%d, tree file %s, packed file %s "
+      "bench_paged: n=%zu nodes=%zu, tree file %s, packed file %s "
       "(packed in %.2f ms), m=%zu draws, pool=%zu KiB\n",
       config.n, generator->tree().num_nodes(),
       bench::FormatBytes(*tree_size).c_str(),

@@ -1,13 +1,12 @@
 #include "core/builder.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/sync.h"
 #include "hierarchy/grow_partition.h"
 #include "sketch/private_sketch.h"
 
@@ -205,9 +204,12 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
   // stops the reader; the first error wins.
   constexpr size_t kBatchSize = 512;
   const size_t max_queued = static_cast<size_t>(num_threads) * 4;
-  std::mutex mu;
-  std::condition_variable batch_ready;
-  std::condition_variable slot_ready;
+  // Local pipeline state, all guarded by mu (locals cannot carry
+  // GUARDED_BY, so the waits below are explicit while loops by the
+  // sync.h convention and every access stays visibly under a MutexLock).
+  Mutex mu;
+  CondVar batch_ready;
+  CondVar slot_ready;
   std::deque<PointBatch> queue;
   bool done = false;
   bool failed = false;
@@ -221,23 +223,22 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
       for (;;) {
         PointBatch batch;
         {
-          std::unique_lock<std::mutex> lock(mu);
-          batch_ready.wait(
-              lock, [&] { return failed || done || !queue.empty(); });
+          MutexLock lock(mu);
+          while (!failed && !done && queue.empty()) batch_ready.Wait(mu);
           if (failed || queue.empty()) return;
           batch = std::move(queue.front());
           queue.pop_front();
-          slot_ready.notify_one();
+          slot_ready.NotifyOne();
         }
         const Status added = shard.AddBatch(batch);
         if (!added.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           if (!failed) {
             failed = true;
             worker_error = added;
           }
-          batch_ready.notify_all();
-          slot_ready.notify_all();
+          batch_ready.NotifyAll();
+          slot_ready.NotifyAll();
           return;
         }
       }
@@ -254,20 +255,19 @@ Result<PrivHPGenerator> PrivHPBuilder::BuildParallel(
         break;
       }
       if (*next == 0) break;
-      std::unique_lock<std::mutex> lock(mu);
-      slot_ready.wait(lock,
-                      [&] { return failed || queue.size() < max_queued; });
+      MutexLock lock(mu);
+      while (!failed && queue.size() >= max_queued) slot_ready.Wait(mu);
       if (failed) break;
       queue.push_back(std::move(batch));
       batch = PointBatch();
-      batch_ready.notify_one();
+      batch_ready.NotifyOne();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     done = true;
   }
-  batch_ready.notify_all();
+  batch_ready.NotifyAll();
   for (std::thread& w : workers) w.join();
   if (!read_error.ok()) return read_error;
   if (failed) return worker_error;

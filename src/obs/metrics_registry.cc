@@ -28,21 +28,21 @@ const HistogramSnapshot* MetricsSnapshot::FindHistogram(
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -50,7 +50,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   s.counters.reserve(counters_.size());
   for (const auto& entry : counters_) {
     s.counters.push_back({entry.first, entry.second->value()});

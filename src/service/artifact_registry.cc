@@ -131,7 +131,7 @@ Status ArtifactRegistry::Publish(
   }
   std::shared_ptr<const ServedArtifact> replaced;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Swap under the lock but destroy the displaced artifact outside it:
     // the last reference may be ours, and tearing down a large tree while
     // holding mu_ would stall every concurrent Get().
@@ -149,6 +149,10 @@ Status ArtifactRegistry::LoadFile(const std::string& name,
     if (options_.memory_budget_bytes > 0) {
       // Budget check: mapping the file whole adds ~file_size of
       // addressable bytes. Over budget, serve through a bounded pool.
+      // resident_bytes() takes and drops mu_ here, so two concurrent
+      // LoadFiles can both pass the check — the budget is a soft cap by
+      // contract (see RegistryOptions), so the benign TOCTOU is fine and
+      // not worth holding mu_ across file IO.
       PRIVHP_ASSIGN_OR_RETURN(const uint64_t file_size,
                               storage::FileSize(path));
       if (resident_bytes() + file_size > options_.memory_budget_bytes) {
@@ -166,7 +170,7 @@ Status ArtifactRegistry::LoadFile(const std::string& name,
 
 Result<std::shared_ptr<const ServedArtifact>> ArtifactRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = artifacts_.find(name);
   if (it == artifacts_.end()) {
     return Status::InvalidArgument("no artifact named '" + name + "'");
@@ -177,7 +181,7 @@ Result<std::shared_ptr<const ServedArtifact>> ArtifactRegistry::Get(
 bool ArtifactRegistry::Remove(const std::string& name) {
   std::shared_ptr<const ServedArtifact> removed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = artifacts_.find(name);
     if (it == artifacts_.end()) return false;
     removed = std::move(it->second);
@@ -188,19 +192,19 @@ bool ArtifactRegistry::Remove(const std::string& name) {
 
 std::vector<std::string> ArtifactRegistry::List() const {
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   names.reserve(artifacts_.size());
   for (const auto& entry : artifacts_) names.push_back(entry.first);
   return names;
 }
 
 size_t ArtifactRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return artifacts_.size();
 }
 
 size_t ArtifactRegistry::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& entry : artifacts_) total += entry.second->ResidentBytes();
   return total;

@@ -28,12 +28,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/generator.h"
 #include "core/queries.h"
 #include "domain/domain.h"
@@ -163,27 +163,29 @@ class ArtifactRegistry {
   /// previous artifact of that name (readers holding the old shared_ptr
   /// are unaffected).
   Status Publish(const std::string& name,
-                 std::shared_ptr<const ServedArtifact> artifact);
+                 std::shared_ptr<const ServedArtifact> artifact)
+      EXCLUDES(mu_);
 
   /// \brief Loads an artifact file (paged or v2 tree) and publishes it
   /// under \p name, honouring the memory budget for paged files.
-  Status LoadFile(const std::string& name, const std::string& path);
+  Status LoadFile(const std::string& name, const std::string& path)
+      EXCLUDES(mu_);
 
   /// \brief The artifact currently published under \p name.
   Result<std::shared_ptr<const ServedArtifact>> Get(
-      const std::string& name) const;
+      const std::string& name) const EXCLUDES(mu_);
 
   /// \brief Unpublishes \p name; returns false if absent. In-flight
   /// readers keep their reference.
-  bool Remove(const std::string& name);
+  bool Remove(const std::string& name) EXCLUDES(mu_);
 
   /// \brief Published names, sorted.
-  std::vector<std::string> List() const;
+  std::vector<std::string> List() const EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
 
   /// \brief Summed ResidentBytes of the published artifacts.
-  size_t resident_bytes() const;
+  size_t resident_bytes() const EXCLUDES(mu_);
 
   /// \brief Successful Publish() calls over the registry's lifetime
   /// (LoadFile and INGEST both land here) — monotonic, unlike size().
@@ -195,8 +197,9 @@ class ArtifactRegistry {
 
  private:
   RegistryOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const ServedArtifact>> artifacts_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedArtifact>> artifacts_
+      GUARDED_BY(mu_);
   std::atomic<uint64_t> publishes_{0};
 };
 

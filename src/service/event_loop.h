@@ -6,6 +6,17 @@
 // pull the reactor out of epoll_wait after handing it response frames.
 // The wakeup is consumed inside Poll() and never surfaces as an event —
 // callers just see Poll() return early.
+//
+// Concurrency contract: this class deliberately has no mutex and no
+// thread-safety annotations (see common/sync.h for the annotated
+// primitives the rest of the service tier uses). Its safety argument is
+// thread *ownership*, which Clang's analysis cannot express: every
+// method except Wake() must be called from the reactor thread only, and
+// Wake() is safe from any thread because its entire cross-thread
+// surface is one write(2) on an eventfd the kernel serializes. The same
+// convention covers the reactor-owned block of the server's Connection
+// state — single-thread-owned data is documented as such instead of
+// being wrapped in a lock it does not need.
 
 #ifndef PRIVHP_SERVICE_EVENT_LOOP_H_
 #define PRIVHP_SERVICE_EVENT_LOOP_H_

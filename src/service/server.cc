@@ -95,28 +95,30 @@ struct PrivHPServer::Connection {
   std::chrono::steady_clock::time_point last_write_progress;
 
   // ---- shared with workers (guarded by mu) ----
-  std::mutex mu;
-  bool closed = false;  ///< worker-visible mirror of dropped
+  Mutex mu;
+  bool closed GUARDED_BY(mu) = false;  ///< worker-visible mirror of dropped
   /// Parsed requests awaiting execution. The reactor pushes; either the
   /// reactor pops (MaybeStartNext, when no worker holds the slot) or
   /// the worker finishing the previous request pops the next one inline
   /// — that continuation is what lets pipelined requests run
   /// back-to-back without two thread wake-ups in between.
-  std::deque<PendingRequest> pending;
-  bool executing = false;  ///< a worker owns a request or parked stream
-  std::deque<std::string> outbox;  ///< response frames awaiting the writer
+  std::deque<PendingRequest> pending GUARDED_BY(mu);
+  /// A worker owns a request or parked stream.
+  bool executing GUARDED_BY(mu) = false;
+  /// Response frames awaiting the writer.
+  std::deque<std::string> outbox GUARDED_BY(mu);
   /// Request-completion hand-off, consumed by the reactor in
   /// DrainReadyList: the executing request finished; optionally asks for
   /// a drop and/or releases an unconsumed ingest stream expectation.
-  bool request_done = false;
-  bool done_drop = false;
-  DropReason done_drop_reason = DropReason::kNone;
-  bool done_release_stream = false;
+  bool request_done GUARDED_BY(mu) = false;
+  bool done_drop GUARDED_BY(mu) = false;
+  DropReason done_drop_reason GUARDED_BY(mu) = DropReason::kNone;
+  bool done_release_stream GUARDED_BY(mu) = false;
   /// A SAMPLE/EXPORT response that hit the output high-water mark,
   /// waiting for the peer to drain. The request slot stays occupied
   /// (executing == true) but no worker is held.
-  std::unique_ptr<ResponseStream> parked;
-  bool resume_scheduled = false;
+  std::unique_ptr<ResponseStream> parked GUARDED_BY(mu);
+  bool resume_scheduled GUARDED_BY(mu) = false;
 
   /// Bytes queued toward the peer (outbox + writer, frame headers
   /// included) — atomic so stream producers can check the high-water
@@ -130,11 +132,11 @@ struct PrivHPServer::Connection {
   // The reactor pushes raw point-stream frames; the worker executing the
   // INGEST pops them through a SocketPointSource. Bounded by
   // kIngestChannelMax*; when full the reactor pauses reads.
-  std::mutex ingest_mu;
-  std::condition_variable ingest_cv;
-  std::deque<std::string> ingest_frames;
-  size_t ingest_bytes = 0;
-  bool ingest_closed = false;
+  Mutex ingest_mu;
+  CondVar ingest_cv;
+  std::deque<std::string> ingest_frames GUARDED_BY(ingest_mu);
+  size_t ingest_bytes GUARDED_BY(ingest_mu) = 0;
+  bool ingest_closed GUARDED_BY(ingest_mu) = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -309,8 +311,8 @@ void PrivHPServer::Stop() {
   // Pairing the flag flip with the queue lock closes the lost-wakeup
   // race: a worker that read stopping_ == false under the lock is
   // guaranteed to be inside wait() by the time we notify.
-  { std::lock_guard<std::mutex> lock(task_mu_); }
-  task_cv_.notify_all();
+  { MutexLock lock(task_mu_); }
+  task_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -489,13 +491,13 @@ void PrivHPServer::RouteFrame(const std::shared_ptr<Connection>& conn,
           !frame.empty() &&
           static_cast<uint8_t>(frame[0]) == kPointStreamEndTag;
       {
-        std::lock_guard<std::mutex> lock(conn->ingest_mu);
+        MutexLock lock(conn->ingest_mu);
         if (!conn->ingest_closed) {
           conn->ingest_bytes += frame.size();
           conn->ingest_frames.push_back(std::move(frame));
         }
       }
-      conn->ingest_cv.notify_one();
+      conn->ingest_cv.NotifyOne();
       if (is_end) {
         if (conn->streams_expected > 0) --conn->streams_expected;
         RecomputeMode(conn);
@@ -527,7 +529,7 @@ void PrivHPServer::RouteFrame(const std::shared_ptr<Connection>& conn,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->pending.push_back(std::move(pending));
   }
   MaybeStartNext(conn);
@@ -581,7 +583,7 @@ void PrivHPServer::MaybeStartNext(const std::shared_ptr<Connection>& conn) {
   if (conn->dropped || conn->close_after_flush) return;
   Task task;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->executing || conn->pending.empty()) return;
     task.request = std::move(conn->pending.front());
     conn->pending.pop_front();
@@ -605,11 +607,11 @@ void PrivHPServer::RecomputeMode(const std::shared_ptr<Connection>& conn) {
 bool PrivHPServer::WantRead(const std::shared_ptr<Connection>& conn) {
   if (conn->reading_disabled || conn->close_after_flush) return false;
   if (conn->mode == Connection::InputMode::kIngest) {
-    std::lock_guard<std::mutex> lock(conn->ingest_mu);
+    MutexLock lock(conn->ingest_mu);
     return conn->ingest_bytes < kIngestChannelMaxBytes &&
            conn->ingest_frames.size() < kIngestChannelMaxFrames;
   }
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   return conn->pending.size() <
          static_cast<size_t>(options_.max_pipeline_requests);
 }
@@ -617,7 +619,7 @@ bool PrivHPServer::WantRead(const std::shared_ptr<Connection>& conn) {
 void PrivHPServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
   if (conn->dropped) return;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     while (!conn->outbox.empty()) {
       // Frames were size-checked when the worker encoded them.
       const Status queued =
@@ -650,7 +652,7 @@ void PrivHPServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
       options_.max_output_queue_bytes / 2) {
     bool submit = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->parked != nullptr && !conn->resume_scheduled) {
         conn->resume_scheduled = true;
         submit = true;
@@ -667,7 +669,7 @@ void PrivHPServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
   if (conn->close_after_flush && conn->writer.empty()) {
     bool flushed_and_idle;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       flushed_and_idle = conn->outbox.empty() && !conn->executing;
     }
     if (flushed_and_idle) {
@@ -695,7 +697,7 @@ void PrivHPServer::UpdateInterest(const std::shared_ptr<Connection>& conn) {
 void PrivHPServer::DrainReadyList() {
   std::vector<std::shared_ptr<Connection>> ready;
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    MutexLock lock(ready_mu_);
     ready.swap(ready_);
   }
   for (const std::shared_ptr<Connection>& conn : ready) {
@@ -709,7 +711,7 @@ void PrivHPServer::DrainReadyList() {
     bool release_stream = false;
     DropReason reason = DropReason::kNone;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       done = conn->request_done;
       if (done) {
         conn->request_done = false;
@@ -791,7 +793,7 @@ void PrivHPServer::SweepDeadlines(std::chrono::steady_clock::time_point now) {
     // frame itself); the sweep leaves it alone.
     bool executing;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       executing = conn->executing;
     }
     if (executing) continue;
@@ -826,7 +828,7 @@ void PrivHPServer::DropConnection(const std::shared_ptr<Connection>& conn,
   metrics_->connections_open->Add(-1);
   size_t queued = 0;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->closed = true;
     conn->pending.clear();
     conn->outbox.clear();
@@ -839,12 +841,12 @@ void PrivHPServer::DropConnection(const std::shared_ptr<Connection>& conn,
     metrics_->output_queue_bytes->Add(-static_cast<int64_t>(queued));
   }
   {
-    std::lock_guard<std::mutex> lock(conn->ingest_mu);
+    MutexLock lock(conn->ingest_mu);
     conn->ingest_closed = true;
     conn->ingest_frames.clear();
     conn->ingest_bytes = 0;
   }
-  conn->ingest_cv.notify_all();
+  conn->ingest_cv.NotifyAll();
   conn->sock.Close();
   conns_.erase(conn->tag);
 }
@@ -855,11 +857,11 @@ void PrivHPServer::DropConnection(const std::shared_ptr<Connection>& conn,
 
 void PrivHPServer::SubmitTask(Task task) {
   {
-    std::lock_guard<std::mutex> lock(task_mu_);
+    MutexLock lock(task_mu_);
     tasks_.push_back(std::move(task));
   }
   metrics_->queue_depth->Add(1);
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void PrivHPServer::WorkerLoop(int worker_index) {
@@ -868,10 +870,11 @@ void PrivHPServer::WorkerLoop(int worker_index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(task_mu_);
-      task_cv_.wait(lock, [this] {
-        return stopping_.load() || !tasks_.empty();
-      });
+      MutexLock lock(task_mu_);
+      // Explicit wait loop (not wait-with-predicate): the thread-safety
+      // analysis needs to see the guarded tasks_ read under the lock in
+      // this function, not inside a lambda.
+      while (!stopping_.load() && tasks_.empty()) task_cv_.Wait(task_mu_);
       if (stopping_.load()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -890,7 +893,7 @@ void PrivHPServer::ExecuteTask(Task task, RandomEngine* engine) {
   if (task.resume) {
     std::unique_ptr<ResponseStream> stream;
     {
-      std::lock_guard<std::mutex> lock(task.conn->mu);
+      MutexLock lock(task.conn->mu);
       stream = std::move(task.conn->parked);
       task.conn->resume_scheduled = false;
     }
@@ -912,7 +915,7 @@ void PrivHPServer::ExecuteTask(Task task, RandomEngine* engine) {
   while (continuable) {
     PendingRequest next;
     {
-      std::lock_guard<std::mutex> lock(task.conn->mu);
+      MutexLock lock(task.conn->mu);
       if (task.conn->closed || task.conn->pending.empty()) {
         task.conn->executing = false;
         return;
@@ -969,15 +972,18 @@ bool PrivHPServer::RunStream(std::unique_ptr<ResponseStream> stream) {
   const std::shared_ptr<Connection> conn = stream->conn;
   const ResponseStream::PumpResult result = stream->Pump();
   if (result == ResponseStream::PumpResult::kParked) {
+    bool parked_ok = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (!conn->closed) {
         conn->parked = std::move(stream);
+        parked_ok = true;
       }
     }
-    if (stream != nullptr) {
-      // The connection dropped while we streamed; finish the request so
-      // its slot is not stuck (no one will read the response anyway).
+    if (!parked_ok) {
+      // The connection dropped while we streamed (stream was not taken);
+      // finish the request so its slot is not stuck (no one will read
+      // the response anyway).
       return FinalizeRequest(conn, &stream->scope,
                              /*drop_connection=*/false, DropReason::kNone,
                              /*ingest_stream_consumed=*/true);
@@ -1008,7 +1014,7 @@ bool PrivHPServer::FinalizeRequest(const std::shared_ptr<Connection>& conn,
     // The reactor has cleanup to do (close after flush / release the
     // expected ingest stream); hand the slot back through request_done.
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       conn->request_done = true;
       if (drop_connection) {
         conn->done_drop = true;
@@ -1032,7 +1038,7 @@ Status PrivHPServer::EnqueueFrame(const std::shared_ptr<Connection>& conn,
   // pending_bytes so queued_bytes drains exactly to zero.
   const size_t wire_bytes = frame.size() + 4;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->closed) return Status::IOError("connection dropped");
     conn->outbox.push_back(std::move(frame));
     conn->queued_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
@@ -1052,7 +1058,7 @@ Status PrivHPServer::EnqueueError(const std::shared_ptr<Connection>& conn,
 void PrivHPServer::NotifyConn(const std::shared_ptr<Connection>& conn) {
   if (conn->in_ready.exchange(true, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    MutexLock lock(ready_mu_);
     ready_.push_back(conn);
   }
   loop_.Wake();
@@ -1327,7 +1333,7 @@ void PrivHPServer::HandleIngestRequest(
   bool timed_out = false;
   FrameRecvFn recv = [this, conn, &timed_out](std::string* payload)
       -> Result<bool> {
-    std::unique_lock<std::mutex> lock(conn->ingest_mu);
+    MutexLock lock(conn->ingest_mu);
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::seconds(options_.idle_timeout_seconds);
@@ -1336,7 +1342,7 @@ void PrivHPServer::HandleIngestRequest(
         *payload = std::move(conn->ingest_frames.front());
         conn->ingest_frames.pop_front();
         conn->ingest_bytes -= payload->size();
-        lock.unlock();
+        lock.Unlock();
         // The channel may have been full; let the reactor re-arm reads.
         NotifyConn(conn);
         return true;
@@ -1352,7 +1358,8 @@ void PrivHPServer::HandleIngestRequest(
         timed_out = true;
         return Status::FailedPrecondition("point stream idle timeout");
       }
-      conn->ingest_cv.wait_for(lock, std::chrono::milliseconds(100));
+      (void)conn->ingest_cv.WaitFor(conn->ingest_mu,
+                                    std::chrono::milliseconds(100));
     }
   };
   SocketPointSource source(std::move(recv), static_cast<int>(req.dim));

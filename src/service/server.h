@@ -43,17 +43,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "io/frame_socket.h"
 #include "obs/metrics_registry.h"
@@ -254,14 +253,14 @@ class PrivHPServer {
   /// flush-pending connections, and refreshes epoll interest.
   void PumpConnection(const std::shared_ptr<Connection>& conn);
   void UpdateInterest(const std::shared_ptr<Connection>& conn);
-  void DrainReadyList();
+  void DrainReadyList() EXCLUDES(ready_mu_);
   void SweepDeadlines(std::chrono::steady_clock::time_point now);
   void DropConnection(const std::shared_ptr<Connection>& conn,
                       DropReason reason);
 
   // ---- worker side (CPU pool; never touches fds) ----
-  void WorkerLoop(int worker_index);
-  void SubmitTask(Task task);
+  void WorkerLoop(int worker_index) EXCLUDES(task_mu_);
+  void SubmitTask(Task task) EXCLUDES(task_mu_);
   /// Runs the task's request (or resumes its parked stream), then keeps
   /// draining the connection's pending pipeline inline while requests
   /// complete cleanly — up to a fairness budget, after which the slot
@@ -308,7 +307,7 @@ class PrivHPServer {
   Status EnqueueError(const std::shared_ptr<Connection>& conn,
                       const Status& error, RequestScope* scope);
   /// Puts \p conn on the reactor's ready list and wakes the loop.
-  void NotifyConn(const std::shared_ptr<Connection>& conn);
+  void NotifyConn(const std::shared_ptr<Connection>& conn) EXCLUDES(ready_mu_);
 
   ArtifactRegistry* registry_;
   ServerOptions options_;
@@ -341,14 +340,14 @@ class PrivHPServer {
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
 
   // CPU-pool task queue.
-  std::mutex task_mu_;
-  std::condition_variable task_cv_;
-  std::deque<Task> tasks_;
+  Mutex task_mu_;
+  CondVar task_cv_;
+  std::deque<Task> tasks_ GUARDED_BY(task_mu_);
 
   // Connections with worker-produced state the reactor must look at
   // (new response frames, request completion, parked streams).
-  std::mutex ready_mu_;
-  std::vector<std::shared_ptr<Connection>> ready_;
+  Mutex ready_mu_;
+  std::vector<std::shared_ptr<Connection>> ready_ GUARDED_BY(ready_mu_);
 
   struct AtomicStats {
     std::atomic<uint64_t> connections{0};

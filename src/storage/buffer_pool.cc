@@ -28,16 +28,31 @@ PageRef::~PageRef() {
 }
 
 BufferPool::BufferPool(size_t page_bytes, size_t num_frames)
-    : page_bytes_(page_bytes) {
+    : page_bytes_(page_bytes), num_frames_(std::max<size_t>(1, num_frames)) {
   PRIVHP_CHECK(page_bytes > 0);
-  num_frames = std::max<size_t>(1, num_frames);
-  frames_.resize(num_frames);
-  arena_.resize(page_bytes_ * num_frames);
-  resident_.reserve(num_frames);
+  frames_.resize(num_frames_);
+  arena_.resize(page_bytes_ * num_frames_);
+  resident_.reserve(num_frames_);
+}
+
+size_t BufferPool::PickVictimLocked() const {
+  // Linear scan — pools are tens of frames, not thousands.
+  size_t victim = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].occupied) {
+      return i;
+    }
+    if (frames_[i].pins == 0 &&
+        (victim == frames_.size() ||
+         frames_[i].last_use < frames_[victim].last_use)) {
+      victim = i;
+    }
+  }
+  return victim;
 }
 
 Result<PageRef> BufferPool::Fetch(uint64_t page_no, const PageLoader& loader) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++tick_;
   auto it = resident_.find(page_no);
   if (it != resident_.end()) {
@@ -50,20 +65,7 @@ Result<PageRef> BufferPool::Fetch(uint64_t page_no, const PageLoader& loader) {
   }
   ++stats_.misses;
 
-  // Victim selection: any unoccupied frame first, else the LRU unpinned
-  // one. Linear scan — pools are tens of frames, not thousands.
-  size_t victim = frames_.size();
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (!frames_[i].occupied) {
-      victim = i;
-      break;
-    }
-    if (frames_[i].pins == 0 &&
-        (victim == frames_.size() ||
-         frames_[i].last_use < frames_[victim].last_use)) {
-      victim = i;
-    }
-  }
+  const size_t victim = PickVictimLocked();
   if (victim == frames_.size()) {
     return Status::FailedPrecondition(
         "buffer pool exhausted: every frame is pinned (" +
@@ -87,14 +89,14 @@ Result<PageRef> BufferPool::Fetch(uint64_t page_no, const PageLoader& loader) {
 }
 
 void BufferPool::Unpin(size_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PRIVHP_DCHECK(frame < frames_.size());
   PRIVHP_DCHECK(frames_[frame].pins > 0);
   --frames_[frame].pins;
 }
 
 size_t BufferPool::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sizeof(*this) + arena_.capacity() +
          frames_.capacity() * sizeof(Frame) +
          resident_.size() * (sizeof(uint64_t) + sizeof(size_t));
@@ -103,7 +105,7 @@ size_t BufferPool::MemoryBytes() const {
 BufferPool::Stats BufferPool::stats() const {
   Stats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s = stats_;
   }
   s.checksum_verifies = checksum_verifies_.load(std::memory_order_relaxed);

@@ -24,11 +24,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace privhp {
 namespace storage {
@@ -87,16 +87,19 @@ class BufferPool {
 
   /// \brief Pins page \p page_no, loading it via \p loader if absent.
   /// Fails with FailedPrecondition if every frame is pinned, or with
-  /// the loader's error (the frame is then left free).
-  Result<PageRef> Fetch(uint64_t page_no, const PageLoader& loader);
+  /// the loader's error (the frame is then left free). The loader runs
+  /// under mu_, so it must not touch the pool (NoteChecksumVerify is
+  /// the sanctioned lock-free exception).
+  Result<PageRef> Fetch(uint64_t page_no, const PageLoader& loader)
+      EXCLUDES(mu_);
 
   size_t page_bytes() const { return page_bytes_; }
-  size_t num_frames() const { return frames_.size(); }
+  size_t num_frames() const { return num_frames_; }
 
   /// \brief Bytes held by the pool arena and bookkeeping.
-  size_t MemoryBytes() const;
+  size_t MemoryBytes() const EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
   /// \brief Records one page checksum verification. Lock-free on a
   /// separate atomic, so a PageLoader — which runs *under* the pool
@@ -115,15 +118,27 @@ class BufferPool {
     bool occupied = false;
   };
 
-  void Unpin(size_t frame);
+  void Unpin(size_t frame) EXCLUDES(mu_);
+
+  /// \brief Picks the frame a miss should load into: any unoccupied
+  /// frame first, else the LRU unpinned one; frames_.size() when every
+  /// frame is pinned.
+  size_t PickVictimLocked() const REQUIRES(mu_);
 
   const size_t page_bytes_;
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
+  const size_t num_frames_;
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  /// The arena vector itself is immutable after the constructor (sized
+  /// once, never reallocated), so reads through it need no lock; which
+  /// *frame slots* hold valid bytes is what mu_ and the pin protocol
+  /// govern. PageRef::data() stays valid lock-free exactly because a
+  /// pinned frame is never reloaded.
   std::vector<uint8_t> arena_;
-  std::unordered_map<uint64_t, size_t> resident_;  // page_no -> frame
-  uint64_t tick_ = 0;
-  Stats stats_;
+  std::unordered_map<uint64_t, size_t> resident_
+      GUARDED_BY(mu_);  // page_no -> frame
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
   std::atomic<uint64_t> checksum_verifies_{0};
 };
 

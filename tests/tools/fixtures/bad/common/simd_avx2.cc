@@ -1,0 +1,30 @@
+// PHL002 fixture: non-correctly-rounded math in a SIMD kernel TU.
+#include <cmath>
+#include <immintrin.h>
+
+namespace privhp {
+
+double EvilHorizontal(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    // Violation: fused multiply-add rounds once, the scalar reference
+    // rounds twice — bit-equality gates fail.
+    acc = _mm256_fmadd_pd(va, vb, acc);  // PHL002
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  // Violation: scalar FMA tail has the same rounding problem.
+  total = std::fma(a[0], b[0], total);  // PHL002
+  return total;
+}
+
+float EvilReciprocal(float x) {
+  // Violation: rcp is an approximation, not correctly rounded.
+  const __m128 r = _mm_rcp_ss(_mm_set_ss(x));  // PHL002
+  return _mm_cvtss_f32(r);
+}
+
+}  // namespace privhp

@@ -1,0 +1,28 @@
+// PHL003 fixture: ad-hoc randomness outside common/random.*.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace privhp {
+
+double EvilUniform() {
+  // Violation: libc rand() — unseedable, non-reproducible draws.
+  return static_cast<double>(rand()) / RAND_MAX;  // PHL003
+}
+
+void EvilSeed() {
+  // Violation: wall-clock seeding destroys run-to-run determinism.
+  srand(static_cast<unsigned>(time(nullptr)));  // PHL003 (x2: srand, time)
+}
+
+uint64_t EvilDeviceSeed() {
+  // Violation: std::random_device is nondeterministic by design.
+  std::random_device rd;  // PHL003
+  return rd();
+}
+
+double EvilDrand() {
+  return drand48();  // PHL003
+}
+
+}  // namespace privhp

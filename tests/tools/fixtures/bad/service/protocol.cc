@@ -1,0 +1,41 @@
+// PHL001 fixture: wire-read counts feeding allocations unbounded.
+// Each violation below must be reported by tools/privhp_lint.py.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "service/protocol.h"
+
+namespace privhp {
+
+Status DecodeEvilVector(WireReader& payload, std::vector<double>* out) {
+  // Violation: tainted identifier feeds reserve() with no BoundedCount.
+  PRIVHP_ASSIGN_OR_RETURN(uint32_t count, payload.U32());
+  out->reserve(count);  // PHL001
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(double v, payload.Double());
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status DecodeEvilInline(WireReader& payload, std::string* out) {
+  // Violation: raw wire read inline in the resize() argument.
+  out->resize(*payload.U64());  // PHL001
+  return Status::OK();
+}
+
+Status DecodeFine(WireReader& payload, std::vector<uint64_t>* out) {
+  // Not a violation: the canonical bounded read sanitizes the count.
+  PRIVHP_ASSIGN_OR_RETURN(uint64_t count,
+                          payload.BoundedCount(sizeof(uint64_t)));
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(uint64_t v, payload.U64());
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace privhp

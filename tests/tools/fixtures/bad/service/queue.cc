@@ -1,0 +1,32 @@
+// PHL004 fixture: naked standard-library locking primitives.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace privhp {
+
+class EvilQueue {
+ public:
+  void Push(int v) {
+    // Violation: std::lock_guard bypasses the annotated wrappers.
+    std::lock_guard<std::mutex> lock(mu_);  // PHL004 (x2)
+    items_.push_back(v);
+    cv_.notify_one();
+  }
+
+  int Pop() {
+    std::unique_lock<std::mutex> lock(mu_);  // PHL004 (x2)
+    cv_.wait(lock, [this] { return !items_.empty(); });
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  // Violation: fields invisible to -Wthread-safety analysis.
+  std::mutex mu_;                // PHL004
+  std::condition_variable cv_;   // PHL004
+  std::deque<int> items_;
+};
+
+}  // namespace privhp

@@ -1,0 +1,27 @@
+// Clean mirror of bad/common/simd_avx2.cc: add/sub/mul/div/cmp only,
+// all correctly rounded — the same sequence the scalar reference runs.
+#include <immintrin.h>
+
+namespace privhp {
+
+double CleanHorizontal(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    // Separate mul + add: two roundings, matching scalar evaluation
+    // under -ffp-contract=off.
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+float CleanReciprocal(float x) {
+  // Full-precision divide, correctly rounded.
+  const __m128 r = _mm_div_ss(_mm_set_ss(1.0f), _mm_set_ss(x));
+  return _mm_cvtss_f32(r);
+}
+
+}  // namespace privhp

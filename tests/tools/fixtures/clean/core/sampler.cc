@@ -1,0 +1,17 @@
+// Clean mirror of bad/core/sampler.cc: all draws come from the seeded
+// RandomEngine in common/random.h.
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace privhp {
+
+double CleanUniform(RandomEngine* rng) { return rng->Uniform(); }
+
+RandomEngine CleanSeeded(uint64_t seed) { return RandomEngine(seed); }
+
+// Mentioning rand() or std::random_device in a comment — or in a log
+// string like "do not call rand()" — must not trip the linter.
+const char* kAdvice = "never call rand() or time(0) here";
+
+}  // namespace privhp

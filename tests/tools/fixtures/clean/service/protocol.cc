@@ -1,0 +1,38 @@
+// Clean mirror of bad/service/protocol.cc: every wire-read count flows
+// through WireReader::BoundedCount() (or an explicit clamp) before it
+// sizes an allocation. privhp_lint must report nothing here.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "service/protocol.h"
+
+namespace privhp {
+
+Status DecodeVector(WireReader& payload, std::vector<double>* out) {
+  PRIVHP_ASSIGN_OR_RETURN(uint64_t count,
+                          payload.BoundedCount(sizeof(double)));
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PRIVHP_ASSIGN_OR_RETURN(double v, payload.Double());
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status DecodeBlob(WireReader& payload, std::string* out) {
+  PRIVHP_ASSIGN_OR_RETURN(uint64_t total, payload.U64());
+  // Clamped reservation: tainted, but bounded by an explicit std::min.
+  out->reserve(static_cast<size_t>(std::min<uint64_t>(total, 64u << 20)));
+  return Status::OK();
+}
+
+Status DecodeInternal(std::vector<uint64_t>* out) {
+  // Internally-sized allocations are never flagged.
+  out->resize(128);
+  return Status::OK();
+}
+
+}  // namespace privhp

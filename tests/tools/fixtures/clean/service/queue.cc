@@ -1,0 +1,31 @@
+// Clean mirror of bad/service/queue.cc: the annotated wrappers from
+// common/sync.h, explicit while-loop waits, GUARDED_BY on every field.
+#include <deque>
+
+#include "common/sync.h"
+
+namespace privhp {
+
+class CleanQueue {
+ public:
+  void Push(int v) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    items_.push_back(v);
+    cv_.NotifyOne();
+  }
+
+  int Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty()) cv_.Wait(mu_);
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<int> items_ GUARDED_BY(mu_);
+};
+
+}  // namespace privhp

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Tests for tools/privhp_lint.py.
+
+Drives the linter over the fixture corpus (tests/tools/fixtures/) and
+the real tree, asserting exact rule IDs:
+
+  * every bad/ fixture trips exactly the rules it seeds (file, rule,
+    line), and nothing else;
+  * the clean/ mirror — same shapes, invariants respected — is silent;
+  * src/ itself is silent (the gate the CI job enforces);
+  * --check-tidy-config accepts the repo config and rejects configs
+    with undocumented opt-outs or a missing WarningsAsErrors.
+
+Run directly or via ctest (lint.privhp_test).
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(ROOT, "tools", "privhp_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT] + list(args),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def parse_findings(stderr):
+    """Returns a list of (relative_path, line, rule) triples."""
+    findings = []
+    for line in stderr.splitlines():
+        m = re.match(r"(.+?):(\d+): (PHL\d{3}): ", line)
+        if m:
+            path = os.path.relpath(os.path.abspath(m.group(1)), FIXTURES)
+            findings.append((path.replace(os.sep, "/"), int(m.group(2)),
+                             m.group(3)))
+    return findings
+
+
+class BadFixturesTest(unittest.TestCase):
+    """Each seeded violation must be reported with the exact rule ID."""
+
+    @classmethod
+    def setUpClass(cls):
+        code, _, err = run_lint(os.path.join(FIXTURES, "bad"))
+        cls.exit_code = code
+        cls.findings = parse_findings(err)
+
+    def test_exit_nonzero(self):
+        self.assertEqual(self.exit_code, 1)
+
+    def expect(self, path, rule, lines):
+        got = sorted(l for p, l, r in self.findings
+                     if p == path and r == rule)
+        self.assertEqual(
+            got, sorted(lines),
+            "%s: expected %s at lines %s, got %s (all findings: %s)" %
+            (path, rule, sorted(lines), got, self.findings))
+
+    def test_phl001_wire_counts(self):
+        self.expect("bad/service/protocol.cc", "PHL001", [15, 25])
+
+    def test_phl002_simd_rounding(self):
+        self.expect("bad/common/simd_avx2.cc", "PHL002", [14, 20, 26])
+
+    def test_phl003_rng_discipline(self):
+        self.expect("bad/core/sampler.cc", "PHL003", [10, 15, 15, 20, 25])
+
+    def test_phl004_naked_mutex(self):
+        self.expect("bad/service/queue.cc", "PHL004",
+                    [12, 12, 18, 18, 27, 28])
+
+    def test_no_cross_rule_noise(self):
+        # A file seeded for one rule must not trip a different rule.
+        for path, _, rule in self.findings:
+            expected = {"bad/service/protocol.cc": "PHL001",
+                        "bad/common/simd_avx2.cc": "PHL002",
+                        "bad/core/sampler.cc": "PHL003",
+                        "bad/service/queue.cc": "PHL004"}[path]
+            self.assertEqual(rule, expected,
+                             "unexpected %s in %s" % (rule, path))
+
+
+class CleanTest(unittest.TestCase):
+    def test_clean_mirror_is_silent(self):
+        code, _, err = run_lint(os.path.join(FIXTURES, "clean"))
+        self.assertEqual(code, 0, "clean fixtures flagged:\n" + err)
+
+    def test_src_tree_is_silent(self):
+        code, _, err = run_lint(os.path.join(ROOT, "src"))
+        self.assertEqual(code, 0, "src/ flagged:\n" + err)
+
+
+class TidyConfigTest(unittest.TestCase):
+    def test_repo_config_accepted(self):
+        tidy = os.path.join(ROOT, ".clang-tidy")
+        if not os.path.exists(tidy):
+            self.skipTest(".clang-tidy not present")
+        code, _, err = run_lint("--check-tidy-config", tidy)
+        self.assertEqual(code, 0, err)
+
+    def check_config(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".clang-tidy", delete=False) as f:
+            f.write(text)
+            path = f.name
+        try:
+            return run_lint("--check-tidy-config", path)
+        finally:
+            os.unlink(path)
+
+    def test_undocumented_optout_rejected(self):
+        code, _, err = self.check_config(
+            "Checks: >\n"
+            "  -*, bugprone-*,\n"
+            "  -bugprone-easily-swappable-parameters\n"
+            "WarningsAsErrors: '*'\n")
+        self.assertEqual(code, 1)
+        self.assertIn("no documented reason", err)
+
+    def test_documented_optout_accepted(self):
+        code, _, err = self.check_config(
+            "#   -bugprone-easily-swappable-parameters: noisy on decoders\n"
+            "Checks: >\n"
+            "  -*, bugprone-*,\n"
+            "  -bugprone-easily-swappable-parameters\n"
+            "WarningsAsErrors: '*'\n")
+        self.assertEqual(code, 0, err)
+
+    def test_missing_warnings_as_errors_rejected(self):
+        code, _, err = self.check_config("Checks: '-*,bugprone-*'\n")
+        self.assertEqual(code, 1)
+        self.assertIn("WarningsAsErrors", err)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (root .clang-tidy, WarningsAsErrors: '*') over every
+# C++ TU in src/, using the compile database a configured build tree
+# exports (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt).
+#
+#   tools/tidy.sh [BUILD_DIR]      # default BUILD_DIR: build
+#
+# Env:
+#   CLANG_TIDY      clang-tidy binary (default: clang-tidy, falls back
+#                   to the pinned CI version clang-tidy-18)
+#   TIDY_JOBS       parallel jobs (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+DB="$BUILD_DIR/compile_commands.json"
+if [[ ! -f "$DB" ]]; then
+  echo "error: $DB not found; configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  if command -v clang-tidy-18 >/dev/null 2>&1; then
+    CLANG_TIDY=clang-tidy-18
+  else
+    echo "error: $CLANG_TIDY not found (set CLANG_TIDY to override)" >&2
+    exit 1
+  fi
+fi
+
+# The config itself is part of the contract: every opt-out documented.
+python3 tools/privhp_lint.py --check-tidy-config
+
+mapfile -t files < <(find src -name '*.cc' | sort)
+jobs="${TIDY_JOBS:-$(nproc)}"
+
+echo "clang-tidy (${CLANG_TIDY}) over ${#files[@]} TUs, $jobs jobs"
+printf '%s\n' "${files[@]}" |
+  xargs -P "$jobs" -n 4 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet
+echo "tidy OK (${#files[@]} files)"
